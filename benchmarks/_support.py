@@ -1,0 +1,18 @@
+"""Shim: benchmark instance builders live in :mod:`repro.experiments.setup`.
+
+Kept so every ``bench_*.py`` file can keep its local ``from _support
+import ...`` imports; the implementation moved into the library so the
+CLI and downstream users can run the same experiments without pytest.
+"""
+
+from repro.experiments.setup import (  # noqa: F401
+    ALPHA,
+    TOTAL_LINK_RATE,
+    WAVELENGTH_SWEEP,
+    ThroughputPoint,
+    abilene_network,
+    calibrated_jobs,
+    random_network,
+    shared_path_sets,
+    throughput_pipeline,
+)

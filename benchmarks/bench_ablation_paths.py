@@ -1,0 +1,80 @@
+"""ABL-PATHS — How many allowed paths per job are enough?
+
+Paper Section II-B.1 cites the earlier companion work: "a small number
+of paths per job (4 to 8 paths) is usually enough for achieving very
+good performance."  This ablation sweeps ``k`` on both test topologies
+and reports two metrics:
+
+* the aggregate weighted throughput the network can carry (stage-2 LP
+  with no fairness floor) — the "performance" the claim is about;
+* the stage-1 ``Z*`` — far more sensitive to ``k``, because it is the
+  *minimum* over jobs and a single poorly-connected job drags it down.
+"""
+
+import pytest
+
+from repro import ProblemStructure, TimeGrid, solve_stage1, solve_stage2_lp
+from repro.analysis import Table
+from repro.workload import WorkloadConfig, WorkloadGenerator
+
+from _support import abilene_network, random_network
+
+SEED = 707
+K_SWEEP = (1, 2, 4, 8)
+CONFIG = WorkloadConfig(
+    window_slices_low=2, window_slices_high=4, start_slack_slices=2
+)
+
+
+def metrics_at_k(network, jobs, k):
+    grid = TimeGrid.covering(jobs.max_end())
+    structure = ProblemStructure(network, jobs, grid, k_paths=k)
+    zstar = solve_stage1(structure).zstar
+    # alpha = 1 removes the fairness floor: pure carrying capacity.
+    aggregate = solve_stage2_lp(structure, zstar, alpha=1.0).objective
+    return zstar, aggregate
+
+
+@pytest.mark.parametrize(
+    "name,make_network,num_jobs,k4_threshold",
+    [
+        # A degree-4 random graph keeps gaining capacity from extra paths
+        # longer than a dense backbone does; the saturation point the
+        # paper quotes (4-8 paths) sits at the low end for Abilene and
+        # the high end for sparse random graphs.
+        ("random-100", lambda: random_network(100, seed=SEED).with_wavelengths(4, 20.0), 80, 0.85),
+        ("abilene", lambda: abilene_network().with_wavelengths(4, 20.0), 40, 0.95),
+    ],
+)
+def test_paths_sweep(benchmark, report, name, make_network, num_jobs, k4_threshold):
+    network = make_network()
+    jobs = WorkloadGenerator(network, CONFIG, seed=SEED + 1).jobs(num_jobs)
+
+    points = {k: metrics_at_k(network, jobs, k) for k in K_SWEEP}
+    table = Table(
+        ["k paths", "Z*", "aggregate throughput", "agg / agg(k=8)"],
+        title=f"ABL-PATHS — allowed paths per job, {name} ({num_jobs} jobs)",
+    )
+    agg8 = points[8][1]
+    for k in K_SWEEP:
+        zstar, agg = points[k]
+        table.add_row([k, round(zstar, 4), round(agg, 4), round(agg / agg8, 4)])
+    report(table)
+
+    # More paths never hurt either metric.
+    for a, b in zip(K_SWEEP, K_SWEEP[1:]):
+        assert points[b][0] >= points[a][0] - 1e-9
+        assert points[b][1] >= points[a][1] - 1e-7
+    # The paper's claim: k = 4 achieves nearly the k = 8 performance.
+    assert points[4][1] >= k4_threshold * agg8
+    # Diminishing returns: each path doubling adds less than the last.
+    increments = [
+        points[b][1] - points[a][1] for a, b in zip(K_SWEEP, K_SWEEP[1:])
+    ]
+    assert increments == sorted(increments, reverse=True)
+    # Multipath matters: a single path leaves real capacity unused.
+    assert points[1][1] < 0.98 * agg8
+
+    benchmark.pedantic(
+        metrics_at_k, args=(network, jobs, 4), rounds=2, iterations=1
+    )

@@ -1,0 +1,117 @@
+"""EXACT — LPDAR's true optimality gap on small instances.
+
+The paper could not run an exact integer solver ("this takes too long")
+and used the LP relaxation as an upper bound.  On *small* instances
+HiGHS-MIP terminates, so this benchmark closes the paper's open loop:
+how much of the LPDAR-vs-LP gap is real suboptimality, and how much is
+the LP bound being loose?
+
+Reported per instance: weighted throughput of LPD / LPDAR / exact MILP /
+LP (all normalized by LP), plus the exact solve time versus the LPDAR
+time — the scaling argument for why the heuristic exists at all.
+"""
+
+import time
+
+import pytest
+
+from repro import (
+    ProblemStructure,
+    TimeGrid,
+    lpdar,
+    solve_stage1,
+    solve_stage2_exact,
+    solve_stage2_lp,
+)
+from repro.analysis import Table
+from repro.errors import InfeasibleProblemError
+from repro.workload import WorkloadConfig, WorkloadGenerator
+
+from _support import random_network
+
+SEED = 1111
+ALPHA = 0.4  # generous slack so the small integer programs stay feasible
+CONFIG = WorkloadConfig(
+    size_low=10.0,
+    size_high=60.0,
+    window_slices_low=2,
+    window_slices_high=4,
+    start_slack_slices=1,
+)
+
+
+def build_instance(seed, num_jobs=8):
+    network = random_network(num_nodes=15, seed=seed).with_wavelengths(2, 20.0)
+    jobs = WorkloadGenerator(network, CONFIG, seed=seed + 1).jobs(num_jobs)
+    grid = TimeGrid.covering(jobs.max_end())
+    return ProblemStructure(network, jobs, grid, k_paths=3)
+
+
+def run_comparison(structure):
+    zstar = solve_stage1(structure).zstar
+    t0 = time.perf_counter()
+    stage2 = solve_stage2_lp(structure, zstar, alpha=ALPHA)
+    rounded = lpdar(structure, stage2.x)
+    t_heuristic = time.perf_counter() - t0
+
+    t1 = time.perf_counter()
+    exact = solve_stage2_exact(structure, zstar, alpha=ALPHA, time_limit=60.0)
+    t_exact = time.perf_counter() - t1
+
+    wt = structure.weighted_throughput
+    lp = wt(rounded.x_lp)
+    return {
+        "lpd": wt(rounded.x_lpd) / lp,
+        "lpdar": wt(rounded.x_lpdar) / lp,
+        "exact": wt(exact.x) / lp,
+        "t_heuristic": t_heuristic,
+        "t_exact": t_exact,
+    }
+
+
+def test_exact_optimality_gap(benchmark, report):
+    table = Table(
+        [
+            "instance",
+            "LPD/LP",
+            "LPDAR/LP",
+            "MILP/LP",
+            "LPDAR/MILP",
+            "heuristic s",
+            "exact s",
+        ],
+        title="EXACT — LPDAR vs the true integer optimum (15-node instances)",
+    )
+    gaps = []
+    for k, seed in enumerate((21, 22, 23)):
+        structure = build_instance(seed)
+        try:
+            point = run_comparison(structure)
+        except InfeasibleProblemError:
+            # Fairness floor unsatisfiable in integers even at this alpha
+            # (Remark 1's scenario) — skip the instance.
+            continue
+        ratio = point["lpdar"] / point["exact"]
+        gaps.append(ratio)
+        table.add_row(
+            [
+                k,
+                round(point["lpd"], 4),
+                round(point["lpdar"], 4),
+                round(point["exact"], 4),
+                round(ratio, 4),
+                round(point["t_heuristic"], 4),
+                round(point["t_exact"], 4),
+            ]
+        )
+        # Exact integer optimum is bounded by the LP relaxation.
+        assert point["exact"] <= 1.0 + 1e-7
+    report(table)
+
+    assert gaps, "every instance was integer-infeasible; lower ALPHA contention"
+    # The paper's claim: only a "small loss of optimality".
+    assert min(gaps) >= 0.85
+    assert sum(gaps) / len(gaps) >= 0.9
+
+    structure = build_instance(21)
+    benchmark.pedantic(run_comparison, args=(structure,), rounds=2, iterations=1)

@@ -1,0 +1,88 @@
+"""Fig. 1 — Throughput of LP / LPD / LPDAR on a 100-node random network.
+
+Paper setup: Waxman random network, 100 nodes, ~200 link pairs, constant
+per-link capacity (20 Gbps) divided into 2..32 wavelengths.  Throughput
+is normalized by the LP value.
+
+Expected shape (paper): LPD ~ 0.5 at W = 2 and climbs with W; LPDAR
+~ 0.9 at W = 2 and >= 0.95 from W = 4 up; LP == 1 by construction.
+
+Reproduction note: contention is what makes the LP solution fractional
+(and hence LPD lossy), so the workload uses 350 jobs with tight 2-4
+slice windows, calibrated to stage-1 load Z* = 0.9.
+"""
+
+import pytest
+
+from repro.analysis import Table
+from repro.workload import WorkloadConfig
+
+from _support import (
+    WAVELENGTH_SWEEP,
+    calibrated_jobs,
+    random_network,
+    shared_path_sets,
+    throughput_pipeline,
+)
+
+NUM_JOBS = 350
+SEED = 101
+CONFIG = WorkloadConfig(
+    window_slices_low=2, window_slices_high=4, start_slack_slices=2
+)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    network = random_network(num_nodes=100, seed=SEED)
+    jobs = calibrated_jobs(
+        network, NUM_JOBS, seed=SEED + 1, target_zstar=0.9, config=CONFIG
+    )
+    paths = shared_path_sets(network, jobs)
+    return network, jobs, paths
+
+
+def test_fig1_throughput_sweep(benchmark, report, instance):
+    network, jobs, paths = instance
+
+    points = [
+        throughput_pipeline(network, jobs, w, path_sets=paths)
+        for w in WAVELENGTH_SWEEP
+    ]
+
+    table = Table(
+        ["wavelengths/link", "Z*", "LP", "LPD/LP", "LPDAR/LP"],
+        title=(
+            "Fig. 1 — normalized throughput, random network "
+            f"({network.num_nodes} nodes, {network.num_link_pairs} link pairs, "
+            f"{NUM_JOBS} jobs)"
+        ),
+    )
+    for p in points:
+        table.add_row(
+            [p.wavelengths, round(p.zstar, 3), 1.0,
+             round(p.lpd_ratio, 3), round(p.lpdar_ratio, 3)]
+        )
+    report(table)
+
+    # Paper's qualitative claims.
+    by_w = {p.wavelengths: p for p in points}
+    assert by_w[2].lpd_ratio < 0.7, "LPD should lose badly at W = 2"
+    assert by_w[2].lpdar_ratio > 0.85, "LPDAR should stay near LP at W = 2"
+    for w in (4, 8, 16, 32):
+        assert by_w[w].lpdar_ratio > 0.93
+    # LPD improves monotonically as wavelengths get finer-grained.
+    ratios = [p.lpd_ratio for p in points]
+    assert ratios == sorted(ratios)
+    # Constant total rate: Z* invariant across the sweep.
+    zs = [p.zstar for p in points]
+    assert max(zs) - min(zs) < 1e-4
+
+    # Timed kernel: the full pipeline at the paper's midpoint W = 8.
+    benchmark.pedantic(
+        throughput_pipeline,
+        args=(network, jobs, 8),
+        kwargs={"path_sets": paths},
+        rounds=2,
+        iterations=1,
+    )

@@ -1,0 +1,79 @@
+"""Fig. 2 — Throughput of LP / LPD / LPDAR on the Abilene network.
+
+Paper setup: Abilene backbone, 11 nodes, 20 link pairs, 20 Gbps links,
+same wavelength sweep as Fig. 1.
+
+Expected shape (paper): LPD ~ 0.6 at W = 2; LPDAR nearly identical to LP
+across the whole sweep (the improvement is *more* dramatic than on the
+random network because Abilene's few, highly shared links give the
+greedy pass dense refill opportunities).
+"""
+
+import pytest
+
+from repro.analysis import Table
+from repro.workload import WorkloadConfig
+
+from _support import (
+    WAVELENGTH_SWEEP,
+    abilene_network,
+    calibrated_jobs,
+    shared_path_sets,
+    throughput_pipeline,
+)
+
+NUM_JOBS = 60
+SEED = 202
+CONFIG = WorkloadConfig(
+    window_slices_low=2, window_slices_high=4, start_slack_slices=2
+)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    network = abilene_network()
+    jobs = calibrated_jobs(
+        network, NUM_JOBS, seed=SEED, target_zstar=0.9, config=CONFIG
+    )
+    paths = shared_path_sets(network, jobs)
+    return network, jobs, paths
+
+
+def test_fig2_abilene_sweep(benchmark, report, instance):
+    network, jobs, paths = instance
+
+    points = [
+        throughput_pipeline(network, jobs, w, path_sets=paths)
+        for w in WAVELENGTH_SWEEP
+    ]
+
+    table = Table(
+        ["wavelengths/link", "Z*", "LP", "LPD/LP", "LPDAR/LP"],
+        title=(
+            "Fig. 2 — normalized throughput, Abilene "
+            f"({network.num_nodes} nodes, {network.num_link_pairs} link pairs, "
+            f"{NUM_JOBS} jobs)"
+        ),
+    )
+    for p in points:
+        table.add_row(
+            [p.wavelengths, round(p.zstar, 3), 1.0,
+             round(p.lpd_ratio, 3), round(p.lpdar_ratio, 3)]
+        )
+    report(table)
+
+    by_w = {p.wavelengths: p for p in points}
+    # LPD suffers at coarse wavelengths...
+    assert by_w[2].lpd_ratio < 0.8
+    # ...while LPDAR tracks LP closely everywhere (paper: "nearly identical").
+    for p in points:
+        assert p.lpdar_ratio > 0.9
+    assert by_w[2].lpdar_ratio - by_w[2].lpd_ratio > 0.1
+
+    benchmark.pedantic(
+        throughput_pipeline,
+        args=(network, jobs, 8),
+        kwargs={"path_sets": paths},
+        rounds=3,
+        iterations=1,
+    )

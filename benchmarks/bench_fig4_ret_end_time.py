@@ -1,0 +1,88 @@
+"""Fig. 4 — Average end time of LP vs LPDAR under RET, random network.
+
+Paper setup: 100-node random network; Algorithm 2 with the Quick-Finish
+objective; x-axis is the number of jobs, y-axis is the average end time
+in time slices.
+
+Expected shape (paper):
+
+* average end time increases with the number of jobs (the network is
+  fixed while the load grows);
+* LP <= LPDAR, and LPDAR is "nearly as good as LP";
+* LPD is irrelevant here — it finishes (almost) no jobs, which the
+  companion TXT-FIN benchmark measures.
+"""
+
+import pytest
+
+from repro import solve_ret
+from repro.analysis import Table
+from repro.workload import WorkloadConfig, WorkloadGenerator
+
+from _support import random_network
+
+SEED = 404
+JOB_SWEEP = (10, 20, 30, 40)
+CONFIG = WorkloadConfig(
+    size_low=40.0,
+    size_high=200.0,
+    window_slices_low=2,
+    window_slices_high=5,
+    start_slack_slices=2,
+)
+
+
+@pytest.fixture(scope="module")
+def network():
+    # Few wavelengths per link, so RET actually has to stretch deadlines.
+    return random_network(num_nodes=100, seed=SEED).with_wavelengths(2, 20.0)
+
+
+def ret_point(network, num_jobs, seed):
+    jobs = WorkloadGenerator(network, CONFIG, seed=seed).jobs(num_jobs)
+    result = solve_ret(network, jobs, k_paths=4, b_max=20.0, delta=0.1)
+    return jobs, result
+
+
+def test_fig4_average_end_time(benchmark, report, network):
+    table = Table(
+        ["jobs", "b_final", "avg end LP", "avg end LPDAR", "LPDAR finished"],
+        title=(
+            "Fig. 4 — average end time under RET (slices), random network "
+            f"({network.num_nodes} nodes, {network.num_link_pairs} link pairs)"
+        ),
+    )
+    lp_series, lpdar_series = [], []
+    for num_jobs in JOB_SWEEP:
+        _, result = ret_point(network, num_jobs, SEED + num_jobs)
+        lp_end = result.average_end_time("lp")
+        lpdar_end = result.average_end_time("lpdar")
+        lp_series.append(lp_end)
+        lpdar_series.append(lpdar_end)
+        table.add_row(
+            [
+                num_jobs,
+                round(result.b_final, 3),
+                round(lp_end, 2),
+                round(lpdar_end, 2),
+                f"{result.fraction_finished('lpdar'):.0%}",
+            ]
+        )
+        # Algorithm 2's guarantee: everything finishes under LPDAR.
+        assert result.fraction_finished("lpdar") == 1.0
+    report(table)
+
+    # LP is at least as fast as LPDAR (no integrality constraints)...
+    for lp_end, lpdar_end in zip(lp_series, lpdar_series):
+        assert lp_end <= lpdar_end + 1e-9
+        # ...but LPDAR stays close (paper: "nearly as good as LP").
+        assert lpdar_end <= 1.5 * lp_end
+    # End times grow with load.
+    assert lpdar_series[-1] > lpdar_series[0]
+
+    benchmark.pedantic(
+        ret_point,
+        args=(network, JOB_SWEEP[1], SEED + JOB_SWEEP[1]),
+        rounds=2,
+        iterations=1,
+    )

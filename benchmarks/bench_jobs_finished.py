@@ -1,0 +1,74 @@
+"""TXT-FIN — Fraction of jobs finished under RET: LP vs LPD vs LPDAR.
+
+Paper Section III-B.1 (reported in text, not a figure): at the extension
+``b`` found by Algorithm 2, LP and LPDAR complete *all* jobs, while LPD
+under the same extended end times finishes "a very small fraction
+(typically zero)".  This benchmark reproduces that comparison across
+several random instances.
+"""
+
+import pytest
+
+from repro import solve_ret
+from repro.analysis import Table
+from repro.workload import WorkloadConfig, WorkloadGenerator
+
+from _support import random_network
+
+SEED = 505
+NUM_JOBS = 25
+CONFIG = WorkloadConfig(
+    size_low=40.0,
+    size_high=200.0,
+    window_slices_low=2,
+    window_slices_high=5,
+    start_slack_slices=2,
+)
+
+
+@pytest.fixture(scope="module")
+def network():
+    return random_network(num_nodes=100, seed=SEED).with_wavelengths(2, 20.0)
+
+
+def run_instance(network, seed):
+    jobs = WorkloadGenerator(network, CONFIG, seed=seed).jobs(NUM_JOBS)
+    return solve_ret(network, jobs, k_paths=4, b_max=20.0, delta=0.1)
+
+
+def test_jobs_finished_comparison(benchmark, report, network):
+    table = Table(
+        ["instance", "b_final", "LP finished", "LPD finished", "LPDAR finished"],
+        title=(
+            "Section III-B.1 — fraction of jobs finished at Algorithm 2's "
+            f"extension ({NUM_JOBS} jobs per instance)"
+        ),
+    )
+    lpd_fractions = []
+    for k, seed in enumerate((1001, 1002, 1003, 1004)):
+        result = run_instance(network, seed)
+        lp_f = result.fraction_finished("lp")
+        lpd_f = result.fraction_finished("lpd")
+        lpdar_f = result.fraction_finished("lpdar")
+        lpd_fractions.append(lpd_f)
+        table.add_row(
+            [
+                k,
+                round(result.b_final, 3),
+                f"{lp_f:.0%}",
+                f"{lpd_f:.0%}",
+                f"{lpdar_f:.0%}",
+            ]
+        )
+        # The paper's guarantees: LP and LPDAR complete everything.
+        assert lp_f == 1.0
+        assert lpdar_f == 1.0
+    report(table)
+
+    # LPD "only finished a very small fraction (typically zero)".
+    assert max(lpd_fractions) <= 0.25
+    assert sum(lpd_fractions) / len(lpd_fractions) <= 0.1
+
+    benchmark.pedantic(
+        run_instance, args=(network, 1001), rounds=2, iterations=1
+    )

@@ -1,0 +1,103 @@
+"""NEG — Convergence and volume retention of the negotiation loop.
+
+The paper's overload story is a *negotiation*: propose reduced sizes or
+extended deadlines, users re-submit, repeat.  With compliant users the
+loop should converge in very few rounds; the interesting question is
+what each strategy costs — size reduction sacrifices volume, deadline
+extension sacrifices punctuality.  This benchmark runs
+``auto_negotiate`` under all three strategies on overloaded instances
+and reports rounds to convergence, the volume retained, and the mean
+end-time stretch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Table
+from repro.core.negotiation import NegotiationSession, auto_negotiate
+from repro.workload import WorkloadConfig, WorkloadGenerator
+
+from _support import random_network
+
+SEED = 2222
+NUM_JOBS = 20
+CONFIG = WorkloadConfig(
+    size_low=60.0,
+    size_high=200.0,
+    window_slices_low=2,
+    window_slices_high=5,
+    start_slack_slices=2,
+)
+
+STRATEGIES = ("reduce", "extend", "reduce_then_extend")
+
+
+def run_strategy(network, jobs, strategy):
+    session = NegotiationSession(network, jobs, k_paths=4)
+    final = auto_negotiate(session, strategy, max_rounds=4, b_max=20.0)
+    volume_kept = final.total_size() / jobs.total_size()
+    stretch = float(
+        np.mean([final.by_id(j.id).end / j.end for j in jobs if j.id in final])
+    )
+    return {
+        "rounds": len(session.rounds),
+        "volume_kept": volume_kept,
+        "mean_stretch": stretch,
+        "withdrawn": len(session.withdrawn),
+        "zstar": session.zstar(),
+    }
+
+
+@pytest.fixture(scope="module")
+def instances():
+    network = random_network(num_nodes=40, seed=SEED).with_wavelengths(2, 20.0)
+    out = []
+    for seed in (41, 42, 43):
+        jobs = WorkloadGenerator(network, CONFIG, seed=seed).jobs(NUM_JOBS)
+        out.append((network, jobs))
+    return out
+
+
+def test_negotiation_strategies(benchmark, report, instances):
+    table = Table(
+        [
+            "instance",
+            "strategy",
+            "rounds",
+            "volume kept %",
+            "mean end stretch",
+            "final Z*",
+        ],
+        title=f"NEG — negotiation strategies, compliant users ({NUM_JOBS} jobs)",
+    )
+    for k, (network, jobs) in enumerate(instances):
+        points = {}
+        for strategy in STRATEGIES:
+            point = run_strategy(network, jobs, strategy)
+            points[strategy] = point
+            table.add_row(
+                [
+                    k,
+                    strategy,
+                    point["rounds"],
+                    round(100 * point["volume_kept"], 1),
+                    round(point["mean_stretch"], 3),
+                    round(point["zstar"], 3),
+                ]
+            )
+            # Convergence contract: admissible at the end.
+            assert point["zstar"] >= 1.0 - 1e-9
+            assert point["rounds"] <= 4
+        # The structural trade-off: extension keeps all the volume but
+        # stretches deadlines; reduction keeps deadlines but cuts volume.
+        assert points["extend"]["volume_kept"] == pytest.approx(1.0)
+        assert points["extend"]["mean_stretch"] > 1.0
+        assert points["reduce"]["mean_stretch"] == pytest.approx(1.0)
+        assert points["reduce"]["volume_kept"] < 1.0
+    report(table)
+
+    network, jobs = instances[0]
+    benchmark.pedantic(
+        run_strategy, args=(network, jobs, "reduce_then_extend"),
+        rounds=2, iterations=1,
+    )

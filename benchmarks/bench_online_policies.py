@@ -1,0 +1,105 @@
+"""ONLINE — The periodic controller under increasing offered load.
+
+Paper Section II-A describes the online framework: requests arrive over
+time; every ``tau`` the controller admits and (re)schedules.  The paper
+defers its quantitative evaluation to the companion papers, but the
+three overload actions it defines imply a clear qualitative ordering,
+which this benchmark verifies across load levels:
+
+* ``extend`` completes the most jobs (it never gives up, only delays);
+* ``reject`` keeps the best deadline record among *admitted* jobs;
+* ``reduce`` delivers intermediate completion with full admission.
+"""
+
+import pytest
+
+from repro import Simulation, summarize
+from repro.analysis import Table
+from repro.workload import WorkloadConfig, WorkloadGenerator
+
+from _support import random_network
+
+SEED = 1616
+LOAD_SWEEP = (0.5, 1.0, 2.0)  # arrivals per time unit
+HORIZON = 10.0
+CONFIG = WorkloadConfig(
+    size_low=20.0,
+    size_high=120.0,
+    window_slices_low=2,
+    window_slices_high=5,
+    start_slack_slices=2,
+)
+
+
+@pytest.fixture(scope="module")
+def network():
+    return random_network(num_nodes=40, seed=SEED).with_wavelengths(2, 20.0)
+
+
+def run_policy(network, jobs, policy):
+    sim = Simulation(
+        network,
+        tau=2.0,
+        slice_length=1.0,
+        policy=policy,
+        k_paths=4,
+        ret_b_max=8.0,
+    )
+    return summarize(sim.run(jobs, horizon=80.0))
+
+
+def test_online_policy_sweep(benchmark, report, network):
+    table = Table(
+        [
+            "arrival rate",
+            "jobs",
+            "policy",
+            "completed",
+            "rejected",
+            "expired",
+            "deadline %",
+            "delivered %",
+        ],
+        title="ONLINE — periodic controller, policies x offered load",
+    )
+    per_load = {}
+    for rate in LOAD_SWEEP:
+        gen = WorkloadGenerator(network, CONFIG, seed=SEED + int(10 * rate))
+        jobs = gen.arrival_stream(rate, HORIZON)
+        offered = jobs.total_size()
+        outcomes = {}
+        for policy in ("reject", "reduce", "extend"):
+            summary = run_policy(network, jobs, policy)
+            outcomes[policy] = summary
+            table.add_row(
+                [
+                    rate,
+                    len(jobs),
+                    policy,
+                    summary.num_completed,
+                    summary.num_rejected,
+                    summary.num_expired,
+                    round(100 * summary.deadline_rate, 1),
+                    round(100 * summary.delivered_volume / offered, 1),
+                ]
+            )
+        per_load[rate] = outcomes
+
+    report(table)
+
+    for rate, outcomes in per_load.items():
+        # Extend completes at least as many jobs as the others.
+        assert outcomes["extend"].num_completed >= outcomes["reduce"].num_completed
+        assert outcomes["extend"].num_completed >= outcomes["reject"].num_completed
+        # Reject never expires an admitted-and-unserved backlog larger
+        # than reduce's (it sheds load up front instead).
+        assert outcomes["reject"].num_expired <= outcomes["reduce"].num_expired
+        # Reduce and extend admit everything.
+        assert outcomes["reduce"].num_rejected == 0
+        assert outcomes["extend"].num_rejected == 0
+
+    gen = WorkloadGenerator(network, CONFIG, seed=SEED + 10)
+    jobs = gen.arrival_stream(1.0, HORIZON)
+    benchmark.pedantic(
+        run_policy, args=(network, jobs, "reduce"), rounds=2, iterations=1
+    )

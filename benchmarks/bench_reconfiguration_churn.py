@@ -1,0 +1,86 @@
+"""CHURN — How much switch state does periodic re-optimization rewrite?
+
+The paper's framework re-solves the whole wavelength assignment every
+period ``tau``, which the related work it cites (rerouting-strategy
+papers) flags as an operational cost: every torn-down grant is switch
+reconfiguration.  This benchmark runs the online controller with
+schedule retention on and measures, between consecutive epochs, what
+fraction of the previous configuration survives on the overlapping time
+range — for both the Quick-Finish-free stage-2 pipeline and a lighter
+load where stability should be higher.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Simulation
+from repro.analysis import Table, reconfiguration_churn
+from repro.workload import WorkloadConfig, WorkloadGenerator
+
+from _support import random_network
+
+SEED = 2020
+CONFIG = WorkloadConfig(
+    size_low=20.0,
+    size_high=120.0,
+    window_slices_low=3,
+    window_slices_high=6,
+    start_slack_slices=2,
+)
+
+
+def run_and_measure(network, rate, seed):
+    jobs = WorkloadGenerator(network, CONFIG, seed=seed).arrival_stream(
+        rate, 10.0
+    )
+    sim = Simulation(
+        network, tau=1.0, slice_length=1.0, policy="reduce",
+        keep_schedules=True,
+    )
+    result = sim.run(jobs, horizon=40.0)
+    churns = []
+    for (_, old), (_, new) in zip(result.schedules, result.schedules[1:]):
+        try:
+            report = reconfiguration_churn(old, new)
+        except Exception:
+            continue
+        if report.old_total > 0:
+            churns.append(report.churn_fraction)
+    return {
+        "epochs": len(result.schedules),
+        "mean_churn": float(np.mean(churns)) if churns else float("nan"),
+        "max_churn": float(np.max(churns)) if churns else float("nan"),
+    }
+
+
+@pytest.fixture(scope="module")
+def network():
+    return random_network(num_nodes=30, seed=SEED).with_wavelengths(2, 20.0)
+
+
+def test_reconfiguration_churn(benchmark, report, network):
+    table = Table(
+        ["arrival rate", "epochs", "mean churn", "max churn"],
+        title="CHURN — configuration rewritten between consecutive epochs",
+    )
+    results = {}
+    for rate in (0.5, 1.5):
+        point = run_and_measure(network, rate, SEED + int(10 * rate))
+        results[rate] = point
+        table.add_row(
+            [
+                rate,
+                point["epochs"],
+                round(point["mean_churn"], 3),
+                round(point["max_churn"], 3),
+            ]
+        )
+    report(table)
+
+    for point in results.values():
+        assert point["epochs"] >= 2
+        assert 0.0 <= point["mean_churn"] <= 1.0
+
+    benchmark.pedantic(
+        run_and_measure, args=(network, 1.0, SEED), rounds=2, iterations=1
+    )

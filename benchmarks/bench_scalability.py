@@ -1,0 +1,87 @@
+"""SCALE — Solve time across the paper's network-size range (100-400 nodes).
+
+Paper Section III: "The random networks that we use typically have
+between 100 to 400 nodes, with an average node degree of 4" and the
+framework is argued to be "fast enough for wavelength-switched
+networks."  This benchmark sweeps the node count at a fixed workload and
+reports the end-to-end pipeline time (stage 1 + stage 2 + LPDAR),
+verifying the whole range stays interactive (well under the multi-
+minute scheduling period ``tau`` the framework assumes).
+"""
+
+import time
+
+import pytest
+
+from repro import ProblemStructure, TimeGrid, lpdar, solve_stage1, solve_stage2_lp
+from repro.analysis import Table
+from repro.workload import WorkloadConfig, WorkloadGenerator
+
+from _support import random_network, shared_path_sets
+
+SEED = 1414
+NODE_SWEEP = (100, 200, 400)
+NUM_JOBS = 60
+CONFIG = WorkloadConfig(
+    window_slices_low=2, window_slices_high=4, start_slack_slices=2
+)
+
+
+def pipeline_time(network, jobs, paths):
+    grid = TimeGrid.covering(jobs.max_end())
+    t0 = time.perf_counter()
+    structure = ProblemStructure(network, jobs, grid, 4, path_sets=paths)
+    t_build = time.perf_counter() - t0
+
+    t1 = time.perf_counter()
+    zstar = solve_stage1(structure).zstar
+    stage2 = solve_stage2_lp(structure, zstar, alpha=0.1)
+    lpdar(structure, stage2.x)
+    t_solve = time.perf_counter() - t1
+    return {
+        "build": t_build,
+        "solve": t_solve,
+        "total": t_build + t_solve,
+        "cols": structure.num_cols,
+        "cap_rows": structure.capacity_matrix.shape[0],
+    }
+
+
+def test_scalability_sweep(benchmark, report):
+    table = Table(
+        ["nodes", "link pairs", "variables", "cap rows", "build (s)",
+         "solve (s)", "total (s)"],
+        title=f"SCALE — pipeline time vs network size ({NUM_JOBS} jobs)",
+    )
+    totals = {}
+    largest = None
+    for num_nodes in NODE_SWEEP:
+        network = random_network(num_nodes, seed=SEED).with_wavelengths(4, 20.0)
+        jobs = WorkloadGenerator(network, CONFIG, seed=SEED + num_nodes).jobs(
+            NUM_JOBS
+        )
+        paths = shared_path_sets(network, jobs)
+        times = pipeline_time(network, jobs, paths)
+        totals[num_nodes] = times["total"]
+        table.add_row(
+            [
+                num_nodes,
+                network.num_link_pairs,
+                times["cols"],
+                times["cap_rows"],
+                round(times["build"], 3),
+                round(times["solve"], 3),
+                round(times["total"], 3),
+            ]
+        )
+        largest = (network, jobs, paths)
+    report(table)
+
+    # The paper's operating assumption: scheduling completes well inside
+    # the period tau (minutes).  Even at 400 nodes we demand seconds.
+    assert totals[400] < 60.0
+
+    network, jobs, paths = largest
+    benchmark.pedantic(
+        pipeline_time, args=(network, jobs, paths), rounds=2, iterations=1
+    )

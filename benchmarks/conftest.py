@@ -1,0 +1,37 @@
+"""Benchmark-harness plumbing: table reporting that survives capture.
+
+Benchmarks print paper-style tables.  pytest captures stdout, so tables
+are instead collected through the ``report`` fixture and emitted in the
+terminal summary, where they are always visible (including in
+``bench_output.txt``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import Table
+
+_TABLES: list[Table] = []
+
+
+@pytest.fixture
+def report():
+    """Callable fixture: ``report(table)`` queues a table for the summary."""
+
+    def _record(table: Table) -> None:
+        _TABLES.append(table)
+
+    return _record
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _TABLES:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_sep("=", "paper reproduction tables")
+    for table in _TABLES:
+        terminalreporter.write_line("")
+        for line in table.render().splitlines():
+            terminalreporter.write_line(line)
+    terminalreporter.write_line("")

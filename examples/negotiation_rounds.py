@@ -1,0 +1,96 @@
+"""Multi-round controller-user negotiation over an overloaded network.
+
+Run:  python examples/negotiation_rounds.py
+
+Paper Section II: in overload the controller does not simply reject —
+"the users may modify the job parameters and re-submit the modified
+requests ... This negotiation process can be further repeated."  This
+example scripts a realistic two-round negotiation:
+
+* round 1 proposes reduced sizes (Remark 2); two demanding users
+  decline, one counters, one withdraws;
+* round 2 offers the holdouts extended deadlines (Algorithm 2);
+* the session converges to an admissible request set.
+"""
+
+from repro import Job, JobSet, NegotiationSession
+from repro.analysis import Table
+from repro.network import topologies
+from repro.workload import WorkloadConfig, WorkloadGenerator
+
+
+def show_round(session, round_, note):
+    table = Table(
+        ["job", "original size", "original end", "proposed size", "proposed end"],
+        title=f"round {round_.index + 1} ({round_.kind}): {note}",
+    )
+    for job in session.current_jobs:
+        p = round_.proposals[job.id]
+        table.add_row(
+            [job.id, round(job.size, 1), job.end, round(p.size, 1),
+             round(p.end, 2)]
+        )
+    print(table.render())
+    print()
+
+
+def main() -> None:
+    network = topologies.abilene().with_wavelengths(2, total_link_rate=20.0)
+    generator = WorkloadGenerator(
+        network,
+        WorkloadConfig(size_low=150.0, size_high=400.0,
+                       window_slices_low=2, window_slices_high=4),
+        seed=81,
+    )
+    jobs = generator.jobs(8)
+
+    session = NegotiationSession(network, jobs, k_paths=4)
+    print(
+        f"submitted: {len(jobs)} requests, {jobs.total_size():.0f} GB; "
+        f"Z* = {session.zstar():.3f} "
+        f"({'admissible' if session.admissible() else 'OVERLOADED'})\n"
+    )
+    if session.admissible():
+        print("nothing to negotiate — try a heavier seed")
+        return
+
+    # ---- Round 1: size reductions --------------------------------------
+    round1 = session.propose_size_reduction()
+    show_round(session, round1, "guaranteed sizes per Remark 2")
+
+    ids = [j.id for j in session.current_jobs]
+    session.respond(ids[0], accept=False)            # insists on full size
+    session.respond(ids[1], accept=False,
+                    counter_size=round1.proposals[ids[1]].size * 1.5)
+    session.respond(ids[2], withdraw=True)           # walks away
+    session.apply_responses()                        # the rest accept
+    print(
+        f"after round 1: {len(session.current_jobs)} requests remain "
+        f"({len(session.withdrawn)} withdrew); Z* = {session.zstar():.3f}\n"
+    )
+
+    if not session.admissible():
+        # ---- Round 2: deadline extensions for the holdouts --------------
+        round2 = session.propose_deadline_extension(b_max=10.0)
+        show_round(session, round2, "RET-extended end times for everyone")
+        session.apply_responses()
+        print(
+            f"after round 2: Z* = {session.zstar():.3f} "
+            f"({'admissible' if session.admissible() else 'still short'})\n"
+        )
+
+    table = Table(
+        ["job", "final size", "final end"],
+        title="agreed request set",
+    )
+    for job in session.current_jobs:
+        table.add_row([job.id, round(job.size, 1), round(job.end, 2)])
+    print(table.render())
+    print(
+        f"\nnegotiation closed in {len(session.rounds)} round(s); "
+        f"{len(session.withdrawn)} request(s) withdrawn"
+    )
+
+
+if __name__ == "__main__":
+    main()

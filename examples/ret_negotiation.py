@@ -1,0 +1,86 @@
+"""Relaxing End Times: complete every transfer with a bounded delay.
+
+Run:  python examples/ret_negotiation.py
+
+Some users would rather receive their *entire* dataset a predictable bit
+late than receive a truncated one on time.  This example overloads a
+Waxman research network, runs Algorithm 2 (RET) to find the smallest
+common end-time extension ``(1 + b)`` under which every job completes,
+and contrasts the outcome with the strict-deadline scheduler:
+
+* strict deadlines (Section II-B): sizes shrink, deadlines hold;
+* relaxed end times (Section II-C): sizes hold, deadlines stretch.
+"""
+
+from repro import Scheduler, solve_ret
+from repro.analysis import Table
+from repro.core.metrics import completion_slices
+from repro.network import waxman_network
+from repro.workload import WorkloadConfig, WorkloadGenerator
+
+
+def main() -> None:
+    network = waxman_network(
+        60, avg_degree=4, capacity=2, wavelength_rate=10.0, seed=20
+    )
+    generator = WorkloadGenerator(
+        network,
+        WorkloadConfig(size_low=40.0, size_high=120.0, window_slices_high=5),
+        seed=21,
+    )
+    jobs = generator.jobs(25)
+
+    # --- Option A: strict deadlines, reduced sizes -----------------------
+    strict = Scheduler(network, k_paths=4).schedule(jobs)
+    print(f"stage-1 Z* = {strict.zstar:.3f} "
+          f"({'overloaded' if strict.overloaded else 'underloaded'})")
+    print(
+        f"strict deadlines: {strict.fraction_finished('lpdar'):.0%} of jobs "
+        "receive their full size by the requested end times"
+    )
+
+    # --- Option B: full sizes, relaxed end times (Algorithm 2) -----------
+    ret = solve_ret(network, jobs, k_paths=4, b_max=20.0, delta=0.1)
+    print(
+        f"\nRET: smallest LP-feasible extension b_hat = {ret.b_hat:.3f}; "
+        f"after LPDAR rounding b_final = {ret.b_final:.3f} "
+        f"({ret.delta_steps} delta steps)"
+    )
+    print(
+        f"relaxed end times: {ret.fraction_finished('lpdar'):.0%} of jobs "
+        "complete in full"
+    )
+    print(
+        f"average end time: LP {ret.average_end_time('lp'):.2f} slices, "
+        f"LPDAR {ret.average_end_time('lpdar'):.2f} slices"
+    )
+
+    # Per-job proposal the controller would send back to the users.
+    slices = completion_slices(ret.structure, ret.assignments.x_lpdar)
+    table = Table(
+        ["job", "size", "requested end", "proposed end", "actual finish"],
+        title="\nEnd-time extension proposal (first 10 jobs):",
+    )
+    for i, job in enumerate(jobs):
+        if i >= 10:
+            break
+        extended = ret.structure.jobs[i]
+        finish = ret.structure.grid.slice_end(int(slices[i]))
+        table.add_row(
+            [
+                job.id,
+                round(job.size, 1),
+                job.end,
+                round(extended.end, 2),
+                finish,
+            ]
+        )
+    print(table.render())
+    print(
+        "\n(actual finishes are often earlier than the proposed ends: the "
+        "Quick-Finish objective packs flow into the earliest slices)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,174 @@
+"""Slotted wavelength scheduling for bulk transfers in research networks.
+
+A full reproduction of Wang, Ranka & Xia, *Slotted Wavelength Scheduling
+for Bulk Transfers in Research Networks* (ICPP 2009): time-constrained
+bulk-transfer scheduling on wavelength-switched optical networks, built
+around the LPDAR heuristic for integer wavelength assignment.
+
+Quick tour
+----------
+
+>>> from repro import Scheduler, Job, JobSet, topologies
+>>> net = topologies.abilene().with_wavelengths(4, total_link_rate=20.0)
+>>> jobs = JobSet([
+...     Job(id="hep", source="Chicago", dest="Sunnyvale",
+...         size=120.0, start=0.0, end=4.0),
+... ])
+>>> result = Scheduler(net).schedule(jobs)
+>>> result.zstar > 1.0  # underloaded: the request fits with room to spare
+True
+
+The three top-level entry points are:
+
+* :class:`~repro.core.scheduler.Scheduler` — the maximizing-throughput
+  algorithm (stage 1 + stage 2 + LPDAR),
+* :func:`~repro.core.ret.solve_ret` — the Relaxing-End-Times algorithm
+  (Algorithm 2),
+* :class:`~repro.sim.simulator.Simulation` — the periodic AC/scheduling
+  controller loop.
+"""
+
+from . import analysis, core, experiments, lp, network, sim, workload
+from . import serialization
+from .core import (
+    AdmissionDecision,
+    NegotiationSession,
+    BaselineResult,
+    admit_greedy,
+    average_rate_reservation,
+    malleable_reservation,
+    LpdarResult,
+    RetResult,
+    ScheduleResult,
+    Scheduler,
+    Stage1Result,
+    Stage2Result,
+    WavelengthGrant,
+    admit_max_prefix,
+    average_end_time,
+    completion_slices,
+    discretize,
+    fraction_finished,
+    greedy_adjust,
+    lpdar,
+    realize_schedule,
+    solve_ret,
+    solve_stage1,
+    solve_stage2_exact,
+    solve_stage2_lp,
+    solve_subret_exact,
+    solve_subret_lp,
+)
+from .errors import (
+    InfeasibleProblemError,
+    ReproError,
+    ScheduleError,
+    SolverError,
+    UnboundedProblemError,
+    ValidationError,
+)
+from .lp import LinearProgram, LPSolution, ProblemStructure, solve_lp, solve_milp
+from .network import (
+    CapacityProfile,
+    Edge,
+    Network,
+    Path,
+    abilene,
+    edge_disjoint_paths,
+    k_shortest_paths,
+    shortest_path,
+    waxman_network,
+)
+from .network import topologies
+from .sim import Simulation, SimulationResult, SimulationSummary, summarize
+from .timegrid import TimeGrid
+from .workload import (
+    Job,
+    JobSet,
+    WorkloadConfig,
+    WorkloadGenerator,
+    climate_ensemble_trace,
+    hep_tier_trace,
+    mixed_escience_trace,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # subpackages
+    "analysis",
+    "core",
+    "experiments",
+    "lp",
+    "network",
+    "sim",
+    "workload",
+    "topologies",
+    # network substrate
+    "Network",
+    "Edge",
+    "Path",
+    "abilene",
+    "waxman_network",
+    "shortest_path",
+    "k_shortest_paths",
+    "edge_disjoint_paths",
+    # time and jobs
+    "TimeGrid",
+    "Job",
+    "JobSet",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "hep_tier_trace",
+    "climate_ensemble_trace",
+    "mixed_escience_trace",
+    # LP layer
+    "ProblemStructure",
+    "LinearProgram",
+    "LPSolution",
+    "solve_lp",
+    "solve_milp",
+    # core algorithms
+    "Scheduler",
+    "ScheduleResult",
+    "WavelengthGrant",
+    "Stage1Result",
+    "Stage2Result",
+    "LpdarResult",
+    "RetResult",
+    "solve_stage1",
+    "solve_stage2_lp",
+    "solve_stage2_exact",
+    "solve_subret_lp",
+    "solve_subret_exact",
+    "solve_ret",
+    "lpdar",
+    "realize_schedule",
+    "NegotiationSession",
+    "discretize",
+    "greedy_adjust",
+    "admit_max_prefix",
+    "admit_greedy",
+    "AdmissionDecision",
+    "BaselineResult",
+    "malleable_reservation",
+    "average_rate_reservation",
+    "CapacityProfile",
+    "serialization",
+    "fraction_finished",
+    "average_end_time",
+    "completion_slices",
+    # simulator
+    "Simulation",
+    "SimulationResult",
+    "SimulationSummary",
+    "summarize",
+    # errors
+    "ReproError",
+    "ValidationError",
+    "SolverError",
+    "InfeasibleProblemError",
+    "UnboundedProblemError",
+    "ScheduleError",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""Reporting and analysis helpers: tables, Gantt charts, congestion prices."""
+
+from .churn import ChurnReport, reconfiguration_churn
+from .compare import compare_schedules, compare_simulations
+from .congestion import CongestionReport, congestion_report
+from .gantt import job_gantt, link_gantt
+from .planning import UpgradePlan, UpgradeStep, plan_upgrades
+from .reporting import Table, format_value
+from .stats import ScheduleStatistics, schedule_statistics
+from .summary import describe_schedule
+
+__all__ = [
+    "Table",
+    "format_value",
+    "job_gantt",
+    "link_gantt",
+    "CongestionReport",
+    "congestion_report",
+    "ScheduleStatistics",
+    "schedule_statistics",
+    "describe_schedule",
+    "UpgradePlan",
+    "UpgradeStep",
+    "plan_upgrades",
+    "ChurnReport",
+    "reconfiguration_churn",
+    "compare_schedules",
+    "compare_simulations",
+]

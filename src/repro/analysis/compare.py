@@ -1,0 +1,84 @@
+"""Side-by-side comparison tables for schedules and simulation runs.
+
+Turns a labelled collection of results into one table with algorithms /
+configurations as columns — the format every "which knob should I turn"
+question wants.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from ..core.metrics import jains_fairness_index, mean_link_utilization
+from ..core.scheduler import ScheduleResult
+from ..errors import ValidationError
+from ..sim.metrics import SimulationSummary
+from .reporting import Table
+
+__all__ = ["compare_schedules", "compare_simulations"]
+
+
+def compare_schedules(
+    results: Mapping[str, ScheduleResult], title: str = "schedule comparison"
+) -> Table:
+    """One column per labelled :class:`ScheduleResult`, one row per metric.
+
+    All results should describe the *same* request set for the numbers
+    to be comparable (this is not checked — labels are free-form).
+    """
+    if not results:
+        raise ValidationError("nothing to compare")
+    labels = list(results)
+    table = Table(["metric", *labels], title=title)
+
+    def row(name, fn, digits=4):
+        table.add_row([name, *(round(fn(results[l]), digits) for l in labels)])
+
+    row("Z* (stage 1)", lambda r: r.zstar)
+    row("weighted throughput (LPDAR)", lambda r: r.weighted_throughput("lpdar"))
+    row("LPDAR / LP ratio", lambda r: r.normalized_throughput("lpdar"))
+    row("LPD / LP ratio", lambda r: r.normalized_throughput("lpd"))
+    row("jobs fully served", lambda r: r.fraction_finished("lpdar"))
+    row(
+        "Jain fairness of Z_i",
+        lambda r: jains_fairness_index(r.job_throughputs("lpdar")),
+    )
+    row(
+        "mean link utilization",
+        lambda r: mean_link_utilization(r.structure, r.x),
+    )
+    table.add_row(
+        ["alpha used", *(results[l].alpha for l in labels)]
+    )
+    return table
+
+
+def compare_simulations(
+    summaries: Mapping[str, SimulationSummary],
+    title: str = "simulation comparison",
+) -> Table:
+    """One column per labelled :class:`SimulationSummary`."""
+    if not summaries:
+        raise ValidationError("nothing to compare")
+    labels = list(summaries)
+    table = Table(["metric", *labels], title=title)
+    for name in (
+        "num_jobs",
+        "num_completed",
+        "num_rejected",
+        "num_expired",
+        "acceptance_rate",
+        "completion_rate",
+        "deadline_rate",
+        "delivered_volume",
+        "mean_response_time",
+        "mean_lateness",
+        "mean_utilization",
+        "mean_zstar",
+    ):
+        values = []
+        for label in labels:
+            value = getattr(summaries[label], name)
+            values.append(round(value, 4) if isinstance(value, float) else value)
+        table.add_row([name, *values])
+    return table

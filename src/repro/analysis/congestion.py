@@ -1,0 +1,106 @@
+"""Congestion pricing: where would one more wavelength help most?
+
+A by-product of the optimization-based paradigm the paper advocates:
+the dual values (shadow prices) of the capacity constraints (3) price
+every (edge, slice) cell by how much the weighted throughput would rise
+if that cell had one more wavelength.  Network operators read this as a
+capacity-planning signal — the paper's framework computes it for free
+with every scheduling pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Hashable
+
+import numpy as np
+
+from ..core.stage2 import build_stage2_lp
+from ..errors import SolverError, ValidationError
+from ..lp.model import ProblemStructure
+from ..lp.solver import solve_lp
+
+__all__ = ["CongestionReport", "congestion_report"]
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class CongestionReport:
+    """Shadow prices of the capacity constraints of one stage-2 solve.
+
+    Attributes
+    ----------
+    structure:
+        The problem the prices belong to.
+    prices:
+        Dense ``(num_edges, num_slices)`` matrix: marginal weighted-
+        throughput gain per extra wavelength on that (edge, slice).
+        Zero on cells whose constraint is slack (or unused).
+    objective:
+        The stage-2 LP optimum the prices are taken at.
+    """
+
+    structure: ProblemStructure
+    prices: np.ndarray
+    objective: float
+
+    def edge_prices(self) -> np.ndarray:
+        """Per-edge total price across all slices (capacity-planning rank)."""
+        return self.prices.sum(axis=1)
+
+    def bottlenecks(self, top: int = 5) -> list[tuple[Node, Node, float]]:
+        """The ``top`` priciest edges as ``(source, target, price)``.
+
+        Only edges with a strictly positive price are returned, so the
+        list may be shorter than ``top`` (empty on an uncongested
+        network).
+        """
+        if top < 1:
+            raise ValidationError(f"top must be >= 1, got {top}")
+        totals = self.edge_prices()
+        order = np.argsort(-totals)[:top]
+        out = []
+        for eid in order:
+            if totals[eid] <= 1e-12:
+                break
+            edge = self.structure.network.edge(int(eid))
+            out.append((edge.source, edge.target, float(totals[eid])))
+        return out
+
+    def congested_fraction(self, tol: float = 1e-9) -> float:
+        """Share of constrained (edge, slice) cells with a positive price."""
+        row_prices = self.prices[
+            self.structure.cap_row_edge, self.structure.cap_row_slice
+        ]
+        if row_prices.size == 0:
+            return 0.0
+        return float(np.mean(row_prices > tol))
+
+
+def congestion_report(
+    structure: ProblemStructure,
+    zstar: float,
+    alpha: float = 0.1,
+    weights: np.ndarray | None = None,
+) -> CongestionReport:
+    """Solve the stage-2 LP and extract capacity shadow prices.
+
+    The LP's inequality block stacks the capacity rows first, then the
+    fairness rows; only the capacity duals are exposed here.
+    """
+    lp = build_stage2_lp(structure, zstar, alpha, weights)
+    solution = solve_lp(lp)
+    if solution.ineq_duals is None:  # pragma: no cover - HiGHS always reports
+        raise SolverError("backend returned no dual values")
+    num_cap_rows = structure.capacity_matrix.shape[0]
+    cap_duals = solution.ineq_duals[:num_cap_rows]
+    prices = np.zeros(
+        (structure.network.num_edges, structure.grid.num_slices)
+    )
+    prices[structure.cap_row_edge, structure.cap_row_slice] = np.maximum(
+        cap_duals, 0.0
+    )
+    return CongestionReport(
+        structure=structure, prices=prices, objective=solution.objective
+    )

@@ -1,0 +1,114 @@
+"""ASCII Gantt views of a wavelength schedule.
+
+Terminal-friendly renderings of an assignment: one row per job (or per
+link), one column per time slice, each cell showing the wavelength count
+active on that slice.  Used by the examples and handy in a REPL:
+
+>>> print(job_gantt(result.structure, result.x))   # doctest: +SKIP
+job      0123456789
+hep-42   44442.....
+clim-7   ..4444....
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.metrics import per_slice_delivery
+from ..errors import ValidationError
+from ..lp.model import ProblemStructure
+
+__all__ = ["job_gantt", "link_gantt"]
+
+
+def _cell(count: float) -> str:
+    """One character for a wavelength count: . 1-9 then # for >= 10."""
+    if count <= 0:
+        return "."
+    if count < 10:
+        return str(int(round(count)))
+    return "#"
+
+
+def job_gantt(
+    structure: ProblemStructure,
+    x: np.ndarray,
+    max_jobs: int | None = None,
+) -> str:
+    """Per-job timeline of total wavelengths held on each slice.
+
+    Each row is a job; each column a slice; the cell shows the job's
+    wavelength count summed over its paths (``.`` = idle).  An ``|`` is
+    appended where the job's allowed window ends.
+    """
+    x = np.asarray(x, dtype=float)
+    num_jobs = len(structure.jobs)
+    shown = num_jobs if max_jobs is None else min(max_jobs, num_jobs)
+    if shown < 1:
+        raise ValidationError("max_jobs must be >= 1")
+
+    # Wavelength counts per (job, slice): delivery divided by LEN.
+    delivery = per_slice_delivery(structure, x)
+    counts = delivery / structure.grid.lengths[None, :]
+
+    labels = [str(structure.jobs[i].id) for i in range(shown)]
+    label_width = max(len("job"), *(len(s) for s in labels))
+    header = "job".ljust(label_width) + "  " + _slice_ruler(structure.grid.num_slices)
+    lines = [header]
+    for i in range(shown):
+        cells = "".join(_cell(counts[i, j]) for j in range(structure.grid.num_slices))
+        lines.append(labels[i].ljust(label_width) + "  " + cells)
+    if shown < num_jobs:
+        lines.append(f"... ({num_jobs - shown} more jobs)")
+    return "\n".join(lines)
+
+
+def link_gantt(
+    structure: ProblemStructure,
+    x: np.ndarray,
+    max_links: int | None = None,
+    only_loaded: bool = True,
+) -> str:
+    """Per-link timeline of wavelength load vs capacity.
+
+    Cells show the load count (``.`` = idle); a cell is capitalized to
+    ``*`` when the link is saturated on that slice.  Links are ordered
+    by total load, heaviest first.
+    """
+    x = np.asarray(x, dtype=float)
+    loads = structure.link_loads(x)
+    caps = structure.capacity_grid()
+    totals = loads.sum(axis=1)
+    order = np.argsort(-totals)
+    if only_loaded:
+        order = [e for e in order if totals[e] > 0]
+    if max_links is not None:
+        if max_links < 1:
+            raise ValidationError("max_links must be >= 1")
+        order = list(order)[:max_links]
+
+    labels = [
+        f"{structure.network.edge(int(e)).source!r}->"
+        f"{structure.network.edge(int(e)).target!r}"
+        for e in order
+    ]
+    label_width = max(len("link"), *(len(s) for s in labels)) if labels else len("link")
+    lines = [
+        "link".ljust(label_width) + "  " + _slice_ruler(structure.grid.num_slices)
+    ]
+    for label, e in zip(labels, order):
+        cells = "".join(
+            "*"
+            if 0 < caps[e, j] <= loads[e, j]
+            else _cell(loads[e, j])
+            for j in range(structure.grid.num_slices)
+        )
+        lines.append(label.ljust(label_width) + "  " + cells)
+    if not order:
+        lines.append("(no loaded links)")
+    return "\n".join(lines)
+
+
+def _slice_ruler(num_slices: int) -> str:
+    """Column ruler: slice index mod 10 per column."""
+    return "".join(str(j % 10) for j in range(num_slices))

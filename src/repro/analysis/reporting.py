@@ -1,0 +1,107 @@
+"""Plain-text tables for benchmark and example output.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot; this module renders them as aligned ASCII tables so the comparison
+with the paper is readable straight from the terminal (and from
+``bench_output.txt``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from ..errors import ValidationError
+
+__all__ = ["Table", "format_value"]
+
+
+def format_value(value, precision: int = 4) -> str:
+    """Render one cell: floats to ``precision`` significant places."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # nan
+            return "nan"
+        if value == int(value) and abs(value) < 1e15:
+            return f"{value:.1f}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+class Table:
+    """An append-only table rendered with aligned columns.
+
+    Examples
+    --------
+    >>> t = Table(["W", "LPD/LP", "LPDAR/LP"], title="Fig. 1")
+    >>> t.add_row([2, 0.52, 0.91])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, columns: Sequence[str], title: str = "") -> None:
+        if not columns:
+            raise ValidationError("a table needs at least one column")
+        self.columns = [str(c) for c in columns]
+        self.title = title
+        self.rows: list[list[str]] = []
+
+    def add_row(self, values: Iterable) -> None:
+        """Append a row; must match the column count."""
+        row = [format_value(v) for v in values]
+        if len(row) != len(self.columns):
+            raise ValidationError(
+                f"row has {len(row)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        """The table as a string, columns right-aligned."""
+        widths = [
+            max(len(self.columns[c]), *(len(r[c]) for r in self.rows))
+            if self.rows
+            else len(self.columns[c])
+            for c in range(len(self.columns))
+        ]
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = "  ".join(
+            name.rjust(widths[c]) for c, name in enumerate(self.columns)
+        )
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(cell.rjust(widths[c]) for c, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        """Render to stdout, framed by blank lines (pytest -s friendly)."""
+        print()
+        print(self.render())
+        print()
+
+    def to_markdown(self) -> str:
+        """The table as GitHub-flavoured markdown (for reports/READMEs)."""
+        def esc(cell: str) -> str:
+            return cell.replace("|", "\\|")
+
+        lines = []
+        if self.title:
+            lines.append(f"**{self.title}**")
+            lines.append("")
+        lines.append("| " + " | ".join(esc(c) for c in self.columns) + " |")
+        lines.append("|" + "|".join("---" for _ in self.columns) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(esc(c) for c in row) + " |")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """The table as CSV text (title omitted; header + rows)."""
+        import csv
+        import io
+
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self.columns)
+        writer.writerows(self.rows)
+        return buffer.getvalue()

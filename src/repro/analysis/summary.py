@@ -1,0 +1,102 @@
+"""One-call textual report for a scheduling outcome.
+
+:func:`describe_schedule` combines the headline numbers, fairness,
+multipath/time-variation statistics, congestion hot spots and the Gantt
+views into one operator-readable string — what a controller would log
+after each scheduling pass.
+"""
+
+from __future__ import annotations
+
+from ..core.metrics import jains_fairness_index
+from ..core.scheduler import ScheduleResult
+from .congestion import congestion_report
+from .gantt import job_gantt, link_gantt
+from .reporting import Table
+from .stats import schedule_statistics
+
+__all__ = ["describe_schedule"]
+
+
+def describe_schedule(
+    result: ScheduleResult,
+    gantt: bool = True,
+    max_jobs: int = 20,
+    max_links: int = 12,
+    bottlenecks: int = 5,
+) -> str:
+    """Render a full text report of one scheduling pass.
+
+    Parameters
+    ----------
+    result:
+        The outcome of :meth:`~repro.core.scheduler.Scheduler.schedule`.
+    gantt:
+        Include the per-job and per-link timelines.
+    max_jobs, max_links:
+        Row caps for the timelines.
+    bottlenecks:
+        How many congestion-priced links to list (0 skips the extra LP
+        solve entirely).
+    """
+    structure = result.structure
+    z = result.job_throughputs("lpdar")
+    stats = schedule_statistics(structure, result.x)
+
+    head = Table(["metric", "value"], title="scheduling pass")
+    head.add_row(["jobs", len(structure.jobs)])
+    head.add_row(["Z* (stage 1)", round(result.zstar, 4)])
+    head.add_row(["overloaded (Z* <= 1)", result.overloaded])
+    head.add_row(["alpha used", result.alpha])
+    head.add_row(["alpha escalations", result.alpha_escalations])
+    head.add_row(
+        ["weighted throughput (LPDAR)", round(result.weighted_throughput(), 4)]
+    )
+    head.add_row(
+        ["LPDAR / LP ratio", round(result.normalized_throughput("lpdar"), 4)]
+    )
+    head.add_row(["fairness floor met", result.meets_fairness("lpdar")])
+    head.add_row(
+        ["Jain fairness of Z_i", round(jains_fairness_index(z), 4)]
+    )
+    head.add_row(["jobs fully served", round(result.fraction_finished(), 4)])
+
+    shape = Table(["metric", "value"], title="schedule shape")
+    shape.add_row(["jobs served", stats.num_jobs_served])
+    shape.add_row(["mean paths used / job", round(stats.mean_paths_used, 3)])
+    shape.add_row(
+        ["concurrent-multipath jobs", f"{stats.multipath_job_fraction:.0%}"]
+    )
+    shape.add_row(
+        ["time-varying-rate jobs", f"{stats.time_varying_job_fraction:.0%}"]
+    )
+    shape.add_row(
+        ["active share of window", f"{stats.active_slice_fraction:.0%}"]
+    )
+
+    parts = [head.render(), "", shape.render()]
+
+    if bottlenecks > 0:
+        report = congestion_report(structure, result.zstar, result.alpha)
+        hot = report.bottlenecks(top=bottlenecks)
+        if hot:
+            table = Table(
+                ["link", "shadow price"],
+                title="congestion hot spots (marginal throughput per wavelength)",
+            )
+            for source, target, price in hot:
+                table.add_row([f"{source} -> {target}", round(price, 5)])
+            parts += ["", table.render()]
+        else:
+            parts += ["", "no congested links (all capacity prices zero)"]
+
+    if gantt:
+        parts += [
+            "",
+            "per-job wavelengths (columns = slices):",
+            job_gantt(structure, result.x, max_jobs=max_jobs),
+            "",
+            "busiest links ('*' = saturated):",
+            link_gantt(structure, result.x, max_links=max_links),
+        ]
+    return "\n".join(parts)

@@ -1,0 +1,400 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Five subcommands cover the controller workflow end to end, speaking the
+JSON formats of :mod:`repro.serialization`:
+
+* ``topology``  — write a network file (Abilene, synthetic, or Waxman);
+* ``workload``  — draw a random paper-style workload over a network;
+* ``schedule``  — run the maximizing-throughput algorithm, print the
+  outcome (optionally as a Gantt chart), export the grant list;
+* ``ret``       — run Algorithm 2 (relax end times until all jobs fit);
+* ``simulate``  — replay the workload through the periodic controller;
+* ``experiment`` — regenerate a paper figure (fig1..fig4, jobs-finished).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from . import __version__
+from .analysis.gantt import job_gantt, link_gantt
+from .analysis.reporting import Table
+from .core.ret import solve_ret
+from .core.scheduler import Scheduler
+from .errors import ReproError
+from .experiments import EXPERIMENTS, run_experiment
+from .network import abilene, full_mesh, line, ring, waxman_network
+from .serialization import (
+    jobs_from_dict,
+    jobs_to_dict,
+    load_json,
+    network_from_dict,
+    network_to_dict,
+    save_json,
+    schedule_to_dict,
+)
+from .workload.trace_io import jobs_from_csv, jobs_to_csv
+from .sim.metrics import summarize
+from .sim.simulator import Simulation
+from .workload.generator import WorkloadConfig, WorkloadGenerator
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Slotted wavelength scheduling for bulk transfers "
+        "(ICPP 2009 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    topo = sub.add_parser("topology", help="generate a network JSON file")
+    topo.add_argument(
+        "kind", choices=["abilene", "line", "ring", "mesh", "waxman"]
+    )
+    topo.add_argument("--nodes", type=int, default=100,
+                      help="node count for synthetic/waxman topologies")
+    topo.add_argument("--capacity", type=int, default=1,
+                      help="wavelengths per link")
+    topo.add_argument("--rate", type=float, default=20.0,
+                      help="data rate of one wavelength")
+    topo.add_argument("--wavelengths", type=int, default=None,
+                      help="split each link's total rate into this many "
+                      "wavelengths (paper Figs. 1-2 sweep)")
+    topo.add_argument("--seed", type=int, default=0, help="waxman seed")
+    topo.add_argument("-o", "--output", required=True)
+
+    work = sub.add_parser("workload", help="generate a random workload")
+    work.add_argument("--network", required=True)
+    work.add_argument("--jobs", type=int, default=20)
+    work.add_argument("--seed", type=int, default=0)
+    work.add_argument("--size-low", type=float, default=1.0)
+    work.add_argument("--size-high", type=float, default=100.0)
+    work.add_argument("--window-low", type=int, default=2,
+                      help="min window length in slices")
+    work.add_argument("--window-high", type=int, default=8,
+                      help="max window length in slices")
+    work.add_argument("--slice-length", type=float, default=1.0)
+    work.add_argument("--arrival-rate", type=float, default=None,
+                      help="Poisson arrivals per time unit (online trace); "
+                      "omit for a batch all arriving at t=0")
+    work.add_argument("--horizon", type=float, default=12.0,
+                      help="arrival horizon when --arrival-rate is set")
+    work.add_argument("-o", "--output", required=True)
+
+    sched = sub.add_parser("schedule", help="run stage1 + stage2 + LPDAR")
+    sched.add_argument("--network", required=True)
+    sched.add_argument("--jobs", required=True)
+    sched.add_argument("--k-paths", type=int, default=4)
+    sched.add_argument("--alpha", type=float, default=0.1)
+    sched.add_argument("--slice-length", type=float, default=1.0)
+    sched.add_argument("--gantt", action="store_true",
+                       help="print job and link Gantt charts")
+    sched.add_argument("-o", "--output", default=None,
+                       help="write the grant list as JSON")
+
+    ret = sub.add_parser("ret", help="run Algorithm 2 (relax end times)")
+    ret.add_argument("--network", required=True)
+    ret.add_argument("--jobs", required=True)
+    ret.add_argument("--k-paths", type=int, default=4)
+    ret.add_argument("--slice-length", type=float, default=1.0)
+    ret.add_argument("--b-max", type=float, default=10.0)
+    ret.add_argument("--delta", type=float, default=0.1)
+    ret.add_argument("--mode", choices=["end_time", "interval"],
+                     default="end_time")
+    ret.add_argument("-o", "--output", default=None,
+                     help="write the extended-schedule grant list as JSON")
+
+    sim = sub.add_parser("simulate", help="run the periodic controller")
+    sim.add_argument("--network", required=True)
+    sim.add_argument("--jobs", required=True)
+    sim.add_argument("--policy", choices=["reject", "reduce", "extend"],
+                     default="reduce")
+    sim.add_argument("--rejection", choices=["prefix", "greedy"],
+                     default="prefix",
+                     help="admission algorithm for the reject policy")
+    sim.add_argument("--tau", type=float, default=1.0)
+    sim.add_argument("--slice-length", type=float, default=1.0)
+    sim.add_argument("--k-paths", type=int, default=4)
+    sim.add_argument("--horizon", type=float, default=None)
+    sim.add_argument("-o", "--output", default=None,
+                     help="write the run's records and event log as JSON")
+
+    exp = sub.add_parser(
+        "experiment", help="regenerate one of the paper's figures"
+    )
+    exp.add_argument(
+        "name", choices=sorted(EXPERIMENTS) + ["all"],
+        help="which experiment to run",
+    )
+    exp.add_argument(
+        "--quick", action="store_true",
+        help="scaled-down run (seconds) preserving the figure's shape",
+    )
+    exp.add_argument(
+        "--markdown", default=None, metavar="PATH",
+        help="also write the results as a markdown report",
+    )
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Subcommand implementations
+# ----------------------------------------------------------------------
+def _cmd_topology(args) -> int:
+    if args.kind == "abilene":
+        net = abilene(capacity=args.capacity, wavelength_rate=args.rate)
+    elif args.kind == "line":
+        net = line(args.nodes, args.capacity, args.rate)
+    elif args.kind == "ring":
+        net = ring(args.nodes, args.capacity, args.rate)
+    elif args.kind == "mesh":
+        net = full_mesh(args.nodes, args.capacity, args.rate)
+    else:
+        net = waxman_network(
+            args.nodes,
+            capacity=args.capacity,
+            wavelength_rate=args.rate,
+            seed=args.seed,
+        )
+    if args.wavelengths is not None:
+        total = net.wavelength_rate * args.capacity
+        net = net.with_wavelengths(args.wavelengths, total)
+    save_json(network_to_dict(net), args.output)
+    print(
+        f"wrote {args.output}: {net.num_nodes} nodes, "
+        f"{net.num_link_pairs} link pairs, "
+        f"{net.capacities()[0]} wavelengths/link @ {net.wavelength_rate:g}"
+    )
+    return 0
+
+
+def _load_jobs(path: str):
+    """Job file loader: .csv via trace_io, anything else as JSON.
+
+    CSV identifiers are coerced to integers where purely numeric, since
+    the synthetic topologies name their nodes with ints and CSV has no
+    type system.
+    """
+    if str(path).lower().endswith(".csv"):
+        return jobs_from_csv(path, coerce_numeric=True)
+    return jobs_from_dict(load_json(path))
+
+
+def _cmd_workload(args) -> int:
+    net = network_from_dict(load_json(args.network))
+    config = WorkloadConfig(
+        size_low=args.size_low,
+        size_high=args.size_high,
+        window_slices_low=args.window_low,
+        window_slices_high=args.window_high,
+        slice_length=args.slice_length,
+    )
+    generator = WorkloadGenerator(net, config, seed=args.seed)
+    if args.arrival_rate is not None:
+        jobs = generator.arrival_stream(args.arrival_rate, args.horizon)
+    else:
+        jobs = generator.jobs(args.jobs)
+    if str(args.output).lower().endswith(".csv"):
+        jobs_to_csv(jobs, args.output)
+    else:
+        save_json(jobs_to_dict(jobs), args.output)
+    print(
+        f"wrote {args.output}: {len(jobs)} jobs, "
+        f"{jobs.total_size():.1f} total volume"
+    )
+    return 0
+
+
+def _cmd_schedule(args) -> int:
+    net = network_from_dict(load_json(args.network))
+    jobs = _load_jobs(args.jobs)
+    scheduler = Scheduler(
+        net,
+        k_paths=args.k_paths,
+        alpha=args.alpha,
+        slice_length=args.slice_length,
+    )
+    result = scheduler.schedule(jobs)
+
+    table = Table(["metric", "value"], title="schedule summary")
+    table.add_row(["jobs", len(jobs)])
+    table.add_row(["Z* (stage 1)", round(result.zstar, 4)])
+    table.add_row(["overloaded", result.overloaded])
+    table.add_row(["alpha used", result.alpha])
+    table.add_row(
+        ["weighted throughput (LPDAR)", round(result.weighted_throughput(), 4)]
+    )
+    table.add_row(
+        ["LPDAR / LP ratio", round(result.normalized_throughput("lpdar"), 4)]
+    )
+    table.add_row(["fairness floor met", result.meets_fairness()])
+    table.add_row(["jobs fully served", round(result.fraction_finished(), 4)])
+    print(table.render())
+
+    if args.gantt:
+        print()
+        print(job_gantt(result.structure, result.x, max_jobs=20))
+        print()
+        print(link_gantt(result.structure, result.x, max_links=15))
+
+    if args.output:
+        save_json(schedule_to_dict(result), args.output)
+        print(f"\nwrote grant list to {args.output}")
+    return 0
+
+
+def _cmd_ret(args) -> int:
+    net = network_from_dict(load_json(args.network))
+    jobs = _load_jobs(args.jobs)
+    result = solve_ret(
+        net,
+        jobs,
+        slice_length=args.slice_length,
+        k_paths=args.k_paths,
+        b_max=args.b_max,
+        delta=args.delta,
+        mode=args.mode,
+    )
+    table = Table(["metric", "value"], title="RET (Algorithm 2) summary")
+    table.add_row(["mode", result.mode])
+    table.add_row(["b_hat (LP-minimal)", round(result.b_hat, 4)])
+    table.add_row(["b_final", round(result.b_final, 4)])
+    table.add_row(["delta steps", result.delta_steps])
+    table.add_row(["jobs finished (LPDAR)", f"{result.fraction_finished():.0%}"])
+    table.add_row(
+        ["avg end time LP (slices)", round(result.average_end_time("lp"), 3)]
+    )
+    table.add_row(
+        ["avg end time LPDAR (slices)", round(result.average_end_time("lpdar"), 3)]
+    )
+    print(table.render())
+
+    if args.output:
+        import numpy as np
+
+        s = result.structure
+        x = result.assignments.x_lpdar
+        grants = []
+        order = np.lexsort((s.col_path, s.col_job, s.col_slice))
+        for c in order:
+            if x[c] <= 0:
+                continue
+            i = int(s.col_job[c])
+            j = int(s.col_slice[c])
+            path = s.paths[i][int(s.col_path[c])]
+            grants.append(
+                {
+                    "job": s.jobs[i].id,
+                    "path": list(path.nodes),
+                    "slice": j,
+                    "wavelengths": int(round(x[c])),
+                }
+            )
+        save_json(
+            {
+                "mode": result.mode,
+                "b_hat": result.b_hat,
+                "b_final": result.b_final,
+                "extended_ends": {
+                    str(job.id): job.end for job in s.jobs
+                },
+                "grants": grants,
+            },
+            args.output,
+        )
+        print(f"\nwrote extended schedule to {args.output}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    net = network_from_dict(load_json(args.network))
+    jobs = _load_jobs(args.jobs)
+    sim = Simulation(
+        net,
+        tau=args.tau,
+        slice_length=args.slice_length,
+        policy=args.policy,
+        k_paths=args.k_paths,
+        rejection=args.rejection,
+    )
+    result = sim.run(jobs, horizon=args.horizon)
+    summary = summarize(result)
+    table = Table(["metric", "value"], title=f"simulation ({args.policy} policy)")
+    for name in (
+        "num_jobs",
+        "num_completed",
+        "num_rejected",
+        "num_expired",
+        "acceptance_rate",
+        "completion_rate",
+        "deadline_rate",
+        "delivered_volume",
+        "offered_volume",
+        "mean_response_time",
+        "mean_lateness",
+        "num_deadline_extensions",
+        "num_scheduling_passes",
+        "mean_solve_seconds",
+        "mean_zstar",
+    ):
+        value = getattr(summary, name)
+        table.add_row([name, round(value, 4) if isinstance(value, float) else value])
+    print(table.render())
+
+    if args.output:
+        from .serialization import simulation_to_dict
+
+        save_json(simulation_to_dict(result), args.output)
+        print(f"\nwrote run log to {args.output}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    names = sorted(EXPERIMENTS) if args.name == "all" else [args.name]
+    results = []
+    for name in names:
+        result = run_experiment(name, quick=args.quick)
+        results.append(result)
+        print(result.table().render())
+        print(f"({result.seconds:.1f}s)\n")
+    if args.markdown:
+        from .experiments.report import render_report
+
+        from pathlib import Path
+
+        Path(args.markdown).write_text(
+            render_report(results, quick=args.quick) + "\n"
+        )
+        print(f"wrote markdown report to {args.markdown}")
+    return 0
+
+
+_COMMANDS = {
+    "topology": _cmd_topology,
+    "workload": _cmd_workload,
+    "schedule": _cmd_schedule,
+    "ret": _cmd_ret,
+    "simulate": _cmd_simulate,
+    "experiment": _cmd_experiment,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

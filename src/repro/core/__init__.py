@@ -1,0 +1,99 @@
+"""Core algorithms: stage 1/2, LPDAR, RET, admission control, metrics."""
+
+from .admission import (
+    AdmissionDecision,
+    admit_greedy,
+    admit_max_prefix,
+    by_arrival,
+    by_laxity,
+    by_size_ascending,
+    by_size_descending,
+)
+from .baselines import (
+    BaselineGrant,
+    BaselineResult,
+    average_rate_reservation,
+    malleable_reservation,
+)
+from .exact import solve_stage2_exact, solve_subret_exact
+from .lpdar import GreedyOrder, LpdarResult, discretize, greedy_adjust, lpdar
+from .metrics import (
+    COMPLETION_TOL,
+    jains_fairness_index,
+    average_end_time,
+    completion_slices,
+    fraction_finished,
+    mean_link_utilization,
+    normalized_throughput,
+    per_slice_delivery,
+)
+from .negotiation import (
+    NegotiationRound,
+    NegotiationSession,
+    Proposal,
+    auto_negotiate,
+)
+from .realization import LambdaGrant, RealizationResult, realize_schedule
+from .ret import (
+    RetMode,
+    RetResult,
+    build_subret_lp,
+    quick_finish_gamma,
+    solve_ret,
+    solve_subret_lp,
+)
+from .scheduler import ScheduleResult, Scheduler, WavelengthGrant
+from .stage2 import Stage2Result, build_stage2_lp, objective_weights, solve_stage2_lp
+from .throughput import Stage1Result, build_stage1_lp, solve_stage1
+
+__all__ = [
+    "Stage1Result",
+    "build_stage1_lp",
+    "solve_stage1",
+    "Stage2Result",
+    "build_stage2_lp",
+    "solve_stage2_lp",
+    "objective_weights",
+    "GreedyOrder",
+    "LpdarResult",
+    "discretize",
+    "greedy_adjust",
+    "lpdar",
+    "RetResult",
+    "build_subret_lp",
+    "solve_subret_lp",
+    "solve_ret",
+    "quick_finish_gamma",
+    "solve_stage2_exact",
+    "solve_subret_exact",
+    "AdmissionDecision",
+    "admit_max_prefix",
+    "admit_greedy",
+    "BaselineGrant",
+    "BaselineResult",
+    "malleable_reservation",
+    "average_rate_reservation",
+    "RetMode",
+    "LambdaGrant",
+    "RealizationResult",
+    "realize_schedule",
+    "NegotiationSession",
+    "NegotiationRound",
+    "Proposal",
+    "auto_negotiate",
+    "by_arrival",
+    "by_laxity",
+    "by_size_ascending",
+    "by_size_descending",
+    "Scheduler",
+    "ScheduleResult",
+    "WavelengthGrant",
+    "COMPLETION_TOL",
+    "jains_fairness_index",
+    "average_end_time",
+    "completion_slices",
+    "fraction_finished",
+    "mean_link_utilization",
+    "normalized_throughput",
+    "per_slice_delivery",
+]

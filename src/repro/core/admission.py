@@ -1,0 +1,209 @@
+"""Admission control policies (paper Section II-A/II-B and footnote 1).
+
+When the network is overloaded (``Z* <= 1``) the controller can take
+three actions, each captured by a policy here:
+
+* **Reject** (action i, footnote 1): order the jobs by an administrative
+  sequence and binary-search the longest prefix whose stage-1 throughput
+  still meets a threshold; the rest are rejected.
+* **Reduce sizes** (action ii): admit everyone, scale demands by the
+  per-job stage-2 throughput ``Z_i`` — the sizes the network *can*
+  guarantee by the requested end times.
+* **Extend end times** (action iii): admit everyone and stretch all end
+  times by the smallest ``(1 + b)`` under which every full job completes
+  (Algorithm 2).
+
+The binary search in :func:`admit_max_prefix` is sound because ``Z*`` is
+monotone non-increasing in the job set: dropping jobs (and their
+coupling constraint (2)) can only raise the achievable common factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Callable
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..lp.model import ProblemStructure
+from ..network.graph import Network
+from ..network.paths import build_path_sets
+from ..timegrid import TimeGrid
+from ..workload.jobs import Job, JobSet
+from .throughput import solve_stage1
+
+__all__ = [
+    "by_arrival",
+    "by_size_descending",
+    "by_size_ascending",
+    "by_laxity",
+    "admit_max_prefix",
+    "admit_greedy",
+    "AdmissionDecision",
+]
+
+
+# ----------------------------------------------------------------------
+# Sequencing policies (the "administrative policy" of footnote 1)
+# ----------------------------------------------------------------------
+def by_arrival(job: Job) -> tuple:
+    """First-come first-served ordering key."""
+    return (job.arrival, str(job.id))
+
+
+def by_size_descending(job: Job) -> tuple:
+    """Large science flows first (the paper's default preference)."""
+    return (-job.size, str(job.id))
+
+
+def by_size_ascending(job: Job) -> tuple:
+    """Small jobs first (finish many jobs at slight cost to large ones)."""
+    return (job.size, str(job.id))
+
+
+def by_laxity(job: Job) -> tuple:
+    """Tightest jobs first: least window slack per unit of demand."""
+    return (job.duration / job.size, str(job.id))
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Result of an admission-control pass.
+
+    Attributes
+    ----------
+    admitted:
+        Jobs accepted (possibly re-ordered by the sequencing policy).
+    rejected:
+        Jobs turned away.
+    zstar:
+        Stage-1 throughput of the admitted set (``inf`` when everything
+        was rejected, vacuously feasible).
+    """
+
+    admitted: JobSet
+    rejected: JobSet
+    zstar: float
+
+    @property
+    def num_admitted(self) -> int:
+        return len(self.admitted)
+
+    @property
+    def num_rejected(self) -> int:
+        return len(self.rejected)
+
+
+def admit_max_prefix(
+    network: Network,
+    jobs: JobSet,
+    grid: TimeGrid,
+    k_paths: int = 4,
+    threshold: float = 1.0,
+    key: Callable[[Job], tuple] = by_arrival,
+) -> AdmissionDecision:
+    """Footnote-1 rejection: longest admissible prefix by binary search.
+
+    Jobs are ordered by ``key``; the returned ``admitted`` set is the
+    longest prefix whose stage-1 maximum concurrent throughput is at
+    least ``threshold`` (1.0 = "all deadlines can be met in full").
+
+    Jobs that are individually unschedulable (no path, or no whole slice
+    inside their window) are rejected outright before the search, since
+    they force ``Z* = 0`` for any prefix containing them.
+    """
+    if threshold <= 0:
+        raise ValidationError(f"threshold must be positive, got {threshold}")
+    ordered = jobs.sorted_by(key)
+    path_sets = build_path_sets(network, ordered.od_pairs(), k_paths)
+
+    schedulable: list[Job] = []
+    rejected: list[Job] = []
+    for job in ordered:
+        has_path = bool(path_sets.get((job.source, job.dest)))
+        has_slice = len(grid.window_slices(job.start, job.end)) > 0
+        (schedulable if has_path and has_slice else rejected).append(job)
+
+    def prefix_zstar(count: int) -> float:
+        if count == 0:
+            return float("inf")
+        structure = ProblemStructure(
+            network,
+            JobSet(schedulable[:count]),
+            grid,
+            k_paths,
+            path_sets=path_sets,
+        )
+        return solve_stage1(structure).zstar
+
+    # Binary search the largest count with Z*(prefix) >= threshold.
+    lo, hi = 0, len(schedulable)  # invariant: prefix_zstar(lo) >= threshold
+    if prefix_zstar(hi) >= threshold:
+        lo = hi
+    else:
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if prefix_zstar(mid) >= threshold:
+                lo = mid
+            else:
+                hi = mid
+    admitted = JobSet(schedulable[:lo])
+    rejected.extend(schedulable[lo:])
+    return AdmissionDecision(
+        admitted=admitted,
+        rejected=JobSet(rejected),
+        zstar=prefix_zstar(lo),
+    )
+
+
+def admit_greedy(
+    network: Network,
+    jobs: JobSet,
+    grid: TimeGrid,
+    k_paths: int = 4,
+    threshold: float = 1.0,
+    key: Callable[[Job], tuple] = by_size_descending,
+) -> AdmissionDecision:
+    """Greedy non-prefix admission (the footnote's "future work").
+
+    The footnote-1 algorithm rejects everything *after* the first job
+    that does not fit, even if later, smaller jobs would.  This variant
+    walks the ordered sequence and keeps each job iff the accepted set
+    plus that job still has ``Z* >= threshold`` — one stage-1 solve per
+    job instead of ``O(log n)``, but it can only admit a superset-value
+    of what any prefix achieves under the same ordering.
+
+    Soundness rests on the same monotonicity as the prefix search:
+    dropping a job never lowers ``Z*``, so an accepted set stays
+    feasible as rejected jobs are skipped.
+    """
+    if threshold <= 0:
+        raise ValidationError(f"threshold must be positive, got {threshold}")
+    ordered = jobs.sorted_by(key)
+    path_sets = build_path_sets(network, ordered.od_pairs(), k_paths)
+
+    accepted: list[Job] = []
+    rejected: list[Job] = []
+    zstar = float("inf")
+    for job in ordered:
+        has_path = bool(path_sets.get((job.source, job.dest)))
+        has_slice = len(grid.window_slices(job.start, job.end)) > 0
+        if not (has_path and has_slice):
+            rejected.append(job)
+            continue
+        candidate = JobSet(accepted + [job])
+        structure = ProblemStructure(
+            network, candidate, grid, k_paths, path_sets=path_sets
+        )
+        z = solve_stage1(structure).zstar
+        if z >= threshold:
+            accepted.append(job)
+            zstar = z
+        else:
+            rejected.append(job)
+    return AdmissionDecision(
+        admitted=JobSet(accepted),
+        rejected=JobSet(rejected),
+        zstar=zstar,
+    )

@@ -1,0 +1,51 @@
+"""Exact integer baselines for small instances.
+
+The paper reports that optimal integer solutions were unobtainable with
+standard solvers ("we will not be able to show those results") and falls
+back to the LP relaxation as an upper bound.  For *small* instances,
+HiGHS-MIP in SciPy can produce the true integer optimum, which lets this
+reproduction quantify the LPDAR optimality gap directly — see
+``benchmarks/bench_exact_gap.py`` and the EXACT experiment in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from ..lp.milp import solve_milp
+from ..lp.model import ProblemStructure
+from ..lp.solver import LPSolution
+from .ret import build_subret_lp, quick_finish_gamma
+from .stage2 import build_stage2_lp
+
+__all__ = ["solve_stage2_exact", "solve_subret_exact"]
+
+
+def solve_stage2_exact(
+    structure: ProblemStructure,
+    zstar: float,
+    alpha: float = 0.1,
+    weights: np.ndarray | None = None,
+    time_limit: float | None = None,
+) -> LPSolution:
+    """True integer optimum of the stage-2 problem (eqs. (7)-(10)).
+
+    Only for small instances (guarded by the MILP size limit).  Note the
+    integer problem can be *infeasible* for small ``alpha`` even though
+    its LP relaxation never is — exactly the situation the paper's
+    Remark 1 addresses by increasing ``alpha``.
+    """
+    return solve_milp(
+        build_stage2_lp(structure, zstar, alpha, weights), time_limit=time_limit
+    )
+
+
+def solve_subret_exact(
+    structure: ProblemStructure,
+    gamma: Callable[[np.ndarray], np.ndarray] = quick_finish_gamma,
+    time_limit: float | None = None,
+) -> LPSolution:
+    """True integer optimum of SUB-RET (eqs. (14)-(16), (3), (10))."""
+    return solve_milp(build_subret_lp(structure, gamma), time_limit=time_limit)

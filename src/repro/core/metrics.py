@@ -1,0 +1,141 @@
+"""Schedule-level metrics: completion, end times, utilization.
+
+These operate on a :class:`~repro.lp.model.ProblemStructure` plus an
+assignment vector and compute the quantities the paper's evaluation
+section reports: normalized throughput (Figs. 1-2), fraction of jobs
+finished and average end time (Section III-B, Fig. 4), and link
+utilization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..lp.model import ProblemStructure
+
+__all__ = [
+    "COMPLETION_TOL",
+    "jains_fairness_index",
+    "per_slice_delivery",
+    "completion_slices",
+    "fraction_finished",
+    "average_end_time",
+    "normalized_throughput",
+    "mean_link_utilization",
+]
+
+#: A job counts as finished when it is within this normalized volume of
+#: its demand (absorbs LP solver tolerance).
+COMPLETION_TOL = 1e-6
+
+
+def per_slice_delivery(structure: ProblemStructure, x: np.ndarray) -> np.ndarray:
+    """Dense ``(num_jobs, num_slices)`` normalized volume per job and slice."""
+    x = np.asarray(x, dtype=float)
+    out = np.zeros((len(structure.jobs), structure.grid.num_slices))
+    lengths = structure.grid.lengths
+    for i in range(len(structure.jobs)):
+        span = int(structure.span[i])
+        first = int(structure.first_slice[i])
+        block = x[structure.job_columns(i)].reshape(int(structure.num_paths[i]), span)
+        out[i, first : first + span] = block.sum(axis=0) * lengths[first : first + span]
+    return out
+
+
+def completion_slices(
+    structure: ProblemStructure, x: np.ndarray, tol: float = COMPLETION_TOL
+) -> np.ndarray:
+    """First slice index by which each job's demand is met, or ``-1``.
+
+    A job completes on the first slice where its cumulative delivered
+    volume reaches ``d_i`` (within ``tol``); unfinished jobs get ``-1``.
+    """
+    delivery = per_slice_delivery(structure, x)
+    cumulative = np.cumsum(delivery, axis=1)
+    reached = cumulative >= (structure.demands - tol)[:, None]
+    out = np.full(len(structure.jobs), -1, dtype=np.int64)
+    any_reached = reached.any(axis=1)
+    out[any_reached] = np.argmax(reached[any_reached], axis=1)
+    return out
+
+
+def fraction_finished(
+    structure: ProblemStructure, x: np.ndarray, tol: float = COMPLETION_TOL
+) -> float:
+    """Share of jobs whose full demand is delivered."""
+    delivered = structure.delivered(np.asarray(x, dtype=float))
+    return float(np.mean(delivered >= structure.demands - tol))
+
+
+def average_end_time(
+    structure: ProblemStructure,
+    x: np.ndarray,
+    tol: float = COMPLETION_TOL,
+    require_all_finished: bool = False,
+) -> float:
+    """Average completion time over finished jobs, in slice counts.
+
+    Matches Fig. 4's unit ("the number of time slices"): a job finishing
+    on slice ``k`` (0-based) has end time ``k + 1``.  Unfinished jobs are
+    excluded; with ``require_all_finished`` their presence raises instead.
+    Returns ``nan`` when no job finished.
+    """
+    slices = completion_slices(structure, x, tol)
+    finished = slices >= 0
+    if require_all_finished and not finished.all():
+        unfinished = [structure.jobs[i].id for i in np.nonzero(~finished)[0]]
+        raise ValidationError(f"jobs not finished: {unfinished}")
+    if not finished.any():
+        return float("nan")
+    return float(np.mean(slices[finished] + 1))
+
+
+def normalized_throughput(
+    structure: ProblemStructure, x: np.ndarray, x_reference: np.ndarray
+) -> float:
+    """Weighted throughput of ``x`` relative to a reference assignment.
+
+    Figures 1-2 normalize LPD/LPDAR throughput by the LP value; pass the
+    LP solution as ``x_reference``.
+    """
+    ref = structure.weighted_throughput(x_reference)
+    if ref <= 0:
+        raise ValidationError("reference assignment has zero throughput")
+    return structure.weighted_throughput(x) / ref
+
+
+def mean_link_utilization(structure: ProblemStructure, x: np.ndarray) -> float:
+    """Average wavelength occupancy across all (edge, slice) pairs.
+
+    Cells whose capacity is zero (e.g. full link outages in a
+    :class:`~repro.network.capacity.CapacityProfile`) are excluded from
+    the average — they carry no schedulable capacity to utilize.
+    """
+    loads = structure.link_loads(np.asarray(x, dtype=float))
+    caps = structure.capacity_grid()
+    usable = caps > 0
+    if not usable.any():
+        return 0.0
+    return float(np.mean(loads[usable] / caps[usable]))
+
+
+def jains_fairness_index(values: np.ndarray) -> float:
+    """Jain's fairness index over per-job throughputs (or any shares).
+
+    ``(sum z)^2 / (n * sum z^2)``: 1.0 when every job gets the same
+    throughput, ``1/n`` when one job takes everything.  The natural
+    scalar for the fairness dimension of the paper's stage-2 trade-off:
+    lowering ``alpha`` raises the guaranteed floor and with it this
+    index, at some cost in total throughput.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 1 or values.size == 0:
+        raise ValidationError("need a non-empty 1-D array of values")
+    if np.any(values < 0):
+        raise ValidationError("fairness index needs non-negative values")
+    total_sq = float(values.sum()) ** 2
+    denom = values.size * float((values**2).sum())
+    if denom == 0.0:
+        return float("nan")
+    return total_sq / denom

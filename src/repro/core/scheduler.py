@@ -1,0 +1,311 @@
+"""End-to-end scheduler facade: stage 1 -> stage 2 -> LPDAR.
+
+:class:`Scheduler` packages the paper's maximizing-throughput algorithm
+(Section II-B) behind one call: compute ``Z*``, solve the stage-2 LP
+relaxation, round with LPDAR, and — per Remark 1 — escalate ``alpha``
+when the integer solution misses the fairness floor.  The result object
+exposes everything the controller needs to configure the network: per
+(job, path, slice) wavelength counts, per-job guaranteed sizes for
+overload re-negotiation (Remark 2), and the evaluation metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Hashable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..lp.model import ProblemStructure
+from ..network.graph import Network
+from ..network.paths import Path, build_path_sets
+from ..timegrid import TimeGrid
+from ..workload.jobs import JobSet
+from .lpdar import GreedyOrder, LpdarResult, lpdar
+from .metrics import fraction_finished
+from .stage2 import Stage2Result, solve_stage2_lp
+from .throughput import Stage1Result, solve_stage1
+
+__all__ = ["WavelengthGrant", "ScheduleResult", "Scheduler"]
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class WavelengthGrant:
+    """One row of the final schedule: wavelengths on a path in a slice.
+
+    Attributes
+    ----------
+    job_id:
+        The granted job.
+    path:
+        Node sequence of the granted path.
+    slice_index:
+        Time slice of the grant.
+    interval:
+        The slice's ``(start, end)`` times.
+    wavelengths:
+        Integer number of wavelengths reserved.
+    """
+
+    job_id: int | str
+    path: tuple[Node, ...]
+    slice_index: int
+    interval: tuple[float, float]
+    wavelengths: int
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """Everything produced by one scheduling pass.
+
+    Attributes
+    ----------
+    structure:
+        The problem structure (network, jobs, grid, paths).
+    stage1:
+        Stage-1 outcome, including ``Z*``.
+    stage2:
+        Stage-2 LP outcome at the final ``alpha``.
+    assignments:
+        LP / LPD / LPDAR assignment vectors.
+    alpha:
+        The fairness parameter actually used (after any escalation).
+    alpha_escalations:
+        How many times ``alpha`` was raised per Remark 1.
+    """
+
+    structure: ProblemStructure
+    stage1: Stage1Result
+    stage2: Stage2Result
+    assignments: LpdarResult
+    alpha: float
+    alpha_escalations: int
+
+    # ------------------------------------------------------------------
+    # Headline quantities
+    # ------------------------------------------------------------------
+    @property
+    def zstar(self) -> float:
+        """Maximum concurrent throughput from stage 1."""
+        return self.stage1.zstar
+
+    @property
+    def overloaded(self) -> bool:
+        """Paper's overload classification: ``Z* <= 1``."""
+        return self.stage1.overloaded
+
+    @property
+    def x(self) -> np.ndarray:
+        """The deployable (integer, LPDAR) assignment."""
+        return self.assignments.x_lpdar
+
+    def assignment(self, which: str = "lpdar") -> np.ndarray:
+        """One of the three assignment vectors: ``lp``, ``lpd``, ``lpdar``."""
+        try:
+            return getattr(self.assignments, f"x_{which}")
+        except AttributeError:
+            raise ValidationError(
+                f"unknown assignment {which!r}; pick lp, lpd or lpdar"
+            ) from None
+
+    def weighted_throughput(self, which: str = "lpdar") -> float:
+        """Paper objective (7) under the chosen assignment."""
+        return self.structure.weighted_throughput(self.assignment(which))
+
+    def normalized_throughput(self, which: str = "lpdar") -> float:
+        """Throughput relative to the LP upper bound (Figs. 1-2 metric)."""
+        lp = self.weighted_throughput("lp")
+        if lp <= 0:
+            raise ValidationError("LP throughput is zero; nothing scheduled")
+        return self.weighted_throughput(which) / lp
+
+    def job_throughputs(self, which: str = "lpdar") -> np.ndarray:
+        """Per-job ``Z_i`` (eq. (6)) under the chosen assignment."""
+        return self.structure.throughputs(self.assignment(which))
+
+    def guaranteed_sizes(self, which: str = "lpdar") -> np.ndarray:
+        """Sizes the network can guarantee by the deadlines (Remark 2).
+
+        For a job with ``Z_i < 1`` this is the reduced demand
+        ``Z_i * D_i`` the user would be asked to accept; jobs with
+        ``Z_i >= 1`` keep their full size.
+        """
+        z = self.job_throughputs(which)
+        return np.minimum(z, 1.0) * self.structure.jobs.sizes()
+
+    def fraction_finished(self, which: str = "lpdar") -> float:
+        """Share of jobs whose *original* demand is fully delivered."""
+        return fraction_finished(self.structure, self.assignment(which))
+
+    def meets_fairness(self, which: str = "lpdar", tol: float = 1e-9) -> bool:
+        """Whether every job meets the ``(1 - alpha) Z*`` floor."""
+        floor = (1.0 - self.alpha) * self.zstar
+        return bool(np.all(self.job_throughputs(which) >= floor - tol))
+
+    # ------------------------------------------------------------------
+    # Deployment view
+    # ------------------------------------------------------------------
+    def grants(self, which: str = "lpdar") -> Iterator[WavelengthGrant]:
+        """Iterate nonzero wavelength grants, slice-major.
+
+        This is the concrete configuration the network controller would
+        push to the switches: for each time slice, which paths of which
+        jobs hold how many wavelengths.
+        """
+        x = self.assignment(which)
+        structure = self.structure
+        grid = structure.grid
+        order = np.lexsort(
+            (structure.col_path, structure.col_job, structure.col_slice)
+        )
+        for c in order:
+            count = x[c]
+            if count <= 0:
+                continue
+            i = int(structure.col_job[c])
+            j = int(structure.col_slice[c])
+            path = structure.paths[i][int(structure.col_path[c])]
+            yield WavelengthGrant(
+                job_id=structure.jobs[i].id,
+                path=path.nodes,
+                slice_index=j,
+                interval=(grid.slice_start(j), grid.slice_end(j)),
+                wavelengths=int(round(count)),
+            )
+
+
+class Scheduler:
+    """The maximizing-throughput scheduling algorithm, end to end.
+
+    Parameters
+    ----------
+    network:
+        The wavelength-switched network.
+    k_paths:
+        Allowed paths per job (paper: 4-8).
+    alpha:
+        Initial fairness slack for constraint (9).
+    alpha_step, alpha_max:
+        Remark-1 escalation: when the LPDAR solution violates the
+        fairness floor, ``alpha`` is raised by ``alpha_step`` (relaxing
+        the floor) and stage 2 re-solved, up to ``alpha_max``.  Set
+        ``alpha_step = 0`` to disable escalation.
+    slice_length:
+        Slice length used when no grid is passed to :meth:`schedule`.
+    greedy_order, cap_at_target:
+        Algorithm 1 variant knobs (see :func:`repro.core.lpdar.greedy_adjust`).
+    weights:
+        Optional per-job stage-2 weights (default: the paper's size
+        weighting).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        k_paths: int = 4,
+        alpha: float = 0.1,
+        alpha_step: float = 0.1,
+        alpha_max: float = 0.5,
+        slice_length: float = 1.0,
+        greedy_order: GreedyOrder = "paper",
+        cap_at_target: bool = False,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if not 0.0 <= alpha <= 1.0:
+            raise ValidationError(f"alpha must be in [0, 1], got {alpha}")
+        if alpha_step < 0 or alpha_max < alpha or alpha_max > 1.0:
+            raise ValidationError(
+                f"need 0 <= alpha_step and alpha <= alpha_max <= 1, got "
+                f"step={alpha_step}, max={alpha_max}"
+            )
+        if slice_length <= 0:
+            raise ValidationError(f"slice_length must be > 0, got {slice_length}")
+        self.network = network
+        self.k_paths = k_paths
+        self.alpha = alpha
+        self.alpha_step = alpha_step
+        self.alpha_max = alpha_max
+        self.slice_length = slice_length
+        self.greedy_order = greedy_order
+        self.cap_at_target = cap_at_target
+        self.rng = rng
+
+    def build_structure(
+        self,
+        jobs: JobSet,
+        grid: TimeGrid | None = None,
+        path_sets: Mapping[tuple[Node, Node], Sequence[Path]] | None = None,
+        capacity_profile=None,
+    ) -> ProblemStructure:
+        """Assemble the shared problem structure for ``jobs``.
+
+        ``capacity_profile`` (a
+        :class:`~repro.network.capacity.CapacityProfile`) makes the
+        schedule honour time-varying ``C_e(j)``; its grid must match the
+        scheduling grid, so pass an explicit ``grid`` alongside it.
+        """
+        if grid is None:
+            grid = TimeGrid.covering(jobs.max_end(), self.slice_length)
+        if path_sets is None:
+            path_sets = build_path_sets(self.network, jobs.od_pairs(), self.k_paths)
+        return ProblemStructure(
+            self.network,
+            jobs,
+            grid,
+            self.k_paths,
+            path_sets=path_sets,
+            capacity_profile=capacity_profile,
+        )
+
+    def schedule(
+        self,
+        jobs: JobSet,
+        grid: TimeGrid | None = None,
+        weights: np.ndarray | None = None,
+        capacity_profile=None,
+    ) -> ScheduleResult:
+        """Run stage 1, stage 2 and LPDAR; escalate ``alpha`` if needed.
+
+        When ``weights`` is None and any job carries an explicit
+        ``weight``, those are used (unweighted jobs default to the
+        paper's size weighting, ``w_i = D_i``, before normalization).
+        """
+        structure = self.build_structure(
+            jobs, grid, capacity_profile=capacity_profile
+        )
+        if weights is None and any(j.weight is not None for j in jobs):
+            weights = np.array(
+                [j.weight if j.weight is not None else j.size for j in jobs]
+            )
+        stage1 = solve_stage1(structure)
+
+        alpha = self.alpha
+        escalations = 0
+        while True:
+            stage2 = solve_stage2_lp(structure, stage1.zstar, alpha, weights)
+            rounded = lpdar(
+                structure,
+                stage2.x,
+                order=self.greedy_order,
+                cap_at_target=self.cap_at_target,
+                rng=self.rng,
+            )
+            result = ScheduleResult(
+                structure=structure,
+                stage1=stage1,
+                stage2=stage2,
+                assignments=rounded,
+                alpha=alpha,
+                alpha_escalations=escalations,
+            )
+            if (
+                self.alpha_step <= 0
+                or alpha >= self.alpha_max
+                or result.meets_fairness("lpdar")
+            ):
+                return result
+            alpha = min(alpha + self.alpha_step, self.alpha_max)
+            escalations += 1

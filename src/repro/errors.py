@@ -1,0 +1,61 @@
+"""Typed exceptions used across the library.
+
+The library never signals failure through sentinel return values: every
+error condition a caller may want to handle programmatically is raised as
+one of the exception classes below, all rooted at :class:`ReproError`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "SolverError",
+    "InfeasibleProblemError",
+    "UnboundedProblemError",
+    "ScheduleError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """Invalid user input: malformed job, graph, grid or parameter."""
+
+
+class SolverError(ReproError, RuntimeError):
+    """The underlying LP/MILP solver failed for a non-modelling reason.
+
+    This wraps unexpected HiGHS statuses (numerical trouble, iteration
+    limits) as opposed to the well-defined modelling outcomes captured by
+    :class:`InfeasibleProblemError` and :class:`UnboundedProblemError`.
+    """
+
+    def __init__(self, message: str, status: int | None = None) -> None:
+        super().__init__(message)
+        #: Raw status code reported by the backend, when available.
+        self.status = status
+
+
+class InfeasibleProblemError(SolverError):
+    """The optimization problem admits no feasible solution."""
+
+    def __init__(self, message: str = "problem is infeasible") -> None:
+        super().__init__(message, status=2)
+
+
+class UnboundedProblemError(SolverError):
+    """The optimization problem is unbounded."""
+
+    def __init__(self, message: str = "problem is unbounded") -> None:
+        super().__init__(message, status=3)
+
+
+class ScheduleError(ReproError, RuntimeError):
+    """A scheduling algorithm could not produce a valid schedule.
+
+    Raised, for example, when Algorithm 2 (RET) exhausts ``b_max`` without
+    finding an end-time extension under which every job completes.
+    """

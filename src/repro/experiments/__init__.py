@@ -1,0 +1,54 @@
+"""Paper-reproduction experiments, runnable without the benchmark harness."""
+
+from .ablations import ablation_alpha, ablation_continuity, ablation_paths
+from .report import render_report, write_report
+from .figures import (
+    EXPERIMENTS,
+    ExperimentResult,
+    fig1_random_throughput,
+    fig2_abilene_throughput,
+    fig3_computation_time,
+    fig4_ret_end_time,
+    jobs_finished,
+    run_experiment,
+)
+from .setup import (
+    ALPHA,
+    TOTAL_LINK_RATE,
+    WAVELENGTH_SWEEP,
+    ThroughputPoint,
+    abilene_network,
+    calibrated_jobs,
+    random_network,
+    shared_path_sets,
+    throughput_pipeline,
+)
+
+EXPERIMENTS.setdefault("ablation-alpha", ablation_alpha)
+EXPERIMENTS.setdefault("ablation-paths", ablation_paths)
+EXPERIMENTS.setdefault("ablation-continuity", ablation_continuity)
+
+__all__ = [
+    "ExperimentResult",
+    "ablation_alpha",
+    "ablation_paths",
+    "ablation_continuity",
+    "render_report",
+    "write_report",
+    "EXPERIMENTS",
+    "run_experiment",
+    "fig1_random_throughput",
+    "fig2_abilene_throughput",
+    "fig3_computation_time",
+    "fig4_ret_end_time",
+    "jobs_finished",
+    "ThroughputPoint",
+    "throughput_pipeline",
+    "calibrated_jobs",
+    "random_network",
+    "abilene_network",
+    "shared_path_sets",
+    "WAVELENGTH_SWEEP",
+    "TOTAL_LINK_RATE",
+    "ALPHA",
+]

@@ -1,0 +1,64 @@
+"""Generate a markdown reproduction report from live experiment runs.
+
+``write_report`` runs every registered experiment and renders one
+markdown document with a table per artifact — a machine-generated
+sibling of the hand-annotated ``EXPERIMENTS.md``, useful for checking a
+new machine, SciPy version, or code change against the recorded shapes:
+
+    python -m repro experiment all --quick --markdown report.md
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from collections.abc import Sequence
+
+from ..errors import ValidationError
+from .figures import EXPERIMENTS, ExperimentResult, run_experiment
+
+__all__ = ["render_report", "write_report"]
+
+
+def render_report(
+    results: Sequence[ExperimentResult], quick: bool = False
+) -> str:
+    """Markdown document for a set of experiment results."""
+    if not results:
+        raise ValidationError("no experiment results to render")
+    total = sum(r.seconds for r in results)
+    lines = [
+        "# Reproduction report",
+        "",
+        f"{len(results)} experiment(s)"
+        + (" (quick mode — scaled-down instances)" if quick else "")
+        + f", {total:.1f}s total.",
+        "",
+        "Compare shapes against the recorded results in `EXPERIMENTS.md`;",
+        "absolute values vary with machine and library versions.",
+        "",
+    ]
+    for result in results:
+        lines.append(f"## {result.experiment_id} — {result.title}")
+        lines.append("")
+        table = result.table()
+        table.title = ""  # the heading carries it
+        lines.append(table.to_markdown())
+        lines.append("")
+        lines.append(f"_({result.seconds:.1f}s)_")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_report(
+    path: str | Path,
+    names: Sequence[str] | None = None,
+    quick: bool = False,
+) -> list[ExperimentResult]:
+    """Run experiments (all registered by default) and write the report.
+
+    Returns the results so callers can inspect them programmatically.
+    """
+    selected = sorted(EXPERIMENTS) if names is None else list(names)
+    results = [run_experiment(name, quick=quick) for name in selected]
+    Path(path).write_text(render_report(results, quick=quick) + "\n")
+    return results

@@ -1,0 +1,14 @@
+"""LP substrate: problem structure, HiGHS LP wrapper, exact MILP baseline."""
+
+from .milp import MILP_SIZE_LIMIT, solve_milp
+from .model import ProblemStructure
+from .solver import LinearProgram, LPSolution, solve_lp
+
+__all__ = [
+    "ProblemStructure",
+    "LinearProgram",
+    "LPSolution",
+    "solve_lp",
+    "solve_milp",
+    "MILP_SIZE_LIMIT",
+]

@@ -1,0 +1,249 @@
+"""A from-scratch two-phase primal simplex solver (dense, small LPs).
+
+The paper's framework stands on an LP solver it treats as a black box
+(CPLEX there, HiGHS here).  This module provides an *auditable* third
+option: a classic two-phase tableau simplex with Bland's anti-cycling
+rule, written in plain NumPy.  It exists for three reasons:
+
+* **cross-validation** — the test suite solves the same instances with
+  HiGHS and with this solver and demands identical optima, guarding
+  against silent mis-assembly of the constraint blocks;
+* **pedagogy** — the whole pipeline can be read end to end with no
+  compiled dependencies;
+* **portability** — a pure-Python fallback for environments without
+  SciPy's HiGHS.
+
+It is *not* for production scale: dense tableaus cost O(m·n) memory and
+O(m·n) per pivot, so a size guard rejects big instances.  Use
+``backend="highs"`` (the default in :func:`repro.lp.solver.solve_lp`)
+for real workloads.
+
+Standard-form conversion
+------------------------
+
+The :class:`~repro.lp.solver.LinearProgram` is rewritten as
+``min c.x  s.t.  A x = b, x >= 0``:
+
+* finite lower bounds are shifted out (``x = y + lo``);
+* finite upper bounds become rows ``y + s = hi - lo``;
+* ``A_ub`` rows gain slack variables; rows are sign-flipped so ``b >= 0``;
+* phase 1 minimizes the sum of artificial variables; a positive optimum
+  proves infeasibility, otherwise phase 2 optimizes the real objective.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..errors import (
+    InfeasibleProblemError,
+    SolverError,
+    UnboundedProblemError,
+    ValidationError,
+)
+from .solver import LinearProgram, LPSolution
+
+__all__ = ["simplex_solve", "SIMPLEX_SIZE_LIMIT"]
+
+#: Largest (rows + 1) * (columns + artificials) dense tableau permitted.
+SIMPLEX_SIZE_LIMIT = 4_000_000
+
+_TOL = 1e-9
+
+
+def simplex_solve(
+    problem: LinearProgram,
+    size_limit: int = SIMPLEX_SIZE_LIMIT,
+    max_pivots: int = 100_000,
+) -> LPSolution:
+    """Solve ``problem`` with the two-phase tableau simplex.
+
+    Raises the same typed errors as :func:`repro.lp.solver.solve_lp`;
+    duals are not reported (``ineq_duals``/``eq_duals`` stay ``None``).
+    """
+    c = problem.objective.astype(float)
+    if problem.maximize:
+        c = -c
+    lo, hi = problem.bounds_arrays()
+    if np.any(np.isneginf(lo)):
+        raise ValidationError(
+            "the simplex backend requires finite lower bounds"
+        )
+    n = problem.num_vars
+
+    # Shift lower bounds to zero: x = y + lo.
+    # Collect equality rows (A_eq, upper-bound rows) and <= rows (A_ub).
+    a_ub = _dense(problem.a_ub, n)
+    b_ub = (
+        np.asarray(problem.b_ub, dtype=float)
+        if problem.b_ub is not None
+        else np.empty(0)
+    )
+    a_eq = _dense(problem.a_eq, n)
+    b_eq = (
+        np.asarray(problem.b_eq, dtype=float)
+        if problem.b_eq is not None
+        else np.empty(0)
+    )
+    if a_ub.size:
+        b_ub = b_ub - a_ub @ lo
+    if a_eq.size:
+        b_eq = b_eq - a_eq @ lo
+    shift_cost = float(c @ lo)
+
+    # Finite upper bounds become  y_j + s = hi_j - lo_j.
+    bounded = np.nonzero(np.isfinite(hi))[0]
+    ub_rows = np.zeros((len(bounded), n))
+    ub_rows[np.arange(len(bounded)), bounded] = 1.0
+    ub_rhs = hi[bounded] - lo[bounded]
+    if np.any(ub_rhs < -_TOL):
+        raise InfeasibleProblemError("a variable's bounds cross")
+
+    num_ub = a_ub.shape[0] if a_ub.size else 0
+    num_eq = a_eq.shape[0] if a_eq.size else 0
+    num_bound = len(bounded)
+    m = num_ub + num_bound + num_eq
+
+    # Columns: n structural + (num_ub + num_bound) slacks + m artificials.
+    num_slack = num_ub + num_bound
+    total = n + num_slack + m
+    if (m + 1) * (total + 1) > size_limit:
+        raise ValidationError(
+            f"instance too large for the dense simplex backend "
+            f"({m} rows x {total} columns); use backend='highs'"
+        )
+
+    A = np.zeros((m, n + num_slack))
+    b = np.zeros(m)
+    row = 0
+    if num_ub:
+        A[:num_ub, :n] = a_ub
+        A[np.arange(num_ub), n + np.arange(num_ub)] = 1.0
+        b[:num_ub] = b_ub
+        row = num_ub
+    if num_bound:
+        A[row : row + num_bound, :n] = ub_rows
+        A[row + np.arange(num_bound), n + num_ub + np.arange(num_bound)] = 1.0
+        b[row : row + num_bound] = ub_rhs
+        row += num_bound
+    if num_eq:
+        A[row : row + num_eq, :n] = a_eq
+        b[row : row + num_eq] = b_eq
+
+    # Normalize to b >= 0 (flips slack signs too, which is fine: the
+    # slack simply becomes a surplus with coefficient -1).
+    negative = b < 0
+    A[negative] *= -1.0
+    b[negative] *= -1.0
+
+    # Phase 1 tableau with artificial basis.
+    tableau = np.zeros((m + 1, total + 1))
+    tableau[:m, : n + num_slack] = A
+    tableau[:m, n + num_slack : total] = np.eye(m)
+    tableau[:m, -1] = b
+    basis = list(range(n + num_slack, total))
+    # Phase-1 objective: minimize sum of artificials -> reduced costs.
+    tableau[m, : n + num_slack] = -A.sum(axis=0)
+    tableau[m, -1] = -b.sum()
+
+    pivots = _run_simplex(tableau, basis, max_pivots, allowed=total)
+    if tableau[m, -1] < -1e-7:
+        raise InfeasibleProblemError("phase-1 optimum is positive")
+
+    # Drive any remaining artificial variables out of the basis.
+    for i, var in enumerate(basis):
+        if var >= n + num_slack:
+            pivot_col = next(
+                (
+                    j
+                    for j in range(n + num_slack)
+                    if abs(tableau[i, j]) > 1e-7
+                ),
+                None,
+            )
+            if pivot_col is not None:
+                _pivot(tableau, i, pivot_col)
+                basis[i] = pivot_col
+            # else: redundant row; leave the artificial at value 0.
+
+    # Phase 2: real objective over structural + slack columns.
+    tableau[m, :] = 0.0
+    tableau[m, :n] = c
+    for i, var in enumerate(basis):
+        if tableau[m, var] != 0.0:
+            tableau[m, :] -= tableau[m, var] * tableau[i, :]
+    pivots += _run_simplex(
+        tableau, basis, max_pivots - pivots, allowed=n + num_slack
+    )
+
+    y = np.zeros(n + num_slack)
+    for i, var in enumerate(basis):
+        if var < n + num_slack:
+            y[var] = tableau[i, -1]
+    x = y[:n] + lo
+    objective = float(c @ y[:n]) + shift_cost
+    if problem.maximize:
+        objective = -objective
+    return LPSolution(x=x, objective=objective, iterations=pivots)
+
+
+def _dense(matrix, n: int) -> np.ndarray:
+    if matrix is None:
+        return np.empty((0, n))
+    if sp.issparse(matrix):
+        return matrix.toarray().astype(float)
+    return np.asarray(matrix, dtype=float)
+
+
+def _run_simplex(
+    tableau: np.ndarray, basis: list[int], max_pivots: int, allowed: int
+) -> int:
+    """Primal simplex iterations with Bland's rule; returns pivot count.
+
+    ``allowed`` restricts entering variables to the first columns (used
+    to lock artificials out during phase 2).
+    """
+    m = tableau.shape[0] - 1
+    pivots = 0
+    while True:
+        # Bland: the lowest-index column with a negative reduced cost.
+        entering = None
+        for j in range(allowed):
+            if tableau[m, j] < -_TOL:
+                entering = j
+                break
+        if entering is None:
+            return pivots
+        # Ratio test; Bland tie-break on the basis variable index.
+        best_ratio = np.inf
+        leaving = None
+        for i in range(m):
+            coeff = tableau[i, entering]
+            if coeff > _TOL:
+                ratio = tableau[i, -1] / coeff
+                if ratio < best_ratio - _TOL or (
+                    abs(ratio - best_ratio) <= _TOL
+                    and (leaving is None or basis[i] < basis[leaving])
+                ):
+                    best_ratio = ratio
+                    leaving = i
+        if leaving is None:
+            raise UnboundedProblemError(
+                "simplex: entering column has no positive coefficients"
+            )
+        _pivot(tableau, leaving, entering)
+        basis[leaving] = entering
+        pivots += 1
+        if pivots >= max_pivots:
+            raise SolverError(
+                f"simplex exceeded {max_pivots} pivots; "
+                "likely numerical trouble on this instance"
+            )
+
+
+def _pivot(tableau: np.ndarray, row: int, col: int) -> None:
+    tableau[row, :] /= tableau[row, col]
+    factors = tableau[:, col].copy()
+    factors[row] = 0.0
+    tableau -= np.outer(factors, tableau[row, :])

@@ -1,0 +1,193 @@
+"""Thin, typed wrappers around SciPy's HiGHS LP solver.
+
+The paper used CPLEX; we substitute the HiGHS simplex/IPM bundled with
+SciPy (see DESIGN.md).  Everything downstream talks to these wrappers,
+so swapping the backend means editing this module only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.optimize import linprog
+
+from ..errors import (
+    InfeasibleProblemError,
+    SolverError,
+    UnboundedProblemError,
+    ValidationError,
+)
+
+__all__ = ["LinearProgram", "LPSolution", "solve_lp"]
+
+
+@dataclass
+class LinearProgram:
+    """A linear program in the standard SciPy form.
+
+    ``maximize`` selects the sense of ``objective``; internally the
+    problem is always handed to HiGHS as a minimization.
+
+    Attributes
+    ----------
+    objective:
+        Coefficient vector ``c``.
+    a_ub, b_ub:
+        Inequality block ``A_ub @ x <= b_ub`` (optional).
+    a_eq, b_eq:
+        Equality block ``A_eq @ x == b_eq`` (optional).
+    lower, upper:
+        Variable bounds; scalars broadcast.  Defaults: ``0 <= x``.
+    maximize:
+        Sense of the objective.
+    """
+
+    objective: np.ndarray
+    a_ub: sp.spmatrix | None = None
+    b_ub: np.ndarray | None = None
+    a_eq: sp.spmatrix | None = None
+    b_eq: np.ndarray | None = None
+    lower: float | np.ndarray = 0.0
+    upper: float | np.ndarray = np.inf
+    maximize: bool = False
+
+    def __post_init__(self) -> None:
+        self.objective = np.asarray(self.objective, dtype=float)
+        if self.objective.ndim != 1:
+            raise ValidationError("objective must be a 1-D coefficient vector")
+        n = self.num_vars
+        for name, mat, rhs in (
+            ("a_ub", self.a_ub, self.b_ub),
+            ("a_eq", self.a_eq, self.b_eq),
+        ):
+            if (mat is None) != (rhs is None):
+                raise ValidationError(f"{name} and its rhs must come together")
+            if mat is not None:
+                if mat.shape[1] != n:
+                    raise ValidationError(
+                        f"{name} has {mat.shape[1]} columns, expected {n}"
+                    )
+                if mat.shape[0] != np.asarray(rhs).shape[0]:
+                    raise ValidationError(
+                        f"{name} has {mat.shape[0]} rows but rhs has "
+                        f"{np.asarray(rhs).shape[0]}"
+                    )
+
+    @property
+    def num_vars(self) -> int:
+        return self.objective.shape[0]
+
+    def bounds_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Lower/upper bounds broadcast to full vectors."""
+        lo = np.broadcast_to(np.asarray(self.lower, float), (self.num_vars,))
+        hi = np.broadcast_to(np.asarray(self.upper, float), (self.num_vars,))
+        if np.any(lo > hi):
+            raise ValidationError("a lower bound exceeds its upper bound")
+        return lo.copy(), hi.copy()
+
+
+@dataclass(frozen=True)
+class LPSolution:
+    """A solved LP.
+
+    Attributes
+    ----------
+    x:
+        Optimal variable values.
+    objective:
+        Optimal objective value *in the problem's stated sense* (i.e.
+        already negated back for maximization problems).
+    iterations:
+        Simplex/IPM iteration count reported by the backend.
+    ineq_duals, eq_duals:
+        Dual values (shadow prices) of the inequality and equality
+        blocks, sign-adjusted so that a positive inequality dual means
+        "one more unit of right-hand side improves the stated objective
+        by this much."  ``None`` when the backend reported no duals
+        (e.g. MILP solves).
+    """
+
+    x: np.ndarray
+    objective: float
+    iterations: int = 0
+    ineq_duals: np.ndarray | None = None
+    eq_duals: np.ndarray | None = None
+
+
+def solve_lp(problem: LinearProgram, backend: str = "highs") -> LPSolution:
+    """Solve ``problem``; raise typed errors on failure.
+
+    Parameters
+    ----------
+    problem:
+        The LP to solve.
+    backend:
+        ``"highs"`` (default, SciPy's HiGHS — use this at scale) or
+        ``"simplex"`` (the pure-Python reference solver in
+        :mod:`repro.lp.simplex`, for small instances and auditing; it
+        does not report duals).
+
+    Raises
+    ------
+    InfeasibleProblemError
+        No feasible point exists.
+    UnboundedProblemError
+        The objective is unbounded in the requested sense.
+    SolverError
+        Any other backend failure (numerical issues, limits).
+    """
+    if backend == "simplex":
+        from .simplex import simplex_solve
+
+        return simplex_solve(problem)
+    if backend != "highs":
+        raise ValidationError(
+            f"unknown backend {backend!r}; pick 'highs' or 'simplex'"
+        )
+    c = -problem.objective if problem.maximize else problem.objective
+    lo, hi = problem.bounds_arrays()
+    result = linprog(
+        c,
+        A_ub=problem.a_ub,
+        b_ub=problem.b_ub,
+        A_eq=problem.a_eq,
+        b_eq=problem.b_eq,
+        bounds=np.column_stack([lo, hi]),
+        method="highs",
+    )
+    if result.status == 2:
+        raise InfeasibleProblemError()
+    if result.status == 3:
+        raise UnboundedProblemError()
+    if result.status != 0 or not result.success:
+        raise SolverError(
+            f"LP solve failed: {result.message}", status=result.status
+        )
+    objective = float(result.fun)
+    if problem.maximize:
+        objective = -objective
+    x = np.asarray(result.x, dtype=float)
+    # HiGHS can return tiny negative values on >=0 variables; clamp them.
+    np.maximum(x, lo, out=x)
+
+    # linprog's marginals are d(min)/d(rhs) of the solved minimization
+    # form; relaxing an upper bound can only lower the minimum, so they
+    # are non-positive on binding <= rows.  The *improvement* of the
+    # stated objective per unit of rhs is -marginal in both senses
+    # (for maximization the solved objective was negated, flipping the
+    # derivative once more).
+    def _duals(block) -> np.ndarray | None:
+        marginals = getattr(block, "marginals", None) if block is not None else None
+        if marginals is None:
+            return None
+        return -np.asarray(marginals, dtype=float)
+
+    return LPSolution(
+        x=x,
+        objective=objective,
+        iterations=int(result.nit),
+        ineq_duals=_duals(getattr(result, "ineqlin", None)),
+        eq_duals=_duals(getattr(result, "eqlin", None)),
+    )

@@ -1,0 +1,46 @@
+"""Network substrate: graphs, topologies, random generators and paths."""
+
+from .capacity import CapacityProfile
+from .graph import Edge, Network
+from .paths import (
+    Path,
+    build_path_sets,
+    edge_disjoint_paths,
+    k_shortest_paths,
+    shortest_path,
+)
+from .topologies import (
+    ABILENE_CORE_LINKS,
+    ABILENE_EXPRESS_LINKS,
+    abilene,
+    dumbbell,
+    full_mesh,
+    grid2d,
+    line,
+    nsfnet,
+    ring,
+    star,
+)
+from .waxman import waxman_network
+
+__all__ = [
+    "Edge",
+    "Network",
+    "CapacityProfile",
+    "Path",
+    "shortest_path",
+    "k_shortest_paths",
+    "edge_disjoint_paths",
+    "build_path_sets",
+    "abilene",
+    "nsfnet",
+    "line",
+    "ring",
+    "star",
+    "grid2d",
+    "full_mesh",
+    "dumbbell",
+    "waxman_network",
+    "ABILENE_CORE_LINKS",
+    "ABILENE_EXPRESS_LINKS",
+]

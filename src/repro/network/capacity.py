@@ -1,0 +1,199 @@
+"""Time-varying link capacities: the ``C_e(j)`` of constraint (3).
+
+The paper's capacity constraint is written per slice — ``C_e(j)`` — even
+though "in all the experiments in this paper, each link capacity is
+assumed to be a constant across the time slices."  Real research
+networks are not constant: fibers go into maintenance, wavelengths are
+pre-empted by standing circuits, and operators drain links before
+upgrades.  A :class:`CapacityProfile` materializes the full
+``(num_edges, num_slices)`` wavelength-count matrix that the
+optimization layer consumes, with builders for the common cases.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..timegrid import TimeGrid
+from .graph import Network
+
+__all__ = ["CapacityProfile"]
+
+Node = Hashable
+
+
+class CapacityProfile:
+    """A per-(edge, slice) wavelength-count matrix.
+
+    Parameters
+    ----------
+    network:
+        The network whose edges the profile covers.
+    grid:
+        The time discretization.
+    matrix:
+        Integer array of shape ``(network.num_edges, grid.num_slices)``.
+        Entries must be non-negative (0 = link unusable on that slice)
+        and must not exceed the edge's installed capacity.
+    """
+
+    def __init__(
+        self, network: Network, grid: TimeGrid, matrix: np.ndarray
+    ) -> None:
+        matrix = np.asarray(matrix)
+        expected = (network.num_edges, grid.num_slices)
+        if matrix.shape != expected:
+            raise ValidationError(
+                f"capacity matrix must have shape {expected}, got {matrix.shape}"
+            )
+        if not np.issubdtype(matrix.dtype, np.integer):
+            if not np.allclose(matrix, np.rint(matrix)):
+                raise ValidationError("capacities must be whole wavelength counts")
+            matrix = np.rint(matrix).astype(np.int64)
+        else:
+            matrix = matrix.astype(np.int64)
+        if matrix.min(initial=0) < 0:
+            raise ValidationError("capacities must be non-negative")
+        installed = network.capacities()
+        if np.any(matrix > installed[:, None]):
+            raise ValidationError(
+                "profile exceeds an edge's installed wavelength count"
+            )
+        self.network = network
+        self.grid = grid
+        self.matrix = matrix
+        self.matrix.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+    @classmethod
+    def constant(cls, network: Network, grid: TimeGrid) -> "CapacityProfile":
+        """Every edge at its installed capacity on every slice."""
+        matrix = np.repeat(
+            network.capacities()[:, None], grid.num_slices, axis=1
+        )
+        return cls(network, grid, matrix)
+
+    @classmethod
+    def with_maintenance(
+        cls,
+        network: Network,
+        grid: TimeGrid,
+        windows: Iterable[tuple[Node, Node, float, float, int]],
+        bidirectional: bool = True,
+    ) -> "CapacityProfile":
+        """Constant profile with reduced capacity during maintenance windows.
+
+        Each window is ``(u, v, t_start, t_end, remaining_capacity)``:
+        during every slice that *overlaps* ``[t_start, t_end)``, the edge
+        ``u -> v`` (and ``v -> u`` when ``bidirectional``) carries at
+        most ``remaining_capacity`` wavelengths.  Overlapping windows on
+        the same edge take the minimum.
+        """
+        profile = cls.constant(network, grid)
+        matrix = profile.matrix.copy()
+        for u, v, t0, t1, remaining in windows:
+            if t1 <= t0:
+                raise ValidationError(
+                    f"maintenance window [{t0}, {t1}) on {u!r}->{v!r} is empty"
+                )
+            if remaining < 0:
+                raise ValidationError("remaining capacity must be >= 0")
+            edges = [network.edge_id(u, v)]
+            if bidirectional and network.has_edge(v, u):
+                edges.append(network.edge_id(v, u))
+            # Slices overlapping [t0, t1): slice j = [t_j, t_{j+1}).
+            starts = grid.boundaries[:-1]
+            ends = grid.boundaries[1:]
+            overlap = (starts < t1 - 1e-12) & (ends > t0 + 1e-12)
+            for eid in edges:
+                matrix[eid, overlap] = np.minimum(matrix[eid, overlap], remaining)
+        return cls(network, grid, matrix)
+
+    @classmethod
+    def with_background_load(
+        cls,
+        network: Network,
+        grid: TimeGrid,
+        load: np.ndarray,
+    ) -> "CapacityProfile":
+        """Profile with a fixed background occupancy subtracted.
+
+        ``load`` is an integer ``(num_edges, num_slices)`` array of
+        wavelengths already reserved (e.g. standing lightpaths); the
+        profile exposes what remains, floored at zero.
+        """
+        load = np.asarray(load)
+        base = np.repeat(network.capacities()[:, None], grid.num_slices, axis=1)
+        if load.shape != base.shape:
+            raise ValidationError(
+                f"background load must have shape {base.shape}, got {load.shape}"
+            )
+        if load.min(initial=0) < 0:
+            raise ValidationError("background load must be non-negative")
+        return cls(network, grid, np.maximum(base - load, 0))
+
+    # ------------------------------------------------------------------
+    # Re-basing onto other grids
+    # ------------------------------------------------------------------
+    def for_grid(self, grid: TimeGrid) -> "CapacityProfile":
+        """Re-base the profile onto another grid with aligned boundaries.
+
+        Needed by the online controller: each epoch schedules over a
+        fresh grid starting at "now", while maintenance windows are
+        defined in absolute time.  Every slice of ``grid`` must either
+        coincide exactly with a slice of the original grid (same start
+        and end boundaries) or lie entirely outside the original
+        horizon, in which case the edge's installed capacity applies.
+        Returns ``self`` when the grids already match.
+        """
+        if grid == self.grid:
+            return self
+        installed = self.network.capacities()
+        matrix = np.repeat(installed[:, None], grid.num_slices, axis=1)
+        old_bounds = self.grid.boundaries
+        for j in range(grid.num_slices):
+            start = grid.slice_start(j)
+            end = grid.slice_end(j)
+            if start >= self.grid.end - 1e-9 or end <= self.grid.start + 1e-9:
+                continue  # outside the original horizon: installed capacity
+            idx = int(np.searchsorted(old_bounds, start + 1e-9)) - 1
+            if (
+                idx < 0
+                or idx >= self.grid.num_slices
+                or abs(old_bounds[idx] - start) > 1e-9
+                or abs(old_bounds[idx + 1] - end) > 1e-9
+            ):
+                raise ValidationError(
+                    f"target slice [{start}, {end}) does not align with the "
+                    "profile's grid; use matching slice boundaries"
+                )
+            matrix[:, j] = self.matrix[:, idx]
+        return CapacityProfile(self.network, grid, matrix)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def capacity(self, edge_id: int, slice_index: int) -> int:
+        """``C_e(j)`` for one edge and slice."""
+        return int(self.matrix[edge_id, slice_index])
+
+    def total_wavelength_slices(self) -> int:
+        """Sum of all (edge, slice) wavelength capacity — a volume bound."""
+        return int(self.matrix.sum())
+
+    def outage_fraction(self) -> float:
+        """Share of (edge, slice) cells below installed capacity."""
+        installed = self.network.capacities()[:, None]
+        return float(np.mean(self.matrix < installed))
+
+    def __repr__(self) -> str:
+        return (
+            f"CapacityProfile(edges={self.matrix.shape[0]}, "
+            f"slices={self.matrix.shape[1]}, "
+            f"outage={self.outage_fraction():.1%})"
+        )

@@ -1,0 +1,321 @@
+"""Directed capacitated graph model of a wavelength-switched network.
+
+The network is a directed graph ``G = (V, E)`` (paper Section II-A).  Each
+edge ``e`` carries an integer number of wavelengths ``C_e`` — its capacity
+in the wavelength-assignment problems — and the network has a uniform
+per-wavelength data rate (e.g. 20 Gbps split across ``W`` wavelengths in
+the paper's experiments).
+
+Research-network links are almost always deployed in *pairs* (one fiber
+per direction), which is how the paper counts them ("200 pairs of links").
+:meth:`Network.add_link_pair` adds both directions at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Hashable, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..errors import ValidationError
+
+__all__ = ["Edge", "Network"]
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed link with an integer wavelength capacity.
+
+    Attributes
+    ----------
+    source, target:
+        Endpoint node identifiers.
+    capacity:
+        ``C_e``: number of wavelengths on the link (a positive integer).
+    weight:
+        Routing weight used by shortest-path computations (default 1.0,
+        i.e. hop count).  Does not affect the optimization problems.
+    """
+
+    source: Node
+    target: Node
+    capacity: int
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.source == self.target:
+            raise ValidationError(f"self-loop edge at node {self.source!r}")
+        if int(self.capacity) != self.capacity or self.capacity < 1:
+            raise ValidationError(
+                f"edge capacity must be a positive integer, got {self.capacity!r}"
+            )
+        if not (self.weight > 0 and np.isfinite(self.weight)):
+            raise ValidationError(f"edge weight must be positive, got {self.weight}")
+        object.__setattr__(self, "capacity", int(self.capacity))
+
+
+class Network:
+    """Directed wavelength-switched network.
+
+    Parameters
+    ----------
+    wavelength_rate:
+        Data rate of a single wavelength, in volume units per time unit
+        (e.g. GB per hour).  All demands are normalized by this rate when
+        problems are built (paper Section II-B.2), so one wavelength held
+        for one time unit moves exactly ``wavelength_rate`` of volume.
+    name:
+        Optional human-readable label.
+
+    Examples
+    --------
+    >>> net = Network(wavelength_rate=10.0)
+    >>> net.add_link_pair("a", "b", capacity=4)
+    (0, 1)
+    >>> net.num_nodes, net.num_edges, net.num_link_pairs
+    (2, 2, 1)
+    """
+
+    def __init__(self, wavelength_rate: float = 1.0, name: str = "") -> None:
+        if not (wavelength_rate > 0 and np.isfinite(wavelength_rate)):
+            raise ValidationError(
+                f"wavelength_rate must be positive, got {wavelength_rate}"
+            )
+        self.wavelength_rate = float(wavelength_rate)
+        self.name = name
+        self._nodes: list[Node] = []
+        self._node_index: dict[Node, int] = {}
+        self._edges: list[Edge] = []
+        self._edge_index: dict[tuple[Node, Node], int] = {}
+        self._out_edges: dict[Node, list[int]] = {}
+        self._in_edges: dict[Node, list[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> None:
+        """Register ``node``; adding an existing node is a no-op."""
+        if node not in self._node_index:
+            self._node_index[node] = len(self._nodes)
+            self._nodes.append(node)
+            self._out_edges[node] = []
+            self._in_edges[node] = []
+
+    def add_edge(
+        self, source: Node, target: Node, capacity: int, weight: float = 1.0
+    ) -> int:
+        """Add a directed edge and return its index.
+
+        Endpoints are registered automatically.  Duplicate directed edges
+        (same source and target) are rejected: a wavelength-switched link
+        is modelled once with its full wavelength count.
+        """
+        if (source, target) in self._edge_index:
+            raise ValidationError(
+                f"duplicate edge {source!r} -> {target!r}; "
+                "set the wavelength capacity on the existing edge instead"
+            )
+        edge = Edge(source, target, capacity, weight)
+        self.add_node(source)
+        self.add_node(target)
+        idx = len(self._edges)
+        self._edges.append(edge)
+        self._edge_index[(source, target)] = idx
+        self._out_edges[source].append(idx)
+        self._in_edges[target].append(idx)
+        return idx
+
+    def add_link_pair(
+        self, a: Node, b: Node, capacity: int, weight: float = 1.0
+    ) -> tuple[int, int]:
+        """Add the directed edges ``a -> b`` and ``b -> a``.
+
+        This is the natural unit for optical links, which are deployed as
+        one fiber per direction; the paper counts topologies in "pairs of
+        links".  Returns the two edge indices.
+        """
+        return (
+            self.add_edge(a, b, capacity, weight),
+            self.add_edge(b, a, capacity, weight),
+        )
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> Sequence[Node]:
+        """Nodes in insertion order."""
+        return tuple(self._nodes)
+
+    @property
+    def edges(self) -> Sequence[Edge]:
+        """Edges in insertion order (edge index == position)."""
+        return tuple(self._edges)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    @property
+    def num_link_pairs(self) -> int:
+        """Number of node pairs connected in both directions."""
+        count = 0
+        for (u, v) in self._edge_index:
+            if (v, u) in self._edge_index:
+                count += 1
+        return count // 2
+
+    def node_index(self, node: Node) -> int:
+        """Dense integer index of ``node``."""
+        try:
+            return self._node_index[node]
+        except KeyError:
+            raise ValidationError(f"unknown node {node!r}") from None
+
+    def has_node(self, node: Node) -> bool:
+        return node in self._node_index
+
+    def has_edge(self, source: Node, target: Node) -> bool:
+        return (source, target) in self._edge_index
+
+    def edge_id(self, source: Node, target: Node) -> int:
+        """Index of the directed edge ``source -> target``."""
+        try:
+            return self._edge_index[(source, target)]
+        except KeyError:
+            raise ValidationError(f"no edge {source!r} -> {target!r}") from None
+
+    def edge(self, edge_id: int) -> Edge:
+        """Edge object for ``edge_id``."""
+        if not 0 <= edge_id < len(self._edges):
+            raise ValidationError(f"edge id {edge_id} out of range")
+        return self._edges[edge_id]
+
+    def out_edges(self, node: Node) -> Sequence[int]:
+        """Indices of edges leaving ``node``."""
+        self.node_index(node)
+        return tuple(self._out_edges[node])
+
+    def in_edges(self, node: Node) -> Sequence[int]:
+        """Indices of edges entering ``node``."""
+        self.node_index(node)
+        return tuple(self._in_edges[node])
+
+    def degree(self, node: Node) -> int:
+        """Total degree (in + out edge count) of ``node``."""
+        self.node_index(node)
+        return len(self._out_edges[node]) + len(self._in_edges[node])
+
+    def capacities(self) -> np.ndarray:
+        """Integer array of wavelength counts ``C_e``, indexed by edge id."""
+        return np.array([e.capacity for e in self._edges], dtype=np.int64)
+
+    def weights(self) -> np.ndarray:
+        """Float array of routing weights, indexed by edge id."""
+        return np.array([e.weight for e in self._edges], dtype=float)
+
+    def link_rate(self, edge_id: int) -> float:
+        """Total data rate of a link: ``C_e * wavelength_rate``."""
+        return self.edge(edge_id).capacity * self.wavelength_rate
+
+    def __contains__(self, node: Node) -> bool:
+        return self.has_node(node)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._nodes)
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"Network({label and label + ', '}nodes={self.num_nodes}, "
+            f"edges={self.num_edges}, rate={self.wavelength_rate:g})"
+        )
+
+    # ------------------------------------------------------------------
+    # Derived networks
+    # ------------------------------------------------------------------
+    def with_capacity(self, capacity: int) -> "Network":
+        """Copy of the network with every edge set to ``capacity`` wavelengths."""
+        return self._rebuild(lambda e: capacity, self.wavelength_rate)
+
+    def with_wavelengths(
+        self, num_wavelengths: int, total_link_rate: float
+    ) -> "Network":
+        """Copy with ``num_wavelengths`` per link at constant total link rate.
+
+        This is the sweep used by the paper's Figures 1 and 2: the total
+        capacity of every link is held at ``total_link_rate`` while the
+        number of wavelengths it is divided into varies, so
+        ``wavelength_rate = total_link_rate / num_wavelengths``.
+        """
+        if num_wavelengths < 1:
+            raise ValidationError(
+                f"num_wavelengths must be >= 1, got {num_wavelengths}"
+            )
+        if total_link_rate <= 0:
+            raise ValidationError(
+                f"total_link_rate must be positive, got {total_link_rate}"
+            )
+        return self._rebuild(
+            lambda e: num_wavelengths, total_link_rate / num_wavelengths
+        )
+
+    def copy(self) -> "Network":
+        """Deep copy (edges are immutable, so a structural copy)."""
+        return self._rebuild(lambda e: e.capacity, self.wavelength_rate)
+
+    def _rebuild(self, capacity_of, wavelength_rate: float) -> "Network":
+        net = Network(wavelength_rate=wavelength_rate, name=self.name)
+        for node in self._nodes:
+            net.add_node(node)
+        for e in self._edges:
+            net.add_edge(e.source, e.target, capacity_of(e), e.weight)
+        return net
+
+    # ------------------------------------------------------------------
+    # Structure checks
+    # ------------------------------------------------------------------
+    def is_strongly_connected(self) -> bool:
+        """True when every node can reach every other node."""
+        if self.num_nodes <= 1:
+            return True
+        return (
+            self._reachable_count(self._out_edges, forward=True) == self.num_nodes
+            and self._reachable_count(self._in_edges, forward=False)
+            == self.num_nodes
+        )
+
+    def _reachable_count(self, adjacency, forward: bool) -> int:
+        start = self._nodes[0]
+        seen = {start}
+        stack = [start]
+        while stack:
+            u = stack.pop()
+            for eid in adjacency[u]:
+                edge = self._edges[eid]
+                v = edge.target if forward else edge.source
+                if v not in seen:
+                    seen.add(v)
+                    stack.append(v)
+        return len(seen)
+
+    @classmethod
+    def from_link_pairs(
+        cls,
+        pairs: Iterable[tuple[Node, Node]],
+        capacity: int,
+        wavelength_rate: float = 1.0,
+        name: str = "",
+    ) -> "Network":
+        """Build a network from undirected node pairs, each a link pair."""
+        net = cls(wavelength_rate=wavelength_rate, name=name)
+        for a, b in pairs:
+            net.add_link_pair(a, b, capacity)
+        return net

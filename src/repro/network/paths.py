@@ -1,0 +1,260 @@
+"""Path computation: Dijkstra shortest paths and Yen's k-shortest paths.
+
+The optimization formulations are *path based* (paper Section II-B.1):
+each job is given an explicit collection of allowed paths
+``P(s_i, d_i, j)`` and bandwidth is reserved only on those.  The paper
+found 4–8 paths per job sufficient for near-optimal performance; this
+module computes such sets with Yen's loopless k-shortest-path algorithm
+on top of Dijkstra.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from collections.abc import Hashable, Sequence
+
+from ..errors import ValidationError
+from .graph import Network
+
+__all__ = [
+    "Path",
+    "shortest_path",
+    "k_shortest_paths",
+    "edge_disjoint_paths",
+    "build_path_sets",
+]
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class Path:
+    """A loopless directed path through a :class:`Network`.
+
+    Attributes
+    ----------
+    nodes:
+        Visited nodes, ``(source, ..., target)``; at least two.
+    edge_ids:
+        Edge indices traversed, one per hop (``len(nodes) - 1``).
+    cost:
+        Sum of traversed edge weights.
+    """
+
+    nodes: tuple[Node, ...]
+    edge_ids: tuple[int, ...]
+    cost: float
+
+    def __post_init__(self) -> None:
+        if len(self.nodes) < 2:
+            raise ValidationError("a path needs at least two nodes")
+        if len(self.edge_ids) != len(self.nodes) - 1:
+            raise ValidationError(
+                f"path with {len(self.nodes)} nodes must have "
+                f"{len(self.nodes) - 1} edges, got {len(self.edge_ids)}"
+            )
+        if len(set(self.nodes)) != len(self.nodes):
+            raise ValidationError(f"path revisits a node: {self.nodes}")
+
+    @property
+    def source(self) -> Node:
+        return self.nodes[0]
+
+    @property
+    def target(self) -> Node:
+        return self.nodes[-1]
+
+    @property
+    def num_hops(self) -> int:
+        return len(self.edge_ids)
+
+    def __len__(self) -> int:
+        return self.num_hops
+
+    @classmethod
+    def from_nodes(cls, network: Network, nodes: Sequence[Node]) -> "Path":
+        """Build a path from a node sequence, validating each hop."""
+        edge_ids = tuple(
+            network.edge_id(u, v) for u, v in zip(nodes[:-1], nodes[1:])
+        )
+        cost = sum(network.edge(eid).weight for eid in edge_ids)
+        return cls(tuple(nodes), edge_ids, cost)
+
+
+def shortest_path(
+    network: Network,
+    source: Node,
+    target: Node,
+    banned_nodes: frozenset[Node] = frozenset(),
+    banned_edges: frozenset[int] = frozenset(),
+) -> Path | None:
+    """Dijkstra shortest path by edge weight, or ``None`` if unreachable.
+
+    ``banned_nodes`` and ``banned_edges`` are excluded from the search
+    (used as the spur-path restriction inside Yen's algorithm).
+    """
+    network.node_index(source)
+    network.node_index(target)
+    if source == target:
+        raise ValidationError("source and target must differ")
+    if source in banned_nodes or target in banned_nodes:
+        return None
+
+    dist: dict[Node, float] = {source: 0.0}
+    prev: dict[Node, tuple[Node, int]] = {}
+    done: set[Node] = set()
+    counter = 0  # tie-breaker so heapq never compares node objects
+    heap: list[tuple[float, int, Node]] = [(0.0, counter, source)]
+    while heap:
+        d, _, u = heapq.heappop(heap)
+        if u in done:
+            continue
+        if u == target:
+            break
+        done.add(u)
+        for eid in network.out_edges(u):
+            if eid in banned_edges:
+                continue
+            edge = network.edge(eid)
+            v = edge.target
+            if v in banned_nodes or v in done:
+                continue
+            nd = d + edge.weight
+            if nd < dist.get(v, float("inf")):
+                dist[v] = nd
+                prev[v] = (u, eid)
+                counter += 1
+                heapq.heappush(heap, (nd, counter, v))
+
+    if target not in dist or (target not in prev and target != source):
+        return None
+    nodes: list[Node] = [target]
+    edge_ids: list[int] = []
+    u = target
+    while u != source:
+        p, eid = prev[u]
+        nodes.append(p)
+        edge_ids.append(eid)
+        u = p
+    nodes.reverse()
+    edge_ids.reverse()
+    return Path(tuple(nodes), tuple(edge_ids), dist[target])
+
+
+def k_shortest_paths(
+    network: Network, source: Node, target: Node, k: int
+) -> list[Path]:
+    """Yen's algorithm: up to ``k`` loopless shortest paths, cost-ordered.
+
+    Returns fewer than ``k`` paths when the graph does not contain that
+    many distinct loopless paths, and an empty list when ``target`` is
+    unreachable from ``source``.
+    """
+    if k < 1:
+        raise ValidationError(f"k must be >= 1, got {k}")
+    first = shortest_path(network, source, target)
+    if first is None:
+        return []
+    paths: list[Path] = [first]
+    # Candidate heap keyed by (cost, node sequence) for deterministic order.
+    candidates: list[tuple[float, tuple[Node, ...], Path]] = []
+    seen: set[tuple[Node, ...]] = {first.nodes}
+
+    while len(paths) < k:
+        prev_path = paths[-1]
+        for i in range(prev_path.num_hops):
+            spur_node = prev_path.nodes[i]
+            root_nodes = prev_path.nodes[: i + 1]
+            root_edges = prev_path.edge_ids[:i]
+            root_cost = sum(network.edge(e).weight for e in root_edges)
+
+            banned_edges = {
+                p.edge_ids[i]
+                for p in paths
+                if p.nodes[: i + 1] == root_nodes and p.num_hops > i
+            }
+            banned_nodes = frozenset(root_nodes[:-1])
+
+            spur = shortest_path(
+                network,
+                spur_node,
+                target,
+                banned_nodes=banned_nodes,
+                banned_edges=frozenset(banned_edges),
+            )
+            if spur is None:
+                continue
+            total_nodes = root_nodes + spur.nodes[1:]
+            if total_nodes in seen:
+                continue
+            total = Path(
+                total_nodes,
+                root_edges + spur.edge_ids,
+                root_cost + spur.cost,
+            )
+            seen.add(total_nodes)
+            heapq.heappush(
+                candidates, (total.cost, _node_key(total.nodes), total)
+            )
+        if not candidates:
+            break
+        _, _, best = heapq.heappop(candidates)
+        paths.append(best)
+    return paths
+
+
+def _node_key(nodes: tuple[Node, ...]) -> tuple[str, ...]:
+    """Deterministic, heterogeneous-safe sort key for a node sequence."""
+    return tuple(repr(n) for n in nodes)
+
+
+def edge_disjoint_paths(
+    network: Network, source: Node, target: Node, k: int
+) -> list[Path]:
+    """Up to ``k`` pairwise edge-disjoint paths, greedily shortest-first.
+
+    Iteratively takes the shortest path and bans its edges before the
+    next search.  This is the standard greedy heuristic (not Suurballe's
+    optimal disjoint-pair algorithm), so the *number* of paths found can
+    fall short of the true max-flow disjoint count on adversarial
+    graphs; on research-network topologies it almost always matches.
+
+    Edge-disjoint path sets matter operationally: a fiber cut takes out
+    at most one of them, so a job spread over the set degrades instead
+    of stalling.
+    """
+    if k < 1:
+        raise ValidationError(f"k must be >= 1, got {k}")
+    banned: set[int] = set()
+    paths: list[Path] = []
+    while len(paths) < k:
+        path = shortest_path(
+            network, source, target, banned_edges=frozenset(banned)
+        )
+        if path is None:
+            break
+        paths.append(path)
+        banned.update(path.edge_ids)
+    return paths
+
+
+def build_path_sets(
+    network: Network,
+    od_pairs: Sequence[tuple[Node, Node]],
+    k: int = 4,
+    disjoint: bool = False,
+) -> dict[tuple[Node, Node], list[Path]]:
+    """Compute per-pair path sets: k-shortest (default) or edge-disjoint.
+
+    Results are cached per distinct pair, so repeated pairs cost nothing
+    extra.  Pairs with no connecting path map to an empty list.  With
+    ``disjoint=True`` the (usually smaller) greedy edge-disjoint set is
+    computed instead — see :func:`edge_disjoint_paths`.
+    """
+    finder = edge_disjoint_paths if disjoint else k_shortest_paths
+    cache: dict[tuple[Node, Node], list[Path]] = {}
+    for pair in od_pairs:
+        if pair not in cache:
+            cache[pair] = finder(network, pair[0], pair[1], k)
+    return cache

@@ -1,0 +1,233 @@
+"""JSON serialization for networks, jobs and schedules.
+
+The on-disk formats the CLI (:mod:`repro.cli`) speaks, designed to be
+hand-editable:
+
+Network::
+
+    {"wavelength_rate": 5.0, "name": "abilene",
+     "nodes": ["Seattle", ...],
+     "edges": [{"source": "Seattle", "target": "Denver",
+                "capacity": 4, "weight": 1.0}, ...]}
+
+Jobs::
+
+    {"jobs": [{"id": "hep-1", "source": "Chicago", "dest": "Sunnyvale",
+               "size": 60.0, "start": 0.0, "end": 4.0,
+               "arrival": 0.0}, ...]}
+
+Only JSON-native node/job identifiers (strings, integers, floats,
+booleans) round-trip; tuple node ids (e.g. grid coordinates) are
+rejected with a clear error.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from .core.scheduler import ScheduleResult
+from .errors import ValidationError
+from .network.graph import Network
+from .workload.jobs import Job, JobSet
+
+__all__ = [
+    "network_to_dict",
+    "network_from_dict",
+    "jobs_to_dict",
+    "jobs_from_dict",
+    "schedule_to_dict",
+    "simulation_to_dict",
+    "save_json",
+    "load_json",
+]
+
+_JSON_SCALARS = (str, int, float, bool)
+
+
+def _check_identifier(value: Any, what: str) -> Any:
+    if not isinstance(value, _JSON_SCALARS):
+        raise ValidationError(
+            f"{what} {value!r} is not JSON-serializable; use a string or number"
+        )
+    return value
+
+
+# ----------------------------------------------------------------------
+# Network
+# ----------------------------------------------------------------------
+def network_to_dict(network: Network) -> dict:
+    """Plain-dict form of a network (see module docstring for schema)."""
+    return {
+        "wavelength_rate": network.wavelength_rate,
+        "name": network.name,
+        "nodes": [_check_identifier(n, "node") for n in network.nodes],
+        "edges": [
+            {
+                "source": _check_identifier(e.source, "node"),
+                "target": _check_identifier(e.target, "node"),
+                "capacity": e.capacity,
+                "weight": e.weight,
+            }
+            for e in network.edges
+        ],
+    }
+
+
+def network_from_dict(data: dict) -> Network:
+    """Inverse of :func:`network_to_dict`; validates as it builds."""
+    try:
+        net = Network(
+            wavelength_rate=float(data.get("wavelength_rate", 1.0)),
+            name=str(data.get("name", "")),
+        )
+        for node in data.get("nodes", []):
+            net.add_node(node)
+        for edge in data["edges"]:
+            net.add_edge(
+                edge["source"],
+                edge["target"],
+                int(edge["capacity"]),
+                float(edge.get("weight", 1.0)),
+            )
+    except KeyError as exc:
+        raise ValidationError(f"network JSON missing field {exc}") from None
+    except TypeError as exc:
+        raise ValidationError(f"malformed network JSON: {exc}") from None
+    return net
+
+
+# ----------------------------------------------------------------------
+# Jobs
+# ----------------------------------------------------------------------
+def jobs_to_dict(jobs: JobSet) -> dict:
+    """Plain-dict form of a job set."""
+    out = []
+    for job in jobs:
+        record = {
+            "id": _check_identifier(job.id, "job id"),
+            "source": _check_identifier(job.source, "node"),
+            "dest": _check_identifier(job.dest, "node"),
+            "size": job.size,
+            "start": job.start,
+            "end": job.end,
+            "arrival": job.arrival,
+        }
+        if job.weight is not None:
+            record["weight"] = job.weight
+        out.append(record)
+    return {"jobs": out}
+
+
+def jobs_from_dict(data: dict) -> JobSet:
+    """Inverse of :func:`jobs_to_dict`; validates every job."""
+    try:
+        records = data["jobs"]
+    except (KeyError, TypeError):
+        raise ValidationError('jobs JSON must be {"jobs": [...]}') from None
+    jobs = JobSet()
+    for record in records:
+        try:
+            jobs.add(
+                Job(
+                    id=record["id"],
+                    source=record["source"],
+                    dest=record["dest"],
+                    size=float(record["size"]),
+                    start=float(record["start"]),
+                    end=float(record["end"]),
+                    arrival=(
+                        float(record["arrival"]) if "arrival" in record else None
+                    ),
+                    weight=(
+                        float(record["weight"]) if "weight" in record else None
+                    ),
+                )
+            )
+        except KeyError as exc:
+            raise ValidationError(f"job record missing field {exc}") from None
+    return jobs
+
+
+# ----------------------------------------------------------------------
+# Schedules
+# ----------------------------------------------------------------------
+def schedule_to_dict(result: ScheduleResult, which: str = "lpdar") -> dict:
+    """Exportable form of a scheduling outcome: metrics + grant list."""
+    z = result.job_throughputs(which)
+    return {
+        "algorithm": which,
+        "zstar": result.zstar,
+        "overloaded": result.overloaded,
+        "alpha": result.alpha,
+        "weighted_throughput": result.weighted_throughput(which),
+        "job_throughputs": {
+            str(job.id): float(z[i])
+            for i, job in enumerate(result.structure.jobs)
+        },
+        "grants": [
+            {
+                "job": _check_identifier(g.job_id, "job id"),
+                "path": [_check_identifier(n, "node") for n in g.path],
+                "slice": g.slice_index,
+                "interval": list(g.interval),
+                "wavelengths": g.wavelengths,
+            }
+            for g in result.grants(which)
+        ],
+    }
+
+
+def simulation_to_dict(result) -> dict:
+    """Exportable form of a finished simulation run.
+
+    Serializes the per-job lifecycle records and the full event log (as
+    ``type`` plus the event's fields), so a run can be archived and
+    re-analyzed without re-simulating.
+    """
+    from dataclasses import asdict
+
+    from .sim.simulator import SimulationResult
+
+    if not isinstance(result, SimulationResult):
+        raise ValidationError(
+            f"expected SimulationResult, got {type(result).__name__}"
+        )
+    return {
+        "horizon": result.horizon,
+        "records": [
+            {
+                "job": _check_identifier(rec.job.id, "job id"),
+                "status": rec.status,
+                "size": rec.job.size,
+                "remaining": rec.remaining,
+                "effective_end": rec.effective_end,
+                "completion_time": rec.completion_time,
+                "met_deadline": rec.met_deadline,
+            }
+            for rec in result.records
+        ],
+        "events": [
+            {"type": type(event).__name__, **asdict(event)}
+            for event in result.events
+        ],
+    }
+
+
+# ----------------------------------------------------------------------
+# Files
+# ----------------------------------------------------------------------
+def save_json(data: dict, path: str | Path) -> None:
+    """Write ``data`` as pretty-printed JSON."""
+    Path(path).write_text(json.dumps(data, indent=2) + "\n")
+
+
+def load_json(path: str | Path) -> dict:
+    """Read a JSON file, raising :class:`ValidationError` on bad syntax."""
+    try:
+        return json.loads(Path(path).read_text())
+    except FileNotFoundError:
+        raise ValidationError(f"no such file: {path}") from None
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"invalid JSON in {path}: {exc}") from None

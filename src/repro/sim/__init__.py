@@ -1,0 +1,35 @@
+"""Simulation substrate: the periodic controller loop and its metrics."""
+
+from .events import (
+    Event,
+    JobAdmitted,
+    JobArrived,
+    JobCompleted,
+    JobDeadlineExtended,
+    JobExpired,
+    JobProgress,
+    JobRejected,
+    JobSizeReduced,
+    SchedulingPass,
+)
+from .metrics import SimulationSummary, summarize
+from .simulator import AdmissionPolicy, JobRecord, Simulation, SimulationResult
+
+__all__ = [
+    "Simulation",
+    "SimulationResult",
+    "SimulationSummary",
+    "summarize",
+    "AdmissionPolicy",
+    "JobRecord",
+    "Event",
+    "JobArrived",
+    "JobAdmitted",
+    "JobRejected",
+    "JobSizeReduced",
+    "JobDeadlineExtended",
+    "SchedulingPass",
+    "JobProgress",
+    "JobCompleted",
+    "JobExpired",
+]

@@ -1,0 +1,112 @@
+"""Event records emitted by the periodic-scheduling simulator.
+
+The simulator keeps an append-only log of typed events; analysis code
+filters it by type.  Events are plain frozen dataclasses ordered by
+``time`` (ties keep insertion order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Event",
+    "JobArrived",
+    "JobAdmitted",
+    "JobRejected",
+    "JobSizeReduced",
+    "JobDeadlineExtended",
+    "SchedulingPass",
+    "JobProgress",
+    "JobCompleted",
+    "JobExpired",
+]
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base event: something happened at simulation ``time``."""
+
+    time: float
+
+
+@dataclass(frozen=True)
+class JobArrived(Event):
+    """A request reached the controller."""
+
+    job_id: int | str
+
+
+@dataclass(frozen=True)
+class JobAdmitted(Event):
+    """Admission control accepted the request."""
+
+    job_id: int | str
+
+
+@dataclass(frozen=True)
+class JobRejected(Event):
+    """Admission control turned the request away."""
+
+    job_id: int | str
+    reason: str
+
+
+@dataclass(frozen=True)
+class JobSizeReduced(Event):
+    """Overload re-negotiation shrank a job's guaranteed size (Remark 2)."""
+
+    job_id: int | str
+    original_size: float
+    guaranteed_size: float
+
+
+@dataclass(frozen=True)
+class JobDeadlineExtended(Event):
+    """RET stretched a job's end time by ``(1 + b)``."""
+
+    job_id: int | str
+    original_end: float
+    new_end: float
+
+
+@dataclass(frozen=True)
+class SchedulingPass(Event):
+    """One periodic AC/scheduling run at an epoch boundary ``k * tau``.
+
+    ``mean_utilization`` is the average wavelength occupancy of the
+    freshly computed schedule over its whole horizon (not just the
+    executed epoch) — the controller's own load gauge.
+    """
+
+    epoch: int
+    num_jobs: int
+    zstar: float
+    overloaded: bool
+    solve_seconds: float
+    mean_utilization: float = 0.0
+
+
+@dataclass(frozen=True)
+class JobProgress(Event):
+    """Volume delivered for a job during the epoch ending at ``time``."""
+
+    job_id: int | str
+    delivered: float
+    remaining: float
+
+
+@dataclass(frozen=True)
+class JobCompleted(Event):
+    """A job's full demand has been delivered."""
+
+    job_id: int | str
+    met_deadline: bool
+
+
+@dataclass(frozen=True)
+class JobExpired(Event):
+    """A job's window closed before its demand was delivered."""
+
+    job_id: int | str
+    remaining: float

@@ -1,0 +1,99 @@
+"""Aggregate statistics over a finished simulation run.
+
+These summarize a :class:`~repro.sim.simulator.SimulationResult` into the
+operator-facing numbers: acceptance/completion/deadline rates, response
+times, per-epoch load, and how much re-negotiation (size reduction or
+deadline extension) overload forced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .events import JobDeadlineExtended, SchedulingPass
+from .simulator import SimulationResult
+
+__all__ = ["SimulationSummary", "summarize"]
+
+
+@dataclass(frozen=True)
+class SimulationSummary:
+    """One-line-per-metric digest of a simulation run.
+
+    Attributes
+    ----------
+    num_jobs, num_completed, num_rejected, num_expired:
+        Lifecycle counts.
+    acceptance_rate, completion_rate, deadline_rate:
+        As on :class:`SimulationResult`.
+    delivered_volume, offered_volume:
+        Total volume moved vs. requested.
+    mean_response_time:
+        Mean (completion - arrival) over completed jobs; ``nan`` if none.
+    mean_lateness:
+        Mean ``max(0, completion - requested_end)`` over completed jobs.
+    num_deadline_extensions:
+        RET events emitted (``extend`` policy).
+    num_scheduling_passes, mean_solve_seconds:
+        Controller workload.
+    mean_zstar:
+        Average stage-1 throughput across passes (load indicator).
+    mean_utilization:
+        Average schedule-wide wavelength occupancy across passes.
+    """
+
+    num_jobs: int
+    num_completed: int
+    num_rejected: int
+    num_expired: int
+    acceptance_rate: float
+    completion_rate: float
+    deadline_rate: float
+    delivered_volume: float
+    offered_volume: float
+    mean_response_time: float
+    mean_lateness: float
+    num_deadline_extensions: int
+    num_scheduling_passes: int
+    mean_solve_seconds: float
+    mean_zstar: float
+    mean_utilization: float
+
+
+def summarize(result: SimulationResult) -> SimulationSummary:
+    """Compute a :class:`SimulationSummary` from a finished run."""
+    completed = result.by_status("completed")
+    response = [r.completion_time - r.job.arrival for r in completed]
+    lateness = [max(0.0, r.completion_time - r.job.end) for r in completed]
+    passes = [e for e in result.events if isinstance(e, SchedulingPass)]
+    extensions = [e for e in result.events if isinstance(e, JobDeadlineExtended)]
+    return SimulationSummary(
+        num_jobs=len(result.records),
+        num_completed=len(completed),
+        num_rejected=result.num_rejected,
+        num_expired=len(result.by_status("expired")),
+        acceptance_rate=result.acceptance_rate,
+        completion_rate=result.completion_rate,
+        deadline_rate=result.deadline_rate,
+        delivered_volume=result.delivered_volume,
+        offered_volume=float(sum(r.job.size for r in result.records)),
+        mean_response_time=float(np.mean(response)) if response else float("nan"),
+        mean_lateness=float(np.mean(lateness)) if lateness else float("nan"),
+        num_deadline_extensions=len(extensions),
+        num_scheduling_passes=len(passes),
+        mean_solve_seconds=(
+            float(np.mean([p.solve_seconds for p in passes]))
+            if passes
+            else float("nan")
+        ),
+        mean_zstar=(
+            float(np.mean([p.zstar for p in passes])) if passes else float("nan")
+        ),
+        mean_utilization=(
+            float(np.mean([p.mean_utilization for p in passes]))
+            if passes
+            else float("nan")
+        ),
+    )

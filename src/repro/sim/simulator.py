@@ -1,0 +1,454 @@
+"""Periodic AC/scheduling simulator (the paper's system framework).
+
+Section II-A: a network controller wakes up every ``tau`` time units,
+collects the requests that arrived since the previous epoch, makes an
+admission decision, and (re)schedules *all* unfinished jobs over the
+future time slices.  Between epochs the network executes the current
+schedule; jobs accumulate delivered volume slice by slice.
+
+This module simulates that loop end to end.  Three admission policies
+mirror the paper's three overload actions:
+
+* ``"reject"`` — footnote 1: keep previously admitted jobs, admit the
+  longest feasible prefix of the new ones, reject the rest.
+* ``"reduce"`` — Section II-B: admit everything; in overload, jobs
+  simply receive their stage-2 share ``Z_i`` of service (equivalently,
+  sizes are renegotiated down).
+* ``"extend"`` — Section II-C: admit everything; in overload, stretch
+  every end time by the smallest completing ``(1 + b)`` via Algorithm 2.
+
+Rescheduling every epoch is what lets the controller exploit
+time-varying, multipath assignments — the framework whose benefit the
+paper's earlier companion papers quantified.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field, replace
+from typing import Literal
+
+import numpy as np
+
+from ..errors import ScheduleError, ValidationError
+from ..network.graph import Network
+from ..network.paths import build_path_sets
+from ..timegrid import TimeGrid
+from ..workload.jobs import Job, JobSet
+from ..core.admission import admit_greedy, admit_max_prefix, by_arrival
+from ..core.metrics import mean_link_utilization, per_slice_delivery
+from ..core.ret import solve_ret
+from ..core.scheduler import Scheduler
+from .events import (
+    Event,
+    JobAdmitted,
+    JobArrived,
+    JobCompleted,
+    JobDeadlineExtended,
+    JobExpired,
+    JobProgress,
+    JobRejected,
+    SchedulingPass,
+)
+
+__all__ = ["AdmissionPolicy", "JobRecord", "SimulationResult", "Simulation"]
+
+AdmissionPolicy = Literal["reject", "reduce", "extend"]
+
+_VOLUME_TOL = 1e-6
+
+
+@dataclass
+class JobRecord:
+    """Lifecycle bookkeeping for one request.
+
+    Attributes
+    ----------
+    job:
+        The original request (sizes/windows as submitted).
+    effective_end:
+        Current deadline (grows only under the ``extend`` policy).
+    remaining:
+        Undelivered volume, in the job's own units.
+    status:
+        ``pending`` -> ``active`` -> ``completed`` | ``expired``, or
+        ``rejected``.
+    completion_time:
+        When the last byte landed (slice end), if completed.
+    """
+
+    job: Job
+    effective_end: float
+    remaining: float
+    status: str = "pending"
+    completion_time: float | None = None
+
+    @property
+    def met_deadline(self) -> bool:
+        """Completed within the *originally requested* end time."""
+        return (
+            self.status == "completed"
+            and self.completion_time is not None
+            and self.completion_time <= self.job.end + 1e-9
+        )
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Final state of a simulation run.
+
+    Attributes
+    ----------
+    records:
+        One :class:`JobRecord` per submitted request, submission order.
+    events:
+        The full event log, time ordered.
+    horizon:
+        The simulated time span.
+    """
+
+    records: tuple[JobRecord, ...]
+    events: tuple[Event, ...]
+    horizon: float
+    #: Per-epoch (epoch_index, ScheduleResult) pairs; empty unless the
+    #: simulation was built with ``keep_schedules=True``.
+    schedules: tuple = ()
+
+    def by_status(self, status: str) -> list[JobRecord]:
+        """Records with the given lifecycle status."""
+        return [r for r in self.records if r.status == status]
+
+    @property
+    def num_completed(self) -> int:
+        return len(self.by_status("completed"))
+
+    @property
+    def num_rejected(self) -> int:
+        return len(self.by_status("rejected"))
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Admitted share of all submitted requests."""
+        considered = [r for r in self.records if r.status != "pending"]
+        if not considered:
+            return float("nan")
+        return 1.0 - len(self.by_status("rejected")) / len(considered)
+
+    @property
+    def completion_rate(self) -> float:
+        """Completed share of admitted (non-rejected) requests."""
+        admitted = [r for r in self.records if r.status not in ("rejected", "pending")]
+        if not admitted:
+            return float("nan")
+        return self.num_completed / len(admitted)
+
+    @property
+    def deadline_rate(self) -> float:
+        """Share of admitted requests finished by their *original* deadline."""
+        admitted = [r for r in self.records if r.status not in ("rejected", "pending")]
+        if not admitted:
+            return float("nan")
+        return sum(r.met_deadline for r in admitted) / len(admitted)
+
+    @property
+    def delivered_volume(self) -> float:
+        """Total volume delivered across all jobs."""
+        return sum(r.job.size - r.remaining for r in self.records)
+
+
+class Simulation:
+    """Discrete-time simulation of the periodic controller loop.
+
+    Parameters
+    ----------
+    network:
+        The wavelength-switched network under control.
+    tau:
+        Scheduling period; must be a positive multiple of
+        ``slice_length`` so epochs align with slice boundaries.
+    slice_length:
+        Slice granularity of the schedules.
+    policy:
+        Overload action: ``"reject"``, ``"reduce"`` or ``"extend"``.
+    k_paths, alpha:
+        Forwarded to the :class:`~repro.core.scheduler.Scheduler`.
+    ret_b_max, ret_delta:
+        Algorithm-2 parameters for the ``extend`` policy.
+    rejection:
+        Which admission algorithm the ``reject`` policy runs:
+        ``"prefix"`` (footnote 1's binary search) or ``"greedy"`` (the
+        non-prefix variant, which skips misfits instead of cutting the
+        whole tail).
+    keep_schedules:
+        Retain every epoch's full :class:`~repro.core.scheduler.ScheduleResult`
+        on the result (``schedules`` attribute) for post-hoc analysis,
+        e.g. reconfiguration churn.  Off by default (memory).
+    capacity_profile:
+        Optional :class:`~repro.network.capacity.CapacityProfile` in
+        *absolute* time: maintenance windows and background load the
+        online controller must schedule around.  Re-based onto each
+        epoch's grid automatically; slices past the profile's horizon
+        fall back to installed capacity.  Applies to the scheduling
+        passes; the ``extend`` policy's RET extension search does not
+        see it (the resulting schedule still honours it).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        tau: float = 1.0,
+        slice_length: float = 1.0,
+        policy: AdmissionPolicy = "reduce",
+        k_paths: int = 4,
+        alpha: float = 0.1,
+        ret_b_max: float = 10.0,
+        ret_delta: float = 0.1,
+        rejection: str = "prefix",
+        keep_schedules: bool = False,
+        capacity_profile=None,
+    ) -> None:
+        if tau <= 0 or slice_length <= 0:
+            raise ValidationError("tau and slice_length must be positive")
+        ratio = tau / slice_length
+        if abs(ratio - round(ratio)) > 1e-9 or round(ratio) < 1:
+            raise ValidationError(
+                f"tau ({tau}) must be a positive multiple of slice_length "
+                f"({slice_length}) so epochs align with slice boundaries"
+            )
+        if policy not in ("reject", "reduce", "extend"):
+            raise ValidationError(f"unknown policy {policy!r}")
+        if rejection not in ("prefix", "greedy"):
+            raise ValidationError(f"unknown rejection variant {rejection!r}")
+        self.rejection = rejection
+        self.network = network
+        self.tau = float(tau)
+        self.slice_length = float(slice_length)
+        self.slices_per_epoch = int(round(ratio))
+        self.policy: AdmissionPolicy = policy
+        self.k_paths = k_paths
+        self.alpha = alpha
+        self.ret_b_max = ret_b_max
+        self.ret_delta = ret_delta
+        self.keep_schedules = keep_schedules
+        if capacity_profile is not None and capacity_profile.network is not network:
+            raise ValidationError(
+                "capacity profile was built for a different network"
+            )
+        self.capacity_profile = capacity_profile
+
+    # ------------------------------------------------------------------
+    def run(self, jobs: JobSet, horizon: float | None = None) -> SimulationResult:
+        """Simulate until every job is resolved or ``horizon`` is reached."""
+        if len(jobs) == 0:
+            raise ValidationError("cannot simulate an empty job set")
+        if horizon is None:
+            # Generous default: latest deadline plus full RET headroom.
+            horizon = (1.0 + self.ret_b_max) * jobs.max_end()
+        records = {j.id: JobRecord(j, j.end, j.size) for j in jobs}
+        order = [j.id for j in jobs]
+        events: list[Event] = []
+        kept_schedules: list = []
+        scheduler = Scheduler(
+            self.network,
+            k_paths=self.k_paths,
+            alpha=self.alpha,
+            slice_length=self.slice_length,
+        )
+        path_sets = build_path_sets(
+            self.network, jobs.od_pairs(), self.k_paths
+        )
+
+        epoch = 0
+        now = 0.0
+        unseen = sorted(jobs, key=lambda j: (j.arrival, str(j.id)))
+        while now < horizon - 1e-9:
+            # 1. Collect arrivals up to this epoch.
+            while unseen and unseen[0].arrival <= now + 1e-9:
+                job = unseen.pop(0)
+                events.append(JobArrived(now, job.id))
+                records[job.id].status = "active"
+
+            # 2. Expire active jobs whose window can no longer fit a slice.
+            self._expire_stale(records, now, events)
+
+            # 3. Residual instance over future time.
+            residual = self._residual_jobs(records, now)
+            if residual is None:
+                if not unseen:
+                    break  # nothing active, nothing to come
+                now = self._advance_to(unseen[0].arrival)
+                epoch = int(round(now / self.tau))
+                continue
+
+            # 4. Admission control + scheduling.
+            t0 = _time.perf_counter()
+            residual = self._apply_policy(residual, records, now, events)
+            if residual is None:
+                now += self.tau
+                epoch += 1
+                continue
+            grid = TimeGrid.covering(
+                max(residual.max_end(), now + self.tau), self.slice_length, start=now
+            )
+            profile = (
+                self.capacity_profile.for_grid(grid)
+                if self.capacity_profile is not None
+                else None
+            )
+            result = scheduler.schedule(residual, grid, capacity_profile=profile)
+            events.append(
+                SchedulingPass(
+                    now,
+                    epoch,
+                    len(residual),
+                    result.zstar,
+                    result.overloaded,
+                    _time.perf_counter() - t0,
+                    mean_link_utilization(result.structure, result.x),
+                )
+            )
+
+            if self.keep_schedules:
+                kept_schedules.append((epoch, result))
+
+            # 5. Execute the first tau worth of slices.
+            self._execute(result, records, now, events)
+            now += self.tau
+            epoch += 1
+
+        self._expire_stale(records, horizon, events, final=True)
+        return SimulationResult(
+            records=tuple(records[i] for i in order),
+            events=tuple(events),
+            horizon=float(horizon),
+            schedules=tuple(kept_schedules),
+        )
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _advance_to(self, t: float) -> float:
+        """Next epoch boundary at or after ``t``."""
+        return np.ceil(t / self.tau - 1e-9) * self.tau
+
+    def _residual_jobs(self, records: dict, now: float) -> JobSet | None:
+        """Unfinished admitted jobs, re-windowed to start at ``now``."""
+        out = []
+        for rec in records.values():
+            if rec.status != "active":
+                continue
+            start = max(rec.job.start, now)
+            if rec.effective_end - start < self.slice_length - 1e-9:
+                continue  # expiry pass will catch it
+            out.append(
+                replace(
+                    rec.job,
+                    size=rec.remaining,
+                    start=start,
+                    end=rec.effective_end,
+                    arrival=min(rec.job.arrival, start),
+                )
+            )
+        return JobSet(out) if out else None
+
+    def _expire_stale(
+        self, records: dict, now: float, events: list, final: bool = False
+    ) -> None:
+        for rec in records.values():
+            if rec.status != "active":
+                continue
+            window_left = rec.effective_end - max(rec.job.start, now)
+            if final or window_left < self.slice_length - 1e-9:
+                rec.status = "expired"
+                events.append(JobExpired(now, rec.job.id, rec.remaining))
+
+    def _apply_policy(
+        self, residual: JobSet, records: dict, now: float, events: list
+    ) -> JobSet | None:
+        """Admission action; may reject jobs or extend deadlines in place."""
+        if self.policy == "reduce":
+            return residual
+
+        if self.policy == "reject":
+            grid = TimeGrid.covering(
+                max(residual.max_end(), now + self.tau), self.slice_length, start=now
+            )
+            admit = admit_greedy if self.rejection == "greedy" else admit_max_prefix
+            decision = admit(
+                self.network,
+                residual,
+                grid,
+                self.k_paths,
+                threshold=1.0,
+                key=by_arrival,
+            )
+            for job in decision.rejected:
+                rec = records[job.id]
+                # Never evict a job that already received service; it
+                # simply stays admitted (best-effort) this epoch.
+                if rec.remaining < rec.job.size - _VOLUME_TOL:
+                    continue
+                rec.status = "rejected"
+                events.append(
+                    JobRejected(now, job.id, "insufficient capacity (Z* < 1)")
+                )
+            admitted = [j for j in residual if records[j.id].status == "active"]
+            return JobSet(admitted) if admitted else None
+
+        # policy == "extend": stretch deadlines only when overloaded.
+        try:
+            ret = solve_ret(
+                self.network,
+                residual,
+                slice_length=self.slice_length,
+                k_paths=self.k_paths,
+                b_max=self.ret_b_max,
+                delta=self.ret_delta,
+            )
+        except ScheduleError:
+            return residual  # run best-effort; expiry will record the loss
+        if ret.b_final > 0:
+            out = []
+            for job in residual:
+                rec = records[job.id]
+                new_end = (1.0 + ret.b_final) * job.end
+                if new_end > rec.effective_end + 1e-9:
+                    events.append(
+                        JobDeadlineExtended(now, job.id, rec.effective_end, new_end)
+                    )
+                    rec.effective_end = new_end
+                out.append(replace(job, end=new_end))
+            return JobSet(out)
+        return residual
+
+    def _execute(self, result, records: dict, now: float, events: list) -> None:
+        """Deliver the first epoch's slices of the freshly computed schedule."""
+        structure = result.structure
+        delivery = per_slice_delivery(structure, result.x)
+        grid = structure.grid
+        executed = [
+            j
+            for j in range(grid.num_slices)
+            if grid.slice_start(j) < now + self.tau - 1e-9
+        ]
+        if not executed:
+            return
+        rate = self.network.wavelength_rate
+        for i, job in enumerate(structure.jobs):
+            rec = records[job.id]
+            volume = float(delivery[i, executed].sum()) * rate
+            if volume <= _VOLUME_TOL:
+                continue
+            volume = min(volume, rec.remaining)
+            rec.remaining -= volume
+            events.append(JobProgress(now + self.tau, job.id, volume, rec.remaining))
+            if rec.remaining <= _VOLUME_TOL * max(rec.job.size, 1.0):
+                rec.remaining = 0.0
+                rec.status = "completed"
+                # Completion lands at the end of the last executed slice
+                # that actually carried volume for this job.
+                carrying = [j for j in executed if delivery[i, j] > 0]
+                rec.completion_time = grid.slice_end(carrying[-1])
+                events.append(
+                    JobCompleted(rec.completion_time, job.id, rec.met_deadline)
+                )

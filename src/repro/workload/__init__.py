@@ -1,0 +1,25 @@
+"""Workload substrate: job requests, random generators, e-science traces."""
+
+from .generator import (
+    WorkloadConfig,
+    WorkloadGenerator,
+    diurnal_arrivals,
+    poisson_arrivals,
+)
+from .jobs import Job, JobSet
+from .trace_io import jobs_from_csv, jobs_to_csv
+from .traces import climate_ensemble_trace, hep_tier_trace, mixed_escience_trace
+
+__all__ = [
+    "Job",
+    "JobSet",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "poisson_arrivals",
+    "diurnal_arrivals",
+    "hep_tier_trace",
+    "climate_ensemble_trace",
+    "mixed_escience_trace",
+    "jobs_to_csv",
+    "jobs_from_csv",
+]

@@ -1,0 +1,115 @@
+"""CSV import/export for job traces.
+
+Request logs from real reservation systems usually arrive as flat
+tables; this module reads and writes the obvious CSV schema::
+
+    id,source,dest,size,start,end,arrival,weight
+    hep-1,Chicago,Sunnyvale,60.0,0.0,4.0,0.0,
+    7,NodeA,NodeB,12.5,1.0,3.0,0.5,2.0
+
+``arrival`` and ``weight`` may be left empty (defaults: arrival =
+start; weight = None).  Node and job identifiers are read as strings;
+pass ``coerce_numeric=True`` to convert purely numeric identifiers to
+``int`` (useful for the synthetic topologies whose nodes are integers).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from ..errors import ValidationError
+from .jobs import Job, JobSet
+
+__all__ = ["jobs_to_csv", "jobs_from_csv", "CSV_FIELDS"]
+
+CSV_FIELDS = ("id", "source", "dest", "size", "start", "end", "arrival", "weight")
+
+
+def jobs_to_csv(jobs: JobSet, path: str | Path) -> None:
+    """Write a job set as CSV (schema in the module docstring)."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(CSV_FIELDS)
+        for job in jobs:
+            writer.writerow(
+                [
+                    job.id,
+                    job.source,
+                    job.dest,
+                    repr(job.size),
+                    repr(job.start),
+                    repr(job.end),
+                    repr(job.arrival),
+                    "" if job.weight is None else repr(job.weight),
+                ]
+            )
+
+
+def _identifier(token: str, coerce_numeric: bool):
+    if coerce_numeric:
+        try:
+            return int(token)
+        except ValueError:
+            pass
+    return token
+
+
+def jobs_from_csv(path: str | Path, coerce_numeric: bool = False) -> JobSet:
+    """Read a job set from CSV, validating every row.
+
+    Raises :class:`ValidationError` with the offending line number on
+    malformed input (missing columns, unparsable numbers, or any Job
+    validation failure).
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ValidationError(f"no such file: {path}")
+    jobs = JobSet()
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValidationError(f"{path}: empty file") from None
+        header = [h.strip().lower() for h in header]
+        missing = [f for f in CSV_FIELDS[:6] if f not in header]
+        if missing:
+            raise ValidationError(
+                f"{path}: header is missing required columns {missing}"
+            )
+        index = {name: header.index(name) for name in header}
+
+        def cell(row, name):
+            i = index.get(name)
+            if i is None or i >= len(row):
+                return ""
+            return row[i].strip()
+
+        for lineno, row in enumerate(reader, start=2):
+            if not row or all(not c.strip() for c in row):
+                continue
+            try:
+                arrival_token = cell(row, "arrival")
+                weight_token = cell(row, "weight")
+                jobs.add(
+                    Job(
+                        id=_identifier(cell(row, "id"), coerce_numeric),
+                        source=_identifier(cell(row, "source"), coerce_numeric),
+                        dest=_identifier(cell(row, "dest"), coerce_numeric),
+                        size=float(cell(row, "size")),
+                        start=float(cell(row, "start")),
+                        end=float(cell(row, "end")),
+                        arrival=float(arrival_token) if arrival_token else None,
+                        weight=float(weight_token) if weight_token else None,
+                    )
+                )
+            except ValidationError as exc:
+                raise ValidationError(f"{path}:{lineno}: {exc}") from None
+            except ValueError as exc:
+                raise ValidationError(
+                    f"{path}:{lineno}: unparsable number ({exc})"
+                ) from None
+    if len(jobs) == 0:
+        raise ValidationError(f"{path}: no job rows")
+    return jobs

@@ -1,0 +1,59 @@
+"""Shared fixtures: small hand-checkable instances used across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Job, JobSet, ProblemStructure, TimeGrid
+from repro.network import topologies
+
+
+@pytest.fixture
+def line3():
+    """0 - 1 - 2 line, 2 wavelengths per link, unit rate."""
+    return topologies.line(3, capacity=2, wavelength_rate=1.0)
+
+
+@pytest.fixture
+def diamond():
+    """Two disjoint 2-hop paths from 0 to 3 (via 1 and via 2), cap 1.
+
+    The canonical multipath instance: a 0->3 job can use both paths
+    simultaneously for 2 wavelengths of aggregate rate.
+    """
+    from repro import Network
+
+    net = Network(wavelength_rate=1.0, name="diamond")
+    net.add_link_pair(0, 1, 1)
+    net.add_link_pair(1, 3, 1)
+    net.add_link_pair(0, 2, 1)
+    net.add_link_pair(2, 3, 1)
+    return net
+
+
+@pytest.fixture
+def grid4():
+    """Uniform 4-slice grid of unit slices."""
+    return TimeGrid.uniform(4)
+
+
+@pytest.fixture
+def line3_jobs():
+    """Two opposing transfers on the line, each saturating at Z = 2."""
+    return JobSet(
+        [
+            Job(id=0, source=0, dest=2, size=4.0, start=0.0, end=4.0),
+            Job(id=1, source=2, dest=0, size=3.0, start=0.0, end=3.0),
+        ]
+    )
+
+
+@pytest.fixture
+def line3_structure(line3, line3_jobs, grid4):
+    return ProblemStructure(line3, line3_jobs, grid4, k_paths=2)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)

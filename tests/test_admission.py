@@ -1,0 +1,147 @@
+"""Unit tests for admission control (footnote-1 prefix rejection)."""
+
+import pytest
+
+from repro import (
+    Job,
+    JobSet,
+    Network,
+    TimeGrid,
+    ValidationError,
+    admit_max_prefix,
+)
+from repro.core.admission import (
+    by_arrival,
+    by_laxity,
+    by_size_ascending,
+    by_size_descending,
+)
+from repro.network import topologies
+
+
+class TestSequencingKeys:
+    @pytest.fixture
+    def jobs(self):
+        return [
+            Job(id="a", source=0, dest=1, size=10.0, start=2.0, end=4.0, arrival=1.0),
+            Job(id="b", source=0, dest=1, size=2.0, start=0.0, end=4.0, arrival=0.0),
+            Job(id="c", source=0, dest=1, size=6.0, start=0.5, end=3.5, arrival=0.5),
+        ]
+
+    def test_by_arrival(self, jobs):
+        assert [j.id for j in sorted(jobs, key=by_arrival)] == ["b", "c", "a"]
+
+    def test_by_size_descending(self, jobs):
+        assert [j.id for j in sorted(jobs, key=by_size_descending)] == ["a", "c", "b"]
+
+    def test_by_size_ascending(self, jobs):
+        assert [j.id for j in sorted(jobs, key=by_size_ascending)] == ["b", "c", "a"]
+
+    def test_by_laxity(self, jobs):
+        # duration/size: a=0.2, b=2.0, c=0.5 -> a first (tightest).
+        assert [j.id for j in sorted(jobs, key=by_laxity)] == ["a", "c", "b"]
+
+    def test_ties_break_deterministically(self):
+        twins = [
+            Job(id="y", source=0, dest=1, size=1.0, start=0.0, end=1.0),
+            Job(id="x", source=0, dest=1, size=1.0, start=0.0, end=1.0),
+        ]
+        assert [j.id for j in sorted(twins, key=by_arrival)] == ["x", "y"]
+
+
+class TestAdmitMaxPrefix:
+    @pytest.fixture
+    def net(self):
+        return topologies.line(2, capacity=2)  # single link pair, cap 2
+
+    def test_all_admitted_when_underloaded(self, net):
+        jobs = JobSet(
+            [Job(id=i, source=0, dest=1, size=1.0, start=0.0, end=4.0) for i in range(3)]
+        )
+        d = admit_max_prefix(net, jobs, TimeGrid.uniform(4))
+        assert d.num_admitted == 3
+        assert d.num_rejected == 0
+        assert d.zstar >= 1.0
+
+    def test_overload_rejects_suffix(self, net):
+        """Capacity 2 * 2 slices = 4 volume; each job needs 3."""
+        jobs = JobSet(
+            [
+                Job(id=i, source=0, dest=1, size=3.0, start=0.0, end=2.0, arrival=float(i) - 10.0)
+                for i in range(3)
+            ]
+        )
+        d = admit_max_prefix(net, jobs, TimeGrid.uniform(2), key=by_arrival)
+        assert d.num_admitted == 1
+        assert [j.id for j in d.admitted] == [0]
+        assert {j.id for j in d.rejected} == {1, 2}
+        assert d.zstar >= 1.0
+
+    def test_everything_rejected_when_nothing_fits(self, net):
+        jobs = JobSet(
+            [Job(id=0, source=0, dest=1, size=100.0, start=0.0, end=2.0)]
+        )
+        d = admit_max_prefix(net, jobs, TimeGrid.uniform(2))
+        assert d.num_admitted == 0
+        assert d.zstar == float("inf")  # vacuous
+
+    def test_ordering_changes_outcome(self, net):
+        """Small-first admits two jobs where large-first admits one."""
+        jobs = JobSet(
+            [
+                Job(id="big", source=0, dest=1, size=4.0, start=0.0, end=2.0),
+                Job(id="s1", source=0, dest=1, size=2.0, start=0.0, end=2.0),
+                Job(id="s2", source=0, dest=1, size=2.0, start=0.0, end=2.0),
+            ]
+        )
+        grid = TimeGrid.uniform(2)
+        small_first = admit_max_prefix(net, jobs, grid, key=by_size_ascending)
+        big_first = admit_max_prefix(net, jobs, grid, key=by_size_descending)
+        assert {j.id for j in small_first.admitted} == {"s1", "s2"}
+        assert {j.id for j in big_first.admitted} == {"big"}
+
+    def test_unschedulable_jobs_rejected_outright(self):
+        net = Network()
+        net.add_link_pair(0, 1, 2)
+        net.add_node(9)  # isolated
+        jobs = JobSet(
+            [
+                Job(id="ok", source=0, dest=1, size=1.0, start=0.0, end=2.0),
+                Job(id="nopath", source=0, dest=9, size=1.0, start=0.0, end=2.0),
+                Job(id="noslice", source=0, dest=1, size=1.0, start=0.2, end=0.8),
+            ]
+        )
+        d = admit_max_prefix(net, jobs, TimeGrid.uniform(2))
+        assert {j.id for j in d.admitted} == {"ok"}
+        assert {j.id for j in d.rejected} == {"nopath", "noslice"}
+
+    def test_custom_threshold(self, net):
+        """Lower thresholds admit more (partial service acceptable)."""
+        jobs = JobSet(
+            [
+                Job(id=i, source=0, dest=1, size=3.0, start=0.0, end=2.0, arrival=float(i) - 10.0)
+                for i in range(3)
+            ]
+        )
+        grid = TimeGrid.uniform(2)
+        strict = admit_max_prefix(net, jobs, grid, threshold=1.0)
+        loose = admit_max_prefix(net, jobs, grid, threshold=0.5)
+        assert loose.num_admitted > strict.num_admitted
+
+    def test_threshold_validation(self, net):
+        jobs = JobSet([Job(id=0, source=0, dest=1, size=1.0, start=0.0, end=2.0)])
+        with pytest.raises(ValidationError):
+            admit_max_prefix(net, jobs, TimeGrid.uniform(2), threshold=0.0)
+
+    def test_prefix_property(self, net):
+        """Admitted set is always a prefix of the ordered sequence."""
+        jobs = JobSet(
+            [
+                Job(id=i, source=0, dest=1, size=2.0, start=0.0, end=2.0, arrival=float(i) - 10.0)
+                for i in range(4)
+            ]
+        )
+        d = admit_max_prefix(net, jobs, TimeGrid.uniform(2), key=by_arrival)
+        admitted_ids = [j.id for j in d.admitted]
+        assert admitted_ids == sorted(admitted_ids)
+        assert admitted_ids == list(range(len(admitted_ids)))

@@ -1,0 +1,187 @@
+"""Unit tests for the related-work baseline schedulers."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Job,
+    JobSet,
+    TimeGrid,
+    ValidationError,
+    average_rate_reservation,
+    malleable_reservation,
+)
+from repro.network import topologies
+from repro.network.capacity import CapacityProfile
+
+
+@pytest.fixture
+def net():
+    return topologies.line(3, capacity=2, wavelength_rate=1.0)
+
+
+@pytest.fixture
+def grid():
+    return TimeGrid.uniform(4)
+
+
+class TestMalleableReservation:
+    def test_single_job_admitted(self, net, grid):
+        jobs = JobSet([Job(id=0, source=0, dest=2, size=4.0, start=0.0, end=4.0)])
+        result = malleable_reservation(net, jobs, grid)
+        assert result.num_admitted == 1
+        grant = result.grants[0]
+        assert grant.wavelengths * grant.num_slices >= 4
+
+    def test_prefers_earliest_finish(self, net, grid):
+        """A 2-volume job on an empty network should finish on slice 0."""
+        jobs = JobSet([Job(id=0, source=0, dest=2, size=2.0, start=0.0, end=4.0)])
+        result = malleable_reservation(net, jobs, grid)
+        grant = result.grants[0]
+        assert grant.first_slice == 0
+        assert grant.last_slice == 0
+        assert grant.wavelengths == 2
+
+    def test_fcfs_blocks_later_jobs(self, net, grid):
+        """Unlike the LP framework, earlier reservations are never moved."""
+        jobs = JobSet(
+            [
+                Job(id="first", source=0, dest=2, size=2.0, start=0.0, end=4.0,
+                    arrival=-2.0),
+                Job(id="second", source=0, dest=2, size=8.0, start=0.0, end=4.0,
+                    arrival=-1.0),
+            ]
+        )
+        result = malleable_reservation(net, jobs, grid)
+        admitted = {g.job_id for g in result.grants}
+        # "first" grabs slice 0; "second" needs all 4 slices x 2 wavelengths.
+        assert "first" in admitted
+        assert "second" not in admitted
+
+    def test_loads_respect_capacity(self, net, grid):
+        jobs = JobSet(
+            [
+                Job(id=i, source=0, dest=2, size=3.0, start=0.0, end=4.0)
+                for i in range(4)
+            ]
+        )
+        result = malleable_reservation(net, jobs, grid)
+        caps = np.repeat(net.capacities()[:, None], 4, axis=1)
+        assert np.all(result.loads <= caps)
+        assert np.all(result.loads >= 0)
+
+    def test_unroutable_job_rejected(self, grid):
+        from repro import Network
+
+        net = Network()
+        net.add_link_pair(0, 1, 2)
+        net.add_node(9)
+        jobs = JobSet([Job(id=0, source=0, dest=9, size=1.0, start=0.0, end=4.0)])
+        result = malleable_reservation(net, jobs, grid)
+        assert result.num_rejected == 1
+
+    def test_window_outside_grid_rejected(self, net, grid):
+        jobs = JobSet([Job(id=0, source=0, dest=2, size=1.0, start=0.1, end=0.9)])
+        result = malleable_reservation(net, jobs, grid)
+        assert result.num_rejected == 1
+
+    def test_multipath_fallback(self, diamond, grid):
+        """If the first path is full, the next k-shortest path is tried."""
+        jobs = JobSet(
+            [
+                Job(id=0, source=0, dest=3, size=4.0, start=0.0, end=4.0),
+                Job(id=1, source=0, dest=3, size=4.0, start=0.0, end=4.0),
+            ]
+        )
+        result = malleable_reservation(diamond, jobs, grid, k_paths=2)
+        assert result.num_admitted == 2
+        paths = {g.path.nodes for g in result.grants}
+        assert len(paths) == 2  # forced onto disjoint paths
+
+    def test_capacity_profile_respected(self, net, grid):
+        prof = CapacityProfile.with_maintenance(net, grid, [(0, 1, 0.0, 4.0, 0)])
+        jobs = JobSet([Job(id=0, source=0, dest=2, size=1.0, start=0.0, end=4.0)])
+        result = malleable_reservation(net, jobs, grid, capacity_profile=prof)
+        assert result.num_rejected == 1
+
+    def test_completion_slice(self, net, grid):
+        jobs = JobSet([Job(id=0, source=0, dest=2, size=4.0, start=0.0, end=4.0)])
+        result = malleable_reservation(net, jobs, grid)
+        k = result.completion_slice(jobs[0], net.wavelength_rate)
+        grant = result.grants[0]
+        assert grant.first_slice <= k <= grant.last_slice
+
+    def test_completion_slice_unadmitted_raises(self, net, grid):
+        jobs = JobSet([Job(id=0, source=0, dest=2, size=400.0, start=0.0, end=4.0)])
+        result = malleable_reservation(net, jobs, grid)
+        with pytest.raises(ValidationError):
+            result.completion_slice(jobs[0], net.wavelength_rate)
+
+    def test_acceptance_and_volume(self, net, grid):
+        jobs = JobSet(
+            [
+                Job(id=0, source=0, dest=2, size=4.0, start=0.0, end=4.0),
+                Job(id=1, source=0, dest=2, size=400.0, start=0.0, end=4.0),
+            ]
+        )
+        result = malleable_reservation(net, jobs, grid)
+        assert result.acceptance_rate() == pytest.approx(0.5)
+        assert result.delivered_volume(jobs, net.wavelength_rate) == pytest.approx(4.0)
+
+
+class TestAverageRateReservation:
+    def test_reserves_whole_window(self, net, grid):
+        jobs = JobSet([Job(id=0, source=0, dest=2, size=4.0, start=0.0, end=4.0)])
+        result = average_rate_reservation(net, jobs, grid)
+        grant = result.grants[0]
+        assert (grant.first_slice, grant.last_slice) == (0, 3)
+        assert grant.wavelengths == 1  # ceil(4 / 4)
+
+    def test_ceil_rounds_up(self, net, grid):
+        jobs = JobSet([Job(id=0, source=0, dest=2, size=5.0, start=0.0, end=4.0)])
+        result = average_rate_reservation(net, jobs, grid)
+        assert result.grants[0].wavelengths == 2
+
+    def test_single_path_only(self, diamond, grid):
+        """No multipath: two whole-window jobs oversubscribe one path."""
+        jobs = JobSet(
+            [
+                Job(id=0, source=0, dest=3, size=4.0, start=0.0, end=4.0),
+                Job(id=1, source=0, dest=3, size=4.0, start=0.0, end=4.0),
+            ]
+        )
+        result = average_rate_reservation(diamond, jobs, grid)
+        # Shortest path has capacity 1 per slice; job 0 takes it all.
+        assert result.num_admitted == 1
+
+    def test_wastes_capacity_vs_malleable(self, net, grid):
+        """Average-rate blocks the whole window even for a short burst,
+        so a workload malleable reservations can pack gets rejections."""
+        jobs = JobSet(
+            [
+                Job(id=i, source=0, dest=2, size=2.0, start=0.0, end=4.0,
+                    arrival=float(i) - 10.0)
+                for i in range(8)
+            ]
+        )
+        avg = average_rate_reservation(net, jobs, grid)
+        mall = malleable_reservation(net, jobs, grid)
+        assert mall.num_admitted >= avg.num_admitted
+        assert mall.num_admitted == 4  # 4 slices x 2 wavelengths / 2 each
+
+    def test_loads_respect_capacity(self, net, grid):
+        jobs = JobSet(
+            [
+                Job(id=i, source=0, dest=2, size=6.0, start=0.0, end=4.0)
+                for i in range(4)
+            ]
+        )
+        result = average_rate_reservation(net, jobs, grid)
+        caps = np.repeat(net.capacities()[:, None], 4, axis=1)
+        assert np.all(result.loads <= caps)
+
+    def test_empty_acceptance_rate_nan(self, net, grid):
+        result = average_rate_reservation(net, JobSet([
+            Job(id=0, source=0, dest=2, size=1.0, start=0.1, end=0.9)
+        ]), grid)
+        assert result.acceptance_rate() == 0.0

@@ -1,0 +1,327 @@
+"""Unit tests for time-varying link capacities (C_e(j))."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Job,
+    JobSet,
+    ProblemStructure,
+    TimeGrid,
+    ValidationError,
+    greedy_adjust,
+    solve_stage1,
+)
+from repro.core.metrics import mean_link_utilization
+from repro.network import topologies
+from repro.network.capacity import CapacityProfile
+
+
+@pytest.fixture
+def net():
+    return topologies.line(3, capacity=2, wavelength_rate=1.0)
+
+
+@pytest.fixture
+def grid():
+    return TimeGrid.uniform(4)
+
+
+class TestProfileConstruction:
+    def test_constant(self, net, grid):
+        prof = CapacityProfile.constant(net, grid)
+        assert prof.matrix.shape == (4, 4)
+        assert np.all(prof.matrix == 2)
+        assert prof.outage_fraction() == 0.0
+        assert prof.total_wavelength_slices() == 32
+
+    def test_shape_checked(self, net, grid):
+        with pytest.raises(ValidationError):
+            CapacityProfile(net, grid, np.zeros((2, 4)))
+
+    def test_negative_rejected(self, net, grid):
+        m = np.full((4, 4), 2)
+        m[0, 0] = -1
+        with pytest.raises(ValidationError):
+            CapacityProfile(net, grid, m)
+
+    def test_fractional_rejected(self, net, grid):
+        m = np.full((4, 4), 1.5)
+        with pytest.raises(ValidationError):
+            CapacityProfile(net, grid, m)
+
+    def test_exceeding_installed_rejected(self, net, grid):
+        m = np.full((4, 4), 5)
+        with pytest.raises(ValidationError, match="installed"):
+            CapacityProfile(net, grid, m)
+
+    def test_maintenance_window(self, net, grid):
+        prof = CapacityProfile.with_maintenance(net, grid, [(0, 1, 1.0, 3.0, 1)])
+        eid = net.edge_id(0, 1)
+        rid = net.edge_id(1, 0)
+        assert prof.matrix[eid].tolist() == [2, 1, 1, 2]
+        assert prof.matrix[rid].tolist() == [2, 1, 1, 2]  # bidirectional
+        assert prof.outage_fraction() == pytest.approx(4 / 16)
+
+    def test_maintenance_unidirectional(self, net, grid):
+        prof = CapacityProfile.with_maintenance(
+            net, grid, [(0, 1, 0.0, 4.0, 0)], bidirectional=False
+        )
+        assert np.all(prof.matrix[net.edge_id(0, 1)] == 0)
+        assert np.all(prof.matrix[net.edge_id(1, 0)] == 2)
+
+    def test_overlapping_windows_take_min(self, net, grid):
+        prof = CapacityProfile.with_maintenance(
+            net, grid, [(0, 1, 0.0, 2.0, 1), (0, 1, 1.0, 3.0, 0)]
+        )
+        assert prof.matrix[net.edge_id(0, 1)].tolist() == [1, 0, 0, 2]
+
+    def test_empty_window_rejected(self, net, grid):
+        with pytest.raises(ValidationError):
+            CapacityProfile.with_maintenance(net, grid, [(0, 1, 2.0, 2.0, 1)])
+
+    def test_partial_slice_overlap_hits_whole_slice(self, net, grid):
+        prof = CapacityProfile.with_maintenance(net, grid, [(0, 1, 0.5, 1.5, 0)])
+        assert prof.matrix[net.edge_id(0, 1)].tolist() == [0, 0, 2, 2]
+
+    def test_background_load(self, net, grid):
+        load = np.zeros((4, 4), dtype=int)
+        load[net.edge_id(0, 1), :] = 1
+        prof = CapacityProfile.with_background_load(net, grid, load)
+        assert np.all(prof.matrix[net.edge_id(0, 1)] == 1)
+        assert np.all(prof.matrix[net.edge_id(1, 0)] == 2)
+
+    def test_background_load_floors_at_zero(self, net, grid):
+        load = np.full((4, 4), 10)
+        prof = CapacityProfile.with_background_load(net, grid, load)
+        assert np.all(prof.matrix == 0)
+
+    def test_repr(self, net, grid):
+        assert "outage" in repr(CapacityProfile.constant(net, grid))
+
+
+class TestProfileInOptimization:
+    def test_structure_validates_profile_origin(self, net, grid):
+        other = topologies.line(3, capacity=2)
+        prof = CapacityProfile.constant(other, grid)
+        jobs = JobSet([Job(id=0, source=0, dest=2, size=1.0, start=0.0, end=4.0)])
+        with pytest.raises(ValidationError, match="different network"):
+            ProblemStructure(net, jobs, grid, capacity_profile=prof)
+
+    def test_structure_validates_profile_grid(self, net, grid):
+        prof = CapacityProfile.constant(net, TimeGrid.uniform(8))
+        jobs = JobSet([Job(id=0, source=0, dest=2, size=1.0, start=0.0, end=4.0)])
+        with pytest.raises(ValidationError, match="different time grid"):
+            ProblemStructure(net, jobs, grid, capacity_profile=prof)
+
+    def test_constant_profile_matches_no_profile(self, net, grid):
+        jobs = JobSet([Job(id=0, source=0, dest=2, size=4.0, start=0.0, end=4.0)])
+        plain = ProblemStructure(net, jobs, grid)
+        with_prof = ProblemStructure(
+            net, jobs, grid, capacity_profile=CapacityProfile.constant(net, grid)
+        )
+        assert solve_stage1(plain).zstar == pytest.approx(
+            solve_stage1(with_prof).zstar
+        )
+
+    def test_outage_reduces_zstar(self, net, grid):
+        jobs = JobSet([Job(id=0, source=0, dest=2, size=4.0, start=0.0, end=4.0)])
+        prof = CapacityProfile.with_maintenance(net, grid, [(0, 1, 1.0, 3.0, 0)])
+        s = ProblemStructure(net, jobs, grid, capacity_profile=prof)
+        # Only slices 0 and 3 usable at capacity 2: deliver 4 of 4 -> Z* = 1.
+        assert solve_stage1(s).zstar == pytest.approx(1.0)
+
+    def test_greedy_respects_outage(self, net, grid):
+        jobs = JobSet([Job(id=0, source=0, dest=2, size=4.0, start=0.0, end=4.0)])
+        prof = CapacityProfile.with_maintenance(net, grid, [(0, 1, 1.0, 3.0, 0)])
+        s = ProblemStructure(net, jobs, grid, capacity_profile=prof)
+        x = greedy_adjust(s, np.zeros(s.num_cols))
+        loads = s.link_loads(x)
+        assert loads[net.edge_id(0, 1)].tolist() == [2.0, 0.0, 0.0, 2.0]
+        assert s.capacity_violation(x) == 0.0
+
+    def test_capacity_grid(self, net, grid):
+        jobs = JobSet([Job(id=0, source=0, dest=2, size=1.0, start=0.0, end=4.0)])
+        prof = CapacityProfile.with_maintenance(net, grid, [(0, 1, 0.0, 4.0, 1)])
+        s = ProblemStructure(net, jobs, grid, capacity_profile=prof)
+        cg = s.capacity_grid()
+        assert cg[net.edge_id(0, 1)].tolist() == [1.0, 1.0, 1.0, 1.0]
+        assert cg[net.edge_id(1, 2)].tolist() == [2.0, 2.0, 2.0, 2.0]
+
+    def test_utilization_excludes_dead_cells(self, net, grid):
+        jobs = JobSet([Job(id=0, source=0, dest=2, size=2.0, start=0.0, end=4.0)])
+        matrix = np.full((4, 4), 0)
+        eid01, eid12 = net.edge_id(0, 1), net.edge_id(1, 2)
+        matrix[eid01, 0] = 2
+        matrix[eid12, 0] = 2
+        prof = CapacityProfile(net, grid, matrix)
+        s = ProblemStructure(net, jobs, grid, capacity_profile=prof)
+        x = greedy_adjust(s, np.zeros(s.num_cols))
+        # The two live cells are fully used; dead cells excluded.
+        assert mean_link_utilization(s, x) == pytest.approx(1.0)
+
+
+class TestRetIntervalMode:
+    def test_interval_mode_completes_jobs(self, net):
+        from repro import solve_ret
+
+        jobs = JobSet(
+            [
+                Job(id=0, source=0, dest=2, size=10.0, start=0.0, end=3.0),
+                Job(id=1, source=0, dest=2, size=8.0, start=0.0, end=3.0),
+            ]
+        )
+        result = solve_ret(net, jobs, mode="interval")
+        assert result.mode == "interval"
+        assert result.fraction_finished("lpdar") == 1.0
+        # Start at 0: interval mode coincides with end-time mode here.
+        assert result.b_final == pytest.approx(2.0, abs=0.11)
+
+    def test_interval_mode_fairer_to_late_jobs(self, net):
+        """A late-starting job's grant grows with its window, not its end.
+
+        Under end-time mode a job with window [4, 5] gains (1+b)*5 - 5 =
+        5b of extra time; under interval mode it gains only b.  The
+        late job's extension is proportional to what it asked for.
+        """
+        jobs = JobSet([Job(id=0, source=0, dest=2, size=6.0, start=4.0, end=5.0)])
+        from repro import solve_ret
+
+        end_mode = solve_ret(net, jobs, mode="end_time", search_tol=1e-4)
+        intv_mode = solve_ret(net, jobs, mode="interval", search_tol=1e-4)
+        # Needs 3 slices at cap 2; window has 1.
+        # end_time: (1+b)*5 >= 7  -> b >= 0.4; interval: 1+b >= 3 -> b >= 2.
+        assert end_mode.b_final == pytest.approx(0.4, abs=0.11)
+        assert intv_mode.b_final == pytest.approx(2.0, abs=0.11)
+        ext_job = intv_mode.structure.jobs[0]
+        assert ext_job.start == 4.0  # start preserved
+
+    def test_unknown_mode_rejected(self, net):
+        from repro import solve_ret
+        from repro.errors import ValidationError
+
+        jobs = JobSet([Job(id=0, source=0, dest=2, size=1.0, start=0.0, end=2.0)])
+        with pytest.raises(ValidationError):
+            solve_ret(net, jobs, mode="bogus")
+
+    def test_job_with_extended_interval(self):
+        j = Job(id=0, source=0, dest=1, size=1.0, start=2.0, end=4.0)
+        j2 = j.with_extended_interval(0.5)
+        assert j2.start == 2.0
+        assert j2.end == pytest.approx(5.0)
+        with pytest.raises(ValidationError):
+            j.with_extended_interval(-0.1)
+
+    def test_jobset_with_extended_intervals(self):
+        jobs = JobSet(
+            [
+                Job(id=0, source=0, dest=1, size=1.0, start=0.0, end=2.0),
+                Job(id=1, source=0, dest=1, size=1.0, start=1.0, end=2.0),
+            ]
+        )
+        ext = jobs.with_extended_intervals(1.0)
+        assert [j.end for j in ext] == [4.0, 3.0]
+
+
+class TestSchedulerWithProfile:
+    def test_scheduler_accepts_profile(self, net, grid):
+        from repro import Scheduler
+
+        prof = CapacityProfile.with_maintenance(net, grid, [(0, 1, 1.0, 3.0, 0)])
+        jobs = JobSet([Job(id=0, source=0, dest=2, size=4.0, start=0.0, end=4.0)])
+        result = Scheduler(net).schedule(jobs, grid, capacity_profile=prof)
+        assert result.zstar == pytest.approx(1.0)
+        loads = result.structure.link_loads(result.x)
+        assert loads[net.edge_id(0, 1), 1] == 0.0
+        assert loads[net.edge_id(0, 1), 2] == 0.0
+
+    def test_profile_grid_mismatch_raises(self, net, grid):
+        from repro import Scheduler, TimeGrid
+
+        prof = CapacityProfile.constant(net, TimeGrid.uniform(8))
+        jobs = JobSet([Job(id=0, source=0, dest=2, size=1.0, start=0.0, end=4.0)])
+        with pytest.raises(ValidationError):
+            Scheduler(net).schedule(jobs, grid, capacity_profile=prof)
+
+
+class TestProfileForGrid:
+    def test_identity_when_grids_match(self, net, grid):
+        prof = CapacityProfile.constant(net, grid)
+        assert prof.for_grid(grid) is prof
+
+    def test_suffix_grid_rebased(self, net, grid):
+        prof = CapacityProfile.with_maintenance(net, grid, [(0, 1, 1.0, 3.0, 0)])
+        suffix = TimeGrid.uniform(3, start=1.0)
+        rebased = prof.for_grid(suffix)
+        eid = net.edge_id(0, 1)
+        assert rebased.matrix[eid].tolist() == [0, 0, 2]
+
+    def test_beyond_horizon_uses_installed(self, net, grid):
+        prof = CapacityProfile.with_maintenance(net, grid, [(0, 1, 0.0, 4.0, 0)])
+        longer = TimeGrid.uniform(6)
+        rebased = prof.for_grid(longer)
+        eid = net.edge_id(0, 1)
+        assert rebased.matrix[eid].tolist() == [0, 0, 0, 0, 2, 2]
+
+    def test_misaligned_grid_rejected(self, net, grid):
+        prof = CapacityProfile.constant(net, grid)
+        shifted = TimeGrid.uniform(4, start=0.5)
+        with pytest.raises(ValidationError, match="align"):
+            prof.for_grid(shifted)
+
+
+class TestSimulationWithProfile:
+    def test_online_scheduling_around_maintenance(self, net):
+        """A job whose window straddles an outage is delayed, not lost."""
+        from repro import Simulation
+
+        horizon_grid = TimeGrid.uniform(8)
+        prof = CapacityProfile.with_maintenance(
+            net, horizon_grid, [(0, 1, 0.0, 2.0, 0), (1, 2, 0.0, 2.0, 0)]
+        )
+        jobs = JobSet(
+            [Job(id="a", source=0, dest=2, size=4.0, start=0.0, end=6.0)]
+        )
+        sim = Simulation(net, policy="reduce", capacity_profile=prof)
+        result = sim.run(jobs)
+        rec = result.records[0]
+        assert rec.status == "completed"
+        # Nothing could move before t = 2.
+        assert rec.completion_time >= 3.0
+
+    def test_profile_network_mismatch(self, net, grid):
+        from repro import Simulation
+        from repro.network import topologies
+
+        other = topologies.line(3, capacity=2)
+        prof = CapacityProfile.constant(other, grid)
+        with pytest.raises(ValidationError, match="different network"):
+            Simulation(net, capacity_profile=prof)
+
+
+class TestRetWithProfile:
+    def test_maintenance_forces_larger_extension(self, net):
+        """Draining the early slices pushes RET's b up."""
+        from repro import solve_ret
+
+        jobs = JobSet(
+            [Job(id=0, source=0, dest=2, size=8.0, start=0.0, end=4.0)]
+        )
+        clean = solve_ret(net, jobs, search_tol=1e-4)
+        assert clean.b_final == pytest.approx(0.0, abs=1e-6)
+
+        # The profile must cover the largest horizon RET may try.
+        big_grid = TimeGrid.uniform(50)
+        prof = CapacityProfile.with_maintenance(
+            net, big_grid, [(0, 1, 0.0, 4.0, 0), (1, 2, 0.0, 4.0, 0)]
+        )
+        drained = solve_ret(
+            net, jobs, search_tol=1e-4, capacity_profile=prof
+        )
+        # 8 volume at 2/slice needs 4 usable slices, first usable at t=4:
+        # (1+b)*4 >= 8 -> b >= 1.
+        assert drained.b_final >= 1.0 - 1e-3
+        assert drained.fraction_finished("lpdar") == 1.0
+        # The schedule never uses drained slices.
+        loads = drained.structure.link_loads(drained.assignments.x_lpdar)
+        assert loads[net.edge_id(0, 1), :4].sum() == 0.0

@@ -1,0 +1,104 @@
+"""Unit tests for comparison tables and the auto-negotiation driver."""
+
+import pytest
+
+from repro import Job, JobSet, Scheduler, Simulation, ValidationError, summarize
+from repro.analysis import compare_schedules, compare_simulations
+from repro.core.negotiation import NegotiationSession, auto_negotiate
+from repro.network import topologies
+
+
+@pytest.fixture
+def net():
+    return topologies.line(3, capacity=2, wavelength_rate=1.0)
+
+
+@pytest.fixture
+def jobs():
+    return JobSet(
+        [
+            Job(id="a", source=0, dest=2, size=6.0, start=0.0, end=4.0),
+            Job(id="b", source=2, dest=0, size=4.0, start=0.0, end=4.0),
+        ]
+    )
+
+
+class TestCompareSchedules:
+    def test_columns_per_label(self, net, jobs):
+        results = {
+            "alpha=0.1": Scheduler(net, alpha=0.1).schedule(jobs),
+            "alpha=0.5": Scheduler(net, alpha=0.5).schedule(jobs),
+        }
+        table = compare_schedules(results)
+        out = table.render()
+        assert "alpha=0.1" in out and "alpha=0.5" in out
+        assert "Z* (stage 1)" in out
+        assert "Jain fairness" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            compare_schedules({})
+
+
+class TestCompareSimulations:
+    def test_policy_columns(self, net, jobs):
+        summaries = {
+            policy: summarize(Simulation(net, policy=policy).run(jobs))
+            for policy in ("reduce", "extend")
+        }
+        table = compare_simulations(summaries)
+        out = table.render()
+        assert "reduce" in out and "extend" in out
+        assert "completion_rate" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            compare_simulations({})
+
+
+class TestAutoNegotiate:
+    @pytest.fixture
+    def overloaded(self, net):
+        return JobSet(
+            [
+                Job(id="a", source=0, dest=2, size=10.0, start=0.0, end=4.0),
+                Job(id="b", source=0, dest=2, size=6.0, start=0.0, end=4.0),
+            ]
+        )
+
+    def test_reduce_then_extend_converges(self, net, overloaded):
+        session = NegotiationSession(net, overloaded)
+        final = auto_negotiate(session, "reduce_then_extend")
+        assert session.admissible()
+        assert len(final) == 2
+
+    def test_extend_only_converges(self, net, overloaded):
+        session = NegotiationSession(net, overloaded)
+        final = auto_negotiate(session, "extend")
+        assert session.admissible()
+        # Sizes untouched by extension rounds.
+        assert final.by_id("a").size == 10.0
+
+    def test_already_admissible_is_noop(self, net, jobs):
+        session = NegotiationSession(net, jobs)
+        final = auto_negotiate(session)
+        assert len(session.rounds) == 0
+        assert final is session.current_jobs
+
+    def test_unknown_strategy(self, net, overloaded):
+        session = NegotiationSession(net, overloaded)
+        with pytest.raises(ValidationError, match="strategy"):
+            auto_negotiate(session, "bribe")
+
+    def test_infeasible_extension_propagates_schedule_error(self, net):
+        """When even b_max cannot fit the demand, solve_ret's typed
+        error surfaces (and no half-open round is left behind)."""
+        from repro import ScheduleError
+
+        impossible = JobSet(
+            [Job(id="x", source=0, dest=2, size=1000.0, start=0.0, end=4.0)]
+        )
+        session = NegotiationSession(net, impossible)
+        with pytest.raises(ScheduleError):
+            auto_negotiate(session, "extend", max_rounds=1, b_max=0.5)
+        assert session.rounds == []  # nothing dangling

@@ -1,0 +1,176 @@
+"""Unit tests for dual values and congestion pricing."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro import (
+    Job,
+    JobSet,
+    LinearProgram,
+    ProblemStructure,
+    TimeGrid,
+    ValidationError,
+    solve_lp,
+    solve_stage1,
+)
+from repro.analysis import congestion_report
+from repro.network import topologies
+
+
+class TestSolverDuals:
+    def test_binding_constraint_has_positive_dual_max(self):
+        # max x s.t. x <= 3: dual = 1 (one more unit of rhs -> +1 objective).
+        lp = LinearProgram(
+            objective=np.ones(1),
+            a_ub=sp.csr_matrix(np.array([[1.0]])),
+            b_ub=np.array([3.0]),
+            maximize=True,
+        )
+        sol = solve_lp(lp)
+        assert sol.ineq_duals is not None
+        assert sol.ineq_duals[0] == pytest.approx(1.0)
+
+    def test_slack_constraint_has_zero_dual(self):
+        # max x s.t. x <= 3, x <= 10: second row slack.
+        lp = LinearProgram(
+            objective=np.ones(1),
+            a_ub=sp.csr_matrix(np.array([[1.0], [1.0]])),
+            b_ub=np.array([3.0, 10.0]),
+            maximize=True,
+        )
+        sol = solve_lp(lp)
+        assert sol.ineq_duals[0] == pytest.approx(1.0)
+        assert sol.ineq_duals[1] == pytest.approx(0.0)
+
+    def test_minimize_duals_are_improvements(self):
+        # min x s.t. x >= 2 (as -x <= -2): relaxing rhs by 1 (to -3 ...)
+        # i.e. requiring x >= 3 *worsens*; improvement direction positive.
+        lp = LinearProgram(
+            objective=np.ones(1),
+            a_ub=sp.csr_matrix(np.array([[-1.0]])),
+            b_ub=np.array([-2.0]),
+        )
+        sol = solve_lp(lp)
+        # d(min)/d(b) = -1 -> improvement (cost reduction) per unit rhs = +1.
+        assert sol.ineq_duals[0] == pytest.approx(1.0)
+
+    def test_equality_duals_present(self):
+        lp = LinearProgram(
+            objective=np.array([1.0, 2.0]),
+            a_eq=sp.csr_matrix(np.array([[1.0, 1.0]])),
+            b_eq=np.array([4.0]),
+        )
+        sol = solve_lp(lp)
+        assert sol.eq_duals is not None
+        assert sol.eq_duals.shape == (1,)
+
+
+class TestCongestionReport:
+    @pytest.fixture
+    def saturated(self):
+        """Two jobs fighting over the 0->1 link; 1->2 never binding."""
+        net = topologies.line(3, capacity=2, wavelength_rate=1.0)
+        jobs = JobSet(
+            [
+                Job(id=0, source=0, dest=1, size=20.0, start=0.0, end=4.0),
+                Job(id=1, source=0, dest=1, size=20.0, start=0.0, end=4.0),
+            ]
+        )
+        return net, ProblemStructure(net, jobs, TimeGrid.uniform(4))
+
+    def test_bottleneck_identified(self, saturated):
+        net, structure = saturated
+        zstar = solve_stage1(structure).zstar
+        report = congestion_report(structure, zstar, alpha=0.5)
+        bottlenecks = report.bottlenecks(top=3)
+        assert bottlenecks
+        assert (bottlenecks[0][0], bottlenecks[0][1]) == (0, 1)
+
+    def test_prices_nonnegative_and_located(self, saturated):
+        net, structure = saturated
+        zstar = solve_stage1(structure).zstar
+        report = congestion_report(structure, zstar, alpha=0.5)
+        assert np.all(report.prices >= 0)
+        # Only the 0->1 edge can carry a positive price.
+        eid = net.edge_id(0, 1)
+        other = [e for e in range(net.num_edges) if e != eid]
+        assert np.all(report.prices[other] == 0)
+        assert report.prices[eid].sum() > 0
+
+    def test_price_equals_marginal_value(self, saturated):
+        """Shadow price == weighted-throughput gain of one more wavelength."""
+        net, structure = saturated
+        zstar = solve_stage1(structure).zstar
+        report = congestion_report(structure, zstar, alpha=1.0)
+        # With alpha = 1 the objective is delivered/total = loads/40;
+        # one extra wavelength-slice on the bottleneck adds 1/40.
+        eid = net.edge_id(0, 1)
+        assert report.prices[eid, 0] == pytest.approx(1.0 / 40.0, abs=1e-9)
+
+    def test_uncongested_network_prices_zero(self):
+        net = topologies.line(3, capacity=2, wavelength_rate=1.0)
+        jobs = JobSet([Job(id=0, source=0, dest=2, size=1.0, start=0.0, end=4.0)])
+        structure = ProblemStructure(net, jobs, TimeGrid.uniform(4))
+        zstar = solve_stage1(structure).zstar
+        report = congestion_report(structure, zstar, alpha=1.0)
+        # The whole pipe is usable by the one job: every added wavelength
+        # still helps, so prices are positive; but fairness-slack rows
+        # never make them negative.
+        assert np.all(report.prices >= 0)
+
+    def test_congested_fraction_and_validation(self, saturated):
+        net, structure = saturated
+        zstar = solve_stage1(structure).zstar
+        report = congestion_report(structure, zstar, alpha=0.5)
+        assert 0.0 <= report.congested_fraction() <= 1.0
+        with pytest.raises(ValidationError):
+            report.bottlenecks(top=0)
+
+
+class TestComplementarySlackness:
+    """LP duality spot checks on the solver wrapper's dual signs."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_positive_dual_implies_binding_row(self, seed):
+        rng = np.random.default_rng(seed)
+        n, m = 4, 3
+        lp = LinearProgram(
+            objective=rng.uniform(0.5, 2.0, size=n),
+            a_ub=sp.csr_matrix(rng.uniform(0.0, 1.0, size=(m, n))),
+            b_ub=rng.uniform(1.0, 3.0, size=m),
+            upper=5.0,
+            maximize=True,
+        )
+        sol = solve_lp(lp)
+        slack = lp.b_ub - lp.a_ub @ sol.x
+        for dual, s in zip(sol.ineq_duals, slack):
+            if dual > 1e-7:
+                assert s == pytest.approx(0.0, abs=1e-6)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_duals_predict_rhs_perturbation(self, seed):
+        """First-order check: bumping one rhs by eps moves the optimum
+        by ~ dual * eps (within second-order effects)."""
+        rng = np.random.default_rng(100 + seed)
+        n, m = 3, 2
+        A = rng.uniform(0.1, 1.0, size=(m, n))
+        b = rng.uniform(1.0, 2.0, size=m)
+        c = rng.uniform(0.5, 1.5, size=n)
+        lp = LinearProgram(
+            objective=c, a_ub=sp.csr_matrix(A), b_ub=b, upper=10.0,
+            maximize=True,
+        )
+        base = solve_lp(lp)
+        eps = 1e-6
+        for row in range(m):
+            bumped = b.copy()
+            bumped[row] += eps
+            lp2 = LinearProgram(
+                objective=c, a_ub=sp.csr_matrix(A), b_ub=bumped, upper=10.0,
+                maximize=True,
+            )
+            predicted = base.objective + base.ineq_duals[row] * eps
+            assert solve_lp(lp2).objective == pytest.approx(
+                predicted, abs=1e-9
+            )

@@ -1,0 +1,51 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro import (
+    InfeasibleProblemError,
+    ReproError,
+    ScheduleError,
+    SolverError,
+    UnboundedProblemError,
+    ValidationError,
+)
+
+
+class TestHierarchy:
+    def test_all_root_at_repro_error(self):
+        for exc in (
+            ValidationError,
+            SolverError,
+            InfeasibleProblemError,
+            UnboundedProblemError,
+            ScheduleError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_validation_is_value_error(self):
+        assert issubclass(ValidationError, ValueError)
+
+    def test_solver_errors_are_runtime_errors(self):
+        assert issubclass(SolverError, RuntimeError)
+        assert issubclass(ScheduleError, RuntimeError)
+
+    def test_infeasible_and_unbounded_are_solver_errors(self):
+        assert issubclass(InfeasibleProblemError, SolverError)
+        assert issubclass(UnboundedProblemError, SolverError)
+
+    def test_status_attribute(self):
+        assert SolverError("x", status=7).status == 7
+        assert InfeasibleProblemError().status == 2
+        assert UnboundedProblemError().status == 3
+
+    def test_default_messages(self):
+        assert "infeasible" in str(InfeasibleProblemError())
+        assert "unbounded" in str(UnboundedProblemError())
+
+    def test_catch_all_pattern(self):
+        """Library consumers can catch ReproError for any library failure."""
+        with pytest.raises(ReproError):
+            raise InfeasibleProblemError()
+        with pytest.raises(ReproError):
+            raise ValidationError("bad input")

@@ -1,0 +1,126 @@
+"""Tests certifying LPDAR against true integer optima (small instances).
+
+The paper could only compare LPDAR to the LP upper bound; these tests use
+HiGHS-MIP to compute the actual integer optimum on instances small enough
+to solve, closing the loop: LPD <= LPDAR <= MILP <= LP.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    InfeasibleProblemError,
+    Job,
+    JobSet,
+    ProblemStructure,
+    TimeGrid,
+    lpdar,
+    solve_stage1,
+    solve_stage2_exact,
+    solve_stage2_lp,
+    solve_subret_exact,
+    solve_subret_lp,
+)
+
+
+@pytest.fixture
+def small_contended(diamond):
+    jobs = JobSet(
+        [
+            Job(id=0, source=0, dest=3, size=5.0, start=0.0, end=3.0),
+            Job(id=1, source=1, dest=2, size=3.0, start=0.0, end=3.0),
+            Job(id=2, source=0, dest=2, size=2.0, start=1.0, end=3.0),
+        ]
+    )
+    return ProblemStructure(diamond, jobs, TimeGrid.uniform(3), k_paths=2)
+
+
+class TestStage2Exact:
+    def test_sandwich_ordering(self, small_contended):
+        s = small_contended
+        zstar = solve_stage1(s).zstar
+        stage2 = solve_stage2_lp(s, zstar, alpha=0.2)
+        heuristic = lpdar(s, stage2.x)
+        exact = solve_stage2_exact(s, zstar, alpha=0.2)
+        wt = s.weighted_throughput
+        assert wt(heuristic.x_lpd) <= wt(heuristic.x_lpdar) + 1e-9
+        assert wt(heuristic.x_lpdar) <= wt(exact.x) + 1e-9
+        assert wt(exact.x) <= stage2.objective + 1e-7
+
+    def test_lpdar_close_to_exact(self, small_contended):
+        s = small_contended
+        zstar = solve_stage1(s).zstar
+        stage2 = solve_stage2_lp(s, zstar, alpha=0.2)
+        heuristic = lpdar(s, stage2.x)
+        exact = solve_stage2_exact(s, zstar, alpha=0.2)
+        ratio = s.weighted_throughput(heuristic.x_lpdar) / s.weighted_throughput(
+            exact.x
+        )
+        assert ratio >= 0.8  # the paper's "small loss of optimality"
+
+    def test_exact_respects_fairness(self, small_contended):
+        s = small_contended
+        zstar = solve_stage1(s).zstar
+        exact = solve_stage2_exact(s, zstar, alpha=0.2)
+        z = s.throughputs(exact.x)
+        assert np.all(z >= (1 - 0.2) * zstar - 1e-7)
+
+    def test_integer_infeasibility_remark1(self, line3):
+        """Remark 1's motivating case: fractional floor, integral wavelengths.
+
+        Two jobs share one slice of a capacity-1 link; Z* = 0.5 each.  With
+        alpha = 0 the integer program must give each job >= 0.5 wavelength,
+        i.e. 1 each — over capacity.  Infeasible, until alpha is raised.
+        """
+        from repro.network import topologies
+
+        net = topologies.line(2, capacity=1)
+        jobs = JobSet(
+            [
+                Job(id=0, source=0, dest=1, size=1.0, start=0.0, end=1.0),
+                Job(id=1, source=0, dest=1, size=1.0, start=0.0, end=1.0),
+            ]
+        )
+        s = ProblemStructure(net, jobs, TimeGrid.uniform(1))
+        zstar = solve_stage1(s).zstar
+        assert zstar == pytest.approx(0.5)
+        with pytest.raises(InfeasibleProblemError):
+            solve_stage2_exact(s, zstar, alpha=0.0)
+        # Raising alpha to 1.0 drops the floor to zero: now feasible.
+        exact = solve_stage2_exact(s, zstar, alpha=1.0)
+        assert s.weighted_throughput(exact.x) == pytest.approx(0.5)
+
+
+@pytest.fixture
+def small_feasible(diamond):
+    """Like small_contended but light enough for SUB-RET to be feasible."""
+    jobs = JobSet(
+        [
+            Job(id=0, source=0, dest=3, size=3.0, start=0.0, end=3.0),
+            Job(id=1, source=1, dest=2, size=2.0, start=0.0, end=3.0),
+            Job(id=2, source=0, dest=2, size=1.0, start=1.0, end=3.0),
+        ]
+    )
+    return ProblemStructure(diamond, jobs, TimeGrid.uniform(3), k_paths=2)
+
+
+class TestSubRetExact:
+    def test_exact_matches_lp_when_integral(self, line3):
+        jobs = JobSet([Job(id=0, source=0, dest=2, size=4.0, start=0.0, end=4.0)])
+        s = ProblemStructure(line3, jobs, TimeGrid.uniform(4))
+        lp = solve_subret_lp(s)
+        exact = solve_subret_exact(s)
+        assert exact.objective == pytest.approx(lp.objective)
+
+    def test_exact_at_least_lp(self, small_feasible):
+        lp = solve_subret_lp(small_feasible)
+        exact = solve_subret_exact(small_feasible)
+        assert exact.objective >= lp.objective - 1e-7
+        delivered = small_feasible.delivered(exact.x)
+        assert np.all(delivered >= small_feasible.demands - 1e-7)
+
+    def test_exact_infeasible_when_lp_is(self, line3):
+        jobs = JobSet([Job(id=0, source=0, dest=2, size=50.0, start=0.0, end=4.0)])
+        s = ProblemStructure(line3, jobs, TimeGrid.uniform(4))
+        with pytest.raises(InfeasibleProblemError):
+            solve_subret_exact(s)

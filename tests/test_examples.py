@@ -1,0 +1,47 @@
+"""Smoke-run every example script.
+
+The examples are part of the public deliverable; each must run to
+completion from a clean interpreter.  They are executed as subprocesses
+so import-time and ``__main__`` behaviour are exercised exactly as a
+user would.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+ALL_SCRIPTS = sorted(p.name for p in EXAMPLES.glob("*.py"))
+
+
+def test_every_example_is_covered():
+    """Keep this list in sync with the examples directory."""
+    assert ALL_SCRIPTS == sorted(
+        [
+            "quickstart.py",
+            "abilene_hep_campaign.py",
+            "ret_negotiation.py",
+            "online_controller.py",
+            "maintenance_window.py",
+            "nsfnet_deployment.py",
+            "upgrade_advisor.py",
+            "negotiation_rounds.py",
+        ]
+    )
+
+
+@pytest.mark.parametrize("script", ALL_SCRIPTS)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{script} produced no output"

@@ -1,0 +1,130 @@
+"""Tests for the programmatic paper-figure experiments (quick mode)."""
+
+import pytest
+
+from repro import ValidationError
+from repro.experiments import (
+    EXPERIMENTS,
+    ExperimentResult,
+    fig1_random_throughput,
+    fig2_abilene_throughput,
+    fig3_computation_time,
+    fig4_ret_end_time,
+    jobs_finished,
+    run_experiment,
+)
+
+
+class TestExperimentResult:
+    @pytest.fixture(scope="class")
+    def fig2(self):
+        return fig2_abilene_throughput(quick=True)
+
+    def test_structure(self, fig2):
+        assert isinstance(fig2, ExperimentResult)
+        assert fig2.experiment_id == "FIG2"
+        assert len(fig2.rows) == 3  # quick sweep
+        assert all(len(r) == len(fig2.columns) for r in fig2.rows)
+        assert fig2.seconds > 0
+
+    def test_table_renders(self, fig2):
+        out = fig2.table().render()
+        assert "FIG2" in out
+        assert "LPDAR/LP" in out
+
+    def test_column_accessor(self, fig2):
+        ws = fig2.column("wavelengths/link")
+        assert ws == [2, 4, 8]
+        with pytest.raises(ValidationError):
+            fig2.column("nope")
+
+    def test_fig2_shape(self, fig2):
+        lpd = fig2.column("LPD/LP")
+        lpdar = fig2.column("LPDAR/LP")
+        assert lpd == sorted(lpd)  # improves with W
+        assert all(r >= 0.9 for r in lpdar)
+        assert lpd[0] < lpdar[0]
+
+
+class TestQuickRuns:
+    def test_fig1_quick_preserves_shape(self):
+        result = fig1_random_throughput(quick=True)
+        lpd = result.column("LPD/LP")
+        lpdar = result.column("LPDAR/LP")
+        assert lpd[0] < lpdar[0]
+        assert all(a <= b + 1e-9 for a, b in zip(lpd, lpd[1:]))
+
+    def test_fig3_quick_lp_dominates(self):
+        result = fig3_computation_time(quick=True)
+        ratios = result.column("LPDAR/LP time")
+        assert all(r < 2.0 for r in ratios)
+
+    def test_fig4_quick_lp_not_slower(self):
+        result = fig4_ret_end_time(quick=True)
+        lp = result.column("avg end LP")
+        lpdar = result.column("avg end LPDAR")
+        for a, b in zip(lp, lpdar):
+            assert a <= b + 1e-9
+        assert all(f == 1.0 for f in result.column("LPDAR finished"))
+
+    def test_jobs_finished_quick(self):
+        result = jobs_finished(quick=True)
+        assert all(f == 1.0 for f in result.column("LP finished"))
+        assert all(f == 1.0 for f in result.column("LPDAR finished"))
+        assert all(f <= 0.25 for f in result.column("LPD finished"))
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert set(EXPERIMENTS) >= {
+            "fig1", "fig2", "fig3", "fig4", "jobs-finished",
+            "ablation-alpha", "ablation-paths", "ablation-continuity",
+        }
+
+    def test_run_experiment_dispatch(self):
+        result = run_experiment("fig2", quick=True)
+        assert result.experiment_id == "FIG2"
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ValidationError, match="unknown experiment"):
+            run_experiment("fig99")
+
+
+class TestAblationExperiments:
+    def test_registered(self):
+        for name in ("ablation-alpha", "ablation-paths", "ablation-continuity"):
+            assert name in EXPERIMENTS
+
+    def test_ablation_alpha_quick(self):
+        result = run_experiment("ablation-alpha", quick=True)
+        objectives = result.column("LP objective")
+        assert objectives == sorted(objectives)  # relaxing helps
+
+    def test_ablation_paths_quick(self):
+        result = run_experiment("ablation-paths", quick=True)
+        aggregates = result.column("aggregate throughput")
+        assert aggregates == sorted(aggregates)  # more paths never hurt
+
+    def test_ablation_continuity_quick(self):
+        result = run_experiment("ablation-continuity", quick=True)
+        rates = result.column("strict first-fit ok")
+        assert all(0.0 <= r <= 1.0 for r in rates)
+
+
+class TestMarkdownReport:
+    def test_write_report_quick(self, tmp_path):
+        from repro.experiments import write_report
+
+        path = tmp_path / "report.md"
+        results = write_report(path, names=["fig2"], quick=True)
+        assert len(results) == 1
+        text = path.read_text()
+        assert text.startswith("# Reproduction report")
+        assert "## FIG2" in text
+        assert "| wavelengths/link |" in text
+
+    def test_render_report_empty_rejected(self):
+        from repro.experiments import render_report
+
+        with pytest.raises(ValidationError):
+            render_report([])

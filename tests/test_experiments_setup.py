@@ -1,0 +1,65 @@
+"""Unit tests for the shared experimental recipe (repro.experiments.setup)."""
+
+import pytest
+
+from repro.experiments import (
+    TOTAL_LINK_RATE,
+    WAVELENGTH_SWEEP,
+    abilene_network,
+    calibrated_jobs,
+    random_network,
+    shared_path_sets,
+    throughput_pipeline,
+)
+from repro.workload import WorkloadConfig
+
+
+class TestNetworkBuilders:
+    def test_random_network_matches_paper_recipe(self):
+        net = random_network(num_nodes=50, seed=1)
+        assert net.num_nodes == 50
+        assert net.wavelength_rate == TOTAL_LINK_RATE
+        assert net.is_strongly_connected()
+
+    def test_abilene_network(self):
+        net = abilene_network()
+        assert net.num_nodes == 11
+        assert net.num_link_pairs == 20
+        assert net.wavelength_rate == TOTAL_LINK_RATE
+
+
+class TestCalibration:
+    @pytest.mark.parametrize("target", [0.5, 0.9, 1.5])
+    def test_calibrated_jobs_hit_target(self, target):
+        from repro import ProblemStructure, TimeGrid, solve_stage1
+
+        net = random_network(num_nodes=30, seed=2)
+        jobs = calibrated_jobs(net, 20, seed=3, target_zstar=target)
+        grid = TimeGrid.covering(jobs.max_end())
+        structure = ProblemStructure(net, jobs, grid, 4)
+        assert solve_stage1(structure).zstar == pytest.approx(target, rel=1e-6)
+
+    def test_calibration_invariant_to_wavelength_split(self):
+        """Constant total rate means one calibration serves the sweep."""
+        net = random_network(num_nodes=30, seed=4)
+        jobs = calibrated_jobs(net, 15, seed=5, target_zstar=0.8)
+        paths = shared_path_sets(net, jobs)
+        zs = [
+            throughput_pipeline(net, jobs, w, path_sets=paths).zstar
+            for w in WAVELENGTH_SWEEP[:3]
+        ]
+        assert max(zs) - min(zs) < 1e-6
+
+
+class TestThroughputPipeline:
+    def test_point_fields_consistent(self):
+        net = random_network(num_nodes=20, seed=6)
+        cfg = WorkloadConfig(window_slices_low=2, window_slices_high=3)
+        jobs = calibrated_jobs(net, 15, seed=7, target_zstar=0.9, config=cfg)
+        point = throughput_pipeline(net, jobs, 4)
+        assert point.wavelengths == 4
+        assert point.lpd <= point.lpdar + 1e-9
+        assert 0.0 < point.lpd_ratio <= point.lpdar_ratio + 1e-9
+        # Ratios are the reported normalized metrics.
+        assert point.lpd_ratio == pytest.approx(point.lpd / point.lp)
+        assert point.lpdar_ratio == pytest.approx(point.lpdar / point.lp)

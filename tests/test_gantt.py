@@ -1,0 +1,91 @@
+"""Unit tests for the ASCII Gantt renderers."""
+
+import numpy as np
+import pytest
+
+from repro import Job, JobSet, ProblemStructure, TimeGrid, ValidationError
+from repro.analysis import job_gantt, link_gantt
+from repro.network import topologies
+
+
+@pytest.fixture
+def scheduled(line3):
+    jobs = JobSet(
+        [
+            Job(id="alpha", source=0, dest=2, size=4.0, start=0.0, end=4.0),
+            Job(id="b", source=2, dest=0, size=2.0, start=1.0, end=3.0),
+        ]
+    )
+    s = ProblemStructure(line3, jobs, TimeGrid.uniform(4))
+    x = np.zeros(s.num_cols)
+    x[s.column(0, 0, 0)] = 2.0
+    x[s.column(0, 0, 1)] = 1.0
+    x[s.column(1, 0, 1)] = 2.0
+    return s, x
+
+
+class TestJobGantt:
+    def test_rows_and_cells(self, scheduled):
+        s, x = scheduled
+        out = job_gantt(s, x)
+        lines = out.splitlines()
+        assert lines[0].endswith("0123")
+        assert "alpha" in lines[1]
+        assert lines[1].endswith("21..")
+        assert lines[2].endswith(".2..")
+
+    def test_max_jobs_truncates(self, scheduled):
+        s, x = scheduled
+        out = job_gantt(s, x, max_jobs=1)
+        assert "more jobs" in out
+        assert "alpha" in out
+
+    def test_max_jobs_validated(self, scheduled):
+        s, x = scheduled
+        with pytest.raises(ValidationError):
+            job_gantt(s, x, max_jobs=0)
+
+    def test_ten_plus_wavelengths_hash(self):
+        net = topologies.line(2, capacity=12, wavelength_rate=1.0)
+        jobs = JobSet([Job(id=0, source=0, dest=1, size=12.0, start=0.0, end=1.0)])
+        s = ProblemStructure(net, jobs, TimeGrid.uniform(1))
+        out = job_gantt(s, np.array([12.0]))
+        assert out.splitlines()[1].endswith("#")
+
+
+class TestLinkGantt:
+    def test_saturation_star(self, scheduled):
+        s, x = scheduled
+        out = link_gantt(s, x)
+        lines = out.splitlines()
+        # Edge 0->1 carries 2 (its capacity) on slice 0 -> '*'.
+        row = next(l for l in lines if l.startswith("0->1"))
+        assert row.endswith("*1..")
+
+    def test_only_loaded_filter(self, scheduled):
+        s, x = scheduled
+        out = link_gantt(s, x, only_loaded=True)
+        # Edges 1->0 and 0->2-direction unused edges hidden.
+        assert "0->1" in out
+        assert out.count("->") == 4  # 4 loaded directed edges
+
+    def test_empty_schedule_message(self, scheduled):
+        s, _ = scheduled
+        out = link_gantt(s, np.zeros(s.num_cols))
+        assert "(no loaded links)" in out
+
+    def test_max_links(self, scheduled):
+        s, x = scheduled
+        out = link_gantt(s, x, max_links=1)
+        assert out.count("->") == 1
+        with pytest.raises(ValidationError):
+            link_gantt(s, x, max_links=0)
+
+    def test_heaviest_first(self, scheduled):
+        s, x = scheduled
+        lines = link_gantt(s, x).splitlines()[1:]
+        loads = s.link_loads(x).sum(axis=1)
+        first_label = lines[0].split()[0]
+        heaviest = np.argmax(loads)
+        edge = s.network.edge(int(heaviest))
+        assert first_label == f"{edge.source!r}->{edge.target!r}"

@@ -1,0 +1,188 @@
+"""Unit tests for the random workload generator."""
+
+import numpy as np
+import pytest
+
+from repro import ValidationError, WorkloadConfig, WorkloadGenerator
+from repro.network import topologies
+from repro.workload.generator import poisson_arrivals
+
+
+@pytest.fixture
+def net():
+    return topologies.ring(8, capacity=2)
+
+
+class TestWorkloadConfig:
+    def test_defaults_match_paper(self):
+        cfg = WorkloadConfig()
+        assert cfg.size_low == 1.0
+        assert cfg.size_high == 100.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"size_low": 0.0},
+            {"size_low": 10.0, "size_high": 5.0},
+            {"window_slices_low": 0},
+            {"window_slices_low": 5, "window_slices_high": 2},
+            {"start_slack_slices": -1},
+            {"slice_length": 0.0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            WorkloadConfig(**kwargs)
+
+    def test_horizon_slices(self):
+        cfg = WorkloadConfig(start_slack_slices=3, window_slices_high=6)
+        assert cfg.horizon_slices == 9
+
+
+class TestGenerator:
+    def test_sizes_in_range(self, net):
+        gen = WorkloadGenerator(net, seed=0)
+        jobs = gen.jobs(200)
+        sizes = jobs.sizes()
+        assert sizes.min() >= 1.0
+        assert sizes.max() <= 100.0
+
+    def test_endpoints_distinct_and_in_network(self, net):
+        gen = WorkloadGenerator(net, seed=1)
+        for job in gen.jobs(50):
+            assert job.source != job.dest
+            assert job.source in net and job.dest in net
+
+    def test_windows_slice_aligned(self, net):
+        cfg = WorkloadConfig(slice_length=0.5)
+        gen = WorkloadGenerator(net, cfg, seed=2)
+        for job in gen.jobs(50):
+            assert (job.start / 0.5) == pytest.approx(round(job.start / 0.5))
+            assert (job.end / 0.5) == pytest.approx(round(job.end / 0.5))
+
+    def test_window_spans_in_range(self, net):
+        cfg = WorkloadConfig(window_slices_low=3, window_slices_high=5)
+        gen = WorkloadGenerator(net, cfg, seed=3)
+        for job in gen.jobs(50):
+            span = round(job.end - job.start)
+            assert 3 <= span <= 5
+
+    def test_jobs_after_arrival(self, net):
+        gen = WorkloadGenerator(net, seed=4)
+        job = gen.job("x", arrival=2.3)
+        assert job.arrival == 2.3
+        assert job.start >= 2.3
+
+    def test_deterministic_with_seed(self, net):
+        a = WorkloadGenerator(net, seed=9).jobs(10)
+        b = WorkloadGenerator(net, seed=9).jobs(10)
+        assert [(j.source, j.dest, j.size, j.start, j.end) for j in a] == [
+            (j.source, j.dest, j.size, j.start, j.end) for j in b
+        ]
+
+    def test_num_jobs_validation(self, net):
+        with pytest.raises(ValidationError):
+            WorkloadGenerator(net, seed=0).jobs(0)
+
+    def test_needs_two_nodes(self):
+        from repro import Network
+
+        net = Network()
+        net.add_node(0)
+        with pytest.raises(ValidationError):
+            WorkloadGenerator(net, seed=0)
+
+    def test_rng_seed_exclusive(self, net):
+        with pytest.raises(ValidationError):
+            WorkloadGenerator(net, rng=np.random.default_rng(0), seed=1)
+
+    def test_arrival_stream_ids_and_order(self, net):
+        gen = WorkloadGenerator(net, seed=5)
+        jobs = gen.arrival_stream(rate=2.0, horizon=10.0)
+        arrivals = [j.arrival for j in jobs]
+        assert arrivals == sorted(arrivals)
+        assert all(str(j.id).startswith("job-") for j in jobs)
+
+    def test_scaled_to_load(self, net):
+        gen = WorkloadGenerator(net, seed=6)
+        # Fake solver: Z* = 10 / total_size (scales inversely with demand).
+        jobs = gen.scaled_to_load(
+            5, target_zstar=0.5, solve_zstar=lambda js: 10.0 / js.total_size()
+        )
+        assert 10.0 / jobs.total_size() == pytest.approx(0.5)
+
+    def test_scaled_to_load_validation(self, net):
+        gen = WorkloadGenerator(net, seed=6)
+        with pytest.raises(ValidationError):
+            gen.scaled_to_load(5, target_zstar=0.0, solve_zstar=lambda js: 1.0)
+        with pytest.raises(ValidationError):
+            gen.scaled_to_load(5, target_zstar=1.0, solve_zstar=lambda js: 0.0)
+
+
+class TestPoissonArrivals:
+    def test_times_sorted_in_range(self):
+        rng = np.random.default_rng(0)
+        times = poisson_arrivals(5.0, 20.0, rng)
+        assert np.all(np.diff(times) >= 0)
+        assert times.min(initial=0.0) >= 0.0
+        assert times.max(initial=0.0) < 20.0
+
+    def test_count_near_expectation(self):
+        rng = np.random.default_rng(1)
+        counts = [len(poisson_arrivals(3.0, 10.0, rng)) for _ in range(200)]
+        assert 25 <= float(np.mean(counts)) <= 35  # expect 30
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValidationError):
+            poisson_arrivals(0.0, 1.0, rng)
+        with pytest.raises(ValidationError):
+            poisson_arrivals(1.0, 0.0, rng)
+
+
+class TestDiurnalArrivals:
+    def test_times_in_range_sorted(self):
+        from repro.workload import diurnal_arrivals
+
+        rng = np.random.default_rng(0)
+        times = diurnal_arrivals(2.0, 48.0, rng)
+        assert np.all(np.diff(times) >= 0)
+        assert times.min(initial=0.0) >= 0.0
+        assert times.max(initial=0.0) < 48.0
+
+    def test_mean_rate_preserved(self):
+        from repro.workload import diurnal_arrivals
+
+        rng = np.random.default_rng(1)
+        counts = [len(diurnal_arrivals(3.0, 24.0, rng)) for _ in range(100)]
+        # Expect ~72 per day over whole periods.
+        assert 62 <= float(np.mean(counts)) <= 82
+
+    def test_peak_hours_busier(self):
+        from repro.workload import diurnal_arrivals
+
+        rng = np.random.default_rng(2)
+        all_times = np.concatenate(
+            [diurnal_arrivals(3.0, 24.0, rng, peak_time=14.0,
+                              peak_to_trough=6.0) for _ in range(60)]
+        )
+        hours = all_times % 24.0
+        peak = np.sum((hours >= 10) & (hours < 18))
+        trough = np.sum((hours >= 22) | (hours < 6))
+        assert peak > 2.0 * trough
+
+    def test_peak_to_trough_one_is_homogeneous(self):
+        from repro.workload import diurnal_arrivals
+
+        rng = np.random.default_rng(3)
+        times = diurnal_arrivals(2.0, 24.0, rng, peak_to_trough=1.0)
+        assert len(times) > 0  # no thinning rejections at amplitude 0
+
+    def test_validation(self):
+        from repro.workload import diurnal_arrivals
+
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValidationError):
+            diurnal_arrivals(0.0, 10.0, rng)
+        with pytest.raises(ValidationError):
+            diurnal_arrivals(1.0, 10.0, rng, peak_to_trough=0.5)

@@ -1,0 +1,183 @@
+"""Unit tests for repro.network.graph."""
+
+import numpy as np
+import pytest
+
+from repro import Edge, Network, ValidationError
+
+
+class TestEdge:
+    def test_valid_edge(self):
+        e = Edge("a", "b", 3, weight=2.0)
+        assert e.capacity == 3
+        assert e.weight == 2.0
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValidationError):
+            Edge("a", "a", 1)
+
+    @pytest.mark.parametrize("capacity", [0, -1, 1.5])
+    def test_bad_capacity_rejected(self, capacity):
+        with pytest.raises(ValidationError):
+            Edge("a", "b", capacity)
+
+    def test_integer_valued_float_capacity_coerced(self):
+        assert Edge("a", "b", 4.0).capacity == 4
+        assert isinstance(Edge("a", "b", 4.0).capacity, int)
+
+    @pytest.mark.parametrize("weight", [0.0, -1.0, float("inf")])
+    def test_bad_weight_rejected(self, weight):
+        with pytest.raises(ValidationError):
+            Edge("a", "b", 1, weight=weight)
+
+
+class TestNetworkConstruction:
+    def test_add_edge_registers_nodes(self):
+        net = Network()
+        idx = net.add_edge("x", "y", 2)
+        assert idx == 0
+        assert net.num_nodes == 2
+        assert net.num_edges == 1
+        assert "x" in net and "y" in net
+
+    def test_add_node_idempotent(self):
+        net = Network()
+        net.add_node("a")
+        net.add_node("a")
+        assert net.num_nodes == 1
+
+    def test_duplicate_edge_rejected(self):
+        net = Network()
+        net.add_edge("a", "b", 1)
+        with pytest.raises(ValidationError):
+            net.add_edge("a", "b", 5)
+
+    def test_link_pair_adds_both_directions(self):
+        net = Network()
+        fwd, rev = net.add_link_pair("a", "b", 3)
+        assert net.edge(fwd).source == "a"
+        assert net.edge(rev).source == "b"
+        assert net.num_link_pairs == 1
+
+    def test_link_pair_count_ignores_one_way_edges(self):
+        net = Network()
+        net.add_link_pair(0, 1, 1)
+        net.add_edge(1, 2, 1)  # one direction only
+        assert net.num_link_pairs == 1
+
+    def test_bad_wavelength_rate_rejected(self):
+        with pytest.raises(ValidationError):
+            Network(wavelength_rate=0.0)
+        with pytest.raises(ValidationError):
+            Network(wavelength_rate=-2.0)
+
+    def test_from_link_pairs(self):
+        net = Network.from_link_pairs([(0, 1), (1, 2)], capacity=2)
+        assert net.num_edges == 4
+        assert net.num_link_pairs == 2
+
+
+class TestNetworkQueries:
+    @pytest.fixture
+    def net(self):
+        net = Network(wavelength_rate=10.0)
+        net.add_link_pair("a", "b", 2)
+        net.add_link_pair("b", "c", 3)
+        return net
+
+    def test_edge_id_lookup(self, net):
+        eid = net.edge_id("a", "b")
+        assert net.edge(eid).target == "b"
+
+    def test_unknown_edge_raises(self, net):
+        with pytest.raises(ValidationError):
+            net.edge_id("a", "c")
+
+    def test_edge_index_out_of_range(self, net):
+        with pytest.raises(ValidationError):
+            net.edge(99)
+
+    def test_node_index_dense(self, net):
+        assert [net.node_index(n) for n in net.nodes] == [0, 1, 2]
+
+    def test_unknown_node_raises(self, net):
+        with pytest.raises(ValidationError):
+            net.node_index("zzz")
+        with pytest.raises(ValidationError):
+            net.out_edges("zzz")
+
+    def test_out_in_edges(self, net):
+        out_b = {net.edge(e).target for e in net.out_edges("b")}
+        in_b = {net.edge(e).source for e in net.in_edges("b")}
+        assert out_b == {"a", "c"}
+        assert in_b == {"a", "c"}
+
+    def test_degree(self, net):
+        assert net.degree("b") == 4
+        assert net.degree("a") == 2
+
+    def test_capacities_array(self, net):
+        caps = net.capacities()
+        assert caps.dtype == np.int64
+        assert caps.tolist() == [2, 2, 3, 3]
+
+    def test_link_rate(self, net):
+        assert net.link_rate(net.edge_id("b", "c")) == 30.0
+
+    def test_iteration(self, net):
+        assert list(net) == ["a", "b", "c"]
+
+    def test_repr(self, net):
+        assert "nodes=3" in repr(net)
+
+
+class TestDerivedNetworks:
+    def test_with_capacity(self):
+        net = Network.from_link_pairs([(0, 1)], capacity=2)
+        net8 = net.with_capacity(8)
+        assert net8.capacities().tolist() == [8, 8]
+        assert net.capacities().tolist() == [2, 2]  # original untouched
+
+    def test_with_wavelengths_preserves_total_rate(self):
+        net = Network.from_link_pairs([(0, 1)], capacity=1, wavelength_rate=20.0)
+        for w in (1, 2, 4, 8):
+            split = net.with_wavelengths(w, total_link_rate=20.0)
+            assert split.capacities().tolist() == [w, w]
+            assert split.link_rate(0) == pytest.approx(20.0)
+
+    def test_with_wavelengths_validation(self):
+        net = Network.from_link_pairs([(0, 1)], capacity=1)
+        with pytest.raises(ValidationError):
+            net.with_wavelengths(0, 20.0)
+        with pytest.raises(ValidationError):
+            net.with_wavelengths(4, -1.0)
+
+    def test_copy_is_independent(self):
+        net = Network.from_link_pairs([(0, 1)], capacity=2)
+        clone = net.copy()
+        clone.add_link_pair(1, 2, 1)
+        assert net.num_nodes == 2
+        assert clone.num_nodes == 3
+
+
+class TestConnectivity:
+    def test_strongly_connected_pair_graph(self):
+        net = Network.from_link_pairs([(0, 1), (1, 2)], capacity=1)
+        assert net.is_strongly_connected()
+
+    def test_one_way_chain_not_strongly_connected(self):
+        net = Network()
+        net.add_edge(0, 1, 1)
+        net.add_edge(1, 2, 1)
+        assert not net.is_strongly_connected()
+
+    def test_disconnected_component(self):
+        net = Network.from_link_pairs([(0, 1)], capacity=1)
+        net.add_node(99)
+        assert not net.is_strongly_connected()
+
+    def test_trivial_graphs_connected(self):
+        net = Network()
+        assert net.is_strongly_connected()
+        net.add_node(0)
+        assert net.is_strongly_connected()

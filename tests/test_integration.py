@@ -1,0 +1,145 @@
+"""Cross-module integration tests: full pipelines on realistic topologies."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    JobSet,
+    ProblemStructure,
+    Scheduler,
+    Simulation,
+    TimeGrid,
+    WorkloadGenerator,
+    fraction_finished,
+    solve_ret,
+    solve_stage1,
+    summarize,
+)
+from repro.network import abilene, topologies, waxman_network
+from repro.workload import WorkloadConfig, hep_tier_trace, mixed_escience_trace
+
+
+class TestAbilenePipeline:
+    @pytest.fixture
+    def net(self):
+        return abilene().with_wavelengths(4, total_link_rate=20.0)
+
+    def test_random_workload_schedules(self, net):
+        gen = WorkloadGenerator(net, seed=11)
+        jobs = gen.jobs(20)
+        result = Scheduler(net, k_paths=4).schedule(jobs)
+        s = result.structure
+        assert s.capacity_violation(result.x) == 0.0
+        assert np.array_equal(result.x, np.rint(result.x))
+        assert result.normalized_throughput("lpdar") > 0.5
+
+    def test_hep_trace_on_abilene(self, net):
+        jobs = hep_tier_trace(net, num_tier2=4, transfers_per_site=2, seed=5)
+        result = Scheduler(net).schedule(jobs)
+        assert result.zstar > 0
+        assert len(list(result.grants())) > 0
+
+    def test_lpd_degrades_at_low_wavelength_count(self):
+        """The Fig. 2 phenomenon: LPD loses badly at W = 2, LPDAR doesn't."""
+        rng_net = abilene().with_wavelengths(2, total_link_rate=20.0)
+        gen = WorkloadGenerator(rng_net, seed=23)
+        jobs = gen.jobs(24).scaled(4.0)  # push into contention
+        result = Scheduler(rng_net).schedule(jobs)
+        lpd = result.normalized_throughput("lpd")
+        lpdar_ratio = result.normalized_throughput("lpdar")
+        assert lpd < lpdar_ratio
+        assert lpdar_ratio > 0.8
+
+
+class TestWaxmanPipeline:
+    def test_medium_random_network(self):
+        net = waxman_network(40, seed=3).with_wavelengths(4, total_link_rate=20.0)
+        gen = WorkloadGenerator(net, seed=4)
+        jobs = gen.jobs(15)
+        result = Scheduler(net).schedule(jobs)
+        assert result.structure.capacity_violation(result.x) == 0.0
+        assert result.normalized_throughput("lpdar") > 0.5
+
+    def test_ret_on_random_network(self):
+        net = waxman_network(25, seed=8, capacity=2, wavelength_rate=10.0)
+        gen = WorkloadGenerator(net, seed=9)
+        jobs = gen.jobs(10).scaled(3.0)
+        ret = solve_ret(net, jobs, b_max=20.0)
+        assert ret.fraction_finished("lpdar") == 1.0
+        s = ret.structure
+        assert s.capacity_violation(ret.assignments.x_lpdar) == 0.0
+
+
+class TestRetVsScheduler:
+    def test_overload_tradeoff(self):
+        """Same overloaded instance: Scheduler reduces sizes, RET extends ends."""
+        net = topologies.line(4, capacity=2, wavelength_rate=1.0)
+        gen = WorkloadGenerator(
+            net, WorkloadConfig(size_low=4.0, size_high=8.0), seed=2
+        )
+        jobs = gen.jobs(8)
+        structure = ProblemStructure(
+            net, jobs, TimeGrid.covering(jobs.max_end()), k_paths=2
+        )
+        zstar = solve_stage1(structure).zstar
+        if zstar > 1.0:
+            jobs = jobs.scaled(2.0 * zstar)  # force overload
+
+        sched_result = Scheduler(net, k_paths=2).schedule(jobs)
+        assert sched_result.overloaded
+        # Under strict deadlines, not everything finishes...
+        assert sched_result.fraction_finished("lp") < 1.0
+
+        ret_result = solve_ret(net, jobs, k_paths=2, b_max=50.0)
+        # ...but RET completes everything at the cost of extended ends.
+        assert ret_result.fraction_finished("lpdar") == 1.0
+        assert ret_result.b_final > 0.0
+
+    def test_guaranteed_sizes_feasible_after_renegotiation(self):
+        """Remark 2 round-trip: re-submitting the reduced sizes fits (Z* >= ~1)."""
+        net = topologies.line(3, capacity=2, wavelength_rate=1.0)
+        gen = WorkloadGenerator(net, seed=31)
+        jobs = gen.jobs(5)
+        result = Scheduler(net, alpha=0.0, alpha_step=0.0).schedule(jobs)
+        if not result.overloaded:
+            jobs = jobs.scaled(4.0 / result.zstar)
+            result = Scheduler(net, alpha=0.0, alpha_step=0.0).schedule(jobs)
+        guaranteed = result.guaranteed_sizes("lpdar")
+        kept = [
+            job.scaled(g / job.size)
+            for job, g in zip(jobs, guaranteed)
+            if g > 1e-6
+        ]
+        renegotiated = JobSet(kept)
+        structure = ProblemStructure(
+            net, renegotiated, result.structure.grid, k_paths=4
+        )
+        z = solve_stage1(structure).zstar
+        assert z >= 1.0 - 1e-6
+
+
+class TestSimulationEndToEnd:
+    def test_escience_day_on_abilene(self):
+        net = abilene().with_wavelengths(4, total_link_rate=20.0)
+        jobs = mixed_escience_trace(
+            net, num_bulk=3, num_small=6, bulk_size=150.0, seed=17
+        )
+        result = Simulation(net, tau=2.0, slice_length=1.0, policy="reduce").run(jobs)
+        summary = summarize(result)
+        assert summary.num_jobs == 9
+        assert summary.delivered_volume > 0
+        assert summary.num_scheduling_passes >= 2
+
+    def test_policies_rank_as_expected(self):
+        """On an overloaded instance: extend completes the most jobs."""
+        net = topologies.line(3, capacity=2, wavelength_rate=1.0)
+        gen = WorkloadGenerator(
+            net, WorkloadConfig(size_low=6.0, size_high=10.0), seed=41
+        )
+        jobs = gen.jobs(6)
+        completed = {}
+        for policy in ("reduce", "reject", "extend"):
+            res = Simulation(net, policy=policy).run(jobs)
+            completed[policy] = res.num_completed
+        assert completed["extend"] >= completed["reduce"]
+        assert completed["extend"] >= completed["reject"]

@@ -1,0 +1,82 @@
+"""Unit tests for the exact MILP wrapper."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro import (
+    InfeasibleProblemError,
+    LinearProgram,
+    UnboundedProblemError,
+    ValidationError,
+    solve_milp,
+)
+
+
+class TestSolveMILP:
+    def test_integer_optimum_differs_from_lp(self):
+        # max x s.t. 2x <= 3: LP optimum 1.5, integer optimum 1.
+        lp = LinearProgram(
+            objective=np.ones(1),
+            a_ub=sp.csr_matrix(np.array([[2.0]])),
+            b_ub=np.array([3.0]),
+            maximize=True,
+        )
+        sol = solve_milp(lp)
+        assert sol.objective == pytest.approx(1.0)
+        assert sol.x == pytest.approx([1.0])
+
+    def test_knapsack(self):
+        # max 3a + 2b, a + b <= 2, a,b in {0,1,2,...}, a <= 1.
+        lp = LinearProgram(
+            objective=np.array([3.0, 2.0]),
+            a_ub=sp.csr_matrix(np.array([[1.0, 1.0]])),
+            b_ub=np.array([2.0]),
+            upper=np.array([1.0, np.inf]),
+            maximize=True,
+        )
+        sol = solve_milp(lp)
+        assert sol.objective == pytest.approx(5.0)
+        assert sol.x == pytest.approx([1.0, 1.0])
+
+    def test_equality_block(self):
+        # min a + b with a + b == 3 integral.
+        lp = LinearProgram(
+            objective=np.ones(2),
+            a_eq=sp.csr_matrix(np.array([[1.0, 1.0]])),
+            b_eq=np.array([3.0]),
+        )
+        sol = solve_milp(lp)
+        assert sol.objective == pytest.approx(3.0)
+        assert np.allclose(sol.x, np.rint(sol.x))
+
+    def test_infeasible(self):
+        # 2x == 1 has no integer solution.
+        lp = LinearProgram(
+            objective=np.ones(1),
+            a_eq=sp.csr_matrix(np.array([[2.0]])),
+            b_eq=np.array([1.0]),
+        )
+        with pytest.raises(InfeasibleProblemError):
+            solve_milp(lp)
+
+    def test_unbounded(self):
+        lp = LinearProgram(objective=np.ones(1), maximize=True)
+        with pytest.raises((UnboundedProblemError, InfeasibleProblemError)):
+            # HiGHS may report unbounded MIPs as either status.
+            solve_milp(lp)
+
+    def test_size_guard(self):
+        lp = LinearProgram(objective=np.ones(50))
+        with pytest.raises(ValidationError, match="refusing"):
+            solve_milp(lp, size_limit=10)
+
+    def test_solution_is_integral(self):
+        lp = LinearProgram(
+            objective=np.array([1.0, 1.3]),
+            a_ub=sp.csr_matrix(np.array([[1.0, 1.0]])),
+            b_ub=np.array([3.7]),
+            maximize=True,
+        )
+        sol = solve_milp(lp)
+        assert np.array_equal(sol.x, np.rint(sol.x))

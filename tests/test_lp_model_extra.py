@@ -1,0 +1,116 @@
+"""Additional ProblemStructure coverage: multi-path layouts, big grids,
+profile interplay, and vectorized assembly consistency."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Job,
+    JobSet,
+    Network,
+    ProblemStructure,
+    TimeGrid,
+    ValidationError,
+)
+from repro.network import topologies, waxman_network
+from repro.workload import WorkloadGenerator
+
+
+class TestMultiPathLayout:
+    @pytest.fixture
+    def structure(self):
+        net = topologies.ring(6, capacity=2)
+        jobs = JobSet(
+            [
+                Job(id=0, source=0, dest=3, size=4.0, start=0.0, end=3.0),
+                Job(id=1, source=1, dest=4, size=2.0, start=1.0, end=4.0),
+            ]
+        )
+        return ProblemStructure(net, jobs, TimeGrid.uniform(4), k_paths=2)
+
+    def test_column_blocks_contiguous_per_path(self, structure):
+        # Job 0: 2 paths x 3 slices; job 1: 2 paths x 3 slices.
+        assert structure.num_cols == 12
+        assert structure.job_offset.tolist() == [0, 6, 12]
+        # Within a job, each path's slices are contiguous and ascending.
+        for i in range(2):
+            for p in range(2):
+                cols = [
+                    structure.column(i, p, j)
+                    for j in structure.allowed_slices(i)
+                ]
+                assert cols == list(range(cols[0], cols[0] + len(cols)))
+
+    def test_col_path_layout(self, structure):
+        assert structure.col_path.tolist() == [0, 0, 0, 1, 1, 1] * 2
+
+    def test_capacity_rows_unique(self, structure):
+        keys = list(
+            zip(structure.cap_row_edge.tolist(), structure.cap_row_slice.tolist())
+        )
+        assert len(keys) == len(set(keys))
+
+    def test_capacity_matrix_column_sums(self, structure):
+        """Each column's entries equal its path's hop count."""
+        col_sums = np.asarray(
+            structure.capacity_matrix.sum(axis=0)
+        ).ravel()
+        for c in range(structure.num_cols):
+            i = int(structure.col_job[c])
+            p = int(structure.col_path[c])
+            assert col_sums[c] == structure.paths[i][p].num_hops
+
+    def test_demand_matrix_row_sums(self, structure):
+        row_sums = np.asarray(structure.demand_matrix.sum(axis=1)).ravel()
+        for i in range(2):
+            expected = structure.num_paths[i] * structure.span[i] * 1.0
+            assert row_sums[i] == pytest.approx(expected)
+
+
+class TestLargerAssembly:
+    def test_random_instance_dimensions(self):
+        net = waxman_network(40, seed=5).with_wavelengths(4, 20.0)
+        jobs = WorkloadGenerator(net, seed=6).jobs(25)
+        grid = TimeGrid.covering(jobs.max_end())
+        s = ProblemStructure(net, jobs, grid, k_paths=4)
+        # num_cols == sum over jobs of paths * span.
+        expected = int(np.sum(s.num_paths * s.span))
+        assert s.num_cols == expected
+        # Every capacity row references a real edge and slice.
+        assert s.cap_row_edge.max() < net.num_edges
+        assert s.cap_row_slice.max() < grid.num_slices
+        # Loads from the all-ones vector are consistent with row sums.
+        x = np.ones(s.num_cols)
+        loads = s.link_loads(x)
+        assert loads.sum() == pytest.approx(s.capacity_matrix.sum())
+
+    def test_throughputs_shape_and_positivity(self):
+        net = waxman_network(20, seed=7).with_wavelengths(2, 20.0)
+        jobs = WorkloadGenerator(net, seed=8).jobs(10)
+        grid = TimeGrid.covering(jobs.max_end())
+        s = ProblemStructure(net, jobs, grid)
+        z = s.throughputs(np.ones(s.num_cols))
+        assert z.shape == (10,)
+        assert np.all(z > 0)
+
+
+class TestImmutability:
+    def test_layout_arrays_frozen(self, line3_structure):
+        for arr in (
+            line3_structure.col_job,
+            line3_structure.col_slice,
+            line3_structure.col_len,
+            line3_structure.demands,
+            line3_structure.cap_rhs,
+        ):
+            with pytest.raises(ValueError):
+                arr[0] = 99
+
+    def test_network_mutation_after_build_is_callers_problem(self, line3):
+        """Documented behaviour: the structure snapshots capacities at
+        build time (cap_rhs), so later network edits do not leak in."""
+        jobs = JobSet([Job(id=0, source=0, dest=2, size=1.0, start=0.0, end=2.0)])
+        s = ProblemStructure(line3, jobs, TimeGrid.uniform(2))
+        before = s.cap_rhs.copy()
+        line3.add_link_pair(0, 2, 9)  # new shortcut, added too late
+        assert np.array_equal(s.cap_rhs, before)

@@ -1,0 +1,113 @@
+"""Unit tests for the LinearProgram wrapper and HiGHS front-end."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro import (
+    InfeasibleProblemError,
+    LinearProgram,
+    UnboundedProblemError,
+    ValidationError,
+    solve_lp,
+)
+
+
+class TestLinearProgramValidation:
+    def test_objective_must_be_vector(self):
+        with pytest.raises(ValidationError):
+            LinearProgram(objective=np.zeros((2, 2)))
+
+    def test_matrix_rhs_pairing(self):
+        with pytest.raises(ValidationError):
+            LinearProgram(objective=np.zeros(2), a_ub=sp.eye(2))
+
+    def test_column_count_checked(self):
+        with pytest.raises(ValidationError):
+            LinearProgram(
+                objective=np.zeros(3), a_ub=sp.eye(2), b_ub=np.zeros(2)
+            )
+
+    def test_row_count_checked(self):
+        with pytest.raises(ValidationError):
+            LinearProgram(
+                objective=np.zeros(2), a_eq=sp.eye(2), b_eq=np.zeros(3)
+            )
+
+    def test_bounds_broadcast(self):
+        lp = LinearProgram(objective=np.ones(3), lower=1.0, upper=2.0)
+        lo, hi = lp.bounds_arrays()
+        assert lo.tolist() == [1.0, 1.0, 1.0]
+        assert hi.tolist() == [2.0, 2.0, 2.0]
+
+    def test_crossed_bounds_rejected(self):
+        lp = LinearProgram(objective=np.ones(2), lower=3.0, upper=1.0)
+        with pytest.raises(ValidationError):
+            lp.bounds_arrays()
+
+
+class TestSolveLP:
+    def test_simple_minimize(self):
+        # min x0 + x1 s.t. x0 + x1 >= 2 (as -x0 - x1 <= -2), x >= 0.
+        lp = LinearProgram(
+            objective=np.ones(2),
+            a_ub=sp.csr_matrix(np.array([[-1.0, -1.0]])),
+            b_ub=np.array([-2.0]),
+        )
+        sol = solve_lp(lp)
+        assert sol.objective == pytest.approx(2.0)
+        assert sol.x.sum() == pytest.approx(2.0)
+
+    def test_simple_maximize(self):
+        # max x0 + 2 x1 s.t. x0 + x1 <= 4, x <= 3.
+        lp = LinearProgram(
+            objective=np.array([1.0, 2.0]),
+            a_ub=sp.csr_matrix(np.array([[1.0, 1.0]])),
+            b_ub=np.array([4.0]),
+            upper=3.0,
+            maximize=True,
+        )
+        sol = solve_lp(lp)
+        assert sol.objective == pytest.approx(7.0)
+        assert sol.x == pytest.approx([1.0, 3.0])
+
+    def test_equality_constraints(self):
+        lp = LinearProgram(
+            objective=np.array([1.0, 1.0]),
+            a_eq=sp.csr_matrix(np.array([[1.0, -1.0]])),
+            b_eq=np.array([1.0]),
+        )
+        sol = solve_lp(lp)
+        assert sol.x[0] - sol.x[1] == pytest.approx(1.0)
+        assert sol.objective == pytest.approx(1.0)
+
+    def test_infeasible_raises(self):
+        lp = LinearProgram(
+            objective=np.ones(1),
+            a_ub=sp.csr_matrix(np.array([[1.0]])),
+            b_ub=np.array([-1.0]),  # x <= -1 with x >= 0
+        )
+        with pytest.raises(InfeasibleProblemError):
+            solve_lp(lp)
+
+    def test_unbounded_raises(self):
+        lp = LinearProgram(objective=np.ones(1), maximize=True)
+        with pytest.raises(UnboundedProblemError):
+            solve_lp(lp)
+
+    def test_solution_clamped_to_bounds(self):
+        lp = LinearProgram(
+            objective=np.ones(2),
+            a_ub=sp.csr_matrix(np.array([[-1.0, -1.0]])),
+            b_ub=np.array([-2.0]),
+        )
+        sol = solve_lp(lp)
+        assert np.all(sol.x >= 0.0)
+
+    def test_iterations_reported(self):
+        lp = LinearProgram(
+            objective=np.ones(2),
+            a_ub=sp.csr_matrix(np.array([[-1.0, -1.0]])),
+            b_ub=np.array([-2.0]),
+        )
+        assert solve_lp(lp).iterations >= 0

@@ -1,0 +1,189 @@
+"""Unit tests for the LPDAR heuristic (discretize + Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Job,
+    JobSet,
+    ProblemStructure,
+    ValidationError,
+    discretize,
+    greedy_adjust,
+    lpdar,
+    solve_stage1,
+    solve_stage2_lp,
+)
+
+
+class TestDiscretize:
+    def test_floors_fractions(self):
+        assert discretize(np.array([0.0, 0.4, 1.9, 2.5])).tolist() == [0, 0, 1, 2]
+
+    def test_near_integer_rounds_up(self):
+        x = np.array([2.9999999995, 1.0000000001])
+        assert discretize(x).tolist() == [3.0, 1.0]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            discretize(np.array([-0.5]))
+
+    def test_tiny_negative_noise_clamped(self):
+        assert discretize(np.array([-1e-12])).tolist() == [0.0]
+
+    def test_never_exceeds_input(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 10, size=100)
+        assert np.all(discretize(x) <= x + 1e-6)
+
+
+class TestGreedyAdjust:
+    def test_recovers_truncated_bandwidth(self, diamond):
+        """LPD of an all-0.5 solution is 0; Algorithm 1 refills both paths."""
+        from repro import TimeGrid
+
+        jobs = JobSet([Job(id=0, source=0, dest=3, size=2.0, start=0.0, end=1.0)])
+        s = ProblemStructure(diamond, jobs, TimeGrid.uniform(1), k_paths=2)
+        x_frac = np.array([0.5, 0.5])
+        x_lpd = discretize(x_frac)
+        assert x_lpd.tolist() == [0.0, 0.0]
+        x_adj = greedy_adjust(s, x_lpd)
+        assert x_adj.tolist() == [1.0, 1.0]
+
+    def test_never_decreases(self, line3_structure, rng):
+        x = np.zeros(line3_structure.num_cols)
+        x[0] = 1.0
+        adjusted = greedy_adjust(line3_structure, x)
+        assert np.all(adjusted >= x)
+
+    def test_capacity_never_violated(self, line3_structure):
+        x = np.zeros(line3_structure.num_cols)
+        adjusted = greedy_adjust(line3_structure, x)
+        assert line3_structure.capacity_violation(adjusted) == 0.0
+        # Greedy should saturate the line fully (each job has its own direction).
+        loads = line3_structure.link_loads(adjusted)
+        assert loads[line3_structure.network.edge_id(0, 1), :].tolist() == [
+            2.0,
+            2.0,
+            2.0,
+            2.0,
+        ]
+
+    def test_result_is_integral(self, line3_structure):
+        x = np.zeros(line3_structure.num_cols)
+        adjusted = greedy_adjust(line3_structure, x)
+        assert np.array_equal(adjusted, np.rint(adjusted))
+
+    def test_rejects_fractional_input(self, line3_structure):
+        x = np.full(line3_structure.num_cols, 0.5)
+        with pytest.raises(ValidationError, match="integer"):
+            greedy_adjust(line3_structure, x)
+
+    def test_rejects_capacity_violating_input(self, line3_structure):
+        x = np.zeros(line3_structure.num_cols)
+        x[0] = 99.0
+        with pytest.raises(ValidationError, match="violates capacity"):
+            greedy_adjust(line3_structure, x)
+
+    def test_rejects_wrong_shape(self, line3_structure):
+        with pytest.raises(ValidationError):
+            greedy_adjust(line3_structure, np.zeros(2))
+
+    def test_random_order_needs_rng(self, line3_structure):
+        x = np.zeros(line3_structure.num_cols)
+        with pytest.raises(ValidationError):
+            greedy_adjust(line3_structure, x, order="random")
+
+    def test_unknown_order_rejected(self, line3_structure):
+        with pytest.raises(ValidationError):
+            greedy_adjust(line3_structure, np.zeros(line3_structure.num_cols), order="bogus")
+
+    def test_random_order_still_feasible(self, line3_structure, rng):
+        x = np.zeros(line3_structure.num_cols)
+        adjusted = greedy_adjust(line3_structure, x, order="random", rng=rng)
+        assert line3_structure.capacity_violation(adjusted) == 0.0
+
+    def test_window_respected(self, line3, grid4):
+        """Greedy must not grant slices outside a job's window."""
+        jobs = JobSet([Job(id=0, source=0, dest=2, size=4.0, start=1.0, end=3.0)])
+        s = ProblemStructure(line3, jobs, grid4)
+        adjusted = greedy_adjust(s, np.zeros(s.num_cols))
+        # Columns exist only for slices 1, 2 — all may be filled to cap 2.
+        assert s.col_slice.tolist() == [1, 2]
+        assert adjusted.tolist() == [2.0, 2.0]
+
+
+class TestDeficitFirstAndCapping:
+    @pytest.fixture
+    def shared_link(self, line3):
+        """Two jobs on the same 1-slice window; deficits differ."""
+        from repro import TimeGrid
+
+        jobs = JobSet(
+            [
+                Job(id="sated", source=0, dest=2, size=1.0, start=0.0, end=1.0),
+                Job(id="needy", source=0, dest=2, size=2.0, start=0.0, end=1.0),
+            ]
+        )
+        return ProblemStructure(line3, jobs, TimeGrid.uniform(1))
+
+    def test_paper_order_serves_first_job_first(self, shared_link):
+        x = greedy_adjust(shared_link, np.zeros(2), order="paper")
+        assert x.tolist() == [2.0, 0.0]
+
+    def test_deficit_first_serves_needy_job(self, shared_link):
+        x = greedy_adjust(shared_link, np.zeros(2), order="deficit_first")
+        assert x.tolist() == [0.0, 2.0]
+
+    def test_cap_at_target_leaves_surplus(self, shared_link):
+        x = greedy_adjust(
+            shared_link, np.zeros(2), order="paper", cap_at_target=True
+        )
+        # Job "sated" needs only 1 wavelength-slice; job "needy" gets the rest.
+        assert x.tolist() == [1.0, 1.0]
+
+    def test_cap_with_explicit_targets(self, shared_link):
+        x = greedy_adjust(
+            shared_link,
+            np.zeros(2),
+            order="paper",
+            targets=np.array([0.0, 2.0]),
+            cap_at_target=True,
+        )
+        assert x.tolist() == [0.0, 2.0]
+
+    def test_targets_shape_validated(self, shared_link):
+        with pytest.raises(ValidationError):
+            greedy_adjust(shared_link, np.zeros(2), targets=np.array([1.0]))
+
+
+class TestLpdarPipeline:
+    def test_objective_ordering_lpd_lpdar_lp(self, line3, grid4):
+        """Weighted throughput: LPD <= LPDAR <= LP on a contended instance."""
+        jobs = JobSet(
+            [
+                Job(id=0, source=0, dest=2, size=5.0, start=0.0, end=4.0),
+                Job(id=1, source=0, dest=2, size=3.0, start=0.0, end=3.0),
+            ]
+        )
+        s = ProblemStructure(line3, jobs, grid4)
+        zstar = solve_stage1(s).zstar
+        stage2 = solve_stage2_lp(s, zstar, alpha=0.1)
+        result = lpdar(s, stage2.x)
+        wt = s.weighted_throughput
+        assert wt(result.x_lpd) <= wt(result.x_lpdar) + 1e-9
+        assert wt(result.x_lpdar) <= wt(result.x_lp) + 1e-9
+
+    def test_lpdar_output_feasible_and_integral(self, line3_structure):
+        zstar = solve_stage1(line3_structure).zstar
+        stage2 = solve_stage2_lp(line3_structure, zstar, alpha=0.1)
+        result = lpdar(line3_structure, stage2.x)
+        assert line3_structure.capacity_violation(result.x_lpdar) == 0.0
+        assert np.array_equal(result.x_lpdar, np.rint(result.x_lpdar))
+        assert np.all(result.x_lpdar >= result.x_lpd)
+
+    def test_lp_field_preserves_input(self, line3_structure):
+        x = np.zeros(line3_structure.num_cols)
+        x[0] = 1.3
+        result = lpdar(line3_structure, x)
+        assert result.x_lp[0] == pytest.approx(1.3)

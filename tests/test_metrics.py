@@ -1,0 +1,163 @@
+"""Unit tests for schedule-level metrics."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Job,
+    JobSet,
+    ProblemStructure,
+    TimeGrid,
+    ValidationError,
+    average_end_time,
+    completion_slices,
+    fraction_finished,
+)
+from repro.core.metrics import (
+    mean_link_utilization,
+    normalized_throughput,
+    per_slice_delivery,
+)
+
+
+@pytest.fixture
+def single_job(line3):
+    jobs = JobSet([Job(id=0, source=0, dest=2, size=4.0, start=0.0, end=4.0)])
+    return ProblemStructure(line3, jobs, TimeGrid.uniform(4))
+
+
+class TestPerSliceDelivery:
+    def test_shape_and_values(self, single_job):
+        x = np.array([2.0, 1.0, 0.0, 1.0])
+        d = per_slice_delivery(single_job, x)
+        assert d.shape == (1, 4)
+        assert d[0].tolist() == [2.0, 1.0, 0.0, 1.0]
+
+    def test_multi_path_sums(self, diamond, grid4):
+        jobs = JobSet([Job(id=0, source=0, dest=3, size=4.0, start=0.0, end=4.0)])
+        s = ProblemStructure(diamond, jobs, grid4, k_paths=2)
+        x = np.zeros(s.num_cols)
+        x[s.column(0, 0, 0)] = 1.0
+        x[s.column(0, 1, 0)] = 1.0
+        d = per_slice_delivery(s, x)
+        assert d[0, 0] == 2.0
+
+    def test_slice_length_scales_volume(self, line3):
+        jobs = JobSet([Job(id=0, source=0, dest=2, size=4.0, start=0.0, end=4.0)])
+        s = ProblemStructure(line3, jobs, TimeGrid.uniform(2, slice_length=2.0))
+        x = np.array([1.0, 0.0])
+        assert per_slice_delivery(s, x)[0].tolist() == [2.0, 0.0]
+
+
+class TestCompletion:
+    def test_completion_slice(self, single_job):
+        x = np.array([2.0, 1.0, 1.0, 0.0])  # cumulative 2, 3, 4 -> done at 2
+        assert completion_slices(single_job, x).tolist() == [2]
+
+    def test_unfinished_is_minus_one(self, single_job):
+        x = np.array([1.0, 1.0, 0.0, 0.0])
+        assert completion_slices(single_job, x).tolist() == [-1]
+
+    def test_fraction_finished(self, line3_structure):
+        x = np.zeros(line3_structure.num_cols)
+        x[:4] = 1.0  # job 0 delivers 4 == its demand; job 1 nothing
+        assert fraction_finished(line3_structure, x) == pytest.approx(0.5)
+
+    def test_fraction_finished_tolerance(self, single_job):
+        x = np.array([2.0, 2.0 - 1e-9, 0.0, 0.0])
+        assert fraction_finished(single_job, x) == 1.0
+
+
+class TestAverageEndTime:
+    def test_unit_is_slice_count(self, single_job):
+        x = np.array([2.0, 2.0, 0.0, 0.0])  # finishes on slice 1 -> end time 2
+        assert average_end_time(single_job, x) == pytest.approx(2.0)
+
+    def test_averages_only_finished(self, line3_structure):
+        x = np.zeros(line3_structure.num_cols)
+        x[:4] = 1.0  # job 0 finishes on slice 3; job 1 unfinished
+        assert average_end_time(line3_structure, x) == pytest.approx(4.0)
+
+    def test_require_all_finished_raises(self, line3_structure):
+        x = np.zeros(line3_structure.num_cols)
+        x[:4] = 1.0
+        with pytest.raises(ValidationError, match="not finished"):
+            average_end_time(line3_structure, x, require_all_finished=True)
+
+    def test_nan_when_none_finished(self, single_job):
+        assert np.isnan(average_end_time(single_job, np.zeros(4)))
+
+
+class TestNormalizedThroughput:
+    def test_identity_reference(self, single_job):
+        x = np.array([1.0, 1.0, 0.0, 0.0])
+        assert normalized_throughput(single_job, x, x) == pytest.approx(1.0)
+
+    def test_half_reference(self, single_job):
+        x = np.array([1.0, 0.0, 0.0, 0.0])
+        ref = np.array([2.0, 0.0, 0.0, 0.0])
+        assert normalized_throughput(single_job, x, ref) == pytest.approx(0.5)
+
+    def test_zero_reference_rejected(self, single_job):
+        with pytest.raises(ValidationError):
+            normalized_throughput(single_job, np.zeros(4), np.zeros(4))
+
+
+class TestUtilization:
+    def test_full_saturation(self, line3_structure):
+        from repro import greedy_adjust
+
+        x = greedy_adjust(line3_structure, np.zeros(line3_structure.num_cols))
+        # Only the two forward/backward directions the jobs use are loaded;
+        # utilization averages over all four directed edges and four slices.
+        util = mean_link_utilization(line3_structure, x)
+        # Job windows: 0->2 over slices 0-3 saturated, 2->0 over 0-2.
+        # Loaded edge-slices: 2 edges * 4 + 2 edges * 3 = 14 of 16 at cap.
+        assert util == pytest.approx(14 / 16)
+
+    def test_empty_schedule(self, single_job):
+        assert mean_link_utilization(single_job, np.zeros(4)) == 0.0
+
+
+class TestJainsFairness:
+    def test_equal_shares_are_one(self):
+        from repro.core.metrics import jains_fairness_index
+
+        assert jains_fairness_index(np.array([2.0, 2.0, 2.0])) == pytest.approx(1.0)
+
+    def test_single_taker_is_one_over_n(self):
+        from repro.core.metrics import jains_fairness_index
+
+        assert jains_fairness_index(np.array([5.0, 0.0, 0.0, 0.0])) == pytest.approx(0.25)
+
+    def test_all_zero_is_nan(self):
+        from repro.core.metrics import jains_fairness_index
+
+        assert np.isnan(jains_fairness_index(np.zeros(3)))
+
+    def test_validation(self):
+        from repro.core.metrics import jains_fairness_index
+
+        with pytest.raises(ValidationError):
+            jains_fairness_index(np.array([]))
+        with pytest.raises(ValidationError):
+            jains_fairness_index(np.array([-1.0, 2.0]))
+
+    def test_alpha_raises_fairness(self, line3, grid4):
+        """Lower alpha (tighter floor) -> higher Jain index of LP Z_i."""
+        from repro import Job, JobSet, ProblemStructure, solve_stage1, solve_stage2_lp
+        from repro.core.metrics import jains_fairness_index
+
+        jobs = JobSet(
+            [
+                Job(id="big", source=0, dest=2, size=7.0, start=0.0, end=4.0),
+                Job(id="small", source=0, dest=2, size=1.0, start=0.0, end=2.0),
+            ]
+        )
+        s = ProblemStructure(line3, jobs, grid4)
+        zstar = solve_stage1(s).zstar
+        tight = solve_stage2_lp(s, zstar, alpha=0.0)
+        loose = solve_stage2_lp(s, zstar, alpha=1.0)
+        fair_tight = jains_fairness_index(s.throughputs(tight.x))
+        fair_loose = jains_fairness_index(s.throughputs(loose.x))
+        assert fair_tight >= fair_loose - 1e-9

@@ -1,0 +1,160 @@
+"""Unit tests for the controller-user negotiation session."""
+
+import pytest
+
+from repro import Job, JobSet, ValidationError
+from repro.core.negotiation import NegotiationSession
+from repro.network import topologies
+
+
+@pytest.fixture
+def net():
+    return topologies.line(3, capacity=2, wavelength_rate=1.0)
+
+
+@pytest.fixture
+def overloaded_jobs():
+    """16 volume over an 8-volume window: Z* = 0.5."""
+    return JobSet(
+        [
+            Job(id="a", source=0, dest=2, size=10.0, start=0.0, end=4.0),
+            Job(id="b", source=0, dest=2, size=6.0, start=0.0, end=4.0),
+        ]
+    )
+
+
+class TestSizeReductionRound:
+    def test_full_round_reaches_admissibility(self, net, overloaded_jobs):
+        session = NegotiationSession(net, overloaded_jobs)
+        assert not session.admissible()
+
+        round_ = session.propose_size_reduction()
+        assert round_.kind == "reduce_size"
+        for job in overloaded_jobs:
+            assert round_.proposals[job.id].size <= job.size + 1e-9
+
+        session.apply_responses()  # everyone accepts
+        assert session.admissible()
+        assert len(session.rounds) == 1
+        assert session.rounds[0].applied
+
+    def test_decline_keeps_original_request(self, net, overloaded_jobs):
+        session = NegotiationSession(net, overloaded_jobs)
+        session.propose_size_reduction()
+        session.respond("a", accept=False)
+        jobs = session.apply_responses()
+        assert jobs.by_id("a").size == 10.0  # unchanged
+        assert jobs.by_id("b").size < 6.0  # accepted (default)
+
+    def test_counter_offer(self, net, overloaded_jobs):
+        session = NegotiationSession(net, overloaded_jobs)
+        session.propose_size_reduction()
+        session.respond("a", accept=False, counter_size=4.0)
+        jobs = session.apply_responses()
+        assert jobs.by_id("a").size == 4.0
+
+    def test_withdrawal(self, net, overloaded_jobs):
+        session = NegotiationSession(net, overloaded_jobs)
+        session.propose_size_reduction()
+        session.respond("a", withdraw=True)
+        session.respond("b", accept=False)
+        jobs = session.apply_responses()
+        assert "a" not in jobs
+        assert [j.id for j in session.withdrawn] == ["a"]
+        # b alone at original size fits (6 <= 8).
+        assert session.admissible()
+
+    def test_zero_size_proposal_counts_as_withdrawal(self, net):
+        """A job the network cannot serve at all drops out on accept."""
+        from repro import Network
+
+        isolated_net = topologies.line(3, capacity=1, wavelength_rate=1.0)
+        jobs = JobSet(
+            [
+                Job(id="big", source=0, dest=2, size=100.0, start=0.0, end=1.0),
+                Job(id="ok", source=0, dest=2, size=1.0, start=1.0, end=4.0),
+            ]
+        )
+        session = NegotiationSession(isolated_net, jobs)
+        session.propose_size_reduction()
+        new = session.apply_responses()
+        # "big" gets a near-zero guarantee in a 1-slice window shared
+        # with nothing; it may survive tiny — verify consistency either way.
+        assert session.admissible() or len(new) < 2
+
+
+class TestDeadlineExtensionRound:
+    def test_extension_round(self, net, overloaded_jobs):
+        session = NegotiationSession(net, overloaded_jobs)
+        round_ = session.propose_deadline_extension(b_max=10.0)
+        assert round_.kind == "extend_end"
+        for job in overloaded_jobs:
+            proposal = round_.proposals[job.id]
+            assert proposal.end >= job.end
+            assert proposal.size == job.size  # sizes untouched
+        session.apply_responses()
+        assert session.admissible()
+
+    def test_interval_mode_forwarded(self, net, overloaded_jobs):
+        session = NegotiationSession(net, overloaded_jobs)
+        round_ = session.propose_deadline_extension(mode="interval")
+        assert all(p.end >= 4.0 for p in round_.proposals.values())
+
+
+class TestMultiRound:
+    def test_repeated_negotiation(self, net, overloaded_jobs):
+        """Round 1 declined by one user; round 2 converges — the paper's
+        'this negotiation process can be further repeated'."""
+        session = NegotiationSession(net, overloaded_jobs)
+        session.propose_size_reduction()
+        session.respond("a", accept=False)  # a insists on 10 GB
+        session.apply_responses()
+        if session.admissible():
+            pytest.skip("instance converged in one round")
+        session.propose_deadline_extension()
+        session.apply_responses()
+        assert session.admissible()
+        assert len(session.rounds) == 2
+
+
+class TestProtocolErrors:
+    def test_empty_jobs_rejected(self, net):
+        with pytest.raises(ValidationError):
+            NegotiationSession(net, JobSet())
+
+    def test_respond_without_round(self, net, overloaded_jobs):
+        session = NegotiationSession(net, overloaded_jobs)
+        with pytest.raises(ValidationError, match="no open round"):
+            session.respond("a")
+
+    def test_double_proposal_rejected(self, net, overloaded_jobs):
+        session = NegotiationSession(net, overloaded_jobs)
+        session.propose_size_reduction()
+        with pytest.raises(ValidationError, match="still open"):
+            session.propose_size_reduction()
+
+    def test_double_response_rejected(self, net, overloaded_jobs):
+        session = NegotiationSession(net, overloaded_jobs)
+        session.propose_size_reduction()
+        session.respond("a")
+        with pytest.raises(ValidationError, match="already responded"):
+            session.respond("a")
+
+    def test_unknown_job_rejected(self, net, overloaded_jobs):
+        session = NegotiationSession(net, overloaded_jobs)
+        session.propose_size_reduction()
+        with pytest.raises(ValidationError, match="no proposal"):
+            session.respond("zzz")
+
+    def test_withdraw_with_terms_rejected(self, net, overloaded_jobs):
+        session = NegotiationSession(net, overloaded_jobs)
+        session.propose_size_reduction()
+        with pytest.raises(ValidationError, match="withdrawal"):
+            session.respond("a", withdraw=True, counter_size=3.0)
+        # Plain withdraw (accept left at its default) is fine.
+        session.respond("a", withdraw=True)
+
+    def test_apply_without_round(self, net, overloaded_jobs):
+        session = NegotiationSession(net, overloaded_jobs)
+        with pytest.raises(ValidationError, match="no open round"):
+            session.apply_responses()

@@ -1,0 +1,152 @@
+"""Correctness on non-uniform time grids.
+
+Most tests use unit slices, where several distinct quantities coincide
+(wavelengths == volume per slice, slice index == time).  These tests use
+irregular slice lengths to pin down that every ``LEN(j)`` factor sits in
+the right place: constraint (2)'s volume accounting, the objective
+weights, Quick-Finish costs, and the metrics.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Job,
+    JobSet,
+    ProblemStructure,
+    TimeGrid,
+    greedy_adjust,
+    lpdar,
+    solve_stage1,
+    solve_stage2_lp,
+    solve_subret_lp,
+)
+from repro.core.metrics import average_end_time, per_slice_delivery
+from repro.network import topologies
+
+
+@pytest.fixture
+def net():
+    return topologies.line(3, capacity=2, wavelength_rate=1.0)
+
+
+@pytest.fixture
+def grid():
+    # Slices of lengths 0.5, 1.5, 2.0 covering [0, 4].
+    return TimeGrid([0.0, 0.5, 2.0, 4.0])
+
+
+class TestStage1NonUniform:
+    def test_zstar_accounts_for_slice_lengths(self, net, grid):
+        """Capacity 2 x total length 4 = 8 volume; size 4 -> Z* = 2."""
+        jobs = JobSet([Job(id=0, source=0, dest=2, size=4.0, start=0.0, end=4.0)])
+        s = ProblemStructure(net, jobs, grid)
+        assert solve_stage1(s).zstar == pytest.approx(2.0)
+
+    def test_partial_window_uses_contained_slices_only(self, net, grid):
+        """Window [0.5, 4.0] contains slices 1 and 2: 3.5 time units."""
+        jobs = JobSet([Job(id=0, source=0, dest=2, size=7.0, start=0.5, end=4.0)])
+        s = ProblemStructure(net, jobs, grid)
+        assert s.allowed_slices(0) == range(1, 3)
+        assert solve_stage1(s).zstar == pytest.approx(2 * 3.5 / 7.0)
+
+    def test_col_len_matches_grid(self, net, grid):
+        jobs = JobSet([Job(id=0, source=0, dest=2, size=1.0, start=0.0, end=4.0)])
+        s = ProblemStructure(net, jobs, grid)
+        assert s.col_len.tolist() == [0.5, 1.5, 2.0]
+
+
+class TestStage2NonUniform:
+    def test_objective_counts_volume_not_wavelengths(self, net, grid):
+        """One wavelength on the long slice beats one on the short slice."""
+        jobs = JobSet([Job(id=0, source=0, dest=2, size=8.0, start=0.0, end=4.0)])
+        s = ProblemStructure(net, jobs, grid)
+        zstar = solve_stage1(s).zstar
+        result = solve_stage2_lp(s, zstar, alpha=0.1)
+        # Full pipe: 2 wavelengths x 4 time = 8 volume = exactly the demand.
+        assert result.objective == pytest.approx(1.0)
+        assert s.delivered(result.x)[0] == pytest.approx(8.0)
+
+    def test_lpdar_keeps_volume_accounting(self, net, grid):
+        jobs = JobSet([Job(id=0, source=0, dest=2, size=5.0, start=0.0, end=4.0)])
+        s = ProblemStructure(net, jobs, grid)
+        zstar = solve_stage1(s).zstar
+        stage2 = solve_stage2_lp(s, zstar, alpha=0.1)
+        rounded = lpdar(s, stage2.x)
+        assert s.capacity_violation(rounded.x_lpdar) == 0.0
+        # Greedy fills every wavelength-slice: delivered = 8 regardless
+        # of slice lengths.
+        assert s.delivered(rounded.x_lpdar)[0] == pytest.approx(8.0)
+
+
+class TestSubRetNonUniform:
+    def test_quick_finish_weighs_wavelengths_not_volume(self, net, grid):
+        """The QF cost gamma(j) * x prices *wavelength counts*.
+
+        Moving 1 volume costs: slice 0 (len 0.5): x=2, cost 2*1 = 2;
+        slice 1 (len 1.5): x=2/3, cost (2/3)*2 = 4/3; slice 2 (len 2):
+        x=0.5, cost 0.5*3 = 1.5.  The optimum is the *longer, later*
+        slice 1 — on non-uniform grids Quick-Finish is about cheap
+        wavelength usage, not strictly earliest volume.
+        """
+        jobs = JobSet([Job(id=0, source=0, dest=2, size=1.0, start=0.0, end=4.0)])
+        s = ProblemStructure(net, jobs, grid)
+        sol = solve_subret_lp(s)
+        assert sol.x[1] == pytest.approx(2.0 / 3.0)
+        assert sol.x[0] == pytest.approx(0.0)
+        assert sol.x[2] == pytest.approx(0.0)
+        assert sol.objective == pytest.approx(4.0 / 3.0)
+
+    def test_demand_met_exactly_with_lengths(self, net, grid):
+        jobs = JobSet([Job(id=0, source=0, dest=2, size=3.0, start=0.0, end=4.0)])
+        s = ProblemStructure(net, jobs, grid)
+        sol = solve_subret_lp(s)
+        assert s.delivered(sol.x)[0] >= 3.0 - 1e-9
+
+
+class TestMetricsNonUniform:
+    def test_per_slice_delivery_scales_by_length(self, net, grid):
+        jobs = JobSet([Job(id=0, source=0, dest=2, size=8.0, start=0.0, end=4.0)])
+        s = ProblemStructure(net, jobs, grid)
+        x = np.array([2.0, 1.0, 1.0])
+        assert per_slice_delivery(s, x)[0].tolist() == [1.0, 1.5, 2.0]
+
+    def test_average_end_time_in_slice_counts(self, net, grid):
+        """Completion is measured in slices even when lengths differ."""
+        jobs = JobSet([Job(id=0, source=0, dest=2, size=2.5, start=0.0, end=4.0)])
+        s = ProblemStructure(net, jobs, grid)
+        x = np.array([2.0, 1.0, 0.0])  # cumulative volume 1.0, 2.5
+        assert average_end_time(s, x) == pytest.approx(2.0)
+
+    def test_greedy_on_nonuniform_targets(self, net, grid):
+        """cap_at_target needs ceil(deficit / LEN(j)) wavelengths."""
+        jobs = JobSet([Job(id=0, source=0, dest=2, size=3.0, start=0.0, end=4.0)])
+        s = ProblemStructure(net, jobs, grid)
+        x = greedy_adjust(s, np.zeros(3), cap_at_target=True)
+        delivered = s.delivered(x)[0]
+        assert delivered >= 3.0 - 1e-9
+        # Overshoot bounded by one slice-grant.
+        assert delivered <= 3.0 + 2 * 2.0
+
+
+class TestSimulatorNonUniformTau:
+    def test_tau_spanning_multiple_slices(self):
+        """tau = 2 slices: execution windows cover two slices per epoch."""
+        from repro import Simulation
+
+        net = topologies.line(3, capacity=2, wavelength_rate=1.0)
+        jobs = JobSet([Job(id=0, source=0, dest=2, size=6.0, start=0.0, end=4.0)])
+        result = Simulation(net, tau=2.0, slice_length=1.0, policy="reduce").run(jobs)
+        rec = result.records[0]
+        assert rec.status == "completed"
+        assert rec.completion_time <= 4.0
+
+    def test_fractional_slice_length(self):
+        from repro import Simulation
+
+        net = topologies.line(3, capacity=2, wavelength_rate=1.0)
+        jobs = JobSet([Job(id=0, source=0, dest=2, size=2.0, start=0.0, end=2.0)])
+        result = Simulation(
+            net, tau=0.5, slice_length=0.5, policy="reduce"
+        ).run(jobs)
+        assert result.records[0].status == "completed"

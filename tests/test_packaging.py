@@ -1,0 +1,61 @@
+"""Packaging-level checks: module execution, version, metadata coherence."""
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+
+ROOT = Path(repro.__file__).resolve().parent.parent.parent
+
+
+class TestModuleExecution:
+    def test_python_dash_m_version(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "--version"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 0
+        assert repro.__version__ in result.stdout
+
+    def test_python_dash_m_help_lists_commands(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 0
+        for command in ("topology", "workload", "schedule", "ret",
+                        "simulate", "experiment"):
+            assert command in result.stdout
+
+
+class TestMetadataCoherence:
+    def test_version_matches_pyproject(self):
+        pyproject = (ROOT / "pyproject.toml").read_text()
+        match = re.search(r'^version = "(.+)"$', pyproject, re.MULTILINE)
+        assert match, "pyproject.toml has no version"
+        assert match.group(1) == repro.__version__
+
+    def test_readme_mentions_every_example(self):
+        readme = (ROOT / "README.md").read_text()
+        for script in (ROOT / "examples").glob("*.py"):
+            assert script.name in readme, f"README missing {script.name}"
+
+    def test_design_maps_every_bench(self):
+        design = (ROOT / "DESIGN.md").read_text()
+        for bench in (ROOT / "benchmarks").glob("bench_*.py"):
+            assert bench.name in design, f"DESIGN.md missing {bench.name}"
+
+    def test_every_source_module_has_docstring(self):
+        import ast
+
+        for path in (ROOT / "src" / "repro").rglob("*.py"):
+            tree = ast.parse(path.read_text())
+            assert ast.get_docstring(tree), f"{path} lacks a module docstring"

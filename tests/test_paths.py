@@ -1,0 +1,235 @@
+"""Unit tests for Dijkstra and Yen's k-shortest paths.
+
+Where available, results are cross-checked against networkx's
+``shortest_simple_paths`` oracle on random graphs.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Network, Path, ValidationError, k_shortest_paths, shortest_path
+from repro.network import topologies, waxman_network
+from repro.network.paths import build_path_sets
+
+networkx = pytest.importorskip("networkx")
+
+
+@pytest.fixture
+def diamond_weighted():
+    """0->3 via 1 (cost 2) or via 2 (cost 3), plus direct heavy edge."""
+    net = Network()
+    net.add_edge(0, 1, 1, weight=1.0)
+    net.add_edge(1, 3, 1, weight=1.0)
+    net.add_edge(0, 2, 1, weight=1.5)
+    net.add_edge(2, 3, 1, weight=1.5)
+    net.add_edge(0, 3, 1, weight=5.0)
+    return net
+
+
+class TestPathObject:
+    def test_from_nodes(self, diamond_weighted):
+        p = Path.from_nodes(diamond_weighted, [0, 1, 3])
+        assert p.cost == 2.0
+        assert p.num_hops == 2
+        assert p.source == 0 and p.target == 3
+        assert len(p) == 2
+
+    def test_single_node_rejected(self):
+        with pytest.raises(ValidationError):
+            Path((0,), (), 0.0)
+
+    def test_edge_count_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            Path((0, 1, 2), (0,), 1.0)
+
+    def test_loop_rejected(self):
+        with pytest.raises(ValidationError):
+            Path((0, 1, 0), (0, 1), 2.0)
+
+    def test_from_nodes_missing_edge(self, diamond_weighted):
+        with pytest.raises(ValidationError):
+            Path.from_nodes(diamond_weighted, [3, 0])
+
+
+class TestShortestPath:
+    def test_picks_cheapest(self, diamond_weighted):
+        p = shortest_path(diamond_weighted, 0, 3)
+        assert p.nodes == (0, 1, 3)
+        assert p.cost == 2.0
+
+    def test_unreachable_returns_none(self):
+        net = Network()
+        net.add_edge(0, 1, 1)
+        net.add_node(2)
+        assert shortest_path(net, 0, 2) is None
+
+    def test_respects_direction(self):
+        net = Network()
+        net.add_edge(0, 1, 1)
+        assert shortest_path(net, 1, 0) is None
+
+    def test_same_endpoints_rejected(self, diamond_weighted):
+        with pytest.raises(ValidationError):
+            shortest_path(diamond_weighted, 0, 0)
+
+    def test_banned_nodes(self, diamond_weighted):
+        p = shortest_path(diamond_weighted, 0, 3, banned_nodes=frozenset({1}))
+        assert p.nodes == (0, 2, 3)
+
+    def test_banned_edges(self, diamond_weighted):
+        eid = diamond_weighted.edge_id(0, 1)
+        p = shortest_path(diamond_weighted, 0, 3, banned_edges=frozenset({eid}))
+        assert p.nodes == (0, 2, 3)
+
+    def test_all_paths_banned(self, diamond_weighted):
+        p = shortest_path(
+            diamond_weighted,
+            0,
+            3,
+            banned_nodes=frozenset({1, 2}),
+            banned_edges=frozenset({diamond_weighted.edge_id(0, 3)}),
+        )
+        assert p is None
+
+    def test_unknown_endpoint(self, diamond_weighted):
+        with pytest.raises(ValidationError):
+            shortest_path(diamond_weighted, 0, 99)
+
+    def test_hashable_noncomparable_nodes(self):
+        """Heap ties between str and tuple nodes must not raise."""
+        net = Network()
+        net.add_link_pair("hub", ("L", 0), 1)
+        net.add_link_pair("hub", ("L", 1), 1)
+        net.add_link_pair(("L", 0), ("L", 1), 1)
+        p = shortest_path(net, ("L", 0), ("L", 1))
+        assert p.num_hops == 1
+
+
+class TestYen:
+    def test_orders_by_cost(self, diamond_weighted):
+        paths = k_shortest_paths(diamond_weighted, 0, 3, 3)
+        assert [p.nodes for p in paths] == [(0, 1, 3), (0, 2, 3), (0, 3)]
+        assert [p.cost for p in paths] == [2.0, 3.0, 5.0]
+
+    def test_fewer_paths_than_k(self, diamond_weighted):
+        paths = k_shortest_paths(diamond_weighted, 0, 3, 10)
+        assert len(paths) == 3
+
+    def test_paths_are_distinct_and_loopless(self):
+        net = topologies.grid2d(3, 3)
+        paths = k_shortest_paths(net, (0, 0), (2, 2), 8)
+        assert len({p.nodes for p in paths}) == len(paths)
+        for p in paths:
+            assert len(set(p.nodes)) == len(p.nodes)
+
+    def test_unreachable_gives_empty(self):
+        net = Network()
+        net.add_edge(0, 1, 1)
+        net.add_node(2)
+        assert k_shortest_paths(net, 0, 2, 4) == []
+
+    def test_k_must_be_positive(self, diamond_weighted):
+        with pytest.raises(ValidationError):
+            k_shortest_paths(diamond_weighted, 0, 3, 0)
+
+    def test_ring_has_exactly_two_paths(self):
+        net = topologies.ring(6)
+        paths = k_shortest_paths(net, 0, 3, 5)
+        assert len(paths) == 2
+        assert paths[0].num_hops == 3 and paths[1].num_hops == 3
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_networkx_oracle(self, seed):
+        net = waxman_network(20, seed=seed)
+        g = networkx.DiGraph()
+        for e in net.edges:
+            g.add_edge(e.source, e.target, weight=e.weight)
+        rng = np.random.default_rng(seed)
+        for _ in range(5):
+            s, t = rng.choice(20, size=2, replace=False)
+            ours = k_shortest_paths(net, int(s), int(t), 4)
+            oracle = []
+            gen = networkx.shortest_simple_paths(g, int(s), int(t), weight="weight")
+            for _, nodes in zip(range(4), gen):
+                oracle.append(tuple(nodes))
+            # Costs must match pairwise (node sequences can differ on ties).
+            oracle_costs = [
+                sum(g[u][v]["weight"] for u, v in zip(p[:-1], p[1:]))
+                for p in oracle
+            ]
+            assert [p.cost for p in ours] == pytest.approx(oracle_costs)
+
+
+class TestBuildPathSets:
+    def test_caches_repeated_pairs(self):
+        net = topologies.ring(5)
+        sets = build_path_sets(net, [(0, 2), (0, 2), (1, 3)], k=2)
+        assert set(sets) == {(0, 2), (1, 3)}
+        assert len(sets[(0, 2)]) == 2
+
+    def test_disconnected_pair_empty(self):
+        net = Network()
+        net.add_edge(0, 1, 1)
+        net.add_node(2)
+        sets = build_path_sets(net, [(0, 2)], k=3)
+        assert sets[(0, 2)] == []
+
+
+class TestEdgeDisjoint:
+    def test_ring_two_disjoint(self):
+        from repro import edge_disjoint_paths
+
+        net = topologies.ring(6)
+        paths = edge_disjoint_paths(net, 0, 3, 4)
+        assert len(paths) == 2
+        used = [set(p.edge_ids) for p in paths]
+        assert not (used[0] & used[1])
+
+    def test_line_single_path(self):
+        from repro import edge_disjoint_paths
+
+        net = topologies.line(4)
+        paths = edge_disjoint_paths(net, 0, 3, 4)
+        assert len(paths) == 1
+
+    def test_shortest_first(self, diamond_weighted):
+        from repro import edge_disjoint_paths
+
+        paths = edge_disjoint_paths(diamond_weighted, 0, 3, 3)
+        costs = [p.cost for p in paths]
+        assert costs == sorted(costs)
+        # All three 0->3 routes are mutually edge-disjoint here.
+        assert len(paths) == 3
+
+    def test_pairwise_disjoint_on_grid(self):
+        from repro import edge_disjoint_paths
+
+        net = topologies.grid2d(3, 3)
+        paths = edge_disjoint_paths(net, (0, 0), (2, 2), 8)
+        for i, a in enumerate(paths):
+            for b in paths[i + 1:]:
+                assert not (set(a.edge_ids) & set(b.edge_ids))
+
+    def test_k_validated(self, diamond_weighted):
+        from repro import edge_disjoint_paths
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            edge_disjoint_paths(diamond_weighted, 0, 3, 0)
+
+    def test_unreachable_empty(self):
+        from repro import Network, edge_disjoint_paths
+
+        net = Network()
+        net.add_edge(0, 1, 1)
+        net.add_node(2)
+        assert edge_disjoint_paths(net, 0, 2, 3) == []
+
+    def test_build_path_sets_disjoint_flag(self):
+        from repro.network.paths import build_path_sets
+
+        net = topologies.ring(6)
+        yen = build_path_sets(net, [(0, 3)], k=4)
+        disjoint = build_path_sets(net, [(0, 3)], k=4, disjoint=True)
+        assert len(disjoint[(0, 3)]) == 2
+        assert len(yen[(0, 3)]) == 2  # ring only has 2 simple paths anyway

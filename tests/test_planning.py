@@ -1,0 +1,67 @@
+"""Unit tests for the capacity-upgrade planner."""
+
+import pytest
+
+from repro import Job, JobSet, TimeGrid, ValidationError
+from repro.analysis import plan_upgrades
+from repro.network import topologies
+
+
+@pytest.fixture
+def bottlenecked():
+    """Dumbbell: everything crosses the single hub-hub link pair."""
+    net = topologies.dumbbell(2, capacity=4, bottleneck_capacity=1)
+    jobs = JobSet(
+        [
+            Job(id=0, source=("L", 0), dest=("R", 0), size=8.0, start=0.0, end=4.0),
+            Job(id=1, source=("L", 1), dest=("R", 1), size=8.0, start=0.0, end=4.0),
+        ]
+    )
+    return net, jobs
+
+
+class TestPlanUpgrades:
+    def test_upgrades_target_the_bottleneck(self, bottlenecked):
+        net, jobs = bottlenecked
+        plan = plan_upgrades(net, jobs, budget=2)
+        assert plan.num_upgrades >= 1
+        for step in plan.steps:
+            assert {step.source, step.target} == {"hubL", "hubR"}
+
+    def test_throughput_improves_overall(self, bottlenecked):
+        """The end state improves.  (Individual steps may dip: more
+        capacity raises Z*, tightening the fairness floor.)"""
+        net, jobs = bottlenecked
+        plan = plan_upgrades(net, jobs, budget=3)
+        assert plan.throughput_gain() > 0
+        assert plan.throughput_after > plan.throughput_before
+
+    def test_original_network_untouched(self, bottlenecked):
+        net, jobs = bottlenecked
+        before = net.capacities().tolist()
+        plan_upgrades(net, jobs, budget=2)
+        assert net.capacities().tolist() == before
+
+    def test_upgraded_network_has_more_wavelengths(self, bottlenecked):
+        net, jobs = bottlenecked
+        plan = plan_upgrades(net, jobs, budget=2)
+        eid = plan.network.edge_id("hubL", "hubR")
+        assert plan.network.edge(eid).capacity == 1 + plan.num_upgrades
+
+    def test_min_price_stops_early(self, bottlenecked):
+        """Because stage 2 has no per-job throughput cap, *some* link is
+        always binding; the stop criterion is the price threshold."""
+        net, jobs = bottlenecked
+        plan = plan_upgrades(net, jobs, budget=5, min_price=1e9)
+        assert plan.num_upgrades == 0
+        assert plan.throughput_after == plan.throughput_before
+
+    def test_budget_validated(self, bottlenecked):
+        net, jobs = bottlenecked
+        with pytest.raises(ValidationError):
+            plan_upgrades(net, jobs, budget=0)
+
+    def test_explicit_grid(self, bottlenecked):
+        net, jobs = bottlenecked
+        plan = plan_upgrades(net, jobs, grid=TimeGrid.uniform(4), budget=1)
+        assert plan.num_upgrades == 1

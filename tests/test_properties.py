@@ -1,0 +1,222 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These encode the structural guarantees the algorithms rest on:
+
+* flooring never raises a value; Algorithm 1 never lowers one;
+* no algorithm ever violates a link capacity;
+* the LPD <= LPDAR <= LP objective sandwich;
+* ``Z*`` scale invariance;
+* time-grid window arithmetic.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Job,
+    JobSet,
+    ProblemStructure,
+    TimeGrid,
+    discretize,
+    greedy_adjust,
+    lpdar,
+    solve_stage1,
+    solve_stage2_lp,
+)
+from repro.network import topologies
+
+# Keep solver-backed examples modest: each example solves LPs.
+SOLVER_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ----------------------------------------------------------------------
+# Pure-array properties
+# ----------------------------------------------------------------------
+class TestDiscretizeProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    def test_floor_bounds(self, values):
+        x = np.array(values)
+        out = discretize(x)
+        assert np.all(out <= x + 1e-6)
+        assert np.all(out >= x - 1.0)
+        assert np.array_equal(out, np.rint(out))
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=10**6), min_size=1, max_size=100
+        )
+    )
+    def test_integers_are_fixed_points(self, values):
+        x = np.array(values, dtype=float)
+        assert np.array_equal(discretize(x), x)
+
+
+class TestTimeGridProperties:
+    @given(
+        num=st.integers(min_value=1, max_value=50),
+        length=st.floats(min_value=0.01, max_value=100.0, allow_nan=False),
+    )
+    def test_lengths_sum_to_horizon(self, num, length):
+        grid = TimeGrid.uniform(num, length)
+        assert grid.lengths.sum() == pytest.approx(grid.horizon)
+
+    @given(
+        num=st.integers(min_value=1, max_value=30),
+        data=st.data(),
+    )
+    def test_slice_of_is_consistent(self, num, data):
+        grid = TimeGrid.uniform(num)
+        t = data.draw(
+            st.floats(min_value=0.0, max_value=float(num), allow_nan=False)
+        )
+        j = grid.slice_of(t)
+        assert grid.slice_start(j) <= t <= grid.slice_end(j) + 1e-12
+
+    @given(
+        num=st.integers(min_value=1, max_value=30),
+        a=st.integers(min_value=0, max_value=29),
+        b=st.integers(min_value=0, max_value=29),
+    )
+    def test_aligned_windows_exact(self, num, a, b):
+        lo, hi = sorted((min(a, num), min(b, num)))
+        grid = TimeGrid.uniform(num)
+        window = grid.window_slices(float(lo), float(hi))
+        assert window == range(lo, hi)
+
+    @given(
+        num=st.integers(min_value=1, max_value=20),
+        extra=st.floats(min_value=0.1, max_value=50.0, allow_nan=False),
+    )
+    def test_extended_preserves_prefix(self, num, extra):
+        grid = TimeGrid.uniform(num)
+        bigger = grid.extended(grid.end + extra)
+        assert np.allclose(bigger.boundaries[: num + 1], grid.boundaries)
+        assert bigger.end >= grid.end + extra
+
+
+# ----------------------------------------------------------------------
+# Solver-backed properties on random small instances
+# ----------------------------------------------------------------------
+def _random_instance(seed: int, num_jobs: int):
+    """A random contended instance on a 6-node ring (always has 2 paths)."""
+    rng = np.random.default_rng(seed)
+    net = topologies.ring(6, capacity=int(rng.integers(1, 4)))
+    num_slices = int(rng.integers(2, 6))
+    grid = TimeGrid.uniform(num_slices)
+    jobs = []
+    for i in range(num_jobs):
+        src, dst = rng.choice(6, size=2, replace=False)
+        first = int(rng.integers(0, num_slices))
+        last = int(rng.integers(first + 1, num_slices + 1))
+        jobs.append(
+            Job(
+                id=i,
+                source=int(src),
+                dest=int(dst),
+                size=float(rng.uniform(0.5, 8.0)),
+                start=float(first),
+                end=float(last),
+            )
+        )
+    return ProblemStructure(net, JobSet(jobs), grid, k_paths=2)
+
+
+@st.composite
+def instances(draw):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    num_jobs = draw(st.integers(min_value=1, max_value=5))
+    return _random_instance(seed, num_jobs)
+
+
+class TestPipelineProperties:
+    @SOLVER_SETTINGS
+    @given(instances())
+    def test_lpdar_sandwich_and_feasibility(self, structure):
+        zstar = solve_stage1(structure).zstar
+        stage2 = solve_stage2_lp(structure, zstar, alpha=0.1)
+        result = lpdar(structure, stage2.x)
+
+        # Capacity feasibility of every stage.
+        assert structure.capacity_violation(result.x_lp) <= 1e-6
+        assert structure.capacity_violation(result.x_lpd) <= 1e-9
+        assert structure.capacity_violation(result.x_lpdar) <= 1e-9
+
+        # Monotonicity of the pipeline.
+        assert np.all(result.x_lpd <= result.x_lp + 1e-6)
+        assert np.all(result.x_lpdar >= result.x_lpd)
+
+        # Integrality of the rounded stages.
+        assert np.array_equal(result.x_lpd, np.rint(result.x_lpd))
+        assert np.array_equal(result.x_lpdar, np.rint(result.x_lpdar))
+
+        # Objective sandwich.  Note LPDAR may exceed the *fairness-
+        # constrained* LP (Algorithm 1 packs residuals without honouring
+        # constraint (9)), so the upper bound is the fairness-free LP
+        # (alpha = 1), which is capacity-limited only.
+        wt = structure.weighted_throughput
+        assert wt(result.x_lpd) <= wt(result.x_lpdar) + 1e-9
+        unconstrained = solve_stage2_lp(structure, zstar, alpha=1.0)
+        assert wt(result.x_lpdar) <= wt(unconstrained.x) + 1e-6
+        assert wt(result.x_lpd) <= wt(result.x_lp) + 1e-6
+
+    @SOLVER_SETTINGS
+    @given(instances())
+    def test_stage1_scale_invariance(self, structure):
+        z1 = solve_stage1(structure).zstar
+        scaled = ProblemStructure(
+            structure.network,
+            structure.jobs.scaled(2.0),
+            structure.grid,
+            k_paths=2,
+        )
+        z2 = solve_stage1(scaled).zstar
+        assert z2 == pytest.approx(z1 / 2.0, rel=1e-6, abs=1e-9)
+
+    @SOLVER_SETTINGS
+    @given(instances())
+    def test_stage1_solution_uniform_throughput(self, structure):
+        result = solve_stage1(structure)
+        z = structure.throughputs(result.x)
+        assert np.allclose(z, result.zstar, atol=1e-6)
+
+    @SOLVER_SETTINGS
+    @given(instances(), st.sampled_from(["paper", "deficit_first"]))
+    def test_greedy_saturates_or_respects_capacity(self, structure, order):
+        x0 = np.zeros(structure.num_cols)
+        x = greedy_adjust(structure, x0, order=order)
+        residual = structure.residual_capacity(x)
+        assert residual.min() >= -1e-9
+        # After the paper's greedy pass, no path with a column on a slice
+        # may still have leftover bandwidth along its whole length
+        # (cap_at_target=False grants everything available).
+        for i in range(len(structure.jobs)):
+            for p, path in enumerate(structure.paths[i]):
+                edges = np.asarray(path.edge_ids)
+                for j in structure.allowed_slices(i):
+                    assert residual[edges, j].min() <= 1e-9
+
+    @SOLVER_SETTINGS
+    @given(instances())
+    def test_greedy_with_cap_never_overshoots_demand_from_zero(self, structure):
+        """With cap_at_target, delivery exceeds demand by < one slice grant."""
+        x = greedy_adjust(
+            structure,
+            np.zeros(structure.num_cols),
+            cap_at_target=True,
+        )
+        delivered = structure.delivered(x)
+        max_len = structure.grid.lengths.max()
+        caps = structure.network.capacities().max()
+        assert np.all(delivered <= structure.demands + max_len * caps + 1e-9)

@@ -1,0 +1,281 @@
+"""More property-based tests: RET, admission, baselines, serialization."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Job,
+    JobSet,
+    ProblemStructure,
+    TimeGrid,
+    admit_greedy,
+    admit_max_prefix,
+    average_rate_reservation,
+    malleable_reservation,
+    solve_stage1,
+)
+from repro.errors import InfeasibleProblemError
+from repro.core.ret import solve_subret_lp
+from repro.network import topologies
+from repro.serialization import (
+    jobs_from_dict,
+    jobs_to_dict,
+    network_from_dict,
+    network_to_dict,
+)
+
+SOLVER_SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _jobs_on_ring(seed: int, num_jobs: int, num_slices: int) -> JobSet:
+    rng = np.random.default_rng(seed)
+    jobs = []
+    for i in range(num_jobs):
+        src, dst = rng.choice(6, size=2, replace=False)
+        first = int(rng.integers(0, num_slices))
+        last = int(rng.integers(first + 1, num_slices + 1))
+        jobs.append(
+            Job(
+                id=i,
+                source=int(src),
+                dest=int(dst),
+                size=float(rng.uniform(0.5, 6.0)),
+                start=float(first),
+                end=float(last),
+            )
+        )
+    return JobSet(jobs)
+
+
+class TestRetMonotonicity:
+    @SOLVER_SETTINGS
+    @given(
+        seed=st.integers(min_value=0, max_value=5000),
+        b_small=st.floats(min_value=0.0, max_value=2.0),
+        b_delta=st.floats(min_value=0.1, max_value=3.0),
+    )
+    def test_subret_feasibility_monotone_in_b(self, seed, b_small, b_delta):
+        """If SUB-RET is LP-feasible at b, it stays feasible at b' > b."""
+        net = topologies.ring(6, capacity=1)
+        jobs = _jobs_on_ring(seed, 3, 4)
+
+        def feasible(b: float) -> bool:
+            extended = jobs.with_extended_ends(b)
+            grid = TimeGrid.covering(extended.max_end())
+            s = ProblemStructure(net, extended, grid, k_paths=2)
+            try:
+                solve_subret_lp(s)
+                return True
+            except InfeasibleProblemError:
+                return False
+
+        if feasible(b_small):
+            assert feasible(b_small + b_delta)
+
+    @SOLVER_SETTINGS
+    @given(seed=st.integers(min_value=0, max_value=5000))
+    def test_interval_and_end_mode_agree_at_zero_start(self, seed):
+        """When every job starts at t=0 the two stretch rules coincide."""
+        rng = np.random.default_rng(seed)
+        jobs = JobSet(
+            [
+                Job(
+                    id=i,
+                    source=0,
+                    dest=2,
+                    size=float(rng.uniform(1.0, 6.0)),
+                    start=0.0,
+                    end=float(rng.integers(1, 4)),
+                )
+                for i in range(2)
+            ]
+        )
+        b = float(rng.uniform(0.0, 2.0))
+        by_end = jobs.with_extended_ends(b)
+        by_interval = jobs.with_extended_intervals(b)
+        for j1, j2 in zip(by_end, by_interval):
+            assert j1.end == pytest.approx(j2.end)
+
+
+class TestAdmissionProperties:
+    @SOLVER_SETTINGS
+    @given(seed=st.integers(min_value=0, max_value=5000))
+    def test_zstar_monotone_in_job_set(self, seed):
+        """Adding a job can only lower (or keep) Z*."""
+        net = topologies.ring(6, capacity=2)
+        jobs = _jobs_on_ring(seed, 4, 4)
+        grid = TimeGrid.uniform(4)
+
+        def zstar(js: JobSet) -> float:
+            return solve_stage1(ProblemStructure(net, js, grid, 2)).zstar
+
+        values = [zstar(jobs[: k + 1]) for k in range(len(jobs))]
+        for a, b in zip(values, values[1:]):
+            assert b <= a + 1e-7
+
+    @SOLVER_SETTINGS
+    @given(seed=st.integers(min_value=0, max_value=5000))
+    def test_greedy_admits_superset_of_prefix(self, seed):
+        net = topologies.ring(6, capacity=1)
+        jobs = _jobs_on_ring(seed, 5, 3)
+        grid = TimeGrid.uniform(3)
+        from repro.core.admission import by_arrival
+
+        # The superset guarantee only holds under the *same* ordering.
+        prefix = admit_max_prefix(net, jobs, grid, k_paths=2, key=by_arrival)
+        greedy = admit_greedy(net, jobs, grid, k_paths=2, key=by_arrival)
+        assert {j.id for j in prefix.admitted} <= {j.id for j in greedy.admitted}
+        # Both admitted sets are actually feasible.
+        for decision in (prefix, greedy):
+            if decision.num_admitted:
+                assert decision.zstar >= 1.0 - 1e-7
+
+
+class TestBaselineProperties:
+    @SOLVER_SETTINGS
+    @given(
+        seed=st.integers(min_value=0, max_value=5000),
+        num_jobs=st.integers(min_value=1, max_value=8),
+    )
+    def test_baselines_respect_capacity_and_partition_jobs(self, seed, num_jobs):
+        net = topologies.ring(6, capacity=2)
+        jobs = _jobs_on_ring(seed, num_jobs, 4)
+        grid = TimeGrid.uniform(4)
+        for algo in (malleable_reservation, average_rate_reservation):
+            result = algo(net, jobs, grid)
+            caps = np.repeat(net.capacities()[:, None], 4, axis=1)
+            assert np.all(result.loads <= caps + 1e-9)
+            assert np.all(result.loads >= -1e-9)
+            admitted = {g.job_id for g in result.grants}
+            rejected = {j.id for j in result.rejected}
+            assert admitted | rejected == {j.id for j in jobs}
+            assert not admitted & rejected
+
+    @SOLVER_SETTINGS
+    @given(seed=st.integers(min_value=0, max_value=5000))
+    def test_admitted_grants_cover_demand(self, seed):
+        net = topologies.ring(6, capacity=2)
+        jobs = _jobs_on_ring(seed, 4, 4)
+        grid = TimeGrid.uniform(4)
+        result = malleable_reservation(net, jobs, grid)
+        for grant in result.grants:
+            job = jobs.by_id(grant.job_id)
+            volume = grant.wavelengths * float(
+                grid.lengths[grant.first_slice : grant.last_slice + 1].sum()
+            )
+            assert volume * net.wavelength_rate >= job.size - 1e-9
+            # Grant stays inside the job's window.
+            window = grid.window_slices(job.start, job.end)
+            assert window.start <= grant.first_slice
+            assert grant.last_slice < window.stop
+
+
+# Identifier-safe strategies for serialization round trips.
+_ids = st.one_of(
+    st.integers(min_value=0, max_value=10**6),
+    st.text(
+        alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd")),
+        min_size=1,
+        max_size=12,
+    ),
+)
+
+
+class TestSerializationProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        sizes=st.lists(
+            st.floats(min_value=0.01, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=10,
+        ),
+        starts=st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            min_size=10,
+            max_size=10,
+        ),
+    )
+    def test_jobs_round_trip(self, sizes, starts):
+        jobs = JobSet(
+            Job(
+                id=i,
+                source="a",
+                dest="b",
+                size=size,
+                start=start,
+                end=start + 1.0 + i,
+            )
+            for i, (size, start) in enumerate(zip(sizes, starts))
+        )
+        clone = jobs_from_dict(jobs_to_dict(jobs))
+        assert len(clone) == len(jobs)
+        for j1, j2 in zip(jobs, clone):
+            assert (j1.id, j1.size, j1.start, j1.end, j1.arrival) == (
+                j2.id,
+                j2.size,
+                j2.start,
+                j2.end,
+                j2.arrival,
+            )
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        num_nodes=st.integers(min_value=2, max_value=20),
+    )
+    def test_network_round_trip(self, seed, num_nodes):
+        from repro import waxman_network
+
+        net = waxman_network(num_nodes, seed=seed, capacity=3)
+        clone = network_from_dict(network_to_dict(net))
+        assert clone.num_nodes == net.num_nodes
+        assert clone.num_edges == net.num_edges
+        assert clone.capacities().tolist() == net.capacities().tolist()
+
+
+class TestRealizationProperties:
+    @SOLVER_SETTINGS
+    @given(seed=st.integers(min_value=0, max_value=5000))
+    def test_no_lambda_reuse_ever(self, seed):
+        """Fundamental physical invariant: on any (edge, slice), every
+        lambda index is assigned to at most one grant."""
+        from repro import Scheduler, WorkloadGenerator
+        from repro.core.realization import realize_schedule
+
+        net = topologies.ring(6, capacity=2)
+        rng = np.random.default_rng(seed)
+        gen = WorkloadGenerator(net, rng=rng)
+        jobs = gen.jobs(int(rng.integers(1, 6)))
+        result = Scheduler(net, k_paths=2).schedule(jobs)
+        for mode in ("converters", "strict"):
+            realized = realize_schedule(result.structure, result.x, mode)
+            used: dict[tuple, set] = {}
+            for grant in realized.grants:
+                hops = list(zip(grant.path[:-1], grant.path[1:]))
+                for (u, v), lams in zip(hops, grant.lambdas_per_edge):
+                    key = (u, v, grant.slice_index)
+                    pool = used.setdefault(key, set())
+                    assert not (pool & set(lams)), "lambda assigned twice"
+                    pool |= set(lams)
+
+    @SOLVER_SETTINGS
+    @given(seed=st.integers(min_value=0, max_value=5000))
+    def test_converter_mode_realizes_everything(self, seed):
+        from repro import Scheduler, WorkloadGenerator
+        from repro.core.realization import realize_schedule
+
+        net = topologies.ring(6, capacity=2)
+        rng = np.random.default_rng(seed)
+        gen = WorkloadGenerator(net, rng=rng)
+        jobs = gen.jobs(3)
+        result = Scheduler(net, k_paths=2).schedule(jobs)
+        realized = realize_schedule(result.structure, result.x, "converters")
+        assert realized.fully_realized
+        counted = sum(g.wavelengths for g in realized.grants)
+        assert counted == int(round(result.x.sum()))

@@ -1,0 +1,51 @@
+"""Smoke tests for the public API surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicSurface:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"__all__ names missing attr {name}"
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_subpackages_importable(self):
+        for sub in ("core", "network", "workload", "lp", "sim", "analysis"):
+            mod = importlib.import_module(f"repro.{sub}")
+            for name in getattr(mod, "__all__", []):
+                assert hasattr(mod, name), f"repro.{sub} missing {name}"
+
+    def test_module_docstring_quickstart_runs(self):
+        """The doctest in the package docstring must actually work."""
+        from repro import Job, JobSet, Scheduler, topologies
+
+        net = topologies.abilene().with_wavelengths(4, total_link_rate=20.0)
+        jobs = JobSet(
+            [
+                Job(
+                    id="hep",
+                    source="Chicago",
+                    dest="Sunnyvale",
+                    size=120.0,
+                    start=0.0,
+                    end=4.0,
+                )
+            ]
+        )
+        result = Scheduler(net).schedule(jobs)
+        assert result.zstar > 1.0
+
+    def test_public_items_documented(self):
+        """Every public class/function exposed at top level has a docstring."""
+        import inspect
+
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                assert obj.__doc__, f"{name} lacks a docstring"

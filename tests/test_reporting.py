@@ -1,0 +1,91 @@
+"""Unit tests for the ASCII table renderer."""
+
+import pytest
+
+from repro import ValidationError
+from repro.analysis import Table, format_value
+
+
+class TestFormatValue:
+    def test_float_precision(self):
+        assert format_value(0.123456, precision=3) == "0.123"
+
+    def test_whole_float(self):
+        assert format_value(2.0) == "2.0"
+
+    def test_nan(self):
+        assert format_value(float("nan")) == "nan"
+
+    def test_int_and_str(self):
+        assert format_value(7) == "7"
+        assert format_value("abc") == "abc"
+
+    def test_bool(self):
+        assert format_value(True) == "True"
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table(["W", "ratio"], title="Fig. X")
+        t.add_row([2, 0.5])
+        t.add_row([32, 0.995])
+        out = t.render()
+        lines = out.splitlines()
+        assert lines[0] == "Fig. X"
+        assert "W" in lines[1] and "ratio" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        # All rows equal width.
+        assert len({len(line) for line in lines[1:]}) == 1
+
+    def test_row_width_checked(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValidationError):
+            t.add_row([1])
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValidationError):
+            Table([])
+
+    def test_render_without_rows(self):
+        t = Table(["only", "header"])
+        out = t.render()
+        assert "only" in out
+
+    def test_print_goes_to_stdout(self, capsys):
+        t = Table(["x"])
+        t.add_row([1])
+        t.print()
+        captured = capsys.readouterr()
+        assert "x" in captured.out
+        assert "1" in captured.out
+
+
+class TestExports:
+    @pytest.fixture
+    def table(self):
+        t = Table(["W", "ratio"], title="Fig. X")
+        t.add_row([2, 0.5])
+        t.add_row(["a|b", 0.99])
+        return t
+
+    def test_to_markdown(self, table):
+        md = table.to_markdown()
+        lines = md.splitlines()
+        assert lines[0] == "**Fig. X**"
+        assert lines[2] == "| W | ratio |"
+        assert lines[3] == "|---|---|"
+        assert "a\\|b" in md  # pipes escaped
+
+    def test_to_markdown_without_title(self):
+        t = Table(["x"])
+        t.add_row([1])
+        assert t.to_markdown().splitlines()[0] == "| x |"
+
+    def test_to_csv(self, table):
+        import csv
+        import io
+
+        rows = list(csv.reader(io.StringIO(table.to_csv())))
+        assert rows[0] == ["W", "ratio"]
+        assert rows[1] == ["2", "0.5"]
+        assert rows[2] == ["a|b", "0.99"]

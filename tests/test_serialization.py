@@ -1,0 +1,151 @@
+"""Unit tests for JSON serialization round-trips."""
+
+import pytest
+
+from repro import Job, JobSet, Scheduler, ValidationError
+from repro.network import topologies
+from repro.serialization import (
+    jobs_from_dict,
+    jobs_to_dict,
+    load_json,
+    network_from_dict,
+    network_to_dict,
+    save_json,
+    schedule_to_dict,
+)
+
+
+@pytest.fixture
+def net():
+    return topologies.abilene(capacity=4, wavelength_rate=5.0)
+
+
+class TestNetworkRoundTrip:
+    def test_round_trip_preserves_structure(self, net):
+        clone = network_from_dict(network_to_dict(net))
+        assert clone.num_nodes == net.num_nodes
+        assert clone.num_edges == net.num_edges
+        assert clone.wavelength_rate == net.wavelength_rate
+        assert clone.name == net.name
+        for e1, e2 in zip(net.edges, clone.edges):
+            assert (e1.source, e1.target, e1.capacity, e1.weight) == (
+                e2.source,
+                e2.target,
+                e2.capacity,
+                e2.weight,
+            )
+
+    def test_isolated_nodes_survive(self):
+        from repro import Network
+
+        net = Network()
+        net.add_link_pair("a", "b", 1)
+        net.add_node("lonely")
+        clone = network_from_dict(network_to_dict(net))
+        assert "lonely" in clone
+
+    def test_tuple_nodes_rejected(self):
+        net = topologies.grid2d(2, 2)
+        with pytest.raises(ValidationError, match="JSON-serializable"):
+            network_to_dict(net)
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(ValidationError):
+            network_from_dict({"nodes": []})
+        with pytest.raises(ValidationError):
+            network_from_dict({"edges": [{"source": "a"}]})
+
+
+class TestJobsRoundTrip:
+    def test_round_trip(self):
+        jobs = JobSet(
+            [
+                Job(id="x", source="a", dest="b", size=5.0, start=1.0, end=3.0,
+                    arrival=0.5, weight=2.0),
+                Job(id=7, source="b", dest="a", size=1.0, start=0.0, end=2.0),
+            ]
+        )
+        clone = jobs_from_dict(jobs_to_dict(jobs))
+        assert len(clone) == 2
+        j = clone.by_id("x")
+        assert (j.source, j.dest, j.size, j.start, j.end, j.arrival, j.weight) == (
+            "a", "b", 5.0, 1.0, 3.0, 0.5, 2.0,
+        )
+        assert clone.by_id(7).weight is None
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValidationError):
+            jobs_from_dict({"not_jobs": []})
+        with pytest.raises(ValidationError):
+            jobs_from_dict({"jobs": [{"id": 1, "source": "a"}]})
+
+    def test_invalid_job_values_propagate(self):
+        with pytest.raises(ValidationError):
+            jobs_from_dict(
+                {"jobs": [{"id": 1, "source": "a", "dest": "a",
+                           "size": 1.0, "start": 0.0, "end": 1.0}]}
+            )
+
+
+class TestScheduleExport:
+    def test_schedule_to_dict(self, net):
+        jobs = JobSet(
+            [Job(id="t", source="Chicago", dest="Denver", size=20.0,
+                 start=0.0, end=4.0)]
+        )
+        result = Scheduler(net).schedule(jobs)
+        data = schedule_to_dict(result)
+        assert data["algorithm"] == "lpdar"
+        assert data["zstar"] == result.zstar
+        assert "t" in data["job_throughputs"]
+        assert data["grants"]
+        for grant in data["grants"]:
+            assert grant["wavelengths"] >= 1
+            assert grant["path"][0] == "Chicago"
+
+
+class TestFiles:
+    def test_save_and_load(self, tmp_path, net):
+        path = tmp_path / "net.json"
+        save_json(network_to_dict(net), path)
+        clone = network_from_dict(load_json(path))
+        assert clone.num_edges == net.num_edges
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ValidationError, match="no such file"):
+            load_json(tmp_path / "nope.json")
+
+    def test_bad_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ValidationError, match="invalid JSON"):
+            load_json(path)
+
+
+class TestSimulationExport:
+    def test_simulation_to_dict(self):
+        import json
+
+        from repro import Simulation
+        from repro.network import topologies
+        from repro.serialization import simulation_to_dict
+
+        net = topologies.line(3, capacity=2, wavelength_rate=1.0)
+        jobs = JobSet(
+            [Job(id="a", source=0, dest=2, size=4.0, start=0.0, end=4.0)]
+        )
+        result = Simulation(net, policy="reduce").run(jobs)
+        data = simulation_to_dict(result)
+        # Must be JSON-encodable end to end.
+        json.dumps(data)
+        assert data["records"][0]["status"] == "completed"
+        assert data["records"][0]["met_deadline"] is True
+        types = {e["type"] for e in data["events"]}
+        assert "JobArrived" in types
+        assert "JobCompleted" in types
+
+    def test_wrong_type_rejected(self):
+        from repro.serialization import simulation_to_dict
+
+        with pytest.raises(ValidationError):
+            simulation_to_dict({"not": "a result"})

@@ -1,0 +1,80 @@
+"""Unit tests for simulation summaries."""
+
+import numpy as np
+import pytest
+
+from repro import Job, JobSet, Simulation, summarize
+from repro.network import topologies
+
+
+@pytest.fixture
+def net():
+    return topologies.line(3, capacity=2, wavelength_rate=1.0)
+
+
+class TestSummarize:
+    def test_clean_run(self, net):
+        jobs = JobSet(
+            [
+                Job(id="a", source=0, dest=2, size=4.0, start=0.0, end=4.0),
+                Job(id="b", source=2, dest=0, size=2.0, start=0.0, end=3.0),
+            ]
+        )
+        summary = summarize(Simulation(net, policy="reduce").run(jobs))
+        assert summary.num_jobs == 2
+        assert summary.num_completed == 2
+        assert summary.num_rejected == 0
+        assert summary.completion_rate == 1.0
+        assert summary.deadline_rate == 1.0
+        assert summary.delivered_volume == pytest.approx(6.0)
+        assert summary.offered_volume == pytest.approx(6.0)
+        assert summary.mean_lateness == 0.0
+        assert summary.mean_response_time > 0.0
+        assert summary.num_scheduling_passes >= 1
+        assert summary.mean_solve_seconds > 0.0
+        assert summary.mean_zstar >= 1.0
+
+    def test_overloaded_extend_run_counts_extensions(self, net):
+        jobs = JobSet(
+            [
+                Job(id="a", source=0, dest=2, size=10.0, start=0.0, end=3.0),
+                Job(id="b", source=0, dest=2, size=8.0, start=0.0, end=3.0),
+            ]
+        )
+        summary = summarize(Simulation(net, policy="extend").run(jobs))
+        assert summary.num_deadline_extensions >= 1
+        assert summary.completion_rate == 1.0
+        assert summary.mean_lateness > 0.0
+
+    def test_expired_jobs_counted(self, net):
+        jobs = JobSet(
+            [Job(id="a", source=0, dest=2, size=50.0, start=0.0, end=2.0)]
+        )
+        summary = summarize(Simulation(net, policy="reduce").run(jobs, horizon=4.0))
+        assert summary.num_expired == 1
+        assert summary.num_completed == 0
+        assert np.isnan(summary.mean_response_time)
+        assert summary.delivered_volume == pytest.approx(4.0)
+
+
+class TestUtilizationTracking:
+    def test_mean_utilization_reported(self, net):
+        jobs = JobSet(
+            [Job(id="a", source=0, dest=2, size=4.0, start=0.0, end=4.0)]
+        )
+        summary = summarize(Simulation(net, policy="reduce").run(jobs))
+        assert 0.0 < summary.mean_utilization <= 1.0
+
+    def test_heavier_load_higher_utilization(self, net):
+        light = JobSet(
+            [Job(id="a", source=0, dest=2, size=2.0, start=0.0, end=4.0)]
+        )
+        heavy = JobSet(
+            [
+                Job(id=i, source=0, dest=2, size=6.0, start=0.0, end=4.0)
+                for i in range(3)
+            ]
+        )
+        s_light = summarize(Simulation(net, policy="reduce").run(light))
+        s_heavy = summarize(Simulation(net, policy="reduce").run(heavy))
+        assert s_heavy.mean_utilization >= s_light.mean_utilization

@@ -1,0 +1,89 @@
+"""Scenario tests for the online controller: richer traces and invariants."""
+
+import numpy as np
+import pytest
+
+from repro import Job, JobSet, Simulation, WorkloadGenerator, summarize
+from repro.network import topologies, waxman_network
+from repro.workload import WorkloadConfig, diurnal_arrivals
+
+
+class TestDiurnalDay:
+    def test_day_of_diurnal_traffic(self):
+        """A 24-hour diurnal trace through the controller: conservation
+        and lifecycle invariants hold; peak-hour passes carry more jobs."""
+        net = topologies.abilene().with_wavelengths(4, total_link_rate=20.0)
+        rng = np.random.default_rng(77)
+        times = diurnal_arrivals(0.7, 24.0, rng, peak_to_trough=5.0)
+        gen = WorkloadGenerator(
+            net,
+            WorkloadConfig(size_low=10.0, size_high=80.0,
+                           window_slices_high=6),
+            rng=rng,
+        )
+        jobs = JobSet(
+            gen.job(f"d-{k}", arrival=float(t)) for k, t in enumerate(times)
+        )
+        if len(jobs) == 0:
+            pytest.skip("empty trace draw")
+        sim = Simulation(net, tau=2.0, slice_length=1.0, policy="reduce")
+        result = sim.run(jobs, horizon=60.0)
+        summary = summarize(result)
+        assert summary.num_jobs == len(jobs)
+        assert summary.delivered_volume <= summary.offered_volume + 1e-6
+        for rec in result.records:
+            assert rec.status in ("completed", "expired", "rejected")
+            assert 0.0 <= rec.remaining <= rec.job.size + 1e-9
+
+    def test_conservation_across_policies(self):
+        """Delivered volume never exceeds offered, under every policy."""
+        net = waxman_network(20, capacity=2, wavelength_rate=10.0, seed=3)
+        gen = WorkloadGenerator(net, seed=4)
+        jobs = gen.arrival_stream(rate=1.0, horizon=6.0)
+        if len(jobs) == 0:
+            pytest.skip("empty trace draw")
+        offered = jobs.total_size()
+        for policy in ("reject", "reduce", "extend"):
+            result = Simulation(net, policy=policy).run(jobs, horizon=60.0)
+            assert result.delivered_volume <= offered + 1e-6
+            # Completed jobs are exactly the zero-remaining ones.
+            for rec in result.by_status("completed"):
+                assert rec.remaining == 0.0
+                assert rec.completion_time is not None
+
+    def test_progress_events_match_record_totals(self):
+        from repro.sim.events import JobProgress
+
+        net = topologies.line(3, capacity=2, wavelength_rate=1.0)
+        jobs = JobSet(
+            [
+                Job(id="a", source=0, dest=2, size=5.0, start=0.0, end=4.0),
+                Job(id="b", source=2, dest=0, size=3.0, start=1.0, end=5.0),
+            ]
+        )
+        result = Simulation(net, policy="reduce").run(jobs)
+        per_job: dict = {}
+        for event in result.events:
+            if isinstance(event, JobProgress):
+                per_job[event.job_id] = per_job.get(event.job_id, 0.0) + event.delivered
+        for rec in result.records:
+            delivered = rec.job.size - rec.remaining
+            assert per_job.get(rec.job.id, 0.0) == pytest.approx(delivered)
+
+    def test_rejected_jobs_receive_nothing(self):
+        from repro.sim.events import JobProgress
+
+        net = topologies.line(3, capacity=2, wavelength_rate=1.0)
+        jobs = JobSet(
+            [
+                Job(id=i, source=0, dest=2, size=8.0, start=0.0, end=2.0,
+                    arrival=float(i) - 10.0)
+                for i in range(3)
+            ]
+        )
+        result = Simulation(net, policy="reject").run(jobs, horizon=4.0)
+        rejected_ids = {r.job.id for r in result.by_status("rejected")}
+        progressed = {
+            e.job_id for e in result.events if isinstance(e, JobProgress)
+        }
+        assert not rejected_ids & progressed

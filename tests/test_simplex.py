@@ -1,0 +1,251 @@
+"""Tests for the from-scratch two-phase simplex backend.
+
+The key property is *agreement*: on every instance small enough for the
+dense tableau, the simplex backend must report the same status and
+optimal objective as HiGHS — including on the paper's own stage-1 and
+SUB-RET problems, which doubles as a check that the constraint blocks
+are assembled solver-independently.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro import (
+    InfeasibleProblemError,
+    Job,
+    JobSet,
+    LinearProgram,
+    ProblemStructure,
+    TimeGrid,
+    UnboundedProblemError,
+    ValidationError,
+    solve_lp,
+)
+from repro.core.ret import build_subret_lp
+from repro.core.stage2 import build_stage2_lp
+from repro.core.throughput import build_stage1_lp
+from repro.lp.simplex import simplex_solve
+from repro.network import topologies
+
+
+class TestBasics:
+    def test_simple_minimize(self):
+        lp = LinearProgram(
+            objective=np.ones(2),
+            a_ub=sp.csr_matrix(np.array([[-1.0, -1.0]])),
+            b_ub=np.array([-2.0]),
+        )
+        sol = simplex_solve(lp)
+        assert sol.objective == pytest.approx(2.0)
+        assert sol.x.sum() == pytest.approx(2.0)
+
+    def test_simple_maximize_with_upper_bounds(self):
+        lp = LinearProgram(
+            objective=np.array([1.0, 2.0]),
+            a_ub=sp.csr_matrix(np.array([[1.0, 1.0]])),
+            b_ub=np.array([4.0]),
+            upper=3.0,
+            maximize=True,
+        )
+        sol = simplex_solve(lp)
+        assert sol.objective == pytest.approx(7.0)
+
+    def test_equality_constraints(self):
+        lp = LinearProgram(
+            objective=np.array([2.0, 3.0]),
+            a_eq=sp.csr_matrix(np.array([[1.0, 1.0]])),
+            b_eq=np.array([5.0]),
+        )
+        sol = simplex_solve(lp)
+        assert sol.objective == pytest.approx(10.0)
+        assert sol.x == pytest.approx([5.0, 0.0])
+
+    def test_shifted_lower_bounds(self):
+        lp = LinearProgram(
+            objective=np.ones(2), lower=np.array([1.0, 2.0]), upper=10.0
+        )
+        sol = simplex_solve(lp)
+        assert sol.x == pytest.approx([1.0, 2.0])
+        assert sol.objective == pytest.approx(3.0)
+
+    def test_infeasible(self):
+        lp = LinearProgram(
+            objective=np.ones(1),
+            a_ub=sp.csr_matrix(np.array([[1.0]])),
+            b_ub=np.array([-1.0]),
+        )
+        with pytest.raises(InfeasibleProblemError):
+            simplex_solve(lp)
+
+    def test_crossed_bounds_infeasible(self):
+        lp = LinearProgram(
+            objective=np.ones(1),
+            a_eq=sp.csr_matrix(np.array([[1.0]])),
+            b_eq=np.array([0.5]),
+            lower=1.0,
+            upper=2.0,
+        )
+        with pytest.raises(InfeasibleProblemError):
+            simplex_solve(lp)
+
+    def test_unbounded(self):
+        lp = LinearProgram(objective=np.ones(1), maximize=True)
+        with pytest.raises(UnboundedProblemError):
+            simplex_solve(lp)
+
+    def test_degenerate_does_not_cycle(self):
+        """A classically degenerate LP (Beale-like) must terminate."""
+        lp = LinearProgram(
+            objective=np.array([-0.75, 150.0, -0.02, 6.0]),
+            a_ub=sp.csr_matrix(
+                np.array(
+                    [
+                        [0.25, -60.0, -0.04, 9.0],
+                        [0.5, -90.0, -0.02, 3.0],
+                        [0.0, 0.0, 1.0, 0.0],
+                    ]
+                )
+            ),
+            b_ub=np.array([0.0, 0.0, 1.0]),
+        )
+        sol = simplex_solve(lp)
+        assert sol.objective == pytest.approx(-0.05)
+
+    def test_size_guard(self):
+        lp = LinearProgram(
+            objective=np.ones(10),
+            a_ub=sp.csr_matrix(np.ones((5, 10))),
+            b_ub=np.ones(5),
+        )
+        with pytest.raises(ValidationError, match="too large"):
+            simplex_solve(lp, size_limit=10)
+
+    def test_negative_infinite_lower_rejected(self):
+        lp = LinearProgram(objective=np.ones(1), lower=-np.inf, upper=1.0)
+        with pytest.raises(ValidationError, match="finite lower"):
+            simplex_solve(lp)
+
+    def test_backend_dispatch(self):
+        lp = LinearProgram(
+            objective=np.ones(1),
+            a_ub=sp.csr_matrix(np.array([[-1.0]])),
+            b_ub=np.array([-1.0]),
+        )
+        assert solve_lp(lp, backend="simplex").objective == pytest.approx(1.0)
+        with pytest.raises(ValidationError):
+            solve_lp(lp, backend="cplex")
+
+
+class TestAgreementWithHighs:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_lps_agree(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 7))
+        m = int(rng.integers(1, 5))
+        lp = LinearProgram(
+            objective=rng.normal(size=n),
+            a_ub=sp.csr_matrix(rng.normal(size=(m, n))),
+            b_ub=rng.uniform(0.5, 3.0, size=m),
+            upper=np.where(
+                rng.random(n) < 0.5, rng.uniform(1, 5, size=n), np.inf
+            ),
+            maximize=bool(rng.random() < 0.5),
+        )
+        try:
+            ref = solve_lp(lp).objective
+        except UnboundedProblemError:
+            with pytest.raises(UnboundedProblemError):
+                simplex_solve(lp)
+            return
+        assert simplex_solve(lp).objective == pytest.approx(ref, abs=1e-7)
+
+    @pytest.fixture
+    def small_structure(self, diamond):
+        jobs = JobSet(
+            [
+                Job(id=0, source=0, dest=3, size=5.0, start=0.0, end=3.0),
+                Job(id=1, source=1, dest=2, size=2.0, start=0.0, end=2.0),
+            ]
+        )
+        return ProblemStructure(diamond, jobs, TimeGrid.uniform(3), k_paths=2)
+
+    def test_stage1_agrees(self, small_structure):
+        lp = build_stage1_lp(small_structure)
+        highs = solve_lp(lp)
+        mine = simplex_solve(lp)
+        assert mine.objective == pytest.approx(highs.objective, abs=1e-7)
+
+    def test_stage2_agrees(self, small_structure):
+        lp1 = build_stage1_lp(small_structure)
+        zstar = solve_lp(lp1).objective
+        lp2 = build_stage2_lp(small_structure, zstar, alpha=0.2)
+        assert simplex_solve(lp2).objective == pytest.approx(
+            solve_lp(lp2).objective, abs=1e-7
+        )
+
+    def test_subret_agrees(self, line3):
+        jobs = JobSet([Job(id=0, source=0, dest=2, size=4.0, start=0.0, end=4.0)])
+        s = ProblemStructure(line3, jobs, TimeGrid.uniform(4))
+        lp = build_subret_lp(s)
+        assert simplex_solve(lp).objective == pytest.approx(
+            solve_lp(lp).objective, abs=1e-7
+        )
+
+    def test_subret_infeasible_agrees(self, line3):
+        jobs = JobSet([Job(id=0, source=0, dest=2, size=50.0, start=0.0, end=4.0)])
+        s = ProblemStructure(line3, jobs, TimeGrid.uniform(4))
+        lp = build_subret_lp(s)
+        with pytest.raises(InfeasibleProblemError):
+            solve_lp(lp)
+        with pytest.raises(InfeasibleProblemError):
+            simplex_solve(lp)
+
+
+class TestHypothesisAgreement:
+    from hypothesis import HealthCheck, given, settings
+    from hypothesis import strategies as st
+
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    def test_random_bounded_lps_agree_with_highs(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 6))
+        m_ub = int(rng.integers(0, 4))
+        m_eq = int(rng.integers(0, 2))
+        lo = rng.uniform(0.0, 0.5, size=n)
+        hi = lo + rng.uniform(0.5, 4.0, size=n)
+        kwargs = dict(
+            objective=rng.normal(size=n),
+            lower=lo,
+            upper=hi,
+            maximize=bool(rng.random() < 0.5),
+        )
+        if m_ub:
+            kwargs["a_ub"] = sp.csr_matrix(rng.normal(size=(m_ub, n)))
+            kwargs["b_ub"] = rng.uniform(0.0, 3.0, size=m_ub)
+        if m_eq:
+            a_eq = rng.normal(size=(m_eq, n))
+            # rhs chosen near a feasible interior point so eq rows are
+            # sometimes (not always) satisfiable within bounds.
+            kwargs["a_eq"] = sp.csr_matrix(a_eq)
+            kwargs["b_eq"] = a_eq @ ((lo + hi) / 2) + rng.normal(
+                scale=0.2, size=m_eq
+            )
+        lp = LinearProgram(**kwargs)
+        try:
+            ref = ("ok", solve_lp(lp).objective)
+        except InfeasibleProblemError:
+            ref = ("inf", None)
+        except UnboundedProblemError:
+            ref = ("unb", None)
+        try:
+            mine = ("ok", simplex_solve(lp).objective)
+        except InfeasibleProblemError:
+            mine = ("inf", None)
+        except UnboundedProblemError:
+            mine = ("unb", None)
+        assert ref[0] == mine[0]
+        if ref[0] == "ok":
+            assert mine[1] == pytest.approx(ref[1], abs=1e-6)

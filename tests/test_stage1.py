@@ -1,0 +1,91 @@
+"""Unit tests for stage 1 (maximum concurrent throughput)."""
+
+import numpy as np
+import pytest
+
+from repro import Job, JobSet, ProblemStructure, TimeGrid, solve_stage1
+from repro.core.throughput import build_stage1_lp
+
+
+class TestStage1HandChecked:
+    def test_line_two_opposing_jobs(self, line3_structure):
+        """Each direction has its own capacity-2 links: Z* = 2 exactly."""
+        result = solve_stage1(line3_structure)
+        assert result.zstar == pytest.approx(2.0)
+        assert not result.overloaded
+
+    def test_diamond_multipath(self, diamond, grid4):
+        """Two disjoint unit paths x 4 slices = 8 volume; size 8 -> Z* = 1."""
+        jobs = JobSet([Job(id=0, source=0, dest=3, size=8.0, start=0.0, end=4.0)])
+        s = ProblemStructure(diamond, jobs, grid4, k_paths=2)
+        assert solve_stage1(s).zstar == pytest.approx(1.0)
+
+    def test_diamond_single_path_halves(self, diamond, grid4):
+        """Restricting to k=1 path halves the achievable throughput."""
+        jobs = JobSet([Job(id=0, source=0, dest=3, size=8.0, start=0.0, end=4.0)])
+        s = ProblemStructure(diamond, jobs, grid4, k_paths=1)
+        assert solve_stage1(s).zstar == pytest.approx(0.5)
+
+    def test_overloaded_flag(self, diamond, grid4):
+        jobs = JobSet([Job(id=0, source=0, dest=3, size=16.0, start=0.0, end=4.0)])
+        s = ProblemStructure(diamond, jobs, grid4, k_paths=2)
+        result = solve_stage1(s)
+        assert result.zstar == pytest.approx(0.5)
+        assert result.overloaded
+
+    def test_window_restriction_binds(self, line3, grid4):
+        """A 2-slice window on a capacity-2 link caps delivery at 4."""
+        jobs = JobSet([Job(id=0, source=0, dest=2, size=4.0, start=2.0, end=4.0)])
+        s = ProblemStructure(line3, jobs, grid4)
+        assert solve_stage1(s).zstar == pytest.approx(1.0)
+
+    def test_scale_invariance(self, line3, line3_jobs, grid4):
+        """Doubling every demand halves Z*."""
+        s1 = ProblemStructure(line3, line3_jobs, grid4)
+        s2 = ProblemStructure(line3, line3_jobs.scaled(2.0), grid4)
+        z1 = solve_stage1(s1).zstar
+        z2 = solve_stage1(s2).zstar
+        assert z2 == pytest.approx(z1 / 2.0)
+
+    def test_rate_normalization_equivalence(self, line3_jobs, grid4):
+        """Doubling the wavelength rate doubles Z* (demand normalization)."""
+        from repro.network import topologies
+
+        s1 = ProblemStructure(
+            topologies.line(3, capacity=2, wavelength_rate=1.0), line3_jobs, grid4
+        )
+        s2 = ProblemStructure(
+            topologies.line(3, capacity=2, wavelength_rate=2.0), line3_jobs, grid4
+        )
+        assert solve_stage1(s2).zstar == pytest.approx(2 * solve_stage1(s1).zstar)
+
+
+class TestStage1Solution:
+    def test_solution_satisfies_capacity(self, line3_structure):
+        result = solve_stage1(line3_structure)
+        assert line3_structure.capacity_violation(result.x) <= 1e-7
+
+    def test_solution_achieves_zstar_per_job(self, line3_structure):
+        result = solve_stage1(line3_structure)
+        z = line3_structure.throughputs(result.x)
+        assert np.allclose(z, result.zstar, atol=1e-7)
+
+    def test_lp_shape(self, line3_structure):
+        lp = build_stage1_lp(line3_structure)
+        assert lp.num_vars == line3_structure.num_cols + 1
+        assert lp.maximize
+        assert lp.a_eq.shape[0] == 2
+        assert lp.objective[-1] == 1.0
+        assert np.all(lp.objective[:-1] == 0.0)
+
+    def test_sharing_bottleneck_fair_split(self, line3, grid4):
+        """Two identical jobs on one link: each achieves Z* = capacity/size."""
+        jobs = JobSet(
+            [
+                Job(id=0, source=0, dest=2, size=4.0, start=0.0, end=4.0),
+                Job(id=1, source=0, dest=2, size=4.0, start=0.0, end=4.0),
+            ]
+        )
+        s = ProblemStructure(line3, jobs, grid4)
+        result = solve_stage1(s)
+        assert result.zstar == pytest.approx(1.0)  # 8 volume over cap 2 * 4

@@ -1,0 +1,122 @@
+"""Unit tests for stage 2 (weighted throughput with fairness floor)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Job,
+    JobSet,
+    ProblemStructure,
+    ValidationError,
+    solve_stage1,
+    solve_stage2_lp,
+)
+from repro.core.stage2 import build_stage2_lp, objective_weights
+
+
+@pytest.fixture
+def contended(line3, grid4):
+    """Two jobs sharing the 0->2 direction; sizes 6 and 2."""
+    jobs = JobSet(
+        [
+            Job(id="big", source=0, dest=2, size=6.0, start=0.0, end=4.0),
+            Job(id="small", source=0, dest=2, size=2.0, start=0.0, end=2.0),
+        ]
+    )
+    return ProblemStructure(line3, jobs, grid4)
+
+
+class TestObjectiveWeights:
+    def test_size_weights_reduce_to_volume(self, contended):
+        """With w_i = D_i / sum D the coefficient is LEN / sum d for all."""
+        coeffs = objective_weights(contended)
+        expected = contended.col_len / contended.demands.sum()
+        assert np.allclose(coeffs, expected)
+
+    def test_custom_weights(self, contended):
+        coeffs = objective_weights(contended, np.array([1.0, 3.0]))
+        # job "small" columns get 3 / d_small = 1.5 per unit length.
+        small_cols = contended.job_columns(1)
+        assert np.allclose(coeffs[small_cols], 3.0 / 2.0)
+
+    def test_weight_validation(self, contended):
+        with pytest.raises(ValidationError):
+            objective_weights(contended, np.array([1.0]))
+        with pytest.raises(ValidationError):
+            objective_weights(contended, np.array([1.0, 0.0]))
+
+
+class TestStage2LP:
+    def test_objective_at_least_zstar(self, contended):
+        """Stage-1's solution is stage-2 feasible, so objective >= Z*."""
+        zstar = solve_stage1(contended).zstar
+        result = solve_stage2_lp(contended, zstar, alpha=0.1)
+        assert result.objective >= zstar - 1e-7
+
+    def test_fairness_floor_respected(self, contended):
+        zstar = solve_stage1(contended).zstar
+        for alpha in (0.0, 0.1, 0.5):
+            result = solve_stage2_lp(contended, zstar, alpha=alpha)
+            z = contended.throughputs(result.x)
+            assert np.all(z >= (1 - alpha) * zstar - 1e-7)
+
+    def test_capacity_respected(self, contended):
+        zstar = solve_stage1(contended).zstar
+        result = solve_stage2_lp(contended, zstar, alpha=0.1)
+        assert contended.capacity_violation(result.x) <= 1e-7
+
+    def test_alpha_one_unconstrains_fairness(self, line3, grid4):
+        """With alpha = 1 the floor is 0; big job can take everything."""
+        jobs = JobSet(
+            [
+                Job(id="a", source=0, dest=2, size=8.0, start=0.0, end=4.0),
+                Job(id="b", source=0, dest=2, size=8.0, start=0.0, end=4.0),
+            ]
+        )
+        s = ProblemStructure(line3, jobs, grid4)
+        zstar = solve_stage1(s).zstar  # 0.5: overloaded
+        r = solve_stage2_lp(s, zstar, alpha=1.0)
+        # Total weighted throughput = delivered / 16 = 8/16 regardless of split.
+        assert r.objective == pytest.approx(0.5)
+
+    def test_inverse_size_weights_favor_small_job(self, line3, grid4):
+        """Overloaded link: inverse-size weights push service to the small job."""
+        jobs = JobSet(
+            [
+                Job(id="big", source=0, dest=2, size=8.0, start=0.0, end=4.0),
+                Job(id="small", source=0, dest=2, size=2.0, start=0.0, end=4.0),
+            ]
+        )
+        s = ProblemStructure(line3, jobs, grid4)
+        zstar = solve_stage1(s).zstar
+        inverse = 1.0 / s.jobs.sizes()
+        r = solve_stage2_lp(s, zstar, alpha=0.5, weights=inverse)
+        z = s.throughputs(r.x)
+        assert z[1] > z[0]  # small job served at a higher fraction
+
+    def test_objective_matches_weighted_throughput(self, contended):
+        zstar = solve_stage1(contended).zstar
+        r = solve_stage2_lp(contended, zstar, alpha=0.1)
+        assert r.objective == pytest.approx(
+            contended.weighted_throughput(r.x), abs=1e-8
+        )
+
+    def test_fairness_floor_accessor(self, contended):
+        r = solve_stage2_lp(contended, zstar=0.4, alpha=0.25)
+        assert r.fairness_floor() == pytest.approx(0.3)
+
+    def test_parameter_validation(self, contended):
+        with pytest.raises(ValidationError):
+            build_stage2_lp(contended, zstar=1.0, alpha=-0.1)
+        with pytest.raises(ValidationError):
+            build_stage2_lp(contended, zstar=1.0, alpha=1.5)
+        with pytest.raises(ValidationError):
+            build_stage2_lp(contended, zstar=-1.0)
+
+    def test_underloaded_network_overdelivers(self, line3, grid4):
+        """A single small job: stage 2 fills the pipe far beyond Z_i = 1."""
+        jobs = JobSet([Job(id=0, source=0, dest=2, size=1.0, start=0.0, end=4.0)])
+        s = ProblemStructure(line3, jobs, grid4)
+        zstar = solve_stage1(s).zstar  # 8
+        r = solve_stage2_lp(s, zstar, alpha=0.1)
+        assert r.objective == pytest.approx(8.0)

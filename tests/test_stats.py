@@ -1,0 +1,126 @@
+"""Unit tests for schedule statistics."""
+
+import numpy as np
+import pytest
+
+from repro import Job, JobSet, ProblemStructure, Scheduler, TimeGrid
+from repro.analysis import schedule_statistics
+from repro.network import topologies
+
+
+@pytest.fixture
+def two_path(diamond):
+    jobs = JobSet([Job(id=0, source=0, dest=3, size=6.0, start=0.0, end=4.0)])
+    return ProblemStructure(diamond, jobs, TimeGrid.uniform(4), k_paths=2)
+
+
+class TestScheduleStatistics:
+    def test_empty_assignment(self, two_path):
+        stats = schedule_statistics(two_path, np.zeros(two_path.num_cols))
+        assert stats.num_jobs_served == 0
+        assert np.isnan(stats.mean_paths_used)
+        assert stats.max_paths_used == 0
+
+    def test_single_path_constant_rate(self, two_path):
+        s = two_path
+        x = np.zeros(s.num_cols)
+        for j in range(4):
+            x[s.column(0, 0, j)] = 1.0
+        stats = schedule_statistics(s, x)
+        assert stats.num_jobs_served == 1
+        assert stats.mean_paths_used == 1.0
+        assert stats.multipath_job_fraction == 0.0
+        assert stats.mean_rate_changes == 0.0
+        assert stats.time_varying_job_fraction == 0.0
+        assert stats.active_slice_fraction == 1.0
+
+    def test_concurrent_multipath_detected(self, two_path):
+        s = two_path
+        x = np.zeros(s.num_cols)
+        x[s.column(0, 0, 0)] = 1.0
+        x[s.column(0, 1, 0)] = 1.0
+        stats = schedule_statistics(s, x)
+        assert stats.mean_paths_used == 2.0
+        assert stats.multipath_job_fraction == 1.0
+
+    def test_sequential_paths_not_concurrent(self, two_path):
+        """Different paths on different slices: 2 paths used, 0 concurrent."""
+        s = two_path
+        x = np.zeros(s.num_cols)
+        x[s.column(0, 0, 0)] = 1.0
+        x[s.column(0, 1, 1)] = 1.0
+        stats = schedule_statistics(s, x)
+        assert stats.mean_paths_used == 2.0
+        assert stats.multipath_job_fraction == 0.0
+
+    def test_rate_changes_counted(self, two_path):
+        s = two_path
+        x = np.zeros(s.num_cols)
+        # Rates over slices: 1, 2, 0, 0 -> changes at 3 boundaries.
+        x[s.column(0, 0, 0)] = 1.0
+        x[s.column(0, 0, 1)] = 2.0
+        stats = schedule_statistics(s, x)
+        assert stats.mean_rate_changes == 2.0
+        assert stats.time_varying_job_fraction == 1.0
+        assert stats.active_slice_fraction == 0.5
+
+    def test_framework_schedule_is_multipath_and_time_varying(self):
+        """On a contended instance the LP framework actually uses both
+        freedoms the paper claims matter."""
+        net = topologies.abilene().with_wavelengths(2, 20.0)
+        from repro import WorkloadGenerator
+        from repro.workload import WorkloadConfig
+
+        gen = WorkloadGenerator(
+            net,
+            WorkloadConfig(window_slices_low=2, window_slices_high=4),
+            seed=13,
+        )
+        jobs = gen.jobs(30).scaled(4.0)
+        result = Scheduler(net).schedule(jobs)
+        stats = schedule_statistics(result.structure, result.x)
+        assert stats.num_jobs_served > 0
+        assert stats.mean_paths_used > 1.0
+        assert stats.time_varying_job_fraction > 0.3
+
+
+class TestDescribeSchedule:
+    @pytest.fixture
+    def result(self, line3, grid4):
+        from repro import Scheduler
+
+        jobs = JobSet(
+            [
+                Job(id="a", source=0, dest=2, size=6.0, start=0.0, end=4.0),
+                Job(id="b", source=0, dest=2, size=4.0, start=0.0, end=4.0),
+            ]
+        )
+        return Scheduler(line3).schedule(jobs, grid4)
+
+    def test_report_contains_sections(self, result):
+        from repro.analysis import describe_schedule
+
+        out = describe_schedule(result)
+        assert "scheduling pass" in out
+        assert "schedule shape" in out
+        assert "Z* (stage 1)" in out
+        assert "per-job wavelengths" in out
+
+    def test_gantt_optional(self, result):
+        from repro.analysis import describe_schedule
+
+        out = describe_schedule(result, gantt=False)
+        assert "per-job wavelengths" not in out
+
+    def test_bottlenecks_optional(self, result):
+        from repro.analysis import describe_schedule
+
+        out = describe_schedule(result, bottlenecks=0)
+        assert "congestion" not in out
+
+    def test_congested_instance_lists_hot_links(self, result):
+        from repro.analysis import describe_schedule
+
+        out = describe_schedule(result, gantt=False, bottlenecks=3)
+        # The contended 0->1 link must surface with a positive price.
+        assert "hot spots" in out or "prices zero" in out

@@ -1,0 +1,118 @@
+"""Unit tests for repro.network.topologies."""
+
+import pytest
+
+from repro import ValidationError
+from repro.network import topologies
+
+
+class TestAbilene:
+    def test_paper_variant_has_20_link_pairs(self):
+        net = topologies.abilene()
+        assert net.num_nodes == 11
+        assert net.num_link_pairs == 20
+        assert net.num_edges == 40
+
+    def test_historical_variant_has_14_link_pairs(self):
+        net = topologies.abilene(extended=False)
+        assert net.num_nodes == 11
+        assert net.num_link_pairs == 14
+
+    def test_strongly_connected(self):
+        assert topologies.abilene().is_strongly_connected()
+        assert topologies.abilene(extended=False).is_strongly_connected()
+
+    def test_default_rate_is_20gbps(self):
+        net = topologies.abilene()
+        assert net.wavelength_rate == 20.0
+        assert net.link_rate(0) == 20.0
+
+    def test_wavelength_split_keeps_total_rate(self):
+        net = topologies.abilene().with_wavelengths(4, total_link_rate=20.0)
+        assert net.capacities().tolist() == [4] * 40
+        assert net.link_rate(0) == pytest.approx(20.0)
+
+    def test_known_cities_present(self):
+        net = topologies.abilene()
+        for city in ("Seattle", "Chicago", "Atlanta", "NewYork"):
+            assert city in net
+
+
+class TestSyntheticFamilies:
+    def test_line(self):
+        net = topologies.line(4, capacity=3)
+        assert net.num_nodes == 4
+        assert net.num_link_pairs == 3
+        assert net.is_strongly_connected()
+
+    def test_ring(self):
+        net = topologies.ring(5)
+        assert net.num_nodes == 5
+        assert net.num_link_pairs == 5
+        assert all(net.degree(n) == 4 for n in net)
+
+    def test_star(self):
+        net = topologies.star(4)
+        assert net.num_nodes == 5
+        assert net.degree(0) == 8
+        assert all(net.degree(i) == 2 for i in range(1, 5))
+
+    def test_grid2d(self):
+        net = topologies.grid2d(2, 3)
+        assert net.num_nodes == 6
+        assert net.num_link_pairs == 7  # 2*2 vertical + 3*1... (r*(c-1)+c*(r-1))
+        assert net.is_strongly_connected()
+
+    def test_full_mesh(self):
+        net = topologies.full_mesh(4)
+        assert net.num_link_pairs == 6
+        assert all(net.degree(n) == 6 for n in net)
+
+    def test_dumbbell_bottleneck(self):
+        net = topologies.dumbbell(2, capacity=4, bottleneck_capacity=1)
+        eid = net.edge_id("hubL", "hubR")
+        assert net.edge(eid).capacity == 1
+        assert net.edge(net.edge_id(("L", 0), "hubL")).capacity == 4
+        assert net.is_strongly_connected()
+
+    def test_dumbbell_default_bottleneck_matches_capacity(self):
+        net = topologies.dumbbell(1, capacity=3)
+        assert net.edge(net.edge_id("hubL", "hubR")).capacity == 3
+
+    @pytest.mark.parametrize(
+        "factory,args",
+        [
+            (topologies.line, (1,)),
+            (topologies.ring, (2,)),
+            (topologies.star, (0,)),
+            (topologies.grid2d, (1, 1)),
+            (topologies.full_mesh, (1,)),
+            (topologies.dumbbell, (0,)),
+        ],
+    )
+    def test_too_small_rejected(self, factory, args):
+        with pytest.raises(ValidationError):
+            factory(*args)
+
+
+class TestNsfnet:
+    def test_structure(self):
+        net = topologies.nsfnet()
+        assert net.num_nodes == 14
+        assert net.num_link_pairs == 21
+        assert net.is_strongly_connected()
+
+    def test_average_degree_three(self):
+        import numpy as np
+
+        net = topologies.nsfnet()
+        degrees = [net.degree(n) / 2 for n in net]
+        assert np.mean(degrees) == pytest.approx(3.0)
+
+    def test_schedulable(self):
+        from repro import Scheduler, WorkloadGenerator
+
+        net = topologies.nsfnet().with_wavelengths(4, total_link_rate=20.0)
+        jobs = WorkloadGenerator(net, seed=2).jobs(8)
+        result = Scheduler(net).schedule(jobs)
+        assert result.structure.capacity_violation(result.x) == 0.0

@@ -1,0 +1,113 @@
+"""Unit tests for CSV job-trace import/export."""
+
+import pytest
+
+from repro import Job, JobSet, ValidationError
+from repro.workload import jobs_from_csv, jobs_to_csv
+
+
+@pytest.fixture
+def jobs():
+    return JobSet(
+        [
+            Job(id="hep-1", source="Chicago", dest="Sunnyvale", size=60.0,
+                start=0.0, end=4.0),
+            Job(id="7", source="A", dest="B", size=12.5, start=1.0, end=3.0,
+                arrival=0.5, weight=2.0),
+        ]
+    )
+
+
+class TestRoundTrip:
+    def test_csv_round_trip(self, tmp_path, jobs):
+        path = tmp_path / "trace.csv"
+        jobs_to_csv(jobs, path)
+        clone = jobs_from_csv(path)
+        assert len(clone) == 2
+        j = clone.by_id("hep-1")
+        assert (j.source, j.dest, j.size, j.start, j.end) == (
+            "Chicago", "Sunnyvale", 60.0, 0.0, 4.0,
+        )
+        assert j.arrival == 0.0  # defaulted from start
+        k = clone.by_id("7")
+        assert k.arrival == 0.5
+        assert k.weight == 2.0
+
+    def test_numeric_coercion(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        jobs_to_csv(
+            JobSet([Job(id=3, source=0, dest=1, size=1.0, start=0.0, end=1.0)]),
+            path,
+        )
+        as_strings = jobs_from_csv(path)
+        assert as_strings[0].id == "3"
+        coerced = jobs_from_csv(path, coerce_numeric=True)
+        assert coerced[0].id == 3
+        assert coerced[0].source == 0
+
+    def test_float_precision_survives(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        original = JobSet(
+            [Job(id=0, source="a", dest="b", size=1 / 3, start=0.1, end=0.7)]
+        )
+        jobs_to_csv(original, path)
+        clone = jobs_from_csv(path)
+        assert clone[0].size == original[0].size  # repr round-trips exactly
+
+
+class TestReaderValidation:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ValidationError, match="no such file"):
+            jobs_from_csv(tmp_path / "nope.csv")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValidationError, match="empty"):
+            jobs_from_csv(path)
+
+    def test_missing_columns(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("id,source,dest\n1,a,b\n")
+        with pytest.raises(ValidationError, match="missing required columns"):
+            jobs_from_csv(path)
+
+    def test_unparsable_number_reports_line(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "id,source,dest,size,start,end,arrival,weight\n"
+            "1,a,b,not_a_number,0,1,,\n"
+        )
+        with pytest.raises(ValidationError, match=":2:"):
+            jobs_from_csv(path)
+
+    def test_invalid_job_reports_line(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "id,source,dest,size,start,end,arrival,weight\n"
+            "1,a,a,1.0,0,1,,\n"  # source == dest
+        )
+        with pytest.raises(ValidationError, match=":2:"):
+            jobs_from_csv(path)
+
+    def test_blank_rows_skipped(self, tmp_path):
+        path = tmp_path / "gaps.csv"
+        path.write_text(
+            "id,source,dest,size,start,end,arrival,weight\n"
+            "\n"
+            "1,a,b,1.0,0,1,,\n"
+            ",,,,,,,\n"
+        )
+        assert len(jobs_from_csv(path)) == 1
+
+    def test_no_rows(self, tmp_path):
+        path = tmp_path / "headeronly.csv"
+        path.write_text("id,source,dest,size,start,end,arrival,weight\n")
+        with pytest.raises(ValidationError, match="no job rows"):
+            jobs_from_csv(path)
+
+    def test_header_case_insensitive(self, tmp_path):
+        path = tmp_path / "caps.csv"
+        path.write_text("ID,Source,Dest,Size,Start,End\n1,a,b,1.0,0,1\n")
+        jobs = jobs_from_csv(path)
+        assert jobs[0].size == 1.0

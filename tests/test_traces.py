@@ -1,0 +1,96 @@
+"""Unit tests for the synthetic e-science traces."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ValidationError,
+    climate_ensemble_trace,
+    hep_tier_trace,
+    mixed_escience_trace,
+)
+from repro.network import topologies
+
+
+@pytest.fixture
+def net():
+    return topologies.abilene()
+
+
+class TestHepTierTrace:
+    def test_single_source_fanout(self, net):
+        jobs = hep_tier_trace(net, num_tier2=3, transfers_per_site=2, seed=0)
+        assert len(jobs) == 6
+        sources = {j.source for j in jobs}
+        assert len(sources) == 1  # one Tier-1 archive
+        assert len({j.dest for j in jobs}) == 3
+
+    def test_sizes_are_large(self, net):
+        jobs = hep_tier_trace(net, dataset_size=500.0, seed=1)
+        assert jobs.sizes().min() > 100.0
+
+    def test_windows_respect_span(self, net):
+        jobs = hep_tier_trace(net, window_slices=10, slice_length=2.0, seed=2)
+        for j in jobs:
+            assert j.end - j.start == pytest.approx(20.0)
+
+    def test_needs_enough_nodes(self):
+        net = topologies.line(3)
+        with pytest.raises(ValidationError):
+            hep_tier_trace(net, num_tier2=5)
+
+    def test_deterministic(self, net):
+        a = hep_tier_trace(net, seed=5)
+        b = hep_tier_trace(net, seed=5)
+        assert [(j.source, j.dest, j.size) for j in a] == [
+            (j.source, j.dest, j.size) for j in b
+        ]
+
+
+class TestClimateTrace:
+    def test_all_to_one_per_round(self, net):
+        jobs = climate_ensemble_trace(net, num_sites=4, rounds=3, seed=0)
+        assert len(jobs) == 12
+        assert len({j.dest for j in jobs}) == 1
+
+    def test_round_windows_are_periodic(self, net):
+        jobs = climate_ensemble_trace(
+            net, num_sites=2, rounds=2, round_slices=3, slice_length=1.0, seed=1
+        )
+        starts = sorted({j.start for j in jobs})
+        assert starts == [0.0, 3.0]
+        for j in jobs:
+            assert j.end - j.start == pytest.approx(3.0)
+
+    def test_arrival_matches_round(self, net):
+        jobs = climate_ensemble_trace(net, rounds=2, seed=2)
+        for j in jobs:
+            assert j.arrival == j.start
+
+    def test_rounds_validation(self, net):
+        with pytest.raises(ValidationError):
+            climate_ensemble_trace(net, rounds=0)
+
+
+class TestMixedTrace:
+    def test_composition(self, net):
+        jobs = mixed_escience_trace(net, num_bulk=4, num_small=10, seed=0)
+        bulk = [j for j in jobs if str(j.id).startswith("bulk")]
+        small = [j for j in jobs if str(j.id).startswith("small")]
+        assert len(bulk) == 4 and len(small) == 10
+
+    def test_heavy_tail(self, net):
+        jobs = mixed_escience_trace(net, seed=1)
+        bulk_sizes = [j.size for j in jobs if str(j.id).startswith("bulk")]
+        small_sizes = [j.size for j in jobs if str(j.id).startswith("small")]
+        assert min(bulk_sizes) > max(small_sizes)
+
+    def test_windows_inside_horizon(self, net):
+        jobs = mixed_escience_trace(net, horizon_slices=12, seed=2)
+        for j in jobs:
+            assert j.start >= 0.0
+            assert j.end <= 12.0 + 1e-9
+
+    def test_rng_seed_exclusive(self, net):
+        with pytest.raises(ValidationError):
+            mixed_escience_trace(net, rng=np.random.default_rng(0), seed=1)

@@ -1,0 +1,40 @@
+"""Execute the code snippets in docs/tutorial.md.
+
+Documentation that does not run is worse than none: this test extracts
+every fenced ``python`` block from the tutorial and executes them in
+order in one shared namespace, exactly as a reader following along
+would.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+TUTORIAL = Path(__file__).resolve().parent.parent / "docs" / "tutorial.md"
+
+
+def _python_blocks(text: str) -> list[str]:
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+@pytest.fixture(scope="module")
+def blocks():
+    assert TUTORIAL.exists(), "docs/tutorial.md is missing"
+    found = _python_blocks(TUTORIAL.read_text())
+    assert len(found) >= 6, "tutorial should have at least six python blocks"
+    return found
+
+
+def test_tutorial_snippets_run_in_order(blocks):
+    namespace: dict = {}
+    for i, block in enumerate(blocks):
+        try:
+            exec(compile(block, f"tutorial-block-{i}", "exec"), namespace)
+        except Exception as exc:  # pragma: no cover - failure reporting
+            pytest.fail(f"tutorial block {i} failed: {exc}\n---\n{block}")
+
+    # Spot-check the state the reader ends up with.
+    assert namespace["result"].overloaded in (True, False)
+    assert namespace["ret"].fraction_finished() == 1.0
+    assert 0.0 <= namespace["summary"].completion_rate <= 1.0

@@ -1,0 +1,105 @@
+"""Unit tests for the Waxman/BRITE-style random network generator."""
+
+import numpy as np
+import pytest
+
+from repro import ValidationError, waxman_network
+
+
+class TestWaxmanStructure:
+    def test_node_and_pair_counts(self):
+        net = waxman_network(50, avg_degree=4, seed=7)
+        assert net.num_nodes == 50
+        # Node 1 attaches once, nodes 2..49 attach twice: 1 + 2*48 pairs.
+        assert net.num_link_pairs == 1 + 2 * 48
+        assert net.num_edges == 2 * net.num_link_pairs
+
+    def test_average_degree_near_target(self):
+        net = waxman_network(100, avg_degree=4, seed=3)
+        degrees = [net.degree(n) / 2 for n in net]  # undirected degree
+        assert 3.5 <= float(np.mean(degrees)) <= 4.0
+
+    def test_strongly_connected(self):
+        for seed in range(5):
+            assert waxman_network(40, seed=seed).is_strongly_connected()
+
+    def test_positions_attached(self):
+        net = waxman_network(10, seed=0)
+        assert set(net.positions) == set(range(10))
+        for x, y in net.positions.values():
+            assert 0.0 <= x <= 1.0 and 0.0 <= y <= 1.0
+
+    def test_capacity_and_rate_forwarded(self):
+        net = waxman_network(10, capacity=8, wavelength_rate=2.5, seed=0)
+        assert set(net.capacities().tolist()) == {8}
+        assert net.wavelength_rate == 2.5
+
+    def test_higher_avg_degree(self):
+        net = waxman_network(30, avg_degree=6, seed=1)
+        degrees = [net.degree(n) / 2 for n in net]
+        assert float(np.mean(degrees)) > 4.5
+
+
+class TestWaxmanDeterminism:
+    def test_same_seed_same_network(self):
+        a = waxman_network(25, seed=42)
+        b = waxman_network(25, seed=42)
+        assert [(e.source, e.target) for e in a.edges] == [
+            (e.source, e.target) for e in b.edges
+        ]
+        assert a.positions == b.positions
+
+    def test_different_seeds_differ(self):
+        a = waxman_network(25, seed=1)
+        b = waxman_network(25, seed=2)
+        assert [(e.source, e.target) for e in a.edges] != [
+            (e.source, e.target) for e in b.edges
+        ]
+
+    def test_explicit_rng_accepted(self):
+        rng = np.random.default_rng(5)
+        net = waxman_network(10, rng=rng)
+        assert net.num_nodes == 10
+
+    def test_rng_and_seed_mutually_exclusive(self):
+        with pytest.raises(ValidationError):
+            waxman_network(10, rng=np.random.default_rng(0), seed=1)
+
+
+class TestWaxmanLocality:
+    def test_links_prefer_short_distances(self):
+        """Waxman bias: linked pairs are closer on average than random pairs."""
+        net = waxman_network(120, alpha=0.1, seed=9)
+        pos = net.positions
+        linked = [
+            np.hypot(
+                pos[e.source][0] - pos[e.target][0],
+                pos[e.source][1] - pos[e.target][1],
+            )
+            for e in net.edges
+        ]
+        rng = np.random.default_rng(0)
+        pairs = rng.integers(0, 120, size=(2000, 2))
+        random_d = [
+            np.hypot(pos[a][0] - pos[b][0], pos[a][1] - pos[b][1])
+            for a, b in pairs
+            if a != b
+        ]
+        assert np.mean(linked) < 0.8 * np.mean(random_d)
+
+
+class TestWaxmanValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_nodes": 1},
+            {"num_nodes": 10, "avg_degree": 3},
+            {"num_nodes": 10, "avg_degree": 0},
+            {"num_nodes": 10, "alpha": 0.0},
+            {"num_nodes": 10, "beta": 0.0},
+            {"num_nodes": 10, "beta": 1.5},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            waxman_network(**kwargs)
