@@ -28,7 +28,7 @@ The three top-level entry points are:
   controller loop.
 """
 
-from . import analysis, core, experiments, lp, network, sim, workload
+from . import analysis, core, experiments, lp, network, obs, sim, workload
 from . import serialization
 from .core import (
     AdmissionDecision,
@@ -68,6 +68,7 @@ from .errors import (
     ValidationError,
 )
 from .lp import LinearProgram, LPSolution, ProblemStructure, solve_lp, solve_milp
+from .obs import NULL_TELEMETRY, NullTelemetry, Telemetry
 from .network import (
     CapacityProfile,
     Edge,
@@ -101,6 +102,7 @@ __all__ = [
     "experiments",
     "lp",
     "network",
+    "obs",
     "sim",
     "workload",
     "topologies",
@@ -128,6 +130,10 @@ __all__ = [
     "LPSolution",
     "solve_lp",
     "solve_milp",
+    # observability
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
     # core algorithms
     "Scheduler",
     "ScheduleResult",

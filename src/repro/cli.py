@@ -24,6 +24,7 @@ from .analysis.reporting import Table
 from .core.ret import solve_ret
 from .core.scheduler import Scheduler
 from .errors import ReproError
+from .obs import Telemetry
 from .experiments import EXPERIMENTS, run_experiment
 from .network import abilene, full_mesh, line, ring, waxman_network
 from .serialization import (
@@ -94,6 +95,8 @@ def _build_parser() -> argparse.ArgumentParser:
     sched.add_argument("--slice-length", type=float, default=1.0)
     sched.add_argument("--gantt", action="store_true",
                        help="print job and link Gantt charts")
+    sched.add_argument("--profile", action="store_true",
+                       help="print the solve-telemetry tables after the run")
     sched.add_argument("-o", "--output", default=None,
                        help="write the grant list as JSON")
 
@@ -106,6 +109,9 @@ def _build_parser() -> argparse.ArgumentParser:
     ret.add_argument("--delta", type=float, default=0.1)
     ret.add_argument("--mode", choices=["end_time", "interval"],
                      default="end_time")
+    ret.add_argument("--profile", action="store_true",
+                     help="print the solve-telemetry tables (including the "
+                     "binary-search trace) after the run")
     ret.add_argument("-o", "--output", default=None,
                      help="write the extended-schedule grant list as JSON")
 
@@ -121,6 +127,8 @@ def _build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--slice-length", type=float, default=1.0)
     sim.add_argument("--k-paths", type=int, default=4)
     sim.add_argument("--horizon", type=float, default=None)
+    sim.add_argument("--profile", action="store_true",
+                     help="print the solve-telemetry tables after the run")
     sim.add_argument("-o", "--output", default=None,
                      help="write the run's records and event log as JSON")
 
@@ -211,14 +219,27 @@ def _cmd_workload(args) -> int:
     return 0
 
 
+def _profile_telemetry(args) -> Telemetry | None:
+    """A live collector when ``--profile`` was given, else None."""
+    return Telemetry() if getattr(args, "profile", False) else None
+
+
+def _print_profile(telemetry: Telemetry | None) -> None:
+    if telemetry is not None:
+        print()
+        print(telemetry.render())
+
+
 def _cmd_schedule(args) -> int:
     net = network_from_dict(load_json(args.network))
     jobs = _load_jobs(args.jobs)
+    telemetry = _profile_telemetry(args)
     scheduler = Scheduler(
         net,
         k_paths=args.k_paths,
         alpha=args.alpha,
         slice_length=args.slice_length,
+        telemetry=telemetry,
     )
     result = scheduler.schedule(jobs)
 
@@ -243,6 +264,8 @@ def _cmd_schedule(args) -> int:
         print()
         print(link_gantt(result.structure, result.x, max_links=15))
 
+    _print_profile(telemetry)
+
     if args.output:
         save_json(schedule_to_dict(result), args.output)
         print(f"\nwrote grant list to {args.output}")
@@ -252,6 +275,7 @@ def _cmd_schedule(args) -> int:
 def _cmd_ret(args) -> int:
     net = network_from_dict(load_json(args.network))
     jobs = _load_jobs(args.jobs)
+    telemetry = _profile_telemetry(args)
     result = solve_ret(
         net,
         jobs,
@@ -260,6 +284,7 @@ def _cmd_ret(args) -> int:
         b_max=args.b_max,
         delta=args.delta,
         mode=args.mode,
+        telemetry=telemetry,
     )
     table = Table(["metric", "value"], title="RET (Algorithm 2) summary")
     table.add_row(["mode", result.mode])
@@ -274,6 +299,8 @@ def _cmd_ret(args) -> int:
         ["avg end time LPDAR (slices)", round(result.average_end_time("lpdar"), 3)]
     )
     print(table.render())
+
+    _print_profile(telemetry)
 
     if args.output:
         import numpy as np
@@ -315,6 +342,7 @@ def _cmd_ret(args) -> int:
 def _cmd_simulate(args) -> int:
     net = network_from_dict(load_json(args.network))
     jobs = _load_jobs(args.jobs)
+    telemetry = _profile_telemetry(args)
     sim = Simulation(
         net,
         tau=args.tau,
@@ -322,6 +350,7 @@ def _cmd_simulate(args) -> int:
         policy=args.policy,
         k_paths=args.k_paths,
         rejection=args.rejection,
+        telemetry=telemetry,
     )
     result = sim.run(jobs, horizon=args.horizon)
     summary = summarize(result)
@@ -346,6 +375,8 @@ def _cmd_simulate(args) -> int:
         value = getattr(summary, name)
         table.add_row([name, round(value, 4) if isinstance(value, float) else value])
     print(table.render())
+
+    _print_profile(telemetry)
 
     if args.output:
         from .serialization import simulation_to_dict

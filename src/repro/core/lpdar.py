@@ -28,6 +28,7 @@ import numpy as np
 
 from ..errors import ValidationError
 from ..lp.model import ProblemStructure
+from ..obs import NULL_TELEMETRY, Telemetry
 
 __all__ = ["GreedyOrder", "LpdarResult", "discretize", "greedy_adjust", "lpdar"]
 
@@ -57,6 +58,7 @@ def greedy_adjust(
     targets: np.ndarray | None = None,
     cap_at_target: bool = False,
     rng: np.random.Generator | None = None,
+    telemetry: Telemetry | None = None,
 ) -> np.ndarray:
     """Algorithm 1: grant leftover wavelengths to paths, slice by slice.
 
@@ -83,6 +85,10 @@ def greedy_adjust(
         faithful run.
     rng:
         Randomness source for ``order="random"``.
+    telemetry:
+        Optional :class:`~repro.obs.Telemetry`; the pass is timed under
+        a ``"greedy_adjust"`` span and a ``greedy_adjust`` record counts
+        the (slice, job, path) triples visited and wavelengths granted.
 
     Returns
     -------
@@ -102,59 +108,76 @@ def greedy_adjust(
     if order not in ("paper", "deficit_first", "random"):
         raise ValidationError(f"unknown greedy order {order!r}")
 
-    x = x.copy()
-    residual = structure.residual_capacity(x)
-    if residual.min(initial=0.0) < -1e-9:
-        raise ValidationError("input assignment already violates capacity")
-    residual = np.rint(np.maximum(residual, 0.0)).astype(np.int64)
+    telemetry = telemetry or NULL_TELEMETRY
+    visited = 0
+    grants_made = 0
+    granted_wavelengths = 0
+    with telemetry.span("greedy_adjust"):
+        x = x.copy()
+        residual = structure.residual_capacity(x)
+        if residual.min(initial=0.0) < -1e-9:
+            raise ValidationError("input assignment already violates capacity")
+        residual = np.rint(np.maximum(residual, 0.0)).astype(np.int64)
 
-    num_jobs = len(structure.jobs)
-    if targets is None:
-        targets = structure.demands
-    else:
-        targets = np.asarray(targets, dtype=float)
-        if targets.shape != (num_jobs,):
-            raise ValidationError(
-                f"targets must have shape ({num_jobs},), got {targets.shape}"
-            )
-    deficits = targets - structure.delivered(x)
+        num_jobs = len(structure.jobs)
+        if targets is None:
+            targets = structure.demands
+        else:
+            targets = np.asarray(targets, dtype=float)
+            if targets.shape != (num_jobs,):
+                raise ValidationError(
+                    f"targets must have shape ({num_jobs},), got {targets.shape}"
+                )
+        deficits = targets - structure.delivered(x)
 
-    first = structure.first_slice
-    span = structure.span
-    offsets = structure.job_offset
-    lengths = structure.grid.lengths
-    path_edges = [
-        [np.asarray(p.edge_ids, dtype=np.int64) for p in structure.paths[i]]
-        for i in range(num_jobs)
-    ]
+        first = structure.first_slice
+        span = structure.span
+        offsets = structure.job_offset
+        lengths = structure.grid.lengths
+        path_edges = [
+            [np.asarray(p.edge_ids, dtype=np.int64) for p in structure.paths[i]]
+            for i in range(num_jobs)
+        ]
 
-    for j in range(structure.grid.num_slices):
-        # Jobs whose window admits slice j.
-        active = np.nonzero((first <= j) & (j < first + span))[0]
-        if active.size == 0:
-            continue
-        if order == "deficit_first":
-            active = active[np.argsort(-deficits[active], kind="stable")]
-        elif order == "random":
-            active = rng.permutation(active)
-        len_j = float(lengths[j])
-        for i in active:
-            if cap_at_target and deficits[i] <= 1e-12:
+        for j in range(structure.grid.num_slices):
+            # Jobs whose window admits slice j.
+            active = np.nonzero((first <= j) & (j < first + span))[0]
+            if active.size == 0:
                 continue
-            base = int(offsets[i]) + (j - int(first[i]))
-            sp_i = int(span[i])
-            for p, edges in enumerate(path_edges[i]):
-                grant = int(residual[edges, j].min())
-                if grant <= 0:
+            if order == "deficit_first":
+                active = active[np.argsort(-deficits[active], kind="stable")]
+            elif order == "random":
+                active = rng.permutation(active)
+            len_j = float(lengths[j])
+            for i in active:
+                if cap_at_target and deficits[i] <= 1e-12:
                     continue
-                if cap_at_target:
-                    needed = int(np.ceil(deficits[i] / len_j - 1e-12))
-                    grant = min(grant, needed)
+                base = int(offsets[i]) + (j - int(first[i]))
+                sp_i = int(span[i])
+                for p, edges in enumerate(path_edges[i]):
+                    visited += 1
+                    grant = int(residual[edges, j].min())
                     if grant <= 0:
                         continue
-                x[base + p * sp_i] += grant
-                residual[edges, j] -= grant
-                deficits[i] -= grant * len_j
+                    if cap_at_target:
+                        needed = int(np.ceil(deficits[i] / len_j - 1e-12))
+                        grant = min(grant, needed)
+                        if grant <= 0:
+                            continue
+                    x[base + p * sp_i] += grant
+                    residual[edges, j] -= grant
+                    deficits[i] -= grant * len_j
+                    grants_made += 1
+                    granted_wavelengths += grant
+    telemetry.record(
+        "greedy_adjust",
+        order=order,
+        visited_triples=visited,
+        grants=grants_made,
+        granted_wavelengths=granted_wavelengths,
+    )
+    telemetry.count("greedy_visited_triples", visited)
+    telemetry.count("greedy_granted_wavelengths", granted_wavelengths)
     return x
 
 
@@ -184,9 +207,16 @@ def lpdar(
     targets: np.ndarray | None = None,
     cap_at_target: bool = False,
     rng: np.random.Generator | None = None,
+    telemetry: Telemetry | None = None,
 ) -> LpdarResult:
-    """Run the full LP -> LPD -> LPDAR pipeline on a fractional solution."""
-    x_lpd = discretize(x_lp)
+    """Run the full LP -> LPD -> LPDAR pipeline on a fractional solution.
+
+    ``telemetry`` (optional) times the truncation under a
+    ``"discretize"`` span and forwards to :func:`greedy_adjust`.
+    """
+    telemetry = telemetry or NULL_TELEMETRY
+    with telemetry.span("discretize"):
+        x_lpd = discretize(x_lp)
     x_lpdar = greedy_adjust(
         structure,
         x_lpd,
@@ -194,6 +224,7 @@ def lpdar(
         targets=targets,
         cap_at_target=cap_at_target,
         rng=rng,
+        telemetry=telemetry,
     )
     return LpdarResult(
         x_lp=np.asarray(x_lp, dtype=float), x_lpd=x_lpd, x_lpdar=x_lpdar

@@ -28,6 +28,7 @@ import numpy as np
 from ..errors import InfeasibleProblemError, ScheduleError, ValidationError
 from ..lp.model import ProblemStructure
 from ..lp.solver import LinearProgram, LPSolution, solve_lp
+from ..obs import NULL_TELEMETRY, Telemetry
 from ..network.graph import Network
 from ..network.paths import Path, build_path_sets
 from ..timegrid import TimeGrid
@@ -42,6 +43,7 @@ __all__ = [
     "RetResult",
     "RetMode",
     "solve_ret",
+    "MAX_EXTRA_DELTA_STEPS",
 ]
 
 #: How Algorithm 2 stretches job windows: ``"end_time"`` is the paper's
@@ -51,8 +53,9 @@ RetMode = Literal["end_time", "interval"]
 
 Node = Hashable
 
-#: Default number of extra whole-``delta`` steps allowed past ``b_max``
-#: before Algorithm 2 gives up (safety valve; never reached in practice).
+#: Number of extra whole-``delta`` steps allowed past ``b_max`` before
+#: Algorithm 2 gives up (safety valve; never reached in practice).
+MAX_EXTRA_DELTA_STEPS = 1
 
 
 def quick_finish_gamma(slice_index: np.ndarray) -> np.ndarray:
@@ -85,9 +88,12 @@ def build_subret_lp(
 def solve_subret_lp(
     structure: ProblemStructure,
     gamma: Callable[[np.ndarray], np.ndarray] = quick_finish_gamma,
+    telemetry: Telemetry | None = None,
 ) -> LPSolution:
     """Solve the SUB-RET LP relaxation; raises when infeasible."""
-    return solve_lp(build_subret_lp(structure, gamma))
+    return solve_lp(
+        build_subret_lp(structure, gamma), telemetry=telemetry, label="subret"
+    )
 
 
 @dataclass(frozen=True)
@@ -151,6 +157,7 @@ def solve_ret(
     path_sets: Mapping[tuple[Node, Node], Sequence[Path]] | None = None,
     mode: RetMode = "end_time",
     capacity_profile=None,
+    telemetry: Telemetry | None = None,
 ) -> RetResult:
     """Algorithm 2: find the smallest end-time extension completing all jobs.
 
@@ -193,6 +200,11 @@ def solve_ret(
         candidate extension's grid; slices past the profile's horizon
         use installed capacity.  Its slice length must match
         ``slice_length``.
+    telemetry:
+        Optional :class:`~repro.obs.Telemetry`.  The whole call is timed
+        under a ``"ret"`` span, and every candidate ``b`` the algorithm
+        probes leaves a ``ret_probe`` record — the binary-search trace —
+        plus a final ``ret_result`` record.
 
     Raises
     ------
@@ -210,6 +222,8 @@ def solve_ret(
         raise ValidationError(f"unknown RET mode {mode!r}")
     if path_sets is None:
         path_sets = build_path_sets(network, jobs.od_pairs(), k_paths)
+    telemetry = telemetry or NULL_TELEMETRY
+    phase = "bounds"
 
     def stretch(b: float) -> JobSet:
         if mode == "interval":
@@ -232,68 +246,99 @@ def solve_ret(
             k_paths,
             path_sets=path_sets,
             capacity_profile=profile,
+            telemetry=telemetry,
         )
+        telemetry.count("ret_probes")
         try:
-            return structure, solve_subret_lp(structure, gamma)
+            solution = solve_subret_lp(structure, gamma, telemetry=telemetry)
         except InfeasibleProblemError:
+            telemetry.record(
+                "ret_probe",
+                phase=phase,
+                b=b,
+                feasible=False,
+                num_cols=structure.num_cols,
+            )
             return None
-
-    # Step 1: binary search for the smallest LP-feasible b.
-    upper_attempt = attempt(b_max)
-    if upper_attempt is None:
-        raise ScheduleError(
-            f"SUB-RET is infeasible even with end times extended by "
-            f"(1 + {b_max}); the network cannot carry this demand"
+        telemetry.record(
+            "ret_probe",
+            phase=phase,
+            b=b,
+            feasible=True,
+            num_cols=structure.num_cols,
+            iterations=solution.iterations,
         )
-    zero_attempt = attempt(0.0)
-    if zero_attempt is not None:
-        b_hat = 0.0
-        best = zero_attempt
-    else:
-        lo, hi = 0.0, b_max
-        best = upper_attempt
-        while hi - lo > search_tol:
-            mid = 0.5 * (lo + hi)
-            result = attempt(mid)
-            if result is None:
-                lo = mid
-            else:
-                hi = mid
-                best = result
-        b_hat = hi
+        return structure, solution
 
-    # Steps 2-5: round with LPDAR; extend by delta until all jobs finish.
-    b = b_hat
-    current: tuple[ProblemStructure, LPSolution] | None = best
-    delta_steps = 0
-    while True:
-        if current is not None:
-            structure, lp_solution = current
-            rounded = lpdar(
-                structure,
-                lp_solution.x,
-                order=order,
-                cap_at_target=cap_at_target,
-                rng=rng,
-            )
-            delivered = structure.delivered(rounded.x_lpdar)
-            if np.all(delivered >= structure.demands - COMPLETION_TOL):
-                return RetResult(
-                    b_hat=b_hat,
-                    b_final=b,
-                    structure=structure,
-                    assignments=rounded,
-                    delta_steps=delta_steps,
-                    mode=mode,
-                )
-        b += delta
-        delta_steps += 1
-        if b > b_max + delta:
+    with telemetry.span("ret"):
+        # Step 1: binary search for the smallest LP-feasible b.
+        upper_attempt = attempt(b_max)
+        if upper_attempt is None:
             raise ScheduleError(
-                f"LPDAR could not complete all jobs even at b = {b - delta:.3f} "
-                f"(b_max = {b_max}); raise b_max or delta"
+                f"SUB-RET is infeasible even with end times extended by "
+                f"(1 + {b_max}); the network cannot carry this demand"
             )
-        # LP infeasibility above b_hat can only come from slice rounding
-        # at the window edge; attempt() returning None just means another
-        # delta step is needed.
-        current = attempt(b)
+        zero_attempt = attempt(0.0)
+        if zero_attempt is not None:
+            b_hat = 0.0
+            best = zero_attempt
+        else:
+            phase = "search"
+            lo, hi = 0.0, b_max
+            best = upper_attempt
+            while hi - lo > search_tol:
+                mid = 0.5 * (lo + hi)
+                result = attempt(mid)
+                if result is None:
+                    lo = mid
+                else:
+                    hi = mid
+                    best = result
+            b_hat = hi
+
+        # Steps 2-5: round with LPDAR; extend by delta until all jobs finish.
+        phase = "delta"
+        b = b_hat
+        current: tuple[ProblemStructure, LPSolution] | None = best
+        delta_steps = 0
+        while True:
+            if current is not None:
+                structure, lp_solution = current
+                rounded = lpdar(
+                    structure,
+                    lp_solution.x,
+                    order=order,
+                    cap_at_target=cap_at_target,
+                    rng=rng,
+                    telemetry=telemetry,
+                )
+                delivered = structure.delivered(rounded.x_lpdar)
+                if np.all(delivered >= structure.demands - COMPLETION_TOL):
+                    telemetry.record(
+                        "ret_result",
+                        b_hat=b_hat,
+                        b_final=b,
+                        delta_steps=delta_steps,
+                        mode=mode,
+                    )
+                    return RetResult(
+                        b_hat=b_hat,
+                        b_final=b,
+                        structure=structure,
+                        assignments=rounded,
+                        delta_steps=delta_steps,
+                        mode=mode,
+                    )
+            b += delta
+            delta_steps += 1
+            if b > b_max + MAX_EXTRA_DELTA_STEPS * delta:
+                # Raising delta would only coarsen the steps, not enlarge
+                # the search range; only a larger b_max can help here.
+                raise ScheduleError(
+                    f"LPDAR could not complete all jobs even at "
+                    f"b = {b - delta:.3f} (b_max = {b_max}); raise b_max"
+                )
+            # LP infeasibility above b_hat can only come from slice rounding
+            # at the window edge; attempt() returning None just means another
+            # delta step is needed.
+            current = attempt(b)

@@ -19,6 +19,7 @@ import numpy as np
 from ..errors import ValidationError
 from ..lp.model import ProblemStructure
 from ..network.graph import Network
+from ..obs import NULL_TELEMETRY, Telemetry
 from ..network.paths import Path, build_path_sets
 from ..timegrid import TimeGrid
 from ..workload.jobs import JobSet
@@ -200,6 +201,11 @@ class Scheduler:
     weights:
         Optional per-job stage-2 weights (default: the paper's size
         weighting).
+    telemetry:
+        Optional :class:`~repro.obs.Telemetry` shared by every
+        :meth:`schedule` call: structure assembly, stage-1/stage-2
+        solves and the LPDAR rounding all report into it under a
+        ``"schedule"`` span.  ``None`` (the default) measures nothing.
     """
 
     def __init__(
@@ -213,6 +219,7 @@ class Scheduler:
         greedy_order: GreedyOrder = "paper",
         cap_at_target: bool = False,
         rng: np.random.Generator | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         if not 0.0 <= alpha <= 1.0:
             raise ValidationError(f"alpha must be in [0, 1], got {alpha}")
@@ -232,6 +239,7 @@ class Scheduler:
         self.greedy_order = greedy_order
         self.cap_at_target = cap_at_target
         self.rng = rng
+        self.telemetry = telemetry or NULL_TELEMETRY
 
     def build_structure(
         self,
@@ -258,6 +266,7 @@ class Scheduler:
             self.k_paths,
             path_sets=path_sets,
             capacity_profile=capacity_profile,
+            telemetry=self.telemetry,
         )
 
     def schedule(
@@ -273,39 +282,46 @@ class Scheduler:
         ``weight``, those are used (unweighted jobs default to the
         paper's size weighting, ``w_i = D_i``, before normalization).
         """
-        structure = self.build_structure(
-            jobs, grid, capacity_profile=capacity_profile
-        )
-        if weights is None and any(j.weight is not None for j in jobs):
-            weights = np.array(
-                [j.weight if j.weight is not None else j.size for j in jobs]
+        telemetry = self.telemetry
+        with telemetry.span("schedule"):
+            structure = self.build_structure(
+                jobs, grid, capacity_profile=capacity_profile
             )
-        stage1 = solve_stage1(structure)
+            if weights is None and any(j.weight is not None for j in jobs):
+                weights = np.array(
+                    [j.weight if j.weight is not None else j.size for j in jobs]
+                )
+            stage1 = solve_stage1(structure, telemetry=telemetry)
 
-        alpha = self.alpha
-        escalations = 0
-        while True:
-            stage2 = solve_stage2_lp(structure, stage1.zstar, alpha, weights)
-            rounded = lpdar(
-                structure,
-                stage2.x,
-                order=self.greedy_order,
-                cap_at_target=self.cap_at_target,
-                rng=self.rng,
-            )
-            result = ScheduleResult(
-                structure=structure,
-                stage1=stage1,
-                stage2=stage2,
-                assignments=rounded,
-                alpha=alpha,
-                alpha_escalations=escalations,
-            )
-            if (
-                self.alpha_step <= 0
-                or alpha >= self.alpha_max
-                or result.meets_fairness("lpdar")
-            ):
-                return result
-            alpha = min(alpha + self.alpha_step, self.alpha_max)
-            escalations += 1
+            alpha = self.alpha
+            escalations = 0
+            while True:
+                stage2 = solve_stage2_lp(
+                    structure, stage1.zstar, alpha, weights, telemetry=telemetry
+                )
+                rounded = lpdar(
+                    structure,
+                    stage2.x,
+                    order=self.greedy_order,
+                    cap_at_target=self.cap_at_target,
+                    rng=self.rng,
+                    telemetry=telemetry,
+                )
+                result = ScheduleResult(
+                    structure=structure,
+                    stage1=stage1,
+                    stage2=stage2,
+                    assignments=rounded,
+                    alpha=alpha,
+                    alpha_escalations=escalations,
+                )
+                if (
+                    self.alpha_step <= 0
+                    or alpha >= self.alpha_max
+                    or result.meets_fairness("lpdar")
+                ):
+                    telemetry.count("schedule_passes")
+                    telemetry.count("alpha_escalations", escalations)
+                    return result
+                alpha = min(alpha + self.alpha_step, self.alpha_max)
+                escalations += 1

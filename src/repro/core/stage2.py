@@ -26,6 +26,7 @@ import numpy as np
 from ..errors import ValidationError
 from ..lp.model import ProblemStructure
 from ..lp.solver import LinearProgram, LPSolution, solve_lp
+from ..obs import NULL_TELEMETRY, Telemetry
 
 __all__ = ["Stage2Result", "build_stage2_lp", "solve_stage2_lp", "objective_weights"]
 
@@ -131,9 +132,17 @@ def solve_stage2_lp(
     zstar: float,
     alpha: float = 0.1,
     weights: np.ndarray | None = None,
+    telemetry: Telemetry | None = None,
 ) -> Stage2Result:
-    """Solve the stage-2 LP relaxation."""
-    solution = solve_lp(build_stage2_lp(structure, zstar, alpha, weights))
+    """Solve the stage-2 LP relaxation.
+
+    ``telemetry`` (optional) times assembly and solve under a
+    ``"stage2"`` span.
+    """
+    telemetry = telemetry or NULL_TELEMETRY
+    with telemetry.span("stage2"):
+        problem = build_stage2_lp(structure, zstar, alpha, weights)
+        solution = solve_lp(problem, telemetry=telemetry, label="stage2")
     return Stage2Result(
         x=solution.x,
         objective=solution.objective,

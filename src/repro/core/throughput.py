@@ -21,6 +21,7 @@ import scipy.sparse as sp
 
 from ..lp.model import ProblemStructure
 from ..lp.solver import LinearProgram, LPSolution, solve_lp
+from ..obs import NULL_TELEMETRY, Telemetry
 
 __all__ = ["Stage1Result", "build_stage1_lp", "solve_stage1"]
 
@@ -96,14 +97,20 @@ def build_stage1_lp(structure: ProblemStructure) -> LinearProgram:
     )
 
 
-def solve_stage1(structure: ProblemStructure) -> Stage1Result:
+def solve_stage1(
+    structure: ProblemStructure, telemetry: Telemetry | None = None
+) -> Stage1Result:
     """Solve the stage-1 MCF problem and return ``Z*``.
 
     The problem is always feasible (``x = 0, Z = 0``) and bounded
     (capacities are finite and every job's demand is positive), so this
-    never raises for modelling reasons.
+    never raises for modelling reasons.  ``telemetry`` (optional) times
+    assembly and solve under a ``"stage1"`` span.
     """
-    solution = solve_lp(build_stage1_lp(structure))
+    telemetry = telemetry or NULL_TELEMETRY
+    with telemetry.span("stage1"):
+        problem = build_stage1_lp(structure)
+        solution = solve_lp(problem, telemetry=telemetry, label="stage1")
     zstar = float(solution.x[-1])
     return Stage1Result(
         zstar=zstar, x=solution.x[:-1].copy(), solution=solution

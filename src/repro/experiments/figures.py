@@ -12,7 +12,6 @@ instead of a minute) that preserves the qualitative shape.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from collections.abc import Callable, Sequence
 
@@ -25,6 +24,7 @@ from ..core.stage2 import solve_stage2_lp
 from ..core.throughput import solve_stage1
 from ..errors import ValidationError
 from ..lp.model import ProblemStructure
+from ..obs import Telemetry
 from ..timegrid import TimeGrid
 from ..workload import WorkloadConfig, WorkloadGenerator
 from .setup import (
@@ -105,14 +105,15 @@ class ExperimentResult:
 
 
 def _timed(experiment_id: str, title: str, columns, build_rows) -> ExperimentResult:
-    t0 = time.perf_counter()
-    rows = tuple(tuple(r) for r in build_rows())
+    telemetry = Telemetry()
+    with telemetry.span("experiment") as span:
+        rows = tuple(tuple(r) for r in build_rows())
     return ExperimentResult(
         experiment_id=experiment_id,
         title=title,
         columns=tuple(columns),
         rows=rows,
-        seconds=time.perf_counter() - t0,
+        seconds=span.elapsed,
     )
 
 
@@ -189,16 +190,18 @@ def fig3_computation_time(
             paths = shared_path_sets(network, jobs)
             grid = TimeGrid.covering(jobs.max_end())
             structure = ProblemStructure(network, jobs, grid, 4, path_sets=paths)
-            t0 = time.perf_counter()
-            zstar = solve_stage1(structure).zstar
-            stage2 = solve_stage2_lp(structure, zstar, alpha=0.1)
-            t_lp = time.perf_counter() - t0
-            t1 = time.perf_counter()
-            x_lpd = discretize(stage2.x)
-            t_lpd = t_lp + (time.perf_counter() - t1)
-            t2 = time.perf_counter()
-            greedy_adjust(structure, x_lpd)
-            t_lpdar = t_lpd + (time.perf_counter() - t2)
+            telemetry = Telemetry()
+            with telemetry.span("lp"):
+                zstar = solve_stage1(structure, telemetry=telemetry).zstar
+                stage2 = solve_stage2_lp(
+                    structure, zstar, alpha=0.1, telemetry=telemetry
+                )
+            t_lp = telemetry.seconds("lp")
+            with telemetry.span("lpd"):
+                x_lpd = discretize(stage2.x)
+            t_lpd = t_lp + telemetry.seconds("lpd")
+            greedy_adjust(structure, x_lpd, telemetry=telemetry)
+            t_lpdar = t_lpd + telemetry.seconds("greedy_adjust")
             yield (
                 num_jobs,
                 structure.num_cols,

@@ -37,6 +37,7 @@ import scipy.sparse as sp
 
 from ..errors import ValidationError
 from ..network.graph import Network
+from ..obs import NULL_TELEMETRY, Telemetry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..network.capacity import CapacityProfile
@@ -68,6 +69,10 @@ class ProblemStructure:
     path_sets:
         Optional precomputed paths per OD pair (e.g. reused across RET
         iterations); overrides ``k_paths`` lookup for pairs present.
+    telemetry:
+        Optional :class:`~repro.obs.Telemetry`; assembly is timed under a
+        ``"structure_build"`` span and a ``structure`` record captures
+        the instance's dimensions (jobs, columns, capacity rows, nnz).
 
     Notes
     -----
@@ -83,6 +88,29 @@ class ProblemStructure:
         k_paths: int = 4,
         path_sets: Mapping[tuple[Node, Node], Sequence[Path]] | None = None,
         capacity_profile: "CapacityProfile | None" = None,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        telemetry = telemetry or NULL_TELEMETRY
+        with telemetry.span("structure_build"):
+            self._build(network, jobs, grid, k_paths, path_sets, capacity_profile)
+        telemetry.record(
+            "structure",
+            jobs=len(jobs),
+            num_cols=self.num_cols,
+            cap_rows=int(self.capacity_matrix.shape[0]),
+            nnz=int(self.capacity_matrix.nnz + self.demand_matrix.nnz),
+            slices=self.grid.num_slices,
+        )
+        telemetry.count("structures_built")
+
+    def _build(
+        self,
+        network: Network,
+        jobs: JobSet,
+        grid: TimeGrid,
+        k_paths: int,
+        path_sets: Mapping[tuple[Node, Node], Sequence[Path]] | None,
+        capacity_profile: "CapacityProfile | None",
     ) -> None:
         if len(jobs) == 0:
             raise ValidationError("cannot build a problem over zero jobs")

@@ -19,6 +19,7 @@ from ..errors import (
     UnboundedProblemError,
     ValidationError,
 )
+from ..obs import NULL_TELEMETRY, Telemetry
 
 __all__ = ["LinearProgram", "LPSolution", "solve_lp"]
 
@@ -58,22 +59,33 @@ class LinearProgram:
         if self.objective.ndim != 1:
             raise ValidationError("objective must be a 1-D coefficient vector")
         n = self.num_vars
-        for name, mat, rhs in (
-            ("a_ub", self.a_ub, self.b_ub),
-            ("a_eq", self.a_eq, self.b_eq),
-        ):
-            if (mat is None) != (rhs is None):
-                raise ValidationError(f"{name} and its rhs must come together")
-            if mat is not None:
-                if mat.shape[1] != n:
-                    raise ValidationError(
-                        f"{name} has {mat.shape[1]} columns, expected {n}"
-                    )
-                if mat.shape[0] != np.asarray(rhs).shape[0]:
-                    raise ValidationError(
-                        f"{name} has {mat.shape[0]} rows but rhs has "
-                        f"{np.asarray(rhs).shape[0]}"
-                    )
+        self.b_ub = self._check_block("a_ub", self.a_ub, self.b_ub, n)
+        self.b_eq = self._check_block("a_eq", self.a_eq, self.b_eq, n)
+
+    @staticmethod
+    def _check_block(name, mat, rhs, n) -> np.ndarray | None:
+        """Validate one constraint block; return the coerced 1-D rhs."""
+        if (mat is None) != (rhs is None):
+            raise ValidationError(f"{name} and its rhs must come together")
+        if mat is None:
+            return None
+        # Scalars (e.g. a single-row block with rhs 5.0) are legal input;
+        # atleast_1d keeps shape[0] valid instead of an IndexError.
+        rhs = np.atleast_1d(np.asarray(rhs, dtype=float))
+        if rhs.ndim != 1:
+            raise ValidationError(
+                f"{name}'s rhs must be a scalar or 1-D vector, "
+                f"got shape {rhs.shape}"
+            )
+        if mat.shape[1] != n:
+            raise ValidationError(
+                f"{name} has {mat.shape[1]} columns, expected {n}"
+            )
+        if mat.shape[0] != rhs.shape[0]:
+            raise ValidationError(
+                f"{name} has {mat.shape[0]} rows but rhs has {rhs.shape[0]}"
+            )
+        return rhs
 
     @property
     def num_vars(self) -> int:
@@ -116,7 +128,51 @@ class LPSolution:
     eq_duals: np.ndarray | None = None
 
 
-def solve_lp(problem: LinearProgram, backend: str = "highs") -> LPSolution:
+def _matrix_nnz(matrix) -> int:
+    """Stored-entry count of an optional (sparse or dense) matrix."""
+    if matrix is None:
+        return 0
+    if sp.issparse(matrix):
+        return int(matrix.nnz)
+    return int(np.count_nonzero(matrix))
+
+
+def _record_solve(
+    telemetry: Telemetry,
+    problem: LinearProgram,
+    solution: LPSolution,
+    backend: str,
+    seconds: float,
+    label: str | None,
+) -> None:
+    """Append one ``lp_solve`` record describing a finished solve."""
+    num_ub = problem.a_ub.shape[0] if problem.a_ub is not None else 0
+    num_eq = problem.a_eq.shape[0] if problem.a_eq is not None else 0
+    telemetry.record(
+        "lp_solve",
+        label=label,
+        backend=backend,
+        num_vars=problem.num_vars,
+        num_rows=num_ub + num_eq,
+        num_ub_rows=num_ub,
+        num_eq_rows=num_eq,
+        nnz=_matrix_nnz(problem.a_ub) + _matrix_nnz(problem.a_eq),
+        iterations=solution.iterations,
+        status="optimal",
+        maximize=problem.maximize,
+        objective=solution.objective,
+        seconds=seconds,
+    )
+    telemetry.count("lp_solves")
+    telemetry.count("lp_iterations", solution.iterations)
+
+
+def solve_lp(
+    problem: LinearProgram,
+    backend: str = "highs",
+    telemetry: Telemetry | None = None,
+    label: str | None = None,
+) -> LPSolution:
     """Solve ``problem``; raise typed errors on failure.
 
     Parameters
@@ -128,6 +184,14 @@ def solve_lp(problem: LinearProgram, backend: str = "highs") -> LPSolution:
         ``"simplex"`` (the pure-Python reference solver in
         :mod:`repro.lp.simplex`, for small instances and auditing; it
         does not report duals).
+    telemetry:
+        Optional :class:`~repro.obs.Telemetry` collector; when given,
+        the solve is timed under an ``"lp_solve"`` span and an
+        ``lp_solve`` record captures dimensions, nnz, iteration count,
+        backend and status.  ``None`` (the default) measures nothing.
+    label:
+        Free-form tag stored on the telemetry record (e.g. ``"stage2"``)
+        so multi-solve pipelines stay tellable apart.
 
     Raises
     ------
@@ -138,25 +202,30 @@ def solve_lp(problem: LinearProgram, backend: str = "highs") -> LPSolution:
     SolverError
         Any other backend failure (numerical issues, limits).
     """
+    telemetry = telemetry or NULL_TELEMETRY
     if backend == "simplex":
         from .simplex import simplex_solve
 
-        return simplex_solve(problem)
+        with telemetry.span("lp_solve") as span:
+            solution = simplex_solve(problem)
+        _record_solve(telemetry, problem, solution, backend, span.elapsed, label)
+        return solution
     if backend != "highs":
         raise ValidationError(
             f"unknown backend {backend!r}; pick 'highs' or 'simplex'"
         )
     c = -problem.objective if problem.maximize else problem.objective
     lo, hi = problem.bounds_arrays()
-    result = linprog(
-        c,
-        A_ub=problem.a_ub,
-        b_ub=problem.b_ub,
-        A_eq=problem.a_eq,
-        b_eq=problem.b_eq,
-        bounds=np.column_stack([lo, hi]),
-        method="highs",
-    )
+    with telemetry.span("lp_solve") as span:
+        result = linprog(
+            c,
+            A_ub=problem.a_ub,
+            b_ub=problem.b_ub,
+            A_eq=problem.a_eq,
+            b_eq=problem.b_eq,
+            bounds=np.column_stack([lo, hi]),
+            method="highs",
+        )
     if result.status == 2:
         raise InfeasibleProblemError()
     if result.status == 3:
@@ -169,8 +238,11 @@ def solve_lp(problem: LinearProgram, backend: str = "highs") -> LPSolution:
     if problem.maximize:
         objective = -objective
     x = np.asarray(result.x, dtype=float)
-    # HiGHS can return tiny negative values on >=0 variables; clamp them.
+    # HiGHS round-off can land just outside the box on either side (tiny
+    # negatives on >=0 variables, hairs above an upper bound); clamp both
+    # so downstream capacity checks never see out-of-bound values.
     np.maximum(x, lo, out=x)
+    np.minimum(x, hi, out=x)
 
     # linprog's marginals are d(min)/d(rhs) of the solved minimization
     # form; relaxing an upper bound can only lower the minimum, so they
@@ -184,10 +256,12 @@ def solve_lp(problem: LinearProgram, backend: str = "highs") -> LPSolution:
             return None
         return -np.asarray(marginals, dtype=float)
 
-    return LPSolution(
+    solution = LPSolution(
         x=x,
         objective=objective,
         iterations=int(result.nit),
         ineq_duals=_duals(getattr(result, "ineqlin", None)),
         eq_duals=_duals(getattr(result, "eqlin", None)),
     )
+    _record_solve(telemetry, problem, solution, backend, span.elapsed, label)
+    return solution

@@ -103,6 +103,21 @@ class TestScheduleCommand:
         assert data["algorithm"] == "lpdar"
         assert len(data["job_throughputs"]) == 6
 
+    def test_profile_flag(self, net_file, jobs_file, capsys):
+        assert (
+            main(
+                [
+                    "schedule", "--network", str(net_file),
+                    "--jobs", str(jobs_file), "--profile",
+                ]
+            )
+            == 0
+        )
+        printed = capsys.readouterr().out
+        assert "telemetry — spans" in printed
+        assert "telemetry — LP solves" in printed
+        assert "stage1" in printed and "stage2" in printed
+
     def test_gantt_flag(self, net_file, jobs_file, capsys):
         assert (
             main(
@@ -126,6 +141,20 @@ class TestRetCommand:
         printed = capsys.readouterr().out
         assert "b_final" in printed
         assert "jobs finished" in printed
+
+    def test_ret_profile_prints_search_trace(self, net_file, jobs_file, capsys):
+        assert (
+            main(
+                [
+                    "ret", "--network", str(net_file), "--jobs", str(jobs_file),
+                    "--profile",
+                ]
+            )
+            == 0
+        )
+        printed = capsys.readouterr().out
+        assert "RET binary-search trace" in printed
+        assert "feasible" in printed
 
     def test_interval_mode(self, net_file, jobs_file, capsys):
         assert (

@@ -45,6 +45,30 @@ class TestLinearProgramValidation:
         with pytest.raises(ValidationError):
             lp.bounds_arrays()
 
+    def test_scalar_rhs_accepted_for_single_row(self):
+        # Regression: a 0-d rhs used to die with a bare IndexError.
+        lp = LinearProgram(
+            objective=np.ones(2),
+            a_ub=sp.csr_matrix(np.array([[1.0, 1.0]])),
+            b_ub=4.0,
+        )
+        assert lp.b_ub.shape == (1,)
+        assert solve_lp(lp).objective == pytest.approx(0.0)
+
+    def test_scalar_rhs_shape_mismatch_is_validation_error(self):
+        with pytest.raises(ValidationError):
+            LinearProgram(objective=np.ones(2), a_ub=sp.eye(2), b_ub=4.0)
+        with pytest.raises(ValidationError):
+            LinearProgram(objective=np.ones(2), a_eq=sp.eye(2), b_eq=1.0)
+
+    def test_matrix_rhs_rejected(self):
+        with pytest.raises(ValidationError):
+            LinearProgram(
+                objective=np.ones(2),
+                a_ub=sp.eye(2),
+                b_ub=np.ones((2, 1)),
+            )
+
 
 class TestSolveLP:
     def test_simple_minimize(self):
@@ -103,6 +127,20 @@ class TestSolveLP:
         )
         sol = solve_lp(lp)
         assert np.all(sol.x >= 0.0)
+
+    def test_solution_clamped_to_upper_bound(self):
+        # Optimum sits exactly on the upper bound; round-off above hi
+        # must never leak into downstream capacity checks.
+        lp = LinearProgram(
+            objective=np.ones(3),
+            a_ub=sp.csr_matrix(-np.eye(3)),
+            b_ub=-np.full(3, 2.0),
+            upper=2.0,
+            maximize=False,
+        )
+        sol = solve_lp(lp)
+        assert np.all(sol.x <= 2.0)
+        assert sol.x == pytest.approx([2.0, 2.0, 2.0])
 
     def test_iterations_reported(self):
         lp = LinearProgram(
