@@ -28,8 +28,9 @@ The three top-level entry points are:
   controller loop.
 """
 
-from . import analysis, core, experiments, lp, network, obs, sim, workload
+from . import analysis, core, experiments, faults, lp, network, obs, sim, workload
 from . import serialization
+from .analysis import ResilienceReport, resilience_report
 from .core import (
     AdmissionDecision,
     NegotiationSession,
@@ -67,7 +68,22 @@ from .errors import (
     UnboundedProblemError,
     ValidationError,
 )
-from .lp import LinearProgram, LPSolution, ProblemStructure, solve_lp, solve_milp
+from .faults import (
+    FaultSchedule,
+    LinkDown,
+    LinkUp,
+    WavelengthDegrade,
+    parse_fault_spec,
+)
+from .lp import (
+    DEFAULT_RESILIENCE,
+    LinearProgram,
+    LPSolution,
+    ProblemStructure,
+    SolveResilience,
+    solve_lp,
+    solve_milp,
+)
 from .obs import NULL_TELEMETRY, NullTelemetry, Telemetry
 from .network import (
     CapacityProfile,
@@ -100,6 +116,7 @@ __all__ = [
     "analysis",
     "core",
     "experiments",
+    "faults",
     "lp",
     "network",
     "obs",
@@ -128,6 +145,8 @@ __all__ = [
     "ProblemStructure",
     "LinearProgram",
     "LPSolution",
+    "SolveResilience",
+    "DEFAULT_RESILIENCE",
     "solve_lp",
     "solve_milp",
     # observability
@@ -169,6 +188,14 @@ __all__ = [
     "SimulationResult",
     "SimulationSummary",
     "summarize",
+    # fault injection and resilience
+    "FaultSchedule",
+    "LinkDown",
+    "LinkUp",
+    "WavelengthDegrade",
+    "parse_fault_spec",
+    "ResilienceReport",
+    "resilience_report",
     # errors
     "ReproError",
     "ValidationError",

@@ -6,6 +6,7 @@ from .congestion import CongestionReport, congestion_report
 from .gantt import job_gantt, link_gantt
 from .planning import UpgradePlan, UpgradeStep, plan_upgrades
 from .reporting import Table, format_value
+from .resilience import ResilienceReport, resilience_report
 from .stats import ScheduleStatistics, schedule_statistics
 from .summary import describe_schedule
 
@@ -24,6 +25,8 @@ __all__ = [
     "plan_upgrades",
     "ChurnReport",
     "reconfiguration_churn",
+    "ResilienceReport",
+    "resilience_report",
     "compare_schedules",
     "compare_simulations",
 ]

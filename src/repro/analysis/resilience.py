@@ -1,0 +1,170 @@
+"""Resilience metrics: what did the faults cost, and how fast did we heal?
+
+A fault run's event log already contains everything needed to quantify
+fault tolerance — :class:`~repro.sim.events.LinkFailed` detections,
+:class:`~repro.sim.events.DeliveryLost` voidings,
+:class:`~repro.sim.events.JobRescheduled` replans and the per-epoch
+:class:`~repro.sim.events.SchedulingPass` records.
+:func:`resilience_report` distils them into the operator-facing numbers:
+completion/deadline rates under faults (optionally against a fault-free
+baseline of the same workload), volume destroyed in flight, recovery
+latency per failure, and rescheduling churn.
+
+Recovery latency is measured from the moment a fault strikes to the end
+of the first scheduling pass that knew about it: the window during which
+traffic was riding a plan built for a network that no longer exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..sim.events import (
+    DeliveryLost,
+    JobRescheduled,
+    LinkDegraded,
+    LinkFailed,
+    LinkRestored,
+    SchedulingPass,
+)
+from ..sim.simulator import SimulationResult
+from .reporting import Table
+
+__all__ = ["ResilienceReport", "resilience_report"]
+
+
+@dataclass(frozen=True)
+class ResilienceReport:
+    """Fault-tolerance digest of one simulation run.
+
+    Attributes
+    ----------
+    num_failures, num_degradations, num_repairs:
+        Detected fault events (full cuts, partial wavelength losses,
+        restorations).
+    num_reschedules:
+        ``JobRescheduled`` events: how often a surviving job had to be
+        replanned around a dead link (rescheduling churn).
+    volume_lost:
+        Total in-flight volume voided by mid-epoch capacity loss.
+    delivered_volume:
+        Total volume that did arrive.
+    completion_rate, deadline_rate:
+        As on :class:`~repro.sim.simulator.SimulationResult`, under
+        faults.
+    baseline_completion_rate, baseline_deadline_rate:
+        The same rates from a fault-free run of the same workload;
+        ``nan`` when no baseline was supplied.
+    recovery_latencies:
+        Per detected failure, seconds from the fault striking to the
+        end of the first scheduling pass aware of it; failures never
+        followed by a pass are excluded.
+    """
+
+    num_failures: int
+    num_degradations: int
+    num_repairs: int
+    num_reschedules: int
+    volume_lost: float
+    delivered_volume: float
+    completion_rate: float
+    deadline_rate: float
+    baseline_completion_rate: float
+    baseline_deadline_rate: float
+    recovery_latencies: tuple[float, ...]
+
+    @property
+    def mean_recovery_latency(self) -> float:
+        """Mean fault-to-replan latency; ``nan`` with no failures."""
+        if not self.recovery_latencies:
+            return float("nan")
+        return float(np.mean(self.recovery_latencies))
+
+    @property
+    def max_recovery_latency(self) -> float:
+        """Worst fault-to-replan latency; ``nan`` with no failures."""
+        if not self.recovery_latencies:
+            return float("nan")
+        return float(max(self.recovery_latencies))
+
+    @property
+    def completion_drop(self) -> float:
+        """Completion rate lost to faults vs. the baseline (``nan`` without one)."""
+        return self.baseline_completion_rate - self.completion_rate
+
+    @property
+    def deadline_drop(self) -> float:
+        """Deadline rate lost to faults vs. the baseline (``nan`` without one)."""
+        return self.baseline_deadline_rate - self.deadline_rate
+
+    def table(self) -> Table:
+        """Render the report as a two-column metric table."""
+        t = Table(["metric", "value"], title="Resilience report")
+        t.add_row(["link failures detected", self.num_failures])
+        t.add_row(["wavelength degradations", self.num_degradations])
+        t.add_row(["link repairs", self.num_repairs])
+        t.add_row(["jobs rescheduled", self.num_reschedules])
+        t.add_row(["volume lost in flight", self.volume_lost])
+        t.add_row(["volume delivered", self.delivered_volume])
+        t.add_row(["completion rate", self.completion_rate])
+        t.add_row(["deadline rate", self.deadline_rate])
+        t.add_row(["baseline completion rate", self.baseline_completion_rate])
+        t.add_row(["baseline deadline rate", self.baseline_deadline_rate])
+        t.add_row(["mean recovery latency", self.mean_recovery_latency])
+        t.add_row(["max recovery latency", self.max_recovery_latency])
+        return t
+
+
+def _recovery_latencies(result: SimulationResult) -> tuple[float, ...]:
+    passes = sorted(
+        (e for e in result.events if isinstance(e, SchedulingPass)),
+        key=lambda p: p.time,
+    )
+    latencies = []
+    for failure in (e for e in result.events if isinstance(e, LinkFailed)):
+        # First pass at or after the detection boundary is the one that
+        # planned around the failure; its solve time is part of the gap.
+        aware = next((p for p in passes if p.time >= failure.time - 1e-9), None)
+        if aware is None:
+            continue
+        latencies.append(aware.time + aware.solve_seconds - failure.failed_at)
+    return tuple(latencies)
+
+
+def resilience_report(
+    result: SimulationResult,
+    baseline: SimulationResult | None = None,
+) -> ResilienceReport:
+    """Distil a fault run (and optional fault-free baseline) into metrics.
+
+    ``baseline`` should be the same workload simulated without a fault
+    schedule; it anchors the ``*_drop`` deltas.  Passing a baseline that
+    itself saw faults is rejected.
+    """
+    if baseline is not None and any(
+        isinstance(e, (LinkFailed, LinkDegraded)) for e in baseline.events
+    ):
+        raise ValidationError("baseline run must be fault-free")
+    events = result.events
+    return ResilienceReport(
+        num_failures=sum(isinstance(e, LinkFailed) for e in events),
+        num_degradations=sum(isinstance(e, LinkDegraded) for e in events),
+        num_repairs=sum(isinstance(e, LinkRestored) for e in events),
+        num_reschedules=sum(isinstance(e, JobRescheduled) for e in events),
+        volume_lost=float(
+            sum(e.volume for e in events if isinstance(e, DeliveryLost))
+        ),
+        delivered_volume=result.delivered_volume,
+        completion_rate=result.completion_rate,
+        deadline_rate=result.deadline_rate,
+        baseline_completion_rate=(
+            baseline.completion_rate if baseline is not None else float("nan")
+        ),
+        baseline_deadline_rate=(
+            baseline.deadline_rate if baseline is not None else float("nan")
+        ),
+        recovery_latencies=_recovery_latencies(result),
+    )

@@ -127,6 +127,16 @@ def _build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--slice-length", type=float, default=1.0)
     sim.add_argument("--k-paths", type=int, default=4)
     sim.add_argument("--horizon", type=float, default=None)
+    sim.add_argument("--faults", default=None, metavar="SPEC",
+                     help="inject link faults: 'random:mtbf=20,mttr=2', "
+                     "inline 'down:a-b@2;up:a-b@5;degrade:c-d@3=1', or a "
+                     ".json fault file (see docs/faults.md)")
+    sim.add_argument("--fault-seed", type=int, default=0,
+                     help="seed for random: fault specs (same seed, same "
+                     "fault timeline, same event log)")
+    sim.add_argument("--fault-baseline", action="store_true",
+                     help="also run the same workload fault-free and report "
+                     "the completion/deadline drop the faults caused")
     sim.add_argument("--profile", action="store_true",
                      help="print the solve-telemetry tables after the run")
     sim.add_argument("-o", "--output", default=None,
@@ -343,6 +353,18 @@ def _cmd_simulate(args) -> int:
     net = network_from_dict(load_json(args.network))
     jobs = _load_jobs(args.jobs)
     telemetry = _profile_telemetry(args)
+    fault_schedule = None
+    if args.faults:
+        from .faults import parse_fault_spec
+
+        # random: specs need the fault horizon; mirror Simulation.run's
+        # default (latest deadline plus full RET headroom).
+        fault_horizon = args.horizon
+        if fault_horizon is None:
+            fault_horizon = 11.0 * jobs.max_end()
+        fault_schedule = parse_fault_spec(
+            args.faults, net, seed=args.fault_seed, horizon=fault_horizon
+        )
     sim = Simulation(
         net,
         tau=args.tau,
@@ -351,6 +373,7 @@ def _cmd_simulate(args) -> int:
         k_paths=args.k_paths,
         rejection=args.rejection,
         telemetry=telemetry,
+        fault_schedule=fault_schedule,
     )
     result = sim.run(jobs, horizon=args.horizon)
     summary = summarize(result)
@@ -375,6 +398,22 @@ def _cmd_simulate(args) -> int:
         value = getattr(summary, name)
         table.add_row([name, round(value, 4) if isinstance(value, float) else value])
     print(table.render())
+
+    if fault_schedule is not None:
+        from .analysis import resilience_report
+
+        baseline = None
+        if args.fault_baseline:
+            baseline = Simulation(
+                net,
+                tau=args.tau,
+                slice_length=args.slice_length,
+                policy=args.policy,
+                k_paths=args.k_paths,
+                rejection=args.rejection,
+            ).run(jobs, horizon=args.horizon)
+        print()
+        print(resilience_report(result, baseline).table().render())
 
     _print_profile(telemetry)
 

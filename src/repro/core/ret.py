@@ -27,7 +27,7 @@ import numpy as np
 
 from ..errors import InfeasibleProblemError, ScheduleError, ValidationError
 from ..lp.model import ProblemStructure
-from ..lp.solver import LinearProgram, LPSolution, solve_lp
+from ..lp.solver import LinearProgram, LPSolution, SolveResilience, solve_lp
 from ..obs import NULL_TELEMETRY, Telemetry
 from ..network.graph import Network
 from ..network.paths import Path, build_path_sets
@@ -89,10 +89,14 @@ def solve_subret_lp(
     structure: ProblemStructure,
     gamma: Callable[[np.ndarray], np.ndarray] = quick_finish_gamma,
     telemetry: Telemetry | None = None,
+    resilience: SolveResilience | None = None,
 ) -> LPSolution:
     """Solve the SUB-RET LP relaxation; raises when infeasible."""
     return solve_lp(
-        build_subret_lp(structure, gamma), telemetry=telemetry, label="subret"
+        build_subret_lp(structure, gamma),
+        telemetry=telemetry,
+        label="subret",
+        resilience=resilience,
     )
 
 
@@ -158,6 +162,7 @@ def solve_ret(
     mode: RetMode = "end_time",
     capacity_profile=None,
     telemetry: Telemetry | None = None,
+    resilience: SolveResilience | None = None,
 ) -> RetResult:
     """Algorithm 2: find the smallest end-time extension completing all jobs.
 
@@ -205,6 +210,9 @@ def solve_ret(
         under a ``"ret"`` span, and every candidate ``b`` the algorithm
         probes leaves a ``ret_probe`` record — the binary-search trace —
         plus a final ``ret_result`` record.
+    resilience:
+        Optional :class:`~repro.lp.solver.SolveResilience` forwarded to
+        every SUB-RET probe's LP solve (retry / fallback chain).
 
     Raises
     ------
@@ -250,7 +258,9 @@ def solve_ret(
         )
         telemetry.count("ret_probes")
         try:
-            solution = solve_subret_lp(structure, gamma, telemetry=telemetry)
+            solution = solve_subret_lp(
+                structure, gamma, telemetry=telemetry, resilience=resilience
+            )
         except InfeasibleProblemError:
             telemetry.record(
                 "ret_probe",

@@ -18,6 +18,7 @@ import numpy as np
 
 from ..errors import ValidationError
 from ..lp.model import ProblemStructure
+from ..lp.solver import SolveResilience
 from ..network.graph import Network
 from ..obs import NULL_TELEMETRY, Telemetry
 from ..network.paths import Path, build_path_sets
@@ -206,6 +207,10 @@ class Scheduler:
         :meth:`schedule` call: structure assembly, stage-1/stage-2
         solves and the LPDAR rounding all report into it under a
         ``"schedule"`` span.  ``None`` (the default) measures nothing.
+    resilience:
+        Optional :class:`~repro.lp.solver.SolveResilience` forwarded to
+        every stage-1/stage-2 LP solve, enabling the bounded retry /
+        backend-fallback chain.  ``None`` (the default) solves once.
     """
 
     def __init__(
@@ -220,6 +225,7 @@ class Scheduler:
         cap_at_target: bool = False,
         rng: np.random.Generator | None = None,
         telemetry: Telemetry | None = None,
+        resilience: SolveResilience | None = None,
     ) -> None:
         if not 0.0 <= alpha <= 1.0:
             raise ValidationError(f"alpha must be in [0, 1], got {alpha}")
@@ -240,6 +246,7 @@ class Scheduler:
         self.cap_at_target = cap_at_target
         self.rng = rng
         self.telemetry = telemetry or NULL_TELEMETRY
+        self.resilience = resilience
 
     def build_structure(
         self,
@@ -254,11 +261,21 @@ class Scheduler:
         :class:`~repro.network.capacity.CapacityProfile`) makes the
         schedule honour time-varying ``C_e(j)``; its grid must match the
         scheduling grid, so pass an explicit ``grid`` alongside it.
+        Edges the profile zeroes out for the *entire* horizon (full
+        outages) are excluded from path computation, so jobs route
+        around dead links instead of holding useless zero-capacity
+        grants on them.
         """
         if grid is None:
             grid = TimeGrid.covering(jobs.max_end(), self.slice_length)
         if path_sets is None:
-            path_sets = build_path_sets(self.network, jobs.od_pairs(), self.k_paths)
+            banned = frozenset()
+            if capacity_profile is not None:
+                dead = np.flatnonzero(capacity_profile.matrix.max(axis=1) == 0)
+                banned = frozenset(int(e) for e in dead)
+            path_sets = build_path_sets(
+                self.network, jobs.od_pairs(), self.k_paths, banned_edges=banned
+            )
         return ProblemStructure(
             self.network,
             jobs,
@@ -275,29 +292,39 @@ class Scheduler:
         grid: TimeGrid | None = None,
         weights: np.ndarray | None = None,
         capacity_profile=None,
+        path_sets: Mapping[tuple[Node, Node], Sequence[Path]] | None = None,
     ) -> ScheduleResult:
         """Run stage 1, stage 2 and LPDAR; escalate ``alpha`` if needed.
 
         When ``weights`` is None and any job carries an explicit
         ``weight``, those are used (unweighted jobs default to the
         paper's size weighting, ``w_i = D_i``, before normalization).
+        ``path_sets`` optionally overrides path computation (e.g. the
+        online controller rebuilding paths around failed links).
         """
         telemetry = self.telemetry
         with telemetry.span("schedule"):
             structure = self.build_structure(
-                jobs, grid, capacity_profile=capacity_profile
+                jobs, grid, path_sets=path_sets, capacity_profile=capacity_profile
             )
             if weights is None and any(j.weight is not None for j in jobs):
                 weights = np.array(
                     [j.weight if j.weight is not None else j.size for j in jobs]
                 )
-            stage1 = solve_stage1(structure, telemetry=telemetry)
+            stage1 = solve_stage1(
+                structure, telemetry=telemetry, resilience=self.resilience
+            )
 
             alpha = self.alpha
             escalations = 0
             while True:
                 stage2 = solve_stage2_lp(
-                    structure, stage1.zstar, alpha, weights, telemetry=telemetry
+                    structure,
+                    stage1.zstar,
+                    alpha,
+                    weights,
+                    telemetry=telemetry,
+                    resilience=self.resilience,
                 )
                 rounded = lpdar(
                     structure,

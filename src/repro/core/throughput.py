@@ -20,7 +20,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..lp.model import ProblemStructure
-from ..lp.solver import LinearProgram, LPSolution, solve_lp
+from ..lp.solver import LinearProgram, LPSolution, SolveResilience, solve_lp
 from ..obs import NULL_TELEMETRY, Telemetry
 
 __all__ = ["Stage1Result", "build_stage1_lp", "solve_stage1"]
@@ -98,19 +98,25 @@ def build_stage1_lp(structure: ProblemStructure) -> LinearProgram:
 
 
 def solve_stage1(
-    structure: ProblemStructure, telemetry: Telemetry | None = None
+    structure: ProblemStructure,
+    telemetry: Telemetry | None = None,
+    resilience: SolveResilience | None = None,
 ) -> Stage1Result:
     """Solve the stage-1 MCF problem and return ``Z*``.
 
     The problem is always feasible (``x = 0, Z = 0``) and bounded
     (capacities are finite and every job's demand is positive), so this
     never raises for modelling reasons.  ``telemetry`` (optional) times
-    assembly and solve under a ``"stage1"`` span.
+    assembly and solve under a ``"stage1"`` span; ``resilience``
+    (optional) enables :func:`~repro.lp.solver.solve_lp`'s bounded
+    retry / backend-fallback chain.
     """
     telemetry = telemetry or NULL_TELEMETRY
     with telemetry.span("stage1"):
         problem = build_stage1_lp(structure)
-        solution = solve_lp(problem, telemetry=telemetry, label="stage1")
+        solution = solve_lp(
+            problem, telemetry=telemetry, label="stage1", resilience=resilience
+        )
     zstar = float(solution.x[-1])
     return Stage1Result(
         zstar=zstar, x=solution.x[:-1].copy(), solution=solution

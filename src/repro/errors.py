@@ -31,12 +31,30 @@ class SolverError(ReproError, RuntimeError):
     This wraps unexpected HiGHS statuses (numerical trouble, iteration
     limits) as opposed to the well-defined modelling outcomes captured by
     :class:`InfeasibleProblemError` and :class:`UnboundedProblemError`.
+
+    When raised by the resilient solve chain (``solve_lp`` with a
+    :class:`~repro.lp.solver.SolveResilience`), the error also carries
+    which backends were tried and how many retries were spent, so callers
+    and telemetry can tell a first-shot failure from an exhausted chain.
     """
 
-    def __init__(self, message: str, status: int | None = None) -> None:
+    def __init__(
+        self,
+        message: str,
+        status: int | None = None,
+        backend: str | None = None,
+        retries: int = 0,
+        backends_tried: tuple[str, ...] = (),
+    ) -> None:
         super().__init__(message)
         #: Raw status code reported by the backend, when available.
         self.status = status
+        #: Backend that produced the final failure, when known.
+        self.backend = backend
+        #: Number of retry attempts the solve chain spent before giving up.
+        self.retries = retries
+        #: Every backend the solve chain attempted, in order.
+        self.backends_tried = backends_tried
 
 
 class InfeasibleProblemError(SolverError):

@@ -1,0 +1,24 @@
+"""Deterministic link-fault injection for the slotted-wavelength simulator.
+
+The package models what the paper's periodic controller must survive in
+a production research network: fiber cuts, partial wavelength loss and
+repairs, all happening *between* scheduling epochs.  A
+:class:`FaultSchedule` is a seeded, reproducible timeline of
+:class:`LinkDown` / :class:`LinkUp` / :class:`WavelengthDegrade` events
+that compiles into the same :class:`~repro.network.capacity.CapacityProfile`
+the schedulers already consume, so fault tolerance needs no new solver
+machinery — only detection, voiding and replanning in the simulator.
+"""
+
+from .events import FaultEvent, LinkDown, LinkUp, WavelengthDegrade
+from .schedule import FaultSchedule
+from .spec import parse_fault_spec
+
+__all__ = [
+    "FaultEvent",
+    "FaultSchedule",
+    "LinkDown",
+    "LinkUp",
+    "WavelengthDegrade",
+    "parse_fault_spec",
+]

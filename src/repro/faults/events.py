@@ -1,0 +1,101 @@
+"""Typed fault injections: what can happen to a link, and when.
+
+Three event kinds cover the outage modes research-network operators
+actually see (fiber cuts, scheduled maintenance, wavelength
+pre-emption):
+
+* :class:`LinkDown` — the link carries zero wavelengths from ``time``
+  until a later :class:`LinkUp`;
+* :class:`WavelengthDegrade` — the link keeps running but with only
+  ``remaining`` wavelengths (standing circuits pre-empting capacity);
+* :class:`LinkUp` — full installed capacity is restored.
+
+Events are plain frozen dataclasses in *absolute* simulation time; a
+:class:`~repro.faults.schedule.FaultSchedule` orders and replays them.
+``bidirectional=True`` (the default) applies the event to both fiber
+directions of the link pair, matching how physical cuts behave.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Hashable
+from typing import Union
+
+import numpy as np
+
+from ..errors import ValidationError
+
+__all__ = ["LinkDown", "LinkUp", "WavelengthDegrade", "FaultEvent"]
+
+Node = Hashable
+
+
+def _check_endpoints(time: float, source: Node, target: Node) -> None:
+    if not (np.isfinite(time) and time >= 0.0):
+        raise ValidationError(
+            f"fault event time must be finite and >= 0, got {time!r}"
+        )
+    if source == target:
+        raise ValidationError(
+            f"fault event endpoints must differ, got {source!r} twice"
+        )
+
+
+@dataclass(frozen=True)
+class LinkDown:
+    """The link ``source -> target`` fails completely at ``time``.
+
+    Capacity drops to zero wavelengths and stays there until a later
+    :class:`LinkUp` on the same link.
+    """
+
+    time: float
+    source: Node
+    target: Node
+    bidirectional: bool = True
+
+    def __post_init__(self) -> None:
+        _check_endpoints(self.time, self.source, self.target)
+
+
+@dataclass(frozen=True)
+class LinkUp:
+    """The link ``source -> target`` returns to installed capacity."""
+
+    time: float
+    source: Node
+    target: Node
+    bidirectional: bool = True
+
+    def __post_init__(self) -> None:
+        _check_endpoints(self.time, self.source, self.target)
+
+
+@dataclass(frozen=True)
+class WavelengthDegrade:
+    """The link keeps only ``remaining`` wavelengths from ``time`` on.
+
+    ``remaining`` is clamped to the link's installed capacity at replay
+    time; ``remaining = 0`` is equivalent to a :class:`LinkDown`.  A
+    later :class:`LinkUp` restores the installed count.
+    """
+
+    time: float
+    source: Node
+    target: Node
+    remaining: int
+    bidirectional: bool = True
+
+    def __post_init__(self) -> None:
+        _check_endpoints(self.time, self.source, self.target)
+        if int(self.remaining) != self.remaining or self.remaining < 0:
+            raise ValidationError(
+                "degraded capacity must be a non-negative whole wavelength "
+                f"count, got {self.remaining!r}"
+            )
+        object.__setattr__(self, "remaining", int(self.remaining))
+
+
+#: Any of the three injectable fault kinds.
+FaultEvent = Union[LinkDown, LinkUp, WavelengthDegrade]

@@ -1,0 +1,260 @@
+"""The :class:`FaultSchedule`: a deterministic timeline of link faults.
+
+A fault schedule binds a list of :mod:`~repro.faults.events` to one
+network, replays them into per-edge capacity step functions, and answers
+the questions the online controller and the executor ask:
+
+* *planning* — :meth:`snapshot_profile` freezes the capacity state at
+  one instant into a :class:`~repro.network.capacity.CapacityProfile`
+  (what a controller that has detected the current failures, but cannot
+  see the future, should schedule against);
+* *ground truth* — :meth:`compile` materializes the full time-varying
+  profile (what an omniscient offline scheduler would use, and what
+  tests check delivered volume against);
+* *execution* — :meth:`min_capacity_over` gives the worst-case capacity
+  of every edge over a slice, which decides how much of an in-flight
+  wavelength grant actually survives.
+
+Random schedules (:meth:`FaultSchedule.random`) are parameterized by
+MTBF/MTTR and fully determined by their seed: the same seed always
+produces the identical event list, which makes every fault run — and its
+whole simulation event log — reproducible.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from collections.abc import Hashable, Iterable, Iterator
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..network.capacity import CapacityProfile
+from ..network.graph import Network
+from ..timegrid import TimeGrid
+from .events import FaultEvent, LinkDown, LinkUp, WavelengthDegrade
+
+__all__ = ["FaultSchedule"]
+
+Node = Hashable
+
+
+class FaultSchedule:
+    """An ordered, network-bound list of fault injections.
+
+    Parameters
+    ----------
+    network:
+        The network whose links the events refer to.  Every event's
+        ``source -> target`` edge must exist (and ``target -> source``
+        too when the event is bidirectional and that direction exists).
+    events:
+        Fault events in any order; they are stored sorted by time (ties
+        keep the given order).
+
+    Raises
+    ------
+    ValidationError
+        An event names an unknown edge, or carries invalid fields.
+    """
+
+    def __init__(self, network: Network, events: Iterable[FaultEvent] = ()) -> None:
+        self.network = network
+        ordered = sorted(enumerate(events), key=lambda kv: (kv[1].time, kv[0]))
+        self.events: tuple[FaultEvent, ...] = tuple(ev for _, ev in ordered)
+        self._edges_of: list[tuple[int, ...]] = [
+            self._resolve_edges(ev) for ev in self.events
+        ]
+        self._build_steps()
+
+    def _resolve_edges(self, event: FaultEvent) -> tuple[int, ...]:
+        """Directed edge ids an event applies to (validates existence)."""
+        if not isinstance(event, (LinkDown, LinkUp, WavelengthDegrade)):
+            raise ValidationError(
+                f"unknown fault event type {type(event).__name__!r}"
+            )
+        edges = [self.network.edge_id(event.source, event.target)]
+        if event.bidirectional and self.network.has_edge(
+            event.target, event.source
+        ):
+            edges.append(self.network.edge_id(event.target, event.source))
+        return tuple(edges)
+
+    def _build_steps(self) -> None:
+        """Replay events into per-edge (times, capacities) step functions."""
+        installed = self.network.capacities()
+        # Edge id -> parallel lists of breakpoint times and the capacity
+        # holding from each breakpoint on.  Edges never touched by any
+        # event are absent and stay at installed capacity throughout.
+        self._step_times: dict[int, list[float]] = {}
+        self._step_caps: dict[int, list[int]] = {}
+        current = installed.copy()
+        for event, edges in zip(self.events, self._edges_of):
+            for eid in edges:
+                if isinstance(event, LinkDown):
+                    cap = 0
+                elif isinstance(event, LinkUp):
+                    cap = int(installed[eid])
+                else:  # WavelengthDegrade
+                    cap = min(int(installed[eid]), event.remaining)
+                if cap == current[eid]:
+                    continue
+                current[eid] = cap
+                self._step_times.setdefault(eid, []).append(float(event.time))
+                self._step_caps.setdefault(eid, []).append(cap)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def random(
+        cls,
+        network: Network,
+        horizon: float,
+        mtbf: float,
+        mttr: float,
+        seed: int = 0,
+        degrade_prob: float = 0.0,
+    ) -> "FaultSchedule":
+        """Draw a random fault timeline from an MTBF/MTTR renewal process.
+
+        Each *link pair* (both fiber directions fail together, as a
+        physical cut does) independently alternates between healthy
+        periods with exponential mean ``mtbf`` and outages with
+        exponential mean ``mttr``, until ``horizon``.  With probability
+        ``degrade_prob`` an outage is a partial one — the link keeps
+        half its installed wavelengths — instead of a full cut.
+
+        The draw is fully determined by ``seed``: link pairs are visited
+        in edge-id order and each consumes its own deterministic stream,
+        so the same arguments always yield the identical schedule.
+        """
+        if horizon <= 0:
+            raise ValidationError(f"horizon must be positive, got {horizon}")
+        if mtbf <= 0 or mttr <= 0:
+            raise ValidationError(
+                f"mtbf and mttr must be positive, got {mtbf} and {mttr}"
+            )
+        if not 0.0 <= degrade_prob <= 1.0:
+            raise ValidationError(
+                f"degrade_prob must be in [0, 1], got {degrade_prob}"
+            )
+        seen: set[tuple[Node, Node]] = set()
+        events: list[FaultEvent] = []
+        rng = np.random.default_rng(seed)
+        for edge in network.edges:
+            key = (edge.source, edge.target)
+            if key in seen or (edge.target, edge.source) in seen:
+                continue
+            seen.add(key)
+            t = float(rng.exponential(mtbf))
+            while t < horizon:
+                outage = float(rng.exponential(mttr))
+                degraded = rng.random() < degrade_prob
+                if degraded:
+                    remaining = max(1, edge.capacity // 2)
+                    events.append(
+                        WavelengthDegrade(t, edge.source, edge.target, remaining)
+                    )
+                else:
+                    events.append(LinkDown(t, edge.source, edge.target))
+                events.append(LinkUp(t + outage, edge.source, edge.target))
+                t += outage + float(rng.exponential(mtbf))
+        return cls(network, events)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    @property
+    def horizon(self) -> float:
+        """Time of the last event (0.0 for an empty schedule)."""
+        return self.events[-1].time if self.events else 0.0
+
+    def edges_of(self, event: FaultEvent) -> tuple[int, ...]:
+        """Directed edge ids the given (member) event applies to."""
+        try:
+            index = self.events.index(event)
+        except ValueError:
+            raise ValidationError(
+                "event is not part of this fault schedule"
+            ) from None
+        return self._edges_of[index]
+
+    def events_between(self, t0: float, t1: float) -> list[FaultEvent]:
+        """Events with ``t0 < time <= t1`` (epoch-boundary detection)."""
+        return [ev for ev in self.events if t0 < ev.time <= t1 + 1e-12]
+
+    def capacity_at(self, time: float) -> np.ndarray:
+        """Per-edge wavelength capacity in force at ``time``."""
+        caps = self.network.capacities().copy()
+        for eid, times in self._step_times.items():
+            idx = bisect.bisect_right(times, time + 1e-12) - 1
+            if idx >= 0:
+                caps[eid] = self._step_caps[eid][idx]
+        return caps
+
+    def min_capacity_over(self, t0: float, t1: float) -> np.ndarray:
+        """Per-edge *minimum* capacity anywhere in ``[t0, t1)``.
+
+        The conservative per-slice view: a grant is only safe if the
+        link held enough wavelengths for the whole slice.
+        """
+        if t1 <= t0:
+            raise ValidationError(f"empty interval [{t0}, {t1})")
+        caps = self.capacity_at(t0)
+        for eid, times in self._step_times.items():
+            lo = bisect.bisect_right(times, t0 + 1e-12)
+            hi = bisect.bisect_left(times, t1 - 1e-12)
+            for k in range(lo, hi):
+                caps[eid] = min(caps[eid], self._step_caps[eid][k])
+        return caps
+
+    def failed_edges_at(self, time: float) -> frozenset[int]:
+        """Edge ids with zero capacity in force at ``time``."""
+        caps = self.capacity_at(time)
+        return frozenset(int(e) for e in np.flatnonzero(caps == 0))
+
+    # ------------------------------------------------------------------
+    # Compilation into capacity profiles
+    # ------------------------------------------------------------------
+    def compile(self, grid: TimeGrid) -> CapacityProfile:
+        """Materialize the full time-varying ``C_e(j)`` over ``grid``.
+
+        Each cell is the link's minimum capacity anywhere inside the
+        slice — a fault active for any part of a slice makes the whole
+        slice unsafe to plan on.
+        """
+        matrix = np.empty(
+            (self.network.num_edges, grid.num_slices), dtype=np.int64
+        )
+        for j in range(grid.num_slices):
+            matrix[:, j] = self.min_capacity_over(
+                grid.slice_start(j), grid.slice_end(j)
+            )
+        return CapacityProfile(self.network, grid, matrix)
+
+    def snapshot_profile(self, grid: TimeGrid, time: float) -> CapacityProfile:
+        """The capacity state at ``time``, held constant across ``grid``.
+
+        This is the *online controller's* view: it has detected which
+        links are currently down or degraded, but does not know repair
+        times, so it plans as if the current state persists.
+        """
+        caps = self.capacity_at(time)
+        matrix = np.repeat(caps[:, None], grid.num_slices, axis=1)
+        return CapacityProfile(self.network, grid, matrix)
+
+    def __repr__(self) -> str:
+        downs = sum(isinstance(e, LinkDown) for e in self.events)
+        degrades = sum(isinstance(e, WavelengthDegrade) for e in self.events)
+        return (
+            f"FaultSchedule(events={len(self.events)}, downs={downs}, "
+            f"degrades={degrades}, horizon={self.horizon:g})"
+        )

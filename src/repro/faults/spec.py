@@ -1,0 +1,192 @@
+"""Parse fault-injection specs from the command line into schedules.
+
+Three spec shapes are accepted by :func:`parse_fault_spec` (and thus by
+``repro simulate --faults``):
+
+* ``random:mtbf=20,mttr=2`` — a random MTBF/MTTR schedule; optional
+  ``degrade_prob=0.3``.  Requires a ``horizon``; the seed comes from the
+  ``--fault-seed`` flag.
+* ``down:a-b@2;up:a-b@5;degrade:c-d@3=1`` — inline scripted events:
+  ``kind:source-target@time`` with ``=remaining`` for degrades and an
+  optional trailing ``!`` for unidirectional events (``down:a-b@2!``).
+* a path to a ``.json`` file with an ``{"events": [...]}`` list, each
+  entry ``{"kind": "down"|"up"|"degrade", "source": ..., "target": ...,
+  "time": ..., "remaining": ..., "bidirectional": ...}``.
+
+Node names in the ``random``/inline forms are coerced to ``int`` when
+purely numeric, matching how the topology loaders name nodes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+from ..errors import ValidationError
+from ..network.graph import Network
+from ..serialization import load_json
+from .events import FaultEvent, LinkDown, LinkUp, WavelengthDegrade
+from .schedule import FaultSchedule
+
+__all__ = ["parse_fault_spec"]
+
+Node = Hashable
+
+
+def _coerce_node(token: str) -> Node:
+    token = token.strip()
+    if not token:
+        raise ValidationError("empty node name in fault spec")
+    return int(token) if token.lstrip("-").isdigit() else token
+
+
+def _parse_number(token: str, what: str) -> float:
+    try:
+        return float(token)
+    except ValueError:
+        raise ValidationError(f"bad {what} {token!r} in fault spec") from None
+
+
+def _parse_random(body: str, network: Network, seed: int, horizon) -> FaultSchedule:
+    if horizon is None:
+        raise ValidationError(
+            "random fault specs need a simulation horizon"
+        )
+    params: dict[str, float] = {}
+    for item in body.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        key, sep, value = item.partition("=")
+        if not sep:
+            raise ValidationError(
+                f"random fault spec entries look like key=value, got {item!r}"
+            )
+        params[key.strip()] = _parse_number(value, key.strip())
+    unknown = set(params) - {"mtbf", "mttr", "degrade_prob"}
+    if unknown:
+        raise ValidationError(
+            f"unknown random fault parameters: {sorted(unknown)}"
+        )
+    if "mtbf" not in params or "mttr" not in params:
+        raise ValidationError("random fault specs need both mtbf= and mttr=")
+    return FaultSchedule.random(
+        network,
+        horizon=float(horizon),
+        mtbf=params["mtbf"],
+        mttr=params["mttr"],
+        seed=seed,
+        degrade_prob=params.get("degrade_prob", 0.0),
+    )
+
+
+def _parse_inline_event(entry: str) -> FaultEvent:
+    kind, sep, rest = entry.partition(":")
+    if not sep:
+        raise ValidationError(
+            f"fault entry {entry!r} is not of the form kind:source-target@time"
+        )
+    kind = kind.strip().lower()
+    bidirectional = True
+    if rest.endswith("!"):
+        bidirectional = False
+        rest = rest[:-1]
+    remaining = None
+    if "=" in rest:
+        rest, _, rem = rest.rpartition("=")
+        remaining = _parse_number(rem, "remaining wavelengths")
+    link, sep, when = rest.partition("@")
+    if not sep:
+        raise ValidationError(f"fault entry {entry!r} is missing an @time")
+    source, sep, target = link.partition("-")
+    if not sep:
+        raise ValidationError(
+            f"fault entry {entry!r} needs a source-target link"
+        )
+    time = _parse_number(when, "time")
+    src, dst = _coerce_node(source), _coerce_node(target)
+    if kind == "down":
+        return LinkDown(time, src, dst, bidirectional=bidirectional)
+    if kind == "up":
+        return LinkUp(time, src, dst, bidirectional=bidirectional)
+    if kind == "degrade":
+        if remaining is None:
+            raise ValidationError(
+                f"degrade entry {entry!r} needs =remaining wavelengths"
+            )
+        return WavelengthDegrade(
+            time, src, dst, int(remaining), bidirectional=bidirectional
+        )
+    raise ValidationError(
+        f"unknown fault kind {kind!r}; expected down, up or degrade"
+    )
+
+
+def _parse_json(path: str, network: Network) -> FaultSchedule:
+    payload = load_json(path)
+    raw = payload.get("events")
+    if not isinstance(raw, list):
+        raise ValidationError(
+            f"fault file {path!r} needs a top-level 'events' list"
+        )
+    events: list[FaultEvent] = []
+    for i, item in enumerate(raw):
+        if not isinstance(item, dict):
+            raise ValidationError(f"fault file event #{i} is not an object")
+        kind = str(item.get("kind", "")).lower()
+        try:
+            time = float(item["time"])
+            source = item["source"]
+            target = item["target"]
+        except KeyError as missing:
+            raise ValidationError(
+                f"fault file event #{i} is missing {missing.args[0]!r}"
+            ) from None
+        bidirectional = bool(item.get("bidirectional", True))
+        if kind == "down":
+            events.append(LinkDown(time, source, target, bidirectional))
+        elif kind == "up":
+            events.append(LinkUp(time, source, target, bidirectional))
+        elif kind == "degrade":
+            if "remaining" not in item:
+                raise ValidationError(
+                    f"fault file degrade event #{i} needs 'remaining'"
+                )
+            events.append(
+                WavelengthDegrade(
+                    time, source, target, item["remaining"], bidirectional
+                )
+            )
+        else:
+            raise ValidationError(
+                f"fault file event #{i} has unknown kind {kind!r}"
+            )
+    return FaultSchedule(network, events)
+
+
+def parse_fault_spec(
+    spec: str,
+    network: Network,
+    seed: int = 0,
+    horizon: float | None = None,
+) -> FaultSchedule:
+    """Turn a ``--faults`` spec string into a :class:`FaultSchedule`.
+
+    See the module docstring for the three accepted shapes.  ``seed``
+    only matters for ``random:`` specs; ``horizon`` is required there
+    and ignored elsewhere.
+    """
+    spec = spec.strip()
+    if not spec:
+        raise ValidationError("empty fault spec")
+    if spec.startswith("random:"):
+        return _parse_random(spec[len("random:"):], network, seed, horizon)
+    if spec.endswith(".json"):
+        return _parse_json(spec, network)
+    events = [
+        _parse_inline_event(entry)
+        for entry in spec.split(";")
+        if entry.strip()
+    ]
+    if not events:
+        raise ValidationError(f"fault spec {spec!r} contains no events")
+    return FaultSchedule(network, events)

@@ -2,12 +2,20 @@
 
 from .milp import MILP_SIZE_LIMIT, solve_milp
 from .model import ProblemStructure
-from .solver import LinearProgram, LPSolution, solve_lp
+from .solver import (
+    DEFAULT_RESILIENCE,
+    LinearProgram,
+    LPSolution,
+    SolveResilience,
+    solve_lp,
+)
 
 __all__ = [
     "ProblemStructure",
     "LinearProgram",
     "LPSolution",
+    "SolveResilience",
+    "DEFAULT_RESILIENCE",
     "solve_lp",
     "solve_milp",
     "MILP_SIZE_LIMIT",

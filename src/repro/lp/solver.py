@@ -3,6 +3,31 @@
 The paper used CPLEX; we substitute the HiGHS simplex/IPM bundled with
 SciPy (see DESIGN.md).  Everything downstream talks to these wrappers,
 so swapping the backend means editing this module only.
+
+Resilient solve chain
+---------------------
+
+Long online-controller runs cannot afford to die on one transient
+numerical failure.  Passing a :class:`SolveResilience` to
+:func:`solve_lp` turns the single-shot solve into a bounded chain:
+
+1. solve on the requested backend;
+2. on a non-modelling :class:`~repro.errors.SolverError`, retry up to
+   ``max_retries`` times, each time nudging the right-hand side by a
+   relative ``perturbation`` (a standard numerical-rescue trick —
+   relaxing every row by ``~1e-9`` moves the optimum by noise but often
+   shakes the factorization out of a degenerate corner);
+3. if the primary backend never succeeds and the instance is small
+   enough (``fallback_max_vars``), fall back to ``fallback_backend``
+   (by default the pure-Python reference simplex);
+4. if everything fails, raise a :class:`~repro.errors.SolverError`
+   carrying the full chain context: final backend, status, retry count
+   and every backend tried.
+
+Modelling outcomes (:class:`~repro.errors.InfeasibleProblemError`,
+:class:`~repro.errors.UnboundedProblemError`) are never retried — they
+are answers, not failures.  ``resilience=None`` (the default) keeps the
+exact single-shot behaviour.
 """
 
 from __future__ import annotations
@@ -21,7 +46,13 @@ from ..errors import (
 )
 from ..obs import NULL_TELEMETRY, Telemetry
 
-__all__ = ["LinearProgram", "LPSolution", "solve_lp"]
+__all__ = [
+    "LinearProgram",
+    "LPSolution",
+    "SolveResilience",
+    "DEFAULT_RESILIENCE",
+    "solve_lp",
+]
 
 
 @dataclass
@@ -128,6 +159,51 @@ class LPSolution:
     eq_duals: np.ndarray | None = None
 
 
+@dataclass(frozen=True)
+class SolveResilience:
+    """Policy knobs of the resilient solve chain (see module docstring).
+
+    Attributes
+    ----------
+    max_retries:
+        Extra attempts on the primary backend after the first failure.
+    perturbation:
+        Relative right-hand-side relaxation applied per retry: attempt
+        ``k`` solves with ``b * (1 + k * perturbation)``.  Small enough
+        to be numerical noise, large enough to escape degenerate bases.
+    fallback_backend:
+        Backend tried when the primary one is exhausted (``None``
+        disables the fallback stage).
+    fallback_max_vars:
+        The fallback only engages for instances with at most this many
+        variables — the reference simplex is exact but dense and slow.
+    """
+
+    max_retries: int = 2
+    perturbation: float = 1e-9
+    fallback_backend: str | None = "simplex"
+    fallback_max_vars: int = 800
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValidationError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if not 0.0 <= self.perturbation < 1e-3:
+            raise ValidationError(
+                "perturbation must be a tiny non-negative relative factor, "
+                f"got {self.perturbation}"
+            )
+        if self.fallback_max_vars < 0:
+            raise ValidationError(
+                f"fallback_max_vars must be >= 0, got {self.fallback_max_vars}"
+            )
+
+
+#: The chain configuration used when callers just say "be resilient".
+DEFAULT_RESILIENCE = SolveResilience()
+
+
 def _matrix_nnz(matrix) -> int:
     """Stored-entry count of an optional (sparse or dense) matrix."""
     if matrix is None:
@@ -167,11 +243,34 @@ def _record_solve(
     telemetry.count("lp_iterations", solution.iterations)
 
 
+def _perturbed(problem: LinearProgram, relax: float) -> LinearProgram:
+    """Copy of ``problem`` with every inequality rhs relaxed by ``relax``.
+
+    Only the ``<=`` block is touched: relaxing it keeps every feasible
+    point feasible, so the retry can never turn a solvable instance
+    infeasible.  Equality rows and bounds are left exact.
+    """
+    if problem.b_ub is None or relax <= 0.0:
+        return problem
+    b_ub = problem.b_ub + relax * np.maximum(np.abs(problem.b_ub), 1.0)
+    return LinearProgram(
+        objective=problem.objective,
+        a_ub=problem.a_ub,
+        b_ub=b_ub,
+        a_eq=problem.a_eq,
+        b_eq=problem.b_eq,
+        lower=problem.lower,
+        upper=problem.upper,
+        maximize=problem.maximize,
+    )
+
+
 def solve_lp(
     problem: LinearProgram,
     backend: str = "highs",
     telemetry: Telemetry | None = None,
     label: str | None = None,
+    resilience: SolveResilience | None = None,
 ) -> LPSolution:
     """Solve ``problem``; raise typed errors on failure.
 
@@ -192,6 +291,10 @@ def solve_lp(
     label:
         Free-form tag stored on the telemetry record (e.g. ``"stage2"``)
         so multi-solve pipelines stay tellable apart.
+    resilience:
+        Optional :class:`SolveResilience` enabling the bounded
+        retry-perturb-fallback chain described in the module docstring.
+        ``None`` (the default) solves exactly once.
 
     Raises
     ------
@@ -200,9 +303,79 @@ def solve_lp(
     UnboundedProblemError
         The objective is unbounded in the requested sense.
     SolverError
-        Any other backend failure (numerical issues, limits).
+        Any other backend failure (numerical issues, limits).  With a
+        resilience policy, raised only after the whole chain is
+        exhausted, and carries ``backend``, ``retries`` and
+        ``backends_tried`` context.
     """
     telemetry = telemetry or NULL_TELEMETRY
+    if backend not in ("highs", "simplex"):
+        raise ValidationError(
+            f"unknown backend {backend!r}; pick 'highs' or 'simplex'"
+        )
+    if resilience is None:
+        return _solve_once(problem, backend, telemetry, label)
+
+    tried: list[str] = []
+    retries = 0
+    last_error: SolverError | None = None
+    for attempt in range(resilience.max_retries + 1):
+        candidate = (
+            problem
+            if attempt == 0
+            else _perturbed(problem, attempt * resilience.perturbation)
+        )
+        tried.append(backend)
+        try:
+            return _solve_once(candidate, backend, telemetry, label)
+        except (InfeasibleProblemError, UnboundedProblemError):
+            raise  # modelling outcomes, not failures: never retried
+        except SolverError as exc:
+            last_error = exc
+            retries = attempt
+            telemetry.record(
+                "solve_retry",
+                label=label,
+                backend=backend,
+                attempt=attempt,
+                status=exc.status,
+                message=str(exc),
+            )
+            telemetry.count("lp_retries")
+
+    fallback = resilience.fallback_backend
+    if (
+        fallback is not None
+        and fallback != backend
+        and problem.num_vars <= resilience.fallback_max_vars
+    ):
+        tried.append(fallback)
+        telemetry.count("lp_backend_fallbacks")
+        try:
+            return _solve_once(problem, fallback, telemetry, label)
+        except (InfeasibleProblemError, UnboundedProblemError):
+            raise
+        except SolverError as exc:
+            last_error = exc
+
+    assert last_error is not None
+    raise SolverError(
+        f"resilient solve chain exhausted after {len(tried)} attempts "
+        f"({' -> '.join(tried)}): {last_error}",
+        status=last_error.status,
+        backend=tried[-1],
+        retries=retries,
+        backends_tried=tuple(tried),
+    )
+
+
+def _solve_once(
+    problem: LinearProgram,
+    backend: str,
+    telemetry: Telemetry,
+    label: str | None,
+) -> LPSolution:
+    """One backend attempt; the pre-resilience ``solve_lp`` body."""
     if backend == "simplex":
         from .simplex import simplex_solve
 

@@ -143,17 +143,22 @@ def shortest_path(
 
 
 def k_shortest_paths(
-    network: Network, source: Node, target: Node, k: int
+    network: Network,
+    source: Node,
+    target: Node,
+    k: int,
+    banned_edges: frozenset[int] = frozenset(),
 ) -> list[Path]:
     """Yen's algorithm: up to ``k`` loopless shortest paths, cost-ordered.
 
     Returns fewer than ``k`` paths when the graph does not contain that
     many distinct loopless paths, and an empty list when ``target`` is
-    unreachable from ``source``.
+    unreachable from ``source``.  ``banned_edges`` are excluded from
+    every path (e.g. failed or fully drained links).
     """
     if k < 1:
         raise ValidationError(f"k must be >= 1, got {k}")
-    first = shortest_path(network, source, target)
+    first = shortest_path(network, source, target, banned_edges=banned_edges)
     if first is None:
         return []
     paths: list[Path] = [first]
@@ -169,7 +174,7 @@ def k_shortest_paths(
             root_edges = prev_path.edge_ids[:i]
             root_cost = sum(network.edge(e).weight for e in root_edges)
 
-            banned_edges = {
+            spur_banned = {
                 p.edge_ids[i]
                 for p in paths
                 if p.nodes[: i + 1] == root_nodes and p.num_hops > i
@@ -181,7 +186,7 @@ def k_shortest_paths(
                 spur_node,
                 target,
                 banned_nodes=banned_nodes,
-                banned_edges=frozenset(banned_edges),
+                banned_edges=frozenset(spur_banned) | banned_edges,
             )
             if spur is None:
                 continue
@@ -210,7 +215,11 @@ def _node_key(nodes: tuple[Node, ...]) -> tuple[str, ...]:
 
 
 def edge_disjoint_paths(
-    network: Network, source: Node, target: Node, k: int
+    network: Network,
+    source: Node,
+    target: Node,
+    k: int,
+    banned_edges: frozenset[int] = frozenset(),
 ) -> list[Path]:
     """Up to ``k`` pairwise edge-disjoint paths, greedily shortest-first.
 
@@ -226,7 +235,7 @@ def edge_disjoint_paths(
     """
     if k < 1:
         raise ValidationError(f"k must be >= 1, got {k}")
-    banned: set[int] = set()
+    banned: set[int] = set(banned_edges)
     paths: list[Path] = []
     while len(paths) < k:
         path = shortest_path(
@@ -244,17 +253,23 @@ def build_path_sets(
     od_pairs: Sequence[tuple[Node, Node]],
     k: int = 4,
     disjoint: bool = False,
+    banned_edges: frozenset[int] = frozenset(),
 ) -> dict[tuple[Node, Node], list[Path]]:
     """Compute per-pair path sets: k-shortest (default) or edge-disjoint.
 
     Results are cached per distinct pair, so repeated pairs cost nothing
     extra.  Pairs with no connecting path map to an empty list.  With
     ``disjoint=True`` the (usually smaller) greedy edge-disjoint set is
-    computed instead — see :func:`edge_disjoint_paths`.
+    computed instead — see :func:`edge_disjoint_paths`.  ``banned_edges``
+    (e.g. links currently failed or drained to zero for the whole
+    horizon) are excluded from every path.
     """
     finder = edge_disjoint_paths if disjoint else k_shortest_paths
+    banned = frozenset(banned_edges)
     cache: dict[tuple[Node, Node], list[Path]] = {}
     for pair in od_pairs:
         if pair not in cache:
-            cache[pair] = finder(network, pair[0], pair[1], k)
+            cache[pair] = finder(
+                network, pair[0], pair[1], k, banned_edges=banned
+            )
     return cache

@@ -1,6 +1,7 @@
 """Simulation substrate: the periodic controller loop and its metrics."""
 
 from .events import (
+    DeliveryLost,
     Event,
     JobAdmitted,
     JobArrived,
@@ -9,7 +10,11 @@ from .events import (
     JobExpired,
     JobProgress,
     JobRejected,
+    JobRescheduled,
     JobSizeReduced,
+    LinkDegraded,
+    LinkFailed,
+    LinkRestored,
     SchedulingPass,
 )
 from .metrics import SimulationSummary, summarize
@@ -32,4 +37,9 @@ __all__ = [
     "JobProgress",
     "JobCompleted",
     "JobExpired",
+    "LinkFailed",
+    "LinkDegraded",
+    "LinkRestored",
+    "DeliveryLost",
+    "JobRescheduled",
 ]

@@ -20,6 +20,11 @@ __all__ = [
     "JobProgress",
     "JobCompleted",
     "JobExpired",
+    "LinkFailed",
+    "LinkDegraded",
+    "LinkRestored",
+    "DeliveryLost",
+    "JobRescheduled",
 ]
 
 
@@ -110,3 +115,63 @@ class JobExpired(Event):
 
     job_id: int | str
     remaining: float
+
+
+@dataclass(frozen=True)
+class LinkFailed(Event):
+    """The controller detected a link failure at an epoch boundary.
+
+    ``time`` is when the controller *noticed* (the epoch boundary, so
+    the log stays time ordered); ``failed_at`` is when the fault
+    actually struck, somewhere inside the preceding epoch.
+    """
+
+    source: object
+    target: object
+    failed_at: float
+
+
+@dataclass(frozen=True)
+class LinkDegraded(Event):
+    """The controller detected a partial wavelength loss on a link."""
+
+    source: object
+    target: object
+    remaining: int
+    degraded_at: float
+
+
+@dataclass(frozen=True)
+class LinkRestored(Event):
+    """The controller detected a link repair at an epoch boundary."""
+
+    source: object
+    target: object
+    restored_at: float
+
+
+@dataclass(frozen=True)
+class DeliveryLost(Event):
+    """In-flight volume voided because a link failed mid-epoch.
+
+    The schedule being executed assumed capacity a fault removed; the
+    volume that would have crossed the affected links never arrived and
+    stays in the job's ``remaining``.
+    """
+
+    job_id: int | str
+    volume: float
+    reason: str
+
+
+@dataclass(frozen=True)
+class JobRescheduled(Event):
+    """A surviving job was replanned around failed links.
+
+    Emitted when a job whose previous schedule used a now-failed or
+    degraded link is handed back to the scheduler with routes rebuilt
+    to exclude the dead edges.
+    """
+
+    job_id: int | str
+    reason: str

@@ -30,6 +30,10 @@ from typing import Literal
 import numpy as np
 
 from ..errors import ScheduleError, ValidationError
+from ..faults.events import LinkDown, WavelengthDegrade
+from ..faults.schedule import FaultSchedule
+from ..lp.solver import DEFAULT_RESILIENCE, SolveResilience
+from ..network.capacity import CapacityProfile
 from ..network.graph import Network
 from ..obs import NULL_TELEMETRY, Telemetry
 from ..network.paths import build_path_sets
@@ -40,6 +44,7 @@ from ..core.metrics import mean_link_utilization, per_slice_delivery
 from ..core.ret import solve_ret
 from ..core.scheduler import Scheduler
 from .events import (
+    DeliveryLost,
     Event,
     JobAdmitted,
     JobArrived,
@@ -48,6 +53,10 @@ from .events import (
     JobExpired,
     JobProgress,
     JobRejected,
+    JobRescheduled,
+    LinkDegraded,
+    LinkFailed,
+    LinkRestored,
     SchedulingPass,
 )
 
@@ -196,6 +205,23 @@ class Simulation:
         run: each epoch's admission + scheduling work is timed under a
         ``"scheduling_pass"`` span, and the scheduler's and RET's own
         records accumulate beneath it.  ``None`` measures nothing.
+    fault_schedule:
+        Optional :class:`~repro.faults.FaultSchedule` of link failures,
+        degradations and repairs.  The controller detects faults at
+        epoch boundaries (emitting ``LinkFailed`` / ``LinkDegraded`` /
+        ``LinkRestored``), voids in-flight volume a mid-epoch fault
+        destroyed (``DeliveryLost``), and replans surviving jobs with
+        paths rebuilt around dead links (``JobRescheduled``); jobs whose
+        endpoints are disconnected are held until repair.  Admission
+        decisions under the ``reject`` policy still use installed
+        capacity — the controller only learns of a fault's throughput
+        cost at the scheduling stage.
+    resilience:
+        Optional :class:`~repro.lp.solver.SolveResilience` for every LP
+        solve in the run.  Defaults to
+        :data:`~repro.lp.solver.DEFAULT_RESILIENCE` when a
+        ``fault_schedule`` is given (a fault run should not die on a
+        transient solver failure) and to single-shot solving otherwise.
     """
 
     def __init__(
@@ -212,6 +238,8 @@ class Simulation:
         keep_schedules: bool = False,
         capacity_profile=None,
         telemetry: Telemetry | None = None,
+        fault_schedule: FaultSchedule | None = None,
+        resilience: SolveResilience | None = None,
     ) -> None:
         if tau <= 0 or slice_length <= 0:
             raise ValidationError("tau and slice_length must be positive")
@@ -241,6 +269,14 @@ class Simulation:
                 "capacity profile was built for a different network"
             )
         self.capacity_profile = capacity_profile
+        if fault_schedule is not None and fault_schedule.network is not network:
+            raise ValidationError(
+                "fault schedule was built for a different network"
+            )
+        self.fault_schedule = fault_schedule
+        if resilience is None and fault_schedule is not None:
+            resilience = DEFAULT_RESILIENCE
+        self.resilience = resilience
         self.telemetry = telemetry or NULL_TELEMETRY
 
     # ------------------------------------------------------------------
@@ -261,13 +297,17 @@ class Simulation:
             alpha=self.alpha,
             slice_length=self.slice_length,
             telemetry=self.telemetry,
+            resilience=self.resilience,
         )
-        path_sets = build_path_sets(
+        base_paths = build_path_sets(
             self.network, jobs.od_pairs(), self.k_paths
         )
 
         epoch = 0
         now = 0.0
+        fault_idx = 0
+        #: job id -> edge ids its most recent schedule actually used.
+        used_edges: dict[int | str, frozenset[int]] = {}
         unseen = sorted(jobs, key=lambda j: (j.arrival, str(j.id)))
         while now < horizon - 1e-9:
             # 1. Collect arrivals up to this epoch.
@@ -276,8 +316,25 @@ class Simulation:
                 events.append(JobArrived(now, job.id))
                 records[job.id].status = "active"
 
+            # 1b. Detect faults that struck since the last boundary.
+            affected: frozenset[int] = frozenset()
+            if self.fault_schedule is not None:
+                fault_idx, affected = self._detect_faults(fault_idx, now, events)
+
             # 2. Expire active jobs whose window can no longer fit a slice.
             self._expire_stale(records, now, events)
+
+            # 2b. Flag survivors whose current plan crossed a dead link.
+            if affected:
+                for rec in records.values():
+                    if rec.status != "active":
+                        continue
+                    if used_edges.get(rec.job.id, frozenset()) & affected:
+                        events.append(
+                            JobRescheduled(
+                                now, rec.job.id, "replanning around failed link"
+                            )
+                        )
 
             # 3. Residual instance over future time.
             residual = self._residual_jobs(records, now)
@@ -292,20 +349,29 @@ class Simulation:
             #    span replaces the old hand-rolled perf_counter block and
             #    also feeds the SchedulingPass event's solve time).
             with self.telemetry.span("scheduling_pass") as pass_span:
-                residual = self._apply_policy(residual, records, now, events)
+                epoch_paths = None
+                if self.fault_schedule is not None:
+                    residual, epoch_paths = self._route_around_faults(
+                        residual, now
+                    )
+                if residual is not None:
+                    residual = self._apply_policy(
+                        residual, records, now, events, epoch_paths
+                    )
                 if residual is not None:
                     grid = TimeGrid.covering(
                         max(residual.max_end(), now + self.tau),
                         self.slice_length,
                         start=now,
                     )
-                    profile = (
-                        self.capacity_profile.for_grid(grid)
-                        if self.capacity_profile is not None
-                        else None
-                    )
+                    profile = self._epoch_profile(grid, now)
+                    if epoch_paths is None and profile is None:
+                        epoch_paths = base_paths
                     result = scheduler.schedule(
-                        residual, grid, capacity_profile=profile
+                        residual,
+                        grid,
+                        capacity_profile=profile,
+                        path_sets=epoch_paths,
                     )
             if residual is None:
                 now += self.tau
@@ -325,6 +391,8 @@ class Simulation:
 
             if self.keep_schedules:
                 kept_schedules.append((epoch, result))
+            if self.fault_schedule is not None:
+                used_edges.update(self._used_edges(result))
 
             # 5. Execute the first tau worth of slices.
             self._execute(result, records, now, events)
@@ -345,6 +413,87 @@ class Simulation:
     def _advance_to(self, t: float) -> float:
         """Next epoch boundary at or after ``t``."""
         return np.ceil(t / self.tau - 1e-9) * self.tau
+
+    def _detect_faults(
+        self, fault_idx: int, now: float, events: list
+    ) -> tuple[int, frozenset[int]]:
+        """Report fault events up to ``now``; return affected edge ids.
+
+        Detection events carry ``now`` as their time (keeping the log
+        time ordered) and the actual strike time in ``failed_at`` /
+        ``degraded_at`` / ``restored_at``.
+        """
+        fs = self.fault_schedule
+        affected: set[int] = set()
+        while fault_idx < len(fs.events) and fs.events[fault_idx].time <= now + 1e-9:
+            ev = fs.events[fault_idx]
+            if isinstance(ev, LinkDown):
+                events.append(LinkFailed(now, ev.source, ev.target, ev.time))
+                affected.update(fs.edges_of(ev))
+            elif isinstance(ev, WavelengthDegrade):
+                events.append(
+                    LinkDegraded(now, ev.source, ev.target, ev.remaining, ev.time)
+                )
+                affected.update(fs.edges_of(ev))
+            else:
+                events.append(LinkRestored(now, ev.source, ev.target, ev.time))
+            fault_idx += 1
+        return fault_idx, frozenset(affected)
+
+    def _route_around_faults(
+        self, residual: JobSet, now: float
+    ) -> tuple[JobSet | None, dict | None]:
+        """Rebuild paths without currently failed links; hold cut-off jobs.
+
+        Jobs whose endpoints are disconnected by the failures cannot be
+        scheduled this epoch; they stay ``active`` (delivering nothing)
+        until a repair reconnects them or their window expires.
+        """
+        failed = self.fault_schedule.failed_edges_at(now)
+        if not failed:
+            return residual, None
+        epoch_paths = build_path_sets(
+            self.network, residual.od_pairs(), self.k_paths, banned_edges=failed
+        )
+        routable = [j for j in residual if epoch_paths[(j.source, j.dest)]]
+        if len(routable) == len(residual):
+            return residual, epoch_paths
+        return (JobSet(routable) if routable else None), epoch_paths
+
+    def _epoch_profile(self, grid: TimeGrid, now: float):
+        """Planning capacities for one epoch: maintenance ∧ fault state.
+
+        The fault side is the *snapshot* at ``now`` held constant: the
+        controller knows which links are currently down or degraded but
+        not when they will be repaired, so it plans as if the present
+        state persists.
+        """
+        profile = (
+            self.capacity_profile.for_grid(grid)
+            if self.capacity_profile is not None
+            else None
+        )
+        if self.fault_schedule is not None:
+            snap = self.fault_schedule.snapshot_profile(grid, now)
+            if profile is None:
+                profile = snap
+            else:
+                profile = CapacityProfile(
+                    self.network, grid, np.minimum(profile.matrix, snap.matrix)
+                )
+        return profile
+
+    @staticmethod
+    def _used_edges(result) -> dict:
+        """Edge ids each job's freshly computed schedule actually uses."""
+        structure = result.structure
+        x = result.x
+        used: dict[int | str, set[int]] = {}
+        for c in np.flatnonzero(np.asarray(x) > _VOLUME_TOL):
+            i = int(structure.col_job[c])
+            path = structure.paths[i][int(structure.col_path[c])]
+            used.setdefault(structure.jobs[i].id, set()).update(path.edge_ids)
+        return {job_id: frozenset(eids) for job_id, eids in used.items()}
 
     def _residual_jobs(self, records: dict, now: float) -> JobSet | None:
         """Unfinished admitted jobs, re-windowed to start at ``now``."""
@@ -378,9 +527,19 @@ class Simulation:
                 events.append(JobExpired(now, rec.job.id, rec.remaining))
 
     def _apply_policy(
-        self, residual: JobSet, records: dict, now: float, events: list
+        self,
+        residual: JobSet,
+        records: dict,
+        now: float,
+        events: list,
+        path_sets: dict | None = None,
     ) -> JobSet | None:
-        """Admission action; may reject jobs or extend deadlines in place."""
+        """Admission action; may reject jobs or extend deadlines in place.
+
+        ``path_sets`` carries the fault-aware routes (failed links
+        banned) so the ``extend`` policy's RET search cannot plan an
+        extension over capacity that no longer exists.
+        """
         if self.policy == "reduce":
             return residual
 
@@ -419,7 +578,9 @@ class Simulation:
                 k_paths=self.k_paths,
                 b_max=self.ret_b_max,
                 delta=self.ret_delta,
+                path_sets=path_sets,
                 telemetry=self.telemetry,
+                resilience=self.resilience,
             )
         except ScheduleError:
             return residual  # run best-effort; expiry will record the loss
@@ -437,10 +598,50 @@ class Simulation:
             return JobSet(out)
         return residual
 
+    def _void_lost_volume(
+        self, structure, x: np.ndarray, executed: list
+    ) -> np.ndarray:
+        """Scale executed grants down to what the faulted links carried.
+
+        The schedule was planned against the epoch-boundary snapshot; a
+        fault striking *inside* the epoch silently removes capacity the
+        plan assumed.  Per executed slice, every edge whose planned load
+        exceeds its worst-case actual capacity scales the grants
+        crossing it by ``capacity / load`` (to zero on a full cut); a
+        grant's surviving fraction is the minimum over its path's edges,
+        which guarantees delivered volume never exceeds actual capacity
+        on any (edge, slice).
+        """
+        fs = self.fault_schedule
+        grid = structure.grid
+        x_eff = x.copy()
+        changed = False
+        for j in executed:
+            caps = fs.min_capacity_over(grid.slice_start(j), grid.slice_end(j))
+            cols = np.flatnonzero((structure.col_slice == j) & (x > _VOLUME_TOL))
+            if cols.size == 0:
+                continue
+            load = np.zeros(self.network.num_edges)
+            edge_lists = []
+            for c in cols:
+                i = int(structure.col_job[c])
+                path = structure.paths[i][int(structure.col_path[c])]
+                edge_lists.append(path.edge_ids)
+                for e in path.edge_ids:
+                    load[e] += x[c]
+            factor = np.ones(self.network.num_edges)
+            over = load > caps + _VOLUME_TOL
+            factor[over] = caps[over] / load[over]
+            for c, edge_ids in zip(cols, edge_lists):
+                f = min(factor[e] for e in edge_ids)
+                if f < 1.0:
+                    x_eff[c] = x[c] * f
+                    changed = True
+        return x_eff if changed else x
+
     def _execute(self, result, records: dict, now: float, events: list) -> None:
         """Deliver the first epoch's slices of the freshly computed schedule."""
         structure = result.structure
-        delivery = per_slice_delivery(structure, result.x)
         grid = structure.grid
         executed = [
             j
@@ -449,10 +650,27 @@ class Simulation:
         ]
         if not executed:
             return
+        x = np.asarray(result.x, dtype=float)
+        x_eff = x
+        if self.fault_schedule is not None:
+            x_eff = self._void_lost_volume(structure, x, executed)
+        delivery = per_slice_delivery(structure, x_eff)
+        planned = delivery if x_eff is x else per_slice_delivery(structure, x)
         rate = self.network.wavelength_rate
         for i, job in enumerate(structure.jobs):
             rec = records[job.id]
             volume = float(delivery[i, executed].sum()) * rate
+            planned_volume = float(planned[i, executed].sum()) * rate
+            lost = min(planned_volume, rec.remaining) - min(volume, rec.remaining)
+            if lost > _VOLUME_TOL:
+                events.append(
+                    DeliveryLost(
+                        now + self.tau,
+                        job.id,
+                        lost,
+                        "link capacity lost mid-epoch",
+                    )
+                )
             if volume <= _VOLUME_TOL:
                 continue
             volume = min(volume, rec.remaining)

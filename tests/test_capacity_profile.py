@@ -63,6 +63,16 @@ class TestProfileConstruction:
         assert prof.matrix[rid].tolist() == [2, 1, 1, 2]  # bidirectional
         assert prof.outage_fraction() == pytest.approx(4 / 16)
 
+    def test_maintenance_negative_remaining_rejected(self, net, grid):
+        with pytest.raises(ValidationError):
+            CapacityProfile.with_maintenance(net, grid, [(0, 1, 1.0, 3.0, -1)])
+
+    def test_background_load_negative_rejected(self, net, grid):
+        load = np.zeros((net.num_edges, grid.num_slices), dtype=int)
+        load[0, 0] = -1
+        with pytest.raises(ValidationError):
+            CapacityProfile.with_background_load(net, grid, load)
+
     def test_maintenance_unidirectional(self, net, grid):
         prof = CapacityProfile.with_maintenance(
             net, grid, [(0, 1, 0.0, 4.0, 0)], bidirectional=False

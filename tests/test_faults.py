@@ -1,0 +1,227 @@
+"""Unit tests for the fault-injection package (repro.faults)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import TimeGrid, ValidationError
+from repro.faults import (
+    FaultSchedule,
+    LinkDown,
+    LinkUp,
+    WavelengthDegrade,
+    parse_fault_spec,
+)
+from repro.network import topologies
+from repro.serialization import save_json
+
+
+@pytest.fixture
+def line3():
+    """0 - 1 - 2 line, 2 wavelengths per link, unit rate."""
+    return topologies.line(3, capacity=2, wavelength_rate=1.0)
+
+
+class TestFaultEvents:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValidationError):
+            LinkDown(-1.0, 0, 1)
+
+    def test_non_finite_time_rejected(self):
+        with pytest.raises(ValidationError):
+            LinkUp(float("nan"), 0, 1)
+
+    def test_identical_endpoints_rejected(self):
+        with pytest.raises(ValidationError):
+            LinkDown(1.0, 0, 0)
+
+    def test_degrade_remaining_must_be_whole_and_nonnegative(self):
+        with pytest.raises(ValidationError):
+            WavelengthDegrade(1.0, 0, 1, -1)
+        with pytest.raises(ValidationError):
+            WavelengthDegrade(1.0, 0, 1, 1.5)
+        assert WavelengthDegrade(1.0, 0, 1, 1.0).remaining == 1
+
+
+class TestFaultSchedule:
+    def test_unknown_edge_rejected(self, line3):
+        with pytest.raises(ValidationError):
+            FaultSchedule(line3, [LinkDown(1.0, 0, 2)])  # 0-2 is two hops
+
+    def test_events_sorted_by_time(self, line3):
+        fs = FaultSchedule(
+            line3, [LinkUp(5.0, 0, 1), LinkDown(2.0, 0, 1)]
+        )
+        assert [e.time for e in fs.events] == [2.0, 5.0]
+        assert fs.horizon == 5.0
+        assert len(fs) == 2
+
+    def test_capacity_at_tracks_down_and_up(self, line3):
+        fs = FaultSchedule(line3, [LinkDown(2.0, 0, 1), LinkUp(5.0, 0, 1)])
+        e01 = line3.edge_id(0, 1)
+        e10 = line3.edge_id(1, 0)
+        assert fs.capacity_at(0.0)[e01] == 2
+        # Bidirectional by default: both fiber directions fail.
+        assert fs.capacity_at(3.0)[e01] == 0
+        assert fs.capacity_at(3.0)[e10] == 0
+        assert fs.capacity_at(5.0)[e01] == 2
+
+    def test_unidirectional_event_spares_reverse_edge(self, line3):
+        fs = FaultSchedule(line3, [LinkDown(1.0, 0, 1, bidirectional=False)])
+        assert fs.capacity_at(2.0)[line3.edge_id(0, 1)] == 0
+        assert fs.capacity_at(2.0)[line3.edge_id(1, 0)] == 2
+
+    def test_degrade_clamped_to_installed(self, line3):
+        fs = FaultSchedule(line3, [WavelengthDegrade(1.0, 0, 1, 99)])
+        assert fs.capacity_at(2.0)[line3.edge_id(0, 1)] == 2
+
+    def test_min_capacity_over_sees_mid_interval_fault(self, line3):
+        fs = FaultSchedule(line3, [LinkDown(2.5, 0, 1), LinkUp(2.8, 0, 1)])
+        e01 = line3.edge_id(0, 1)
+        # Fault strikes and heals inside [2, 3): the slice minimum is 0
+        # even though both endpoints of the interval are healthy.
+        assert fs.min_capacity_over(2.0, 3.0)[e01] == 0
+        assert fs.min_capacity_over(3.0, 4.0)[e01] == 2
+        with pytest.raises(ValidationError):
+            fs.min_capacity_over(3.0, 3.0)
+
+    def test_failed_edges_at(self, line3):
+        fs = FaultSchedule(line3, [LinkDown(1.0, 1, 2)])
+        failed = fs.failed_edges_at(2.0)
+        assert failed == {line3.edge_id(1, 2), line3.edge_id(2, 1)}
+        assert fs.failed_edges_at(0.5) == frozenset()
+
+    def test_compile_matches_manual_minimum(self, line3):
+        fs = FaultSchedule(line3, [LinkDown(1.5, 0, 1), LinkUp(3.0, 0, 1)])
+        profile = fs.compile(TimeGrid.uniform(5))
+        e01 = line3.edge_id(0, 1)
+        # Slice 1 ([1,2)) catches the failure mid-slice; slice 3 is the
+        # first fully healthy one again (repair lands exactly at 3.0).
+        assert profile.matrix[e01].tolist() == [2, 0, 0, 2, 2]
+        untouched = line3.edge_id(1, 2)
+        assert profile.matrix[untouched].tolist() == [2, 2, 2, 2, 2]
+
+    def test_snapshot_profile_is_constant_over_grid(self, line3):
+        fs = FaultSchedule(line3, [LinkDown(1.0, 0, 1), LinkUp(4.0, 0, 1)])
+        snap = fs.snapshot_profile(TimeGrid.uniform(6), 2.0)
+        e01 = line3.edge_id(0, 1)
+        # The controller cannot see the repair at t=4: the snapshot holds
+        # the failed state across every slice.
+        assert (snap.matrix[e01] == 0).all()
+        assert (snap.matrix[line3.edge_id(1, 2)] == 2).all()
+
+    def test_events_between_is_half_open(self, line3):
+        fs = FaultSchedule(line3, [LinkDown(1.0, 0, 1), LinkUp(2.0, 0, 1)])
+        assert [type(e) for e in fs.events_between(0.0, 1.0)] == [LinkDown]
+        assert [type(e) for e in fs.events_between(1.0, 2.0)] == [LinkUp]
+
+    def test_edges_of_rejects_foreign_event(self, line3):
+        fs = FaultSchedule(line3, [LinkDown(1.0, 0, 1)])
+        assert set(fs.edges_of(fs.events[0])) == {
+            line3.edge_id(0, 1),
+            line3.edge_id(1, 0),
+        }
+        with pytest.raises(ValidationError):
+            fs.edges_of(LinkDown(9.0, 1, 2))
+
+
+class TestRandomSchedules:
+    def test_same_seed_same_events(self, line3):
+        a = FaultSchedule.random(line3, horizon=100, mtbf=10, mttr=2, seed=5)
+        b = FaultSchedule.random(line3, horizon=100, mtbf=10, mttr=2, seed=5)
+        assert a.events == b.events
+
+    def test_different_seeds_differ(self, line3):
+        a = FaultSchedule.random(line3, horizon=200, mtbf=5, mttr=2, seed=1)
+        b = FaultSchedule.random(line3, horizon=200, mtbf=5, mttr=2, seed=2)
+        assert a.events != b.events
+
+    def test_downs_and_ups_pair_up(self, line3):
+        fs = FaultSchedule.random(line3, horizon=100, mtbf=10, mttr=1, seed=3)
+        downs = sum(isinstance(e, LinkDown) for e in fs.events)
+        ups = sum(isinstance(e, LinkUp) for e in fs.events)
+        assert downs > 0 and downs == ups
+        # Every outage eventually heals: at the horizon's far side all
+        # links are back at installed capacity.
+        assert (fs.capacity_at(fs.horizon + 1.0) == line3.capacities()).all()
+
+    def test_degrade_prob_draws_degrades(self, line3):
+        fs = FaultSchedule.random(
+            line3, horizon=500, mtbf=5, mttr=1, seed=0, degrade_prob=1.0
+        )
+        kinds = {type(e) for e in fs.events}
+        assert LinkDown not in kinds and WavelengthDegrade in kinds
+
+    def test_parameter_validation(self, line3):
+        with pytest.raises(ValidationError):
+            FaultSchedule.random(line3, horizon=0, mtbf=1, mttr=1)
+        with pytest.raises(ValidationError):
+            FaultSchedule.random(line3, horizon=10, mtbf=0, mttr=1)
+        with pytest.raises(ValidationError):
+            FaultSchedule.random(line3, horizon=10, mtbf=1, mttr=1, degrade_prob=2.0)
+
+
+class TestFaultSpecs:
+    def test_inline_spec(self, line3):
+        fs = parse_fault_spec("down:0-1@2; up:0-1@5; degrade:1-2@3=1", line3)
+        assert fs.events == (
+            LinkDown(2.0, 0, 1),
+            WavelengthDegrade(3.0, 1, 2, 1),
+            LinkUp(5.0, 0, 1),
+        )
+
+    def test_inline_unidirectional_marker(self, line3):
+        fs = parse_fault_spec("down:0-1@2!", line3)
+        assert fs.events[0].bidirectional is False
+
+    def test_inline_rejects_malformed(self, line3):
+        for bad in ("down:0-1", "flip:0-1@2", "down:0@2", "degrade:0-1@2", ""):
+            with pytest.raises(ValidationError):
+                parse_fault_spec(bad, line3)
+
+    def test_random_spec_requires_horizon(self, line3):
+        with pytest.raises(ValidationError):
+            parse_fault_spec("random:mtbf=10,mttr=2", line3)
+
+    def test_random_spec_matches_direct_call(self, line3):
+        fs = parse_fault_spec(
+            "random:mtbf=10,mttr=2,degrade_prob=0.5", line3, seed=9, horizon=50
+        )
+        direct = FaultSchedule.random(
+            line3, horizon=50, mtbf=10, mttr=2, seed=9, degrade_prob=0.5
+        )
+        assert fs.events == direct.events
+
+    def test_random_spec_rejects_unknown_keys(self, line3):
+        with pytest.raises(ValidationError):
+            parse_fault_spec("random:mtbf=10,mttr=2,mojo=1", line3, horizon=50)
+
+    def test_json_file_spec(self, line3, tmp_path):
+        path = tmp_path / "faults.json"
+        save_json(
+            {
+                "events": [
+                    {"kind": "down", "source": 0, "target": 1, "time": 2.0},
+                    {"kind": "up", "source": 0, "target": 1, "time": 4.0},
+                    {
+                        "kind": "degrade",
+                        "source": 1,
+                        "target": 2,
+                        "time": 1.0,
+                        "remaining": 1,
+                        "bidirectional": False,
+                    },
+                ]
+            },
+            path,
+        )
+        fs = parse_fault_spec(str(path), line3)
+        assert len(fs) == 3
+        assert fs.events[0] == WavelengthDegrade(1.0, 1, 2, 1, bidirectional=False)
+
+    def test_json_file_spec_rejects_bad_payload(self, line3, tmp_path):
+        path = tmp_path / "faults.json"
+        save_json({"events": [{"kind": "down", "source": 0, "target": 1}]}, path)
+        with pytest.raises(ValidationError):
+            parse_fault_spec(str(path), line3)

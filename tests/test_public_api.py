@@ -16,10 +16,24 @@ class TestPublicSurface:
         assert repro.__version__ == "1.0.0"
 
     def test_subpackages_importable(self):
-        for sub in ("core", "network", "workload", "lp", "sim", "analysis"):
+        for sub in ("core", "network", "workload", "lp", "sim", "analysis", "faults"):
             mod = importlib.import_module(f"repro.{sub}")
             for name in getattr(mod, "__all__", []):
                 assert hasattr(mod, name), f"repro.{sub} missing {name}"
+
+    def test_all_errors_exported_at_top_level(self):
+        """Every error type is catchable from the top-level namespace.
+
+        Callers handle failures with ``except repro.SolverError`` etc.;
+        an error class reachable only via ``repro.errors`` would force
+        them to know the internal module layout.
+        """
+        from repro import errors
+
+        missing = set(errors.__all__) - set(repro.__all__)
+        assert not missing, f"errors not re-exported at top level: {missing}"
+        for name in errors.__all__:
+            assert getattr(repro, name) is getattr(errors, name)
 
     def test_module_docstring_quickstart_runs(self):
         """The doctest in the package docstring must actually work."""

@@ -51,6 +51,49 @@ class TestSchedulerBasics:
             Scheduler(line3, slice_length=0.0)
 
 
+class TestDeadEdgeRouting:
+    """Edges a capacity profile zeroes for the whole horizon must never
+    appear in any computed path — a job routes around the outage or is
+    modelled as pathless, but never holds grants on a dead link."""
+
+    def test_paths_skip_whole_horizon_outage(self, diamond):
+        from repro import CapacityProfile
+
+        grid = TimeGrid.uniform(4)
+        profile = CapacityProfile.with_maintenance(
+            diamond, grid, [(1, 3, 0.0, 4.0, 0)]
+        )
+        jobs = JobSet([Job(id=0, source=0, dest=3, size=2.0, start=0.0, end=4.0)])
+        structure = Scheduler(diamond, k_paths=4).build_structure(
+            jobs, grid, capacity_profile=profile
+        )
+        dead = {diamond.edge_id(1, 3), diamond.edge_id(3, 1)}
+        for paths in structure.paths:
+            for path in paths:
+                assert not dead & set(path.edge_ids)
+        # The surviving 0-2-3 path still carries the whole job.
+        result = Scheduler(diamond, k_paths=4).schedule(
+            jobs, grid, capacity_profile=profile
+        )
+        assert result.fraction_finished() == 1.0
+
+    def test_partial_outage_keeps_edge_routable(self, diamond):
+        from repro import CapacityProfile
+
+        grid = TimeGrid.uniform(4)
+        # Dead for 3 of 4 slices: not a whole-horizon outage, so the
+        # edge stays in the path set and the LP handles the zeros.
+        profile = CapacityProfile.with_maintenance(
+            diamond, grid, [(1, 3, 0.0, 3.0, 0)]
+        )
+        jobs = JobSet([Job(id=0, source=0, dest=3, size=2.0, start=0.0, end=4.0)])
+        structure = Scheduler(diamond, k_paths=4).build_structure(
+            jobs, grid, capacity_profile=profile
+        )
+        used = {e for paths in structure.paths for p in paths for e in p.edge_ids}
+        assert diamond.edge_id(1, 3) in used
+
+
 class TestOverloadBehaviour:
     @pytest.fixture
     def overloaded(self, line3):
