@@ -28,7 +28,7 @@ The three top-level entry points are:
   controller loop.
 """
 
-from . import analysis, core, experiments, faults, lp, network, obs, sim, workload
+from . import analysis, core, experiments, faults, lp, network, obs, sim, verify, workload
 from . import serialization
 from .analysis import ResilienceReport, resilience_report
 from .core import (
@@ -99,6 +99,13 @@ from .network import (
 from .network import topologies
 from .sim import Simulation, SimulationResult, SimulationSummary, summarize
 from .timegrid import TimeGrid
+from .verify import (
+    VerificationReport,
+    Violation,
+    verify_assignment,
+    verify_grants,
+    verify_schedule,
+)
 from .workload import (
     Job,
     JobSet,
@@ -121,6 +128,7 @@ __all__ = [
     "network",
     "obs",
     "sim",
+    "verify",
     "workload",
     "topologies",
     # network substrate
@@ -188,6 +196,12 @@ __all__ = [
     "SimulationResult",
     "SimulationSummary",
     "summarize",
+    # verification
+    "Violation",
+    "VerificationReport",
+    "verify_schedule",
+    "verify_assignment",
+    "verify_grants",
     # fault injection and resilience
     "FaultSchedule",
     "LinkDown",

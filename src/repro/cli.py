@@ -9,7 +9,10 @@ JSON formats of :mod:`repro.serialization`:
   outcome (optionally as a Gantt chart), export the grant list;
 * ``ret``       — run Algorithm 2 (relax end times until all jobs fit);
 * ``simulate``  — replay the workload through the periodic controller;
-* ``experiment`` — regenerate a paper figure (fig1..fig4, jobs-finished).
+* ``experiment`` — regenerate a paper figure (fig1..fig4, jobs-finished);
+* ``verify``    — check a serialized schedule against its problem's
+  invariants, or run the seeded scenario fuzzer / benchmark micro-suite
+  (see docs/verify.md).
 """
 
 from __future__ import annotations
@@ -141,6 +144,39 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="print the solve-telemetry tables after the run")
     sim.add_argument("-o", "--output", default=None,
                      help="write the run's records and event log as JSON")
+
+    ver = sub.add_parser(
+        "verify",
+        help="check a schedule's invariants, fuzz the pipeline, or "
+        "run the benchmark micro-suite",
+    )
+    ver.add_argument("--network", default=None,
+                     help="network JSON (schedule-check mode)")
+    ver.add_argument("--jobs", default=None,
+                     help="jobs JSON/CSV (schedule-check mode)")
+    ver.add_argument("--schedule", default=None,
+                     help="serialized schedule JSON to check against the "
+                     "problem (from 'repro schedule -o')")
+    ver.add_argument("--slice-length", type=float, default=1.0,
+                     help="slice length used to rebuild the time grid")
+    ver.add_argument("--complete", action="store_true",
+                     help="also require every job's full demand delivered "
+                     "(RET-style schedules)")
+    ver.add_argument("--fuzz", type=int, default=None, metavar="N",
+                     help="run N seeded fuzz scenarios instead of checking "
+                     "a schedule file")
+    ver.add_argument("--seed", type=int, default=0,
+                     help="base seed for --fuzz (deterministic)")
+    ver.add_argument("--gap-bound", type=float, default=None,
+                     help="override the documented LPDAR-vs-exact gap bound")
+    ver.add_argument("--bench", action="store_true",
+                     help="run the pinned benchmark micro-suite and write "
+                     "its JSON trail")
+    ver.add_argument("--repeats", type=int, default=3,
+                     help="benchmark repeats per case (reports the minimum)")
+    ver.add_argument("-o", "--output", default=None,
+                     help="write the verification report / fuzz summary / "
+                     "benchmark document as JSON")
 
     exp = sub.add_parser(
         "experiment", help="regenerate one of the paper's figures"
@@ -425,6 +461,78 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _cmd_verify(args) -> int:
+    from .verify.bench import DEFAULT_BENCH_PATH, write_bench
+    from .verify.fuzz import run_fuzz
+    from .verify.oracles import DEFAULT_GAP_BOUND
+
+    if args.bench:
+        path = args.output or DEFAULT_BENCH_PATH
+        document = write_bench(path, repeats=args.repeats)
+        table = Table(
+            ["case", "seconds", "metrics"], title="benchmark micro-suite"
+        )
+        for name, case in document["cases"].items():
+            metrics = ", ".join(
+                f"{k}={v:g}" for k, v in case["metrics"].items()
+            )
+            table.add_row([name, case["seconds"], metrics])
+        print(table.render())
+        print(f"\nwrote benchmark trail to {path}")
+        return 0
+
+    if args.fuzz is not None:
+        bound = args.gap_bound if args.gap_bound is not None else DEFAULT_GAP_BOUND
+        summary = run_fuzz(args.fuzz, seed=args.seed, gap_bound=bound)
+        print(summary.render())
+        if args.output:
+            save_json(
+                {
+                    "seed": args.seed,
+                    "count": args.fuzz,
+                    "gap_bound": bound,
+                    "ok": summary.ok,
+                    "max_gap": summary.max_gap,
+                    "failing_seeds": list(summary.failing_seeds),
+                },
+                args.output,
+            )
+            print(f"wrote fuzz summary to {args.output}")
+        return 0 if summary.ok else 1
+
+    if not (args.network and args.jobs and args.schedule):
+        print(
+            "error: verify needs --network, --jobs and --schedule "
+            "(or one of --fuzz / --bench)",
+            file=sys.stderr,
+        )
+        return 2
+
+    from .serialization import report_to_dict
+    from .timegrid import TimeGrid
+    from .verify.checker import verify_schedule
+
+    net = network_from_dict(load_json(args.network))
+    jobs = _load_jobs(args.jobs)
+    schedule = load_json(args.schedule)
+    grid = TimeGrid.covering(jobs.max_end(), args.slice_length)
+    report = verify_schedule(
+        net,
+        schedule,
+        jobs=jobs,
+        grid=grid,
+        require_complete=args.complete or None,
+    )
+    print(report.render())
+    if not report.ok:
+        print()
+        print(report.explain())
+    if args.output:
+        save_json(report_to_dict(report), args.output)
+        print(f"\nwrote report to {args.output}")
+    return 0 if report.ok else 1
+
+
 def _cmd_experiment(args) -> int:
     names = sorted(EXPERIMENTS) if args.name == "all" else [args.name]
     results = []
@@ -452,6 +560,7 @@ _COMMANDS = {
     "ret": _cmd_ret,
     "simulate": _cmd_simulate,
     "experiment": _cmd_experiment,
+    "verify": _cmd_verify,
 }
 
 

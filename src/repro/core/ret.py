@@ -145,6 +145,20 @@ class RetResult:
                 f"unknown assignment {which!r}; pick lp, lpd or lpdar"
             ) from None
 
+    def verify(self, which: str = "lpdar", require_complete: bool = True):
+        """Check this RET solution against every paper invariant.
+
+        RET's contract (constraint (15)) is that every job completes
+        within the extended windows, so the demand check defaults on;
+        pass ``require_complete=False`` for intermediate solutions.
+        Returns the :class:`~repro.verify.VerificationReport`.
+        """
+        from ..verify.checker import verify_schedule
+
+        return verify_schedule(
+            None, self, which=which, require_complete=require_complete
+        )
+
 
 def solve_ret(
     network: Network,

@@ -147,6 +147,17 @@ class ScheduleResult:
         floor = (1.0 - self.alpha) * self.zstar
         return bool(np.all(self.job_throughputs(which) >= floor - tol))
 
+    def verify(self, which: str = "lpdar"):
+        """Check this schedule against every paper invariant.
+
+        Returns the :class:`~repro.verify.VerificationReport` from the
+        shared checker (:func:`repro.verify.verify_schedule`); use its
+        ``ok`` / ``explain()`` / ``raise_if_failed()`` to act on it.
+        """
+        from ..verify.checker import verify_schedule
+
+        return verify_schedule(None, self, which=which)
+
     # ------------------------------------------------------------------
     # Deployment view
     # ------------------------------------------------------------------

@@ -39,6 +39,7 @@ __all__ = [
     "jobs_from_dict",
     "schedule_to_dict",
     "simulation_to_dict",
+    "report_to_dict",
     "save_json",
     "load_json",
 ]
@@ -161,6 +162,7 @@ def schedule_to_dict(result: ScheduleResult, which: str = "lpdar") -> dict:
         "zstar": result.zstar,
         "overloaded": result.overloaded,
         "alpha": result.alpha,
+        "fairness_met": bool(result.meets_fairness(which)),
         "weighted_throughput": result.weighted_throughput(which),
         "job_throughputs": {
             str(job.id): float(z[i])
@@ -175,6 +177,39 @@ def schedule_to_dict(result: ScheduleResult, which: str = "lpdar") -> dict:
                 "wavelengths": g.wavelengths,
             }
             for g in result.grants(which)
+        ],
+    }
+
+
+def report_to_dict(report) -> dict:
+    """Exportable form of a :class:`~repro.verify.VerificationReport`.
+
+    Used by ``repro verify --json``; the layout mirrors the report's
+    fields with each violation flattened to JSON scalars.
+    """
+    from .verify.checker import VerificationReport
+
+    if not isinstance(report, VerificationReport):
+        raise ValidationError(
+            f"expected VerificationReport, got {type(report).__name__}"
+        )
+    return {
+        "subject": report.subject,
+        "ok": report.ok,
+        "num_jobs": report.num_jobs,
+        "num_items": report.num_items,
+        "checks": list(report.checks),
+        "violations": [
+            {
+                "code": v.code,
+                "severity": v.severity,
+                "message": v.message,
+                "job": v.job_id,
+                "edge": list(v.edge) if v.edge is not None else None,
+                "slice": v.slice_index,
+                "amount": v.amount,
+            }
+            for v in report.violations
         ],
     }
 

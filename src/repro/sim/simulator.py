@@ -122,6 +122,9 @@ class SimulationResult:
     #: Per-epoch (epoch_index, ScheduleResult) pairs; empty unless the
     #: simulation was built with ``keep_schedules=True``.
     schedules: tuple = ()
+    #: Per-epoch invariant reports (planned, plus realized when a fault
+    #: voided volume); empty unless built with ``verify_epochs=True``.
+    verification: tuple = ()
 
     def by_status(self, status: str) -> list[JobRecord]:
         """Records with the given lifecycle status."""
@@ -222,6 +225,19 @@ class Simulation:
         :data:`~repro.lp.solver.DEFAULT_RESILIENCE` when a
         ``fault_schedule`` is given (a fault run should not die on a
         transient solver failure) and to single-shot solving otherwise.
+    verify_epochs:
+        Run the shared invariant checker
+        (:func:`repro.verify.verify_assignment`) on every epoch's
+        allocation: the planned LPDAR assignment against the epoch's
+        planning capacities, and — when a fault voided in-flight volume
+        — the realized allocation against the fault ground truth
+        (worst-case capacity over each executed slice).  Any violation
+        raises :class:`~repro.errors.ScheduleError` immediately; the
+        per-epoch reports accumulate on ``SimulationResult.verification``.
+        The fairness floor is not checked here: the scheduler's
+        ``alpha`` escalation may legitimately stop at its cap with the
+        floor unmet (Remark 1), which the result records as
+        ``meets_fairness`` rather than as a defect.
     """
 
     def __init__(
@@ -240,6 +256,7 @@ class Simulation:
         telemetry: Telemetry | None = None,
         fault_schedule: FaultSchedule | None = None,
         resilience: SolveResilience | None = None,
+        verify_epochs: bool = False,
     ) -> None:
         if tau <= 0 or slice_length <= 0:
             raise ValidationError("tau and slice_length must be positive")
@@ -277,6 +294,7 @@ class Simulation:
         if resilience is None and fault_schedule is not None:
             resilience = DEFAULT_RESILIENCE
         self.resilience = resilience
+        self.verify_epochs = verify_epochs
         self.telemetry = telemetry or NULL_TELEMETRY
 
     # ------------------------------------------------------------------
@@ -291,6 +309,7 @@ class Simulation:
         order = [j.id for j in jobs]
         events: list[Event] = []
         kept_schedules: list = []
+        verification: list = []
         scheduler = Scheduler(
             self.network,
             k_paths=self.k_paths,
@@ -393,9 +412,11 @@ class Simulation:
                 kept_schedules.append((epoch, result))
             if self.fault_schedule is not None:
                 used_edges.update(self._used_edges(result))
+            if self.verify_epochs:
+                self._verify_planned(result, verification)
 
             # 5. Execute the first tau worth of slices.
-            self._execute(result, records, now, events)
+            self._execute(result, records, now, events, verification)
             now += self.tau
             epoch += 1
 
@@ -405,6 +426,7 @@ class Simulation:
             events=tuple(events),
             horizon=float(horizon),
             schedules=tuple(kept_schedules),
+            verification=tuple(verification),
         )
 
     # ------------------------------------------------------------------
@@ -598,6 +620,42 @@ class Simulation:
             return JobSet(out)
         return residual
 
+    def _verify_planned(self, result, verification: list) -> None:
+        """Check an epoch's planned LPDAR assignment; fail fast on errors.
+
+        Fairness is deliberately unchecked: escalation may stop at
+        ``alpha_max`` with the floor unmet, which is a recorded outcome
+        (``result.meets_fairness``), not an invariant violation.
+        """
+        from ..verify.checker import verify_assignment
+
+        report = verify_assignment(result.structure, result.x, integral=True)
+        verification.append(report)
+        report.raise_if_failed()
+
+    def _verify_realized(
+        self, structure, x_eff: np.ndarray, executed: list, verification: list
+    ) -> None:
+        """Check a fault-voided allocation against the fault ground truth.
+
+        Voiding scales grants fractionally, so integrality no longer
+        applies; capacity on executed slices is the worst case the
+        faults left standing (``min_capacity_over``), intersected with
+        the planning capacities the original assignment honoured.
+        """
+        from ..verify.checker import verify_assignment
+
+        grid = structure.grid
+        cap = structure.capacity_grid()
+        for j in executed:
+            caps = self.fault_schedule.min_capacity_over(
+                grid.slice_start(j), grid.slice_end(j)
+            )
+            cap[:, j] = np.minimum(cap[:, j], caps)
+        report = verify_assignment(structure, x_eff, integral=False, capacity=cap)
+        verification.append(report)
+        report.raise_if_failed()
+
     def _void_lost_volume(
         self, structure, x: np.ndarray, executed: list
     ) -> np.ndarray:
@@ -639,7 +697,14 @@ class Simulation:
                     changed = True
         return x_eff if changed else x
 
-    def _execute(self, result, records: dict, now: float, events: list) -> None:
+    def _execute(
+        self,
+        result,
+        records: dict,
+        now: float,
+        events: list,
+        verification: list | None = None,
+    ) -> None:
         """Deliver the first epoch's slices of the freshly computed schedule."""
         structure = result.structure
         grid = structure.grid
@@ -654,6 +719,8 @@ class Simulation:
         x_eff = x
         if self.fault_schedule is not None:
             x_eff = self._void_lost_volume(structure, x, executed)
+            if self.verify_epochs and x_eff is not x and verification is not None:
+                self._verify_realized(structure, x_eff, executed, verification)
         delivery = per_slice_delivery(structure, x_eff)
         planned = delivery if x_eff is x else per_slice_delivery(structure, x)
         rate = self.network.wavelength_rate

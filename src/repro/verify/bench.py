@@ -1,0 +1,172 @@
+"""Benchmark regression harness: a pinned micro-suite with a JSON trail.
+
+Runs a fixed set of small, seed-pinned cases covering each pipeline
+stage — stage-1 concurrent throughput, the full LPDAR schedule chain,
+RET end-time extension, and the periodic simulator — and records
+best-of-``repeats`` wall time plus the headline objective metric of
+each case.  :func:`write_bench` serializes the result to
+``BENCH_verify.json`` so every future PR inherits a performance and
+correctness trajectory: wall times catch slowdowns (loosely — CI
+machines vary), objective metrics catch *silent behavioural drift*
+(a changed Z*, LPDAR throughput, RET extension, or completion rate on a
+pinned seed is a semantic change, not noise, because every case is
+fully deterministic).
+
+The cases are deliberately small (seconds, not minutes) so the suite
+can run on every CI push inside the ``verify-fuzz`` job's budget.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from collections.abc import Callable
+from pathlib import Path
+
+import numpy as np
+import scipy
+
+from ..core.ret import solve_ret
+from ..core.scheduler import Scheduler
+from ..core.throughput import solve_stage1
+from ..lp.model import ProblemStructure
+from ..network import topologies
+from ..sim.simulator import Simulation
+from ..timegrid import TimeGrid
+from ..workload.generator import WorkloadConfig, WorkloadGenerator
+from ..workload.jobs import JobSet
+from .checker import verify_schedule
+
+__all__ = ["BENCH_SCHEMA", "DEFAULT_BENCH_PATH", "run_bench", "write_bench"]
+
+#: Schema version of the JSON document; bump on layout changes.
+BENCH_SCHEMA = 1
+
+#: Where :func:`write_bench` writes by default (repo root in CI).
+DEFAULT_BENCH_PATH = "BENCH_verify.json"
+
+_SMALL_CONFIG = WorkloadConfig(
+    size_low=2.0,
+    size_high=30.0,
+    window_slices_low=2,
+    window_slices_high=5,
+    start_slack_slices=2,
+)
+
+
+def _case_stage1() -> dict:
+    """Stage-1 max concurrent throughput on Abilene, 16 jobs, seed 0."""
+    network = topologies.abilene(capacity=1, wavelength_rate=20.0)
+    jobs = WorkloadGenerator(network, seed=0).jobs(16)
+    grid = TimeGrid.covering(jobs.max_end())
+    structure = ProblemStructure(network, jobs, grid, k_paths=2)
+    result = solve_stage1(structure)
+    return {"zstar": result.zstar, "num_cols": structure.num_cols}
+
+
+def _case_lpdar() -> dict:
+    """Full schedule chain (stage1 -> stage2 LP -> LPDAR) on a ring."""
+    network = topologies.ring(8, capacity=2)
+    jobs = WorkloadGenerator(network, config=_SMALL_CONFIG, seed=1).jobs(12)
+    scheduler = Scheduler(network, k_paths=2)
+    result = scheduler.schedule(jobs)
+    report = verify_schedule(None, result)
+    report.raise_if_failed()
+    return {
+        "zstar": result.zstar,
+        "weighted_throughput": result.weighted_throughput(),
+        "alpha": result.alpha,
+    }
+
+
+def _case_ret() -> dict:
+    """RET end-time extension on a line topology, 6 jobs, seed 2."""
+    network = topologies.line(5, capacity=2)
+    jobs = WorkloadGenerator(network, config=_SMALL_CONFIG, seed=2).jobs(6)
+    result = solve_ret(network, jobs, k_paths=2)
+    return {"b_hat": result.b_hat, "b_final": result.b_final}
+
+
+def _case_simulate() -> dict:
+    """Periodic controller on a ring with staggered arrivals, seed 3."""
+    network = topologies.ring(6, capacity=2, wavelength_rate=2.0)
+    # Lighter sizes than _SMALL_CONFIG so the pinned completion_rate
+    # lands strictly between 0 and 1 — a metric with signal in both
+    # directions.
+    config = WorkloadConfig(
+        size_low=1.0,
+        size_high=8.0,
+        window_slices_low=2,
+        window_slices_high=5,
+        start_slack_slices=2,
+    )
+    generator = WorkloadGenerator(network, config=config, seed=3)
+    jobs = [generator.job(i, arrival=float(i % 4)) for i in range(10)]
+    sim = Simulation(network, policy="reduce", k_paths=2)
+    result = sim.run(JobSet(jobs))
+    return {
+        "completion_rate": result.completion_rate,
+        "delivered_volume": result.delivered_volume,
+    }
+
+
+_CASES: tuple[tuple[str, Callable[[], dict]], ...] = (
+    ("stage1_abilene", _case_stage1),
+    ("lpdar_ring", _case_lpdar),
+    ("ret_line", _case_ret),
+    ("simulate_ring", _case_simulate),
+)
+
+
+def run_bench(repeats: int = 3) -> dict:
+    """Run the pinned micro-suite and return the benchmark document.
+
+    Each case runs ``repeats`` times; the reported ``seconds`` is the
+    minimum (least-noise estimate), ``mean_seconds`` the average.  The
+    ``metrics`` of every repeat must be identical — the cases are
+    deterministic — and a mismatch raises ``AssertionError`` loudly
+    rather than recording garbage.
+    """
+    from .. import __version__ as repro_version  # local: avoids import cycle
+
+    cases: dict[str, dict] = {}
+    for name, fn in _CASES:
+        times = []
+        metrics: dict | None = None
+        for _ in range(max(1, repeats)):
+            t0 = time.perf_counter()
+            out = fn()
+            times.append(time.perf_counter() - t0)
+            out = {k: round(float(v), 9) for k, v in out.items()}
+            if metrics is None:
+                metrics = out
+            else:
+                assert out == metrics, (
+                    f"benchmark case {name!r} is non-deterministic: "
+                    f"{out} != {metrics}"
+                )
+        cases[name] = {
+            "seconds": round(min(times), 4),
+            "mean_seconds": round(sum(times) / len(times), 4),
+            "metrics": metrics,
+        }
+    return {
+        "schema": BENCH_SCHEMA,
+        "suite": "verify-micro",
+        "repeats": int(max(1, repeats)),
+        "versions": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "scipy": scipy.__version__,
+            "repro": repro_version,
+        },
+        "cases": cases,
+    }
+
+
+def write_bench(path: str | Path = DEFAULT_BENCH_PATH, repeats: int = 3) -> dict:
+    """Run :func:`run_bench` and write the document to ``path`` as JSON."""
+    document = run_bench(repeats=repeats)
+    Path(path).write_text(json.dumps(document, indent=2) + "\n")
+    return document

@@ -1,0 +1,362 @@
+"""Seeded scenario fuzzer: random (topology, workload, faults) triples.
+
+One integer seed deterministically produces one :class:`Scenario` — a
+small network, a grid-aligned workload and (for a third of the seeds) a
+random fault timeline.  :func:`run_scenario` pushes the scenario through
+the full pipeline and checks everything that is checkable:
+
+* the LPDAR schedule passes every shared invariant
+  (:func:`repro.verify.checker.verify_assignment`), with the Scheduler
+  allowed to escalate ``alpha`` all the way to 1.0 so the fairness floor
+  is genuinely satisfiable;
+* the serialized form of the same schedule passes the untrusted-data
+  engine (:func:`repro.verify.checker.verify_grants`) — every fuzz run
+  exercises both code paths;
+* on oracle-sized instances, LPDAR stays within the documented gap of
+  the exact MILP and the two LP backends agree
+  (:mod:`repro.verify.oracles`);
+* fault scenarios run the periodic controller with ``verify_epochs=True``
+  so every epoch's planned and fault-voided allocation is checked.
+
+Scenario generation is deliberately biased toward *small* instances
+(most seeds draw 1–3 jobs on a 4–6 node topology): small cases are
+where the exact oracle is available, and when a seed fails, the
+offending instance is already near-minimal — the fuzzer's substitute
+for shrinking.
+
+Determinism contract: scenario ``i`` of a run with base seed ``s`` uses
+``numpy.random.default_rng(s * 1_000_003 + i)`` and nothing else, so
+``repro verify --fuzz N --seed S`` reproduces bit-identical scenarios
+on every machine and the failing seed printed in a report is enough to
+replay one scenario locally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.scheduler import Scheduler
+from ..errors import ReproError
+from ..faults.schedule import FaultSchedule
+from ..lp.model import ProblemStructure
+from ..network import topologies
+from ..network.graph import Network
+from ..serialization import schedule_to_dict
+from ..sim.simulator import Simulation
+from ..timegrid import TimeGrid
+from ..workload.jobs import Job, JobSet
+from .checker import VerificationReport, verify_grants, verify_schedule
+from .oracles import DEFAULT_GAP_BOUND, backend_cross_check, lpdar_vs_exact
+
+__all__ = [
+    "Scenario",
+    "ScenarioOutcome",
+    "FuzzSummary",
+    "make_scenario",
+    "scenarios",
+    "run_scenario",
+    "run_fuzz",
+]
+
+#: Seed stride separating consecutive scenarios of one fuzz run.
+SEED_STRIDE = 1_000_003
+
+#: Instances above this many columns skip the exact-MILP oracle.
+ORACLE_MAX_COLS = 1500
+
+#: Instances above this many columns skip the dense reference simplex.
+CROSS_CHECK_MAX_COLS = 400
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One deterministic fuzz case.
+
+    Attributes
+    ----------
+    seed:
+        The exact rng seed that generated (and replays) this scenario.
+    network, jobs, grid:
+        The instance.
+    fault_schedule:
+        Fault timeline for simulator scenarios, ``None`` for offline
+        (schedule + oracle) scenarios.
+    description:
+        One-line human summary (topology, size, fault count).
+    """
+
+    seed: int
+    network: Network
+    jobs: JobSet
+    grid: TimeGrid
+    fault_schedule: FaultSchedule | None
+    description: str
+
+    @property
+    def kind(self) -> str:
+        """``"fault-sim"`` or ``"offline"``."""
+        return "fault-sim" if self.fault_schedule is not None else "offline"
+
+
+def make_scenario(seed: int, allow_faults: bool = True) -> Scenario:
+    """Deterministically generate the scenario belonging to ``seed``."""
+    rng = np.random.default_rng(seed)
+
+    # Topology: small rings and lines dominate; Abilene appears rarely.
+    pick = rng.choice(4, p=[0.4, 0.3, 0.2, 0.1])
+    capacity = int(rng.integers(1, 4))
+    if pick == 0:
+        n = int(rng.integers(4, 7))
+        network = topologies.ring(n, capacity=capacity)
+    elif pick == 1:
+        n = int(rng.integers(3, 6))
+        network = topologies.line(n, capacity=capacity)
+    elif pick == 2:
+        capacity = 1
+        n = int(rng.integers(4, 6))
+        network = topologies.full_mesh(n, capacity=capacity)
+    else:
+        capacity = 1
+        network = topologies.abilene(capacity=capacity, wavelength_rate=1.0)
+
+    num_slices = int(rng.integers(3, 6))
+    grid = TimeGrid.uniform(num_slices)
+
+    # Small-instance bias: most scenarios draw 1-3 jobs.
+    num_jobs = int(rng.choice([1, 2, 3, 4, 5], p=[0.25, 0.3, 0.2, 0.15, 0.1]))
+    nodes = network.nodes
+    jobs = []
+    for i in range(num_jobs):
+        src, dst = rng.choice(len(nodes), size=2, replace=False)
+        first = int(rng.integers(0, num_slices))
+        last = int(rng.integers(first + 1, num_slices + 1))
+        jobs.append(
+            Job(
+                id=i,
+                source=nodes[int(src)],
+                dest=nodes[int(dst)],
+                size=float(rng.uniform(0.5, 6.0)),
+                start=float(first),
+                end=float(last),
+            )
+        )
+    job_set = JobSet(jobs)
+
+    fault_schedule = None
+    if allow_faults and rng.random() < 1.0 / 3.0:
+        fault_schedule = FaultSchedule.random(
+            network,
+            horizon=float(num_slices) * 2.0,
+            mtbf=float(rng.uniform(3.0, 12.0)),
+            mttr=float(rng.uniform(0.5, 2.0)),
+            seed=int(rng.integers(0, 2**31 - 1)),
+            degrade_prob=float(rng.choice([0.0, 0.5])),
+        )
+    description = (
+        f"seed={seed} {network.name or 'net'}(nodes={network.num_nodes}, "
+        f"cap={capacity}) jobs={num_jobs} slices={num_slices}"
+        + (f" faults={len(fault_schedule)}" if fault_schedule else "")
+    )
+    return Scenario(
+        seed=seed,
+        network=network,
+        jobs=job_set,
+        grid=grid,
+        fault_schedule=fault_schedule,
+        description=description,
+    )
+
+
+def scenarios(count: int, seed: int = 0, allow_faults: bool = True) -> list[Scenario]:
+    """The ``count`` deterministic scenarios of a fuzz run."""
+    return [
+        make_scenario(seed * SEED_STRIDE + i, allow_faults=allow_faults)
+        for i in range(count)
+    ]
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """Everything one scenario run produced.
+
+    Attributes
+    ----------
+    scenario:
+        The case that ran.
+    report:
+        Invariant verification of the main schedule (or of the last
+        checked epoch for fault scenarios; ``None`` when the scenario
+        died before producing one).
+    gap:
+        LPDAR-vs-exact relative gap, when the oracle ran.
+    backend_agree:
+        Outcome of the highs-vs-simplex cross-check, when it ran.
+    failures:
+        Human-readable failure strings; empty means the scenario passed.
+    """
+
+    scenario: Scenario
+    report: VerificationReport | None
+    gap: float | None
+    backend_agree: bool | None
+    failures: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def run_scenario(
+    scenario: Scenario,
+    gap_bound: float = DEFAULT_GAP_BOUND,
+    oracle: bool = True,
+) -> ScenarioOutcome:
+    """Run one scenario end to end; collect failures instead of raising."""
+    failures: list[str] = []
+    report: VerificationReport | None = None
+    gap: float | None = None
+    backend_agree: bool | None = None
+
+    if scenario.fault_schedule is not None:
+        try:
+            sim = Simulation(
+                scenario.network,
+                policy="reduce",
+                fault_schedule=scenario.fault_schedule,
+                verify_epochs=True,
+            )
+            result = sim.run(scenario.jobs, horizon=scenario.grid.end * 3)
+        except ReproError as exc:
+            failures.append(f"fault simulation failed verification: {exc}")
+        else:
+            if result.verification:
+                report = result.verification[-1]
+        return ScenarioOutcome(
+            scenario, report, gap, backend_agree, tuple(failures)
+        )
+
+    structure = ProblemStructure(
+        scenario.network, scenario.jobs, scenario.grid, k_paths=2
+    )
+    # alpha_max=1.0: let Remark-1 escalation run until the floor is
+    # genuinely satisfiable, so a fairness flag is a real bug.
+    scheduler = Scheduler(
+        scenario.network, k_paths=2, alpha=0.1, alpha_step=0.15, alpha_max=1.0
+    )
+    result = scheduler.schedule(scenario.jobs, scenario.grid)
+
+    report = verify_schedule(None, result)
+    if not report.ok:
+        failures.append(
+            "LPDAR schedule violates invariants:\n" + report.explain()
+        )
+
+    # The serialized form must verify through the untrusted-data engine.
+    serialized = schedule_to_dict(result)
+    grants_report = verify_grants(
+        scenario.network,
+        scenario.jobs,
+        scenario.grid,
+        serialized["grants"],
+        capacity=result.structure.capacity_grid(),
+        zstar=serialized["zstar"],
+        alpha=serialized["alpha"],
+        declared_throughputs=serialized["job_throughputs"],
+    )
+    if not grants_report.ok:
+        failures.append(
+            "serialized schedule violates invariants:\n"
+            + grants_report.explain()
+        )
+
+    if oracle and structure.num_cols <= ORACLE_MAX_COLS:
+        outcome = lpdar_vs_exact(structure)
+        gap = outcome.gap
+        if not outcome.ok:
+            failures.append(
+                "oracle solution violates invariants:\n"
+                + outcome.exact_report.explain()
+            )
+        if not outcome.within(gap_bound):
+            failures.append(
+                f"LPDAR gap {outcome.gap:.4f} exceeds bound {gap_bound:.4f} "
+                f"(lpdar={outcome.lpdar_objective:.6f}, "
+                f"exact={outcome.exact_objective:.6f})"
+            )
+    if structure.num_cols <= CROSS_CHECK_MAX_COLS:
+        cross = backend_cross_check(structure)
+        backend_agree = cross.agree
+        if not cross.agree:
+            failures.append(
+                f"LP backends disagree: highs={cross.highs_objective:.9f} "
+                f"simplex={cross.simplex_objective:.9f}"
+            )
+
+    return ScenarioOutcome(scenario, report, gap, backend_agree, tuple(failures))
+
+
+@dataclass(frozen=True)
+class FuzzSummary:
+    """Aggregate of one fuzz run.
+
+    Attributes
+    ----------
+    outcomes:
+        Per-scenario outcomes, seed order.
+    """
+
+    outcomes: tuple[ScenarioOutcome, ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(o.ok for o in self.outcomes)
+
+    @property
+    def num_failed(self) -> int:
+        return sum(not o.ok for o in self.outcomes)
+
+    @property
+    def failing_seeds(self) -> tuple[int, ...]:
+        return tuple(o.scenario.seed for o in self.outcomes if not o.ok)
+
+    @property
+    def max_gap(self) -> float:
+        """Largest observed LPDAR-vs-exact gap (0.0 when none ran)."""
+        gaps = [o.gap for o in self.outcomes if o.gap is not None]
+        return max(gaps, default=0.0)
+
+    def render(self) -> str:
+        """Per-scenario one-liners plus a verdict line."""
+        lines = []
+        for o in self.outcomes:
+            status = "ok" if o.ok else "FAIL"
+            extra = f" gap={o.gap:.4f}" if o.gap is not None else ""
+            lines.append(f"[{status}] {o.scenario.description}{extra}")
+            for failure in o.failures:
+                first = failure.splitlines()[0]
+                lines.append(f"       {first}")
+        verdict = (
+            f"{len(self.outcomes)} scenarios, {self.num_failed} failed, "
+            f"max oracle gap {self.max_gap:.4f}"
+        )
+        if self.failing_seeds:
+            verdict += f"; failing seeds: {list(self.failing_seeds)}"
+        lines.append(verdict)
+        return "\n".join(lines)
+
+
+def run_fuzz(
+    count: int,
+    seed: int = 0,
+    gap_bound: float = DEFAULT_GAP_BOUND,
+    oracle: bool = True,
+    allow_faults: bool = True,
+) -> FuzzSummary:
+    """Run ``count`` seeded scenarios; never raises on scenario failure."""
+    outcomes = [
+        run_scenario(sc, gap_bound=gap_bound, oracle=oracle)
+        for sc in scenarios(count, seed, allow_faults=allow_faults)
+    ]
+    return FuzzSummary(outcomes=tuple(outcomes))

@@ -16,10 +16,26 @@ class TestPublicSurface:
         assert repro.__version__ == "1.0.0"
 
     def test_subpackages_importable(self):
-        for sub in ("core", "network", "workload", "lp", "sim", "analysis", "faults"):
+        subs = (
+            "core", "network", "workload", "lp", "sim",
+            "analysis", "faults", "verify",
+        )
+        for sub in subs:
             mod = importlib.import_module(f"repro.{sub}")
             for name in getattr(mod, "__all__", []):
                 assert hasattr(mod, name), f"repro.{sub} missing {name}"
+
+    def test_verify_names_exported_at_top_level(self):
+        """The verification entry points are part of the top-level API."""
+        for name in (
+            "VerificationReport",
+            "Violation",
+            "verify_schedule",
+            "verify_assignment",
+            "verify_grants",
+        ):
+            assert name in repro.__all__, f"{name} missing from repro.__all__"
+            assert getattr(repro, name) is getattr(repro.verify, name)
 
     def test_all_errors_exported_at_top_level(self):
         """Every error type is catchable from the top-level namespace.

@@ -1,0 +1,382 @@
+"""The invariant checker: report mechanics, mutation coverage, wiring.
+
+The heart of this file is the 7-way mutation test: a known-good
+serialized schedule is corrupted in one way per invariant class, and
+the checker must flag exactly that class (and flag *nothing* on the
+clean schedule).  A checker that can't tell its seven invariants apart
+would pass tests while verifying nothing.
+"""
+
+import copy
+import json
+
+import numpy as np
+import pytest
+
+from repro import (
+    Job,
+    JobSet,
+    ScheduleError,
+    Scheduler,
+    TimeGrid,
+    ValidationError,
+    solve_ret,
+    verify_assignment,
+    verify_grants,
+    verify_schedule,
+)
+from repro.faults import FaultSchedule, LinkDown, LinkUp
+from repro.network import topologies
+from repro.serialization import report_to_dict, schedule_to_dict
+from repro.sim.simulator import Simulation
+from repro.verify import CHECKS, VerificationReport, Violation
+
+
+@pytest.fixture(scope="module")
+def good():
+    """A deterministic schedule that is fair, complete and feasible."""
+    net = topologies.ring(6, capacity=2)
+    jobs = JobSet(
+        [
+            Job(id="a", source=0, dest=2, size=2.0, start=0.0, end=3.0),
+            Job(id="b", source=1, dest=4, size=1.5, start=1.0, end=4.0),
+            Job(id="c", source=5, dest=3, size=1.0, start=0.0, end=2.0),
+        ]
+    )
+    grid = TimeGrid.uniform(4)
+    result = Scheduler(net, k_paths=2, alpha_max=1.0).schedule(jobs, grid)
+    assert result.meets_fairness() and result.fraction_finished() == 1.0
+    return net, jobs, grid, result, schedule_to_dict(result)
+
+
+def _check(net, jobs, grid, schedule, **kw):
+    return verify_schedule(net, schedule, jobs=jobs, grid=grid, **kw)
+
+
+# ----------------------------------------------------------------------
+# Clean schedules
+# ----------------------------------------------------------------------
+class TestCleanSchedule:
+    def test_live_result_passes(self, good):
+        _, _, _, result, _ = good
+        report = verify_schedule(None, result)
+        assert report.ok
+        assert not report.violations
+
+    def test_serialized_passes_with_no_violations(self, good):
+        net, jobs, grid, _, data = good
+        report = _check(net, jobs, grid, data)
+        assert report.ok
+        assert not report.violations  # not even warnings
+
+    def test_serialized_passes_complete_mode(self, good):
+        net, jobs, grid, _, data = good
+        report = _check(net, jobs, grid, data, require_complete=True)
+        assert report.ok
+
+    def test_result_verify_hook(self, good):
+        _, _, _, result, _ = good
+        assert result.verify().ok
+        assert result.verify("lp").ok
+
+    def test_json_round_trip_same_report(self, good, tmp_path):
+        net, jobs, grid, _, data = good
+        before = _check(net, jobs, grid, data)
+        path = tmp_path / "sched.json"
+        path.write_text(json.dumps(data))
+        after = _check(net, jobs, grid, json.loads(path.read_text()))
+        assert before == after
+
+
+# ----------------------------------------------------------------------
+# The 7-way mutation test (acceptance criterion)
+# ----------------------------------------------------------------------
+def _error_codes(report):
+    return {v.code for v in report.errors}
+
+
+class TestMutations:
+    def test_capacity_mutation(self, good):
+        net, jobs, grid, _, data = good
+        bad = copy.deepcopy(data)
+        bad["grants"][0]["wavelengths"] += 50
+        assert "capacity" in _error_codes(_check(net, jobs, grid, bad))
+
+    def test_integrality_mutation(self, good):
+        net, jobs, grid, _, data = good
+        bad = copy.deepcopy(data)
+        bad["grants"][0]["wavelengths"] = 0.5
+        assert "integrality" in _error_codes(_check(net, jobs, grid, bad))
+
+    def test_window_mutation(self, good):
+        net, jobs, grid, _, data = good
+        bad = copy.deepcopy(data)
+        # Job "c"'s window is [0, 2); slice 3 exists but is outside it.
+        grant = next(g for g in bad["grants"] if g["job"] == "c")
+        grant["slice"] = 3
+        assert "window" in _error_codes(_check(net, jobs, grid, bad))
+
+    def test_demand_mutation(self, good):
+        net, jobs, grid, _, data = good
+        bad = copy.deepcopy(data)
+        bad["fairness_met"] = False  # isolate the demand check
+        bad["grants"] = [g for g in bad["grants"] if g["job"] != "a"]
+        report = _check(net, jobs, grid, bad, require_complete=True)
+        assert "demand" in _error_codes(report)
+
+    def test_continuity_mutation(self, good):
+        net, jobs, grid, _, data = good
+        bad = copy.deepcopy(data)
+        # Nodes 0 and 3 both exist but are not adjacent on the ring.
+        bad["grants"][0]["path"] = [0, 3]
+        assert "continuity" in _error_codes(_check(net, jobs, grid, bad))
+
+    def test_fairness_mutation(self, good):
+        net, jobs, grid, _, data = good
+        bad = copy.deepcopy(data)
+        # Starve job "a" while the schedule still claims the floor holds.
+        bad["grants"] = [g for g in bad["grants"] if g["job"] != "a"]
+        assert "fairness" in _error_codes(_check(net, jobs, grid, bad))
+
+    def test_nonnegativity_mutation(self, good):
+        net, jobs, grid, _, data = good
+        bad = copy.deepcopy(data)
+        bad["grants"][0]["wavelengths"] = -1
+        assert "nonnegativity" in _error_codes(_check(net, jobs, grid, bad))
+
+
+# ----------------------------------------------------------------------
+# Stale / malformed schedules must report, never crash (satellite fix)
+# ----------------------------------------------------------------------
+class TestStaleSchedules:
+    def test_unknown_node_reports_reference(self, good):
+        net, jobs, grid, _, data = good
+        # Verify a ring(6) schedule against a shrunken ring(5): any
+        # grant touching node 5 now references a node that is gone.
+        small = topologies.ring(5, capacity=2)
+        stale_jobs = JobSet(
+            [
+                Job(id="a", source=0, dest=2, size=2.0, start=0.0, end=3.0),
+                Job(id="b", source=1, dest=4, size=1.5, start=1.0, end=4.0),
+                Job(id="c", source=4, dest=3, size=1.0, start=0.0, end=2.0),
+            ]
+        )
+        report = verify_schedule(small, data, jobs=stale_jobs, grid=grid)
+        assert not report.ok
+        codes = {v.code for v in report.violations}
+        assert codes <= {"reference", "continuity", "fairness", "demand"}
+        assert "reference" in codes or "continuity" in codes
+
+    def test_unknown_job_reports_reference(self, good):
+        net, jobs, grid, _, data = good
+        fewer = JobSet([j for j in jobs if j.id != "b"])
+        report = verify_schedule(net, data, jobs=fewer, grid=grid)
+        assert not report.ok
+        assert "reference" in _error_codes(report)
+
+    def test_garbage_grants_do_not_crash(self, good):
+        net, jobs, grid, _, _ = good
+        report = verify_grants(
+            net,
+            jobs,
+            grid,
+            [
+                {"job": "nope", "path": None, "slice": "x", "wavelengths": 1},
+                {"job": "a"},
+                "not even a dict",
+            ],
+        )
+        assert not report.ok
+
+    def test_out_of_grid_slice_is_window(self, good):
+        net, jobs, grid, _, data = good
+        bad = copy.deepcopy(data)
+        bad["grants"][0]["slice"] = 99
+        assert "window" in _error_codes(_check(net, jobs, grid, bad))
+
+
+# ----------------------------------------------------------------------
+# Vector engine details
+# ----------------------------------------------------------------------
+class TestVerifyAssignment:
+    def test_corrupted_vector_capacity(self, good):
+        _, _, _, result, _ = good
+        x = result.x.copy()
+        x[np.argmax(x)] += 100
+        report = verify_assignment(result.structure, x)
+        assert "capacity" in _error_codes(report)
+
+    def test_fractional_vector_integrality(self, good):
+        _, _, _, result, _ = good
+        x = result.x.astype(float).copy()
+        x[int(np.argmax(x))] += 0.25
+        report = verify_assignment(result.structure, x)
+        assert "integrality" in _error_codes(report)
+        # The same vector is fine when declared fractional (LP mode) —
+        # unless it also broke capacity.
+        relaxed = verify_assignment(result.structure, x, integral=False)
+        assert "integrality" not in {v.code for v in relaxed.violations}
+
+    def test_negative_vector(self, good):
+        _, _, _, result, _ = good
+        x = result.x.copy().astype(float)
+        x[0] = -1.0
+        report = verify_assignment(result.structure, x)
+        assert "nonnegativity" in _error_codes(report)
+
+    def test_fairness_armed_by_zstar_alpha(self, good):
+        _, _, _, result, _ = good
+        x = np.zeros_like(result.x, dtype=float)
+        report = verify_assignment(
+            result.structure, x, zstar=result.zstar, alpha=0.1
+        )
+        assert "fairness" in _error_codes(report)
+        unarmed = verify_assignment(result.structure, x)
+        assert "fairness" not in {v.code for v in unarmed.violations}
+
+    def test_wrong_shape_raises(self, good):
+        _, _, _, result, _ = good
+        with pytest.raises(ValidationError):
+            verify_assignment(result.structure, np.zeros(3))
+
+
+# ----------------------------------------------------------------------
+# Report object
+# ----------------------------------------------------------------------
+class TestReportObject:
+    def test_render_marks_skipped_checks(self, good):
+        _, _, _, result, _ = good
+        text = verify_schedule(None, result).render()
+        assert "skipped" in text
+        assert "capacity" in text
+
+    def test_by_code_validates(self, good):
+        _, _, _, result, _ = good
+        report = verify_schedule(None, result)
+        assert report.by_code("capacity") == ()
+        with pytest.raises(ValidationError):
+            report.by_code("not-a-check")
+
+    def test_raise_if_failed(self, good):
+        net, jobs, grid, _, data = good
+        bad = copy.deepcopy(data)
+        bad["grants"][0]["wavelengths"] = -2
+        report = _check(net, jobs, grid, bad)
+        with pytest.raises(ScheduleError):
+            report.raise_if_failed()
+
+    def test_violation_str_mentions_location(self):
+        v = Violation(
+            code="capacity",
+            severity="error",
+            message="too many wavelengths",
+            edge=(0, 1),
+            slice_index=2,
+        )
+        text = str(v)
+        assert "capacity" in text and "2" in text
+
+    def test_checks_catalogue_is_stable(self):
+        assert CHECKS == (
+            "nonnegativity",
+            "integrality",
+            "capacity",
+            "window",
+            "continuity",
+            "demand",
+            "fairness",
+            "reference",
+        )
+
+    def test_report_to_dict_is_json_ready(self, good):
+        net, jobs, grid, _, data = good
+        bad = copy.deepcopy(data)
+        bad["grants"][0]["wavelengths"] += 50
+        report = _check(net, jobs, grid, bad)
+        doc = report_to_dict(report)
+        json.dumps(doc)  # must not raise
+        assert doc["ok"] is False
+        assert doc["violations"][0]["code"] == "capacity"
+        with pytest.raises(ValidationError):
+            report_to_dict({"not": "a report"})
+
+
+# ----------------------------------------------------------------------
+# RET hook
+# ----------------------------------------------------------------------
+class TestRetVerify:
+    def test_ret_result_completes_and_verifies(self):
+        net = topologies.line(4, capacity=1)
+        jobs = JobSet(
+            [
+                Job(id=0, source=0, dest=3, size=4.0, start=0.0, end=2.0),
+                Job(id=1, source=1, dest=3, size=2.0, start=0.0, end=2.0),
+            ]
+        )
+        result = solve_ret(net, jobs, k_paths=1)
+        report = result.verify()
+        assert "demand" in report.checks
+        assert report.ok
+
+    def test_ret_dispatcher_defaults_complete(self):
+        net = topologies.line(3, capacity=1)
+        jobs = JobSet([Job(id=0, source=0, dest=2, size=2.0, start=0.0, end=2.0)])
+        result = solve_ret(net, jobs, k_paths=1)
+        report = verify_schedule(None, result)
+        assert report.ok  # demand check armed and satisfied
+
+
+# ----------------------------------------------------------------------
+# Simulation verify_epochs
+# ----------------------------------------------------------------------
+class TestSimulationVerification:
+    def _net_jobs(self):
+        net = topologies.ring(6, capacity=2)
+        jobs = JobSet(
+            [
+                Job(id=0, source=0, dest=3, size=3.0, start=0.0, end=4.0),
+                Job(id=1, source=2, dest=5, size=2.0, start=0.0, end=3.0),
+            ]
+        )
+        return net, jobs
+
+    def test_off_by_default(self):
+        net, jobs = self._net_jobs()
+        result = Simulation(net, k_paths=2).run(jobs)
+        assert result.verification == ()
+
+    def test_collects_reports_fault_free(self):
+        net, jobs = self._net_jobs()
+        result = Simulation(net, k_paths=2, verify_epochs=True).run(jobs)
+        assert len(result.verification) >= 1
+        assert all(isinstance(r, VerificationReport) for r in result.verification)
+        assert all(r.ok for r in result.verification)
+
+    def test_verifies_fault_voided_epochs(self):
+        net, jobs = self._net_jobs()
+        # A mid-epoch cut (t=0.5) voids in-flight volume; the realized
+        # allocation must then be re-verified against fault capacities.
+        fs = FaultSchedule(
+            net,
+            [
+                LinkDown(time=0.5, source=0, target=1),
+                LinkDown(time=0.5, source=2, target=3),
+                LinkUp(time=2.5, source=0, target=1),
+                LinkUp(time=2.5, source=2, target=3),
+            ],
+        )
+        result = Simulation(
+            net, k_paths=2, fault_schedule=fs, verify_epochs=True
+        ).run(jobs)
+        assert len(result.verification) >= 1
+        assert all(r.ok for r in result.verification)
+        # At least one report is the fractional realized-allocation kind
+        # (integrality deliberately not among its checks).
+        assert any("integrality" not in r.checks for r in result.verification)
+
+    def test_matches_unverified_run(self):
+        net, jobs = self._net_jobs()
+        plain = Simulation(net, k_paths=2).run(jobs)
+        checked = Simulation(net, k_paths=2, verify_epochs=True).run(jobs)
+        assert plain.num_completed == checked.num_completed
+        assert plain.delivered_volume == pytest.approx(checked.delivered_volume)

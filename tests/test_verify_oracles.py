@@ -1,0 +1,83 @@
+"""Differential oracles: LPDAR vs the exact MILP, highs vs simplex."""
+
+import numpy as np
+import pytest
+
+from repro import Job, JobSet, ProblemStructure, TimeGrid, ValidationError
+from repro.network import topologies
+from repro.verify.oracles import (
+    DEFAULT_GAP_BOUND,
+    backend_cross_check,
+    lpdar_vs_exact,
+)
+
+
+def _instance(seed: int, num_jobs: int = 3) -> ProblemStructure:
+    rng = np.random.default_rng(seed)
+    net = topologies.ring(6, capacity=int(rng.integers(1, 3)))
+    num_slices = int(rng.integers(3, 5))
+    grid = TimeGrid.uniform(num_slices)
+    jobs = []
+    for i in range(num_jobs):
+        src, dst = rng.choice(6, size=2, replace=False)
+        first = int(rng.integers(0, num_slices))
+        last = int(rng.integers(first + 1, num_slices + 1))
+        jobs.append(
+            Job(
+                id=i,
+                source=int(src),
+                dest=int(dst),
+                size=float(rng.uniform(0.5, 6.0)),
+                start=float(first),
+                end=float(last),
+            )
+        )
+    return ProblemStructure(net, JobSet(jobs), grid, k_paths=2)
+
+
+class TestLpdarVsExact:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_gap_within_documented_bound(self, seed):
+        outcome = lpdar_vs_exact(_instance(seed))
+        assert outcome.ok, (
+            outcome.lpdar_report.explain() + outcome.exact_report.explain()
+        )
+        assert outcome.within(DEFAULT_GAP_BOUND)
+        assert outcome.gap >= 0.0
+
+    def test_exact_bounded_by_lp_at_same_alpha(self):
+        outcome = lpdar_vs_exact(_instance(11))
+        if outcome.exact_alpha == outcome.alpha:
+            # The MILP optimum can never beat its own LP relaxation.
+            assert outcome.exact_objective <= outcome.lp_objective + 1e-6
+
+    def test_alpha_escalation_never_decreases(self):
+        outcome = lpdar_vs_exact(_instance(5), alpha=0.05, alpha_step=0.2)
+        assert outcome.exact_alpha >= outcome.alpha
+
+    def test_invalid_alpha_rejected(self):
+        structure = _instance(0)
+        with pytest.raises(ValidationError):
+            lpdar_vs_exact(structure, alpha=1.5)
+        with pytest.raises(ValidationError):
+            lpdar_vs_exact(structure, alpha_step=0.0)
+
+    def test_reports_cover_core_invariants(self):
+        outcome = lpdar_vs_exact(_instance(7))
+        for report in (outcome.lpdar_report, outcome.exact_report):
+            for check in ("capacity", "integrality", "nonnegativity"):
+                assert check in report.checks
+
+
+class TestBackendCrossCheck:
+    @pytest.mark.parametrize("seed", [0, 3, 8, 13])
+    def test_backends_agree(self, seed):
+        result = backend_cross_check(_instance(seed, num_jobs=2))
+        assert result.agree, (
+            f"highs={result.highs_objective} simplex={result.simplex_objective}"
+        )
+        assert result.difference >= 0.0
+
+    def test_loose_tolerance_always_agrees(self):
+        result = backend_cross_check(_instance(2, num_jobs=2), tol=1e6)
+        assert result.agree

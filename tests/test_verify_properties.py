@@ -1,0 +1,167 @@
+"""Hypothesis properties for the satellite targets of the verify PR.
+
+Three areas the issue calls out explicitly: ``TimeGrid`` rounding
+(``covering`` / ``window_slices`` round inward, never outward),
+``FaultSchedule.compile`` (bounded by installed capacity, seed-
+deterministic), and LPDAR integrality — the latter asserted through the
+shared :func:`repro.verify.verify_assignment` checker rather than
+ad-hoc array math.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Job,
+    JobSet,
+    ProblemStructure,
+    TimeGrid,
+    lpdar,
+    solve_stage1,
+    solve_stage2_lp,
+    verify_assignment,
+)
+from repro.faults import FaultSchedule
+from repro.network import topologies
+
+SOLVER_SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+FAST_SETTINGS = settings(max_examples=100, deadline=None)
+
+
+class TestTimeGridRounding:
+    @FAST_SETTINGS
+    @given(
+        horizon=st.floats(min_value=0.05, max_value=500.0, allow_nan=False),
+        length=st.floats(min_value=0.01, max_value=10.0, allow_nan=False),
+    )
+    def test_covering_rounds_up_by_less_than_one_slice(self, horizon, length):
+        grid = TimeGrid.covering(horizon, length)
+        assert grid.end >= horizon - 1e-9 * max(1.0, abs(horizon))
+        # Never more than one whole (possibly float-nudged) extra slice.
+        assert grid.end - horizon <= length * (1 + 1e-9) + 1e-9
+        assert np.allclose(grid.lengths, length)
+
+    @FAST_SETTINGS
+    @given(
+        num=st.integers(min_value=1, max_value=40),
+        data=st.data(),
+    )
+    def test_window_slices_round_inward(self, num, data):
+        grid = TimeGrid.uniform(num)
+        a = data.draw(
+            st.floats(min_value=-2.0, max_value=num + 2.0, allow_nan=False)
+        )
+        b = data.draw(
+            st.floats(min_value=a, max_value=num + 2.0, allow_nan=False)
+        )
+        window = grid.window_slices(a, b)
+        for j in window:
+            # Fully contained: the window never rounds outward.
+            assert grid.slice_start(j) >= a - 1e-9
+            assert grid.slice_end(j) <= b + 1e-9
+        mask = grid.window_mask(a, b)
+        assert mask.sum() == len(window)
+
+    @FAST_SETTINGS
+    @given(num=st.integers(min_value=1, max_value=40), data=st.data())
+    def test_slice_of_inverts_boundaries(self, num, data):
+        grid = TimeGrid.uniform(num)
+        j = data.draw(st.integers(min_value=0, max_value=num - 1))
+        assert grid.slice_of(grid.slice_start(j)) == j
+        # The exclusive right boundary belongs to the next slice
+        # (except the final boundary, which folds into the last slice).
+        assert grid.slice_of(grid.slice_end(j)) == min(j + 1, num - 1)
+
+
+class TestFaultScheduleCompile:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        mtbf=st.floats(min_value=1.0, max_value=30.0, allow_nan=False),
+        mttr=st.floats(min_value=0.2, max_value=5.0, allow_nan=False),
+        degrade=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+    def test_compiled_capacity_bounded_and_deterministic(
+        self, seed, mtbf, mttr, degrade
+    ):
+        net = topologies.ring(5, capacity=3)
+        grid = TimeGrid.uniform(6)
+        fs = FaultSchedule.random(
+            net, horizon=8.0, mtbf=mtbf, mttr=mttr, seed=seed,
+            degrade_prob=degrade,
+        )
+        profile = fs.compile(grid)
+        installed = net.capacities()
+        assert profile.matrix.shape == (net.num_edges, grid.num_slices)
+        assert np.all(profile.matrix >= 0)
+        assert np.all(profile.matrix <= installed[:, None])
+
+        again = FaultSchedule.random(
+            net, horizon=8.0, mtbf=mtbf, mttr=mttr, seed=seed,
+            degrade_prob=degrade,
+        )
+        assert again.events == fs.events
+        assert np.array_equal(again.compile(grid).matrix, profile.matrix)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_compile_is_pointwise_lower_bound_of_snapshots(self, seed):
+        """A slice's compiled capacity never exceeds any snapshot in it."""
+        net = topologies.line(4, capacity=2)
+        grid = TimeGrid.uniform(5)
+        fs = FaultSchedule.random(
+            net, horizon=6.0, mtbf=3.0, mttr=1.0, seed=seed, degrade_prob=0.3
+        )
+        compiled = fs.compile(grid).matrix
+        for j in range(grid.num_slices):
+            snap = fs.snapshot_profile(grid, grid.slice_start(j)).matrix
+            assert np.all(compiled[:, j] <= snap[:, j])
+
+
+def _instance(seed: int, num_jobs: int) -> ProblemStructure:
+    rng = np.random.default_rng(seed)
+    net = topologies.ring(6, capacity=int(rng.integers(1, 4)))
+    num_slices = int(rng.integers(2, 6))
+    grid = TimeGrid.uniform(num_slices)
+    jobs = []
+    for i in range(num_jobs):
+        src, dst = rng.choice(6, size=2, replace=False)
+        first = int(rng.integers(0, num_slices))
+        last = int(rng.integers(first + 1, num_slices + 1))
+        jobs.append(
+            Job(
+                id=i,
+                source=int(src),
+                dest=int(dst),
+                size=float(rng.uniform(0.5, 8.0)),
+                start=float(first),
+                end=float(last),
+            )
+        )
+    return ProblemStructure(net, JobSet(jobs), grid, k_paths=2)
+
+
+class TestLpdarIntegralityProperty:
+    @SOLVER_SETTINGS
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        num_jobs=st.integers(min_value=1, max_value=5),
+    )
+    def test_every_pipeline_stage_passes_shared_checker(self, seed, num_jobs):
+        structure = _instance(seed, num_jobs)
+        zstar = solve_stage1(structure).zstar
+        stage2 = solve_stage2_lp(structure, zstar, alpha=0.1)
+        result = lpdar(structure, stage2.x)
+
+        # LP relaxation: feasible but fractional.
+        assert verify_assignment(structure, result.x_lp, integral=False).ok
+        # LPD and LPDAR: integral and feasible, via the shared checker
+        # (the old ad-hoc capacity_violation / rint asserts, centralized).
+        assert verify_assignment(structure, result.x_lpd).ok
+        assert verify_assignment(structure, result.x_lpdar).ok

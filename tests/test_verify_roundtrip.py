@@ -1,0 +1,161 @@
+"""Round-trip serialization: save → load → verify gives identical reports.
+
+``VerificationReport`` and ``Violation`` are frozen dataclasses of
+scalars and tuples, so structural equality is exact — a report computed
+before serialization must equal the one computed after the problem and
+schedule pass through JSON files, including when the problem carries a
+fault-derived capacity profile.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Job,
+    JobSet,
+    ProblemStructure,
+    Scheduler,
+    TimeGrid,
+    verify_schedule,
+)
+from repro.faults import FaultSchedule, LinkDown, LinkUp, WavelengthDegrade
+from repro.network import topologies
+from repro.serialization import (
+    jobs_from_dict,
+    jobs_to_dict,
+    load_json,
+    network_from_dict,
+    network_to_dict,
+    save_json,
+    schedule_to_dict,
+)
+
+
+def _jobs():
+    return JobSet(
+        [
+            Job(id="j0", source=0, dest=2, size=2.0, start=0.0, end=3.0),
+            Job(id="j1", source=1, dest=4, size=1.5, start=1.0, end=4.0),
+            Job(id="j2", source=5, dest=3, size=1.0, start=0.0, end=2.0),
+        ]
+    )
+
+
+class TestRoundTrip:
+    def test_plain_problem_identical_reports(self, tmp_path):
+        net = topologies.ring(6, capacity=2)
+        jobs = _jobs()
+        grid = TimeGrid.uniform(4)
+        result = Scheduler(net, k_paths=2, alpha_max=1.0).schedule(jobs, grid)
+        schedule = schedule_to_dict(result)
+
+        before = verify_schedule(net, schedule, jobs=jobs, grid=grid)
+
+        save_json(network_to_dict(net), tmp_path / "net.json")
+        save_json(jobs_to_dict(jobs), tmp_path / "jobs.json")
+        save_json(schedule, tmp_path / "sched.json")
+
+        net2 = network_from_dict(load_json(tmp_path / "net.json"))
+        jobs2 = jobs_from_dict(load_json(tmp_path / "jobs.json"))
+        sched2 = load_json(tmp_path / "sched.json")
+        grid2 = TimeGrid.uniform(4)
+
+        after = verify_schedule(net2, sched2, jobs=jobs2, grid=grid2)
+        assert before == after
+        assert before.ok
+
+    def test_fault_profile_problem_identical_reports(self, tmp_path):
+        """A fault-bearing problem round-trips to the identical report.
+
+        The compiled fault profile constrains the structure's capacity;
+        the serialized schedule is checked against that profile both
+        before and after the network/jobs/schedule pass through JSON
+        (the profile is recompiled from the same fault events — it is
+        deterministic, so the reports must match exactly).
+        """
+        net = topologies.ring(6, capacity=2)
+        jobs = _jobs()
+        grid = TimeGrid.uniform(4)
+        faults = FaultSchedule(
+            net,
+            [
+                LinkDown(time=1.0, source=0, target=1),
+                WavelengthDegrade(time=0.0, source=3, target=4, remaining=1),
+                LinkUp(time=3.0, source=0, target=1),
+            ],
+        )
+        profile = faults.compile(grid)
+        structure = ProblemStructure(
+            net, jobs, grid, k_paths=2, capacity_profile=profile
+        )
+        scheduler = Scheduler(net, k_paths=2, alpha_max=1.0)
+        result = scheduler.schedule(
+            jobs, grid, capacity_profile=profile
+        )
+        schedule = schedule_to_dict(result)
+
+        before = verify_schedule(structure, schedule)
+        assert before.ok
+
+        save_json(network_to_dict(net), tmp_path / "net.json")
+        save_json(jobs_to_dict(jobs), tmp_path / "jobs.json")
+        save_json(schedule, tmp_path / "sched.json")
+
+        net2 = network_from_dict(load_json(tmp_path / "net.json"))
+        jobs2 = jobs_from_dict(load_json(tmp_path / "jobs.json"))
+        faults2 = FaultSchedule(
+            net2,
+            [
+                LinkDown(time=1.0, source=0, target=1),
+                WavelengthDegrade(time=0.0, source=3, target=4, remaining=1),
+                LinkUp(time=3.0, source=0, target=1),
+            ],
+        )
+        grid2 = TimeGrid.uniform(4)
+        structure2 = ProblemStructure(
+            net2, jobs2, grid2, k_paths=2,
+            capacity_profile=faults2.compile(grid2),
+        )
+        after = verify_schedule(structure2, load_json(tmp_path / "sched.json"))
+        assert before == after
+
+    def test_fault_capacity_actually_constrains(self):
+        """Sanity: the profile-checked verification is not vacuous.
+
+        A schedule planned at installed capacity must *fail* the
+        capacity check under a profile that cuts a link it uses.
+        """
+        net = topologies.line(3, capacity=2)
+        jobs = JobSet(
+            [Job(id=0, source=0, dest=2, size=4.0, start=0.0, end=2.0)]
+        )
+        grid = TimeGrid.uniform(2)
+        result = Scheduler(net, k_paths=1, alpha_max=1.0).schedule(jobs, grid)
+        assert np.sum(result.x) > 0
+
+        faults = FaultSchedule(
+            net, [LinkDown(time=0.0, source=0, target=1)]
+        )
+        structure = ProblemStructure(
+            net, jobs, grid, k_paths=1,
+            capacity_profile=faults.compile(grid),
+        )
+        report = verify_schedule(structure, schedule_to_dict(result))
+        assert not report.ok
+        assert "capacity" in {v.code for v in report.errors}
+
+    def test_tampered_file_changes_report(self, tmp_path):
+        net = topologies.ring(6, capacity=2)
+        jobs = _jobs()
+        grid = TimeGrid.uniform(4)
+        result = Scheduler(net, k_paths=2, alpha_max=1.0).schedule(jobs, grid)
+        save_json(schedule_to_dict(result), tmp_path / "sched.json")
+
+        data = load_json(tmp_path / "sched.json")
+        data["grants"][0]["wavelengths"] += 7
+        save_json(data, tmp_path / "sched.json")
+
+        report = verify_schedule(
+            net, load_json(tmp_path / "sched.json"), jobs=jobs, grid=grid
+        )
+        assert not report.ok
