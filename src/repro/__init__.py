@@ -28,7 +28,7 @@ The three top-level entry points are:
   controller loop.
 """
 
-from . import analysis, core, experiments, faults, lp, network, obs, sim, verify, workload
+from . import analysis, core, experiments, faults, lp, network, obs, recovery, sim, verify, workload
 from . import serialization
 from .analysis import ResilienceReport, resilience_report
 from .core import (
@@ -61,7 +61,9 @@ from .core import (
     solve_subret_lp,
 )
 from .errors import (
+    BudgetExceededError,
     InfeasibleProblemError,
+    JournalError,
     ReproError,
     ScheduleError,
     SolverError,
@@ -97,6 +99,16 @@ from .network import (
     waxman_network,
 )
 from .network import topologies
+from .recovery import (
+    CRASH_POINTS,
+    CrashInjector,
+    EpochJournal,
+    JournalReplay,
+    SCHEMA_VERSION,
+    SimulatedCrash,
+    SolveBudget,
+    read_journal,
+)
 from .sim import Simulation, SimulationResult, SimulationSummary, summarize
 from .timegrid import TimeGrid
 from .verify import (
@@ -127,6 +139,7 @@ __all__ = [
     "lp",
     "network",
     "obs",
+    "recovery",
     "sim",
     "verify",
     "workload",
@@ -196,6 +209,15 @@ __all__ = [
     "SimulationResult",
     "SimulationSummary",
     "summarize",
+    # durability: journaling, crash-recovery, solve budgets
+    "SCHEMA_VERSION",
+    "EpochJournal",
+    "JournalReplay",
+    "read_journal",
+    "CRASH_POINTS",
+    "CrashInjector",
+    "SimulatedCrash",
+    "SolveBudget",
     # verification
     "Violation",
     "VerificationReport",
@@ -217,5 +239,7 @@ __all__ = [
     "InfeasibleProblemError",
     "UnboundedProblemError",
     "ScheduleError",
+    "BudgetExceededError",
+    "JournalError",
     "__version__",
 ]

@@ -9,6 +9,8 @@ JSON formats of :mod:`repro.serialization`:
   outcome (optionally as a Gantt chart), export the grant list;
 * ``ret``       — run Algorithm 2 (relax end times until all jobs fit);
 * ``simulate``  — replay the workload through the periodic controller;
+* ``resume``    — continue a journaled simulation after a crash
+  (see docs/recovery.md);
 * ``experiment`` — regenerate a paper figure (fig1..fig4, jobs-finished);
 * ``verify``    — check a serialized schedule against its problem's
   invariants, or run the seeded scenario fuzzer / benchmark micro-suite
@@ -140,9 +142,28 @@ def _build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--fault-baseline", action="store_true",
                      help="also run the same workload fault-free and report "
                      "the completion/deadline drop the faults caused")
+    sim.add_argument("--journal", default=None, metavar="PATH",
+                     help="write an epoch journal so a crashed run can be "
+                     "continued with 'repro resume' (see docs/recovery.md)")
+    sim.add_argument("--solve-budget", type=float, default=None,
+                     metavar="SECONDS",
+                     help="per-epoch wall-clock budget for the solve chain; "
+                     "on exhaustion the scheduler degrades gracefully "
+                     "instead of overrunning the epoch")
     sim.add_argument("--profile", action="store_true",
                      help="print the solve-telemetry tables after the run")
     sim.add_argument("-o", "--output", default=None,
+                     help="write the run's records and event log as JSON")
+
+    res = sub.add_parser(
+        "resume",
+        help="continue a journaled simulation from its last committed epoch",
+    )
+    res.add_argument("journal", help="epoch journal written by "
+                     "'repro simulate --journal'")
+    res.add_argument("--profile", action="store_true",
+                     help="print the solve-telemetry tables after the run")
+    res.add_argument("-o", "--output", default=None,
                      help="write the run's records and event log as JSON")
 
     ver = sub.add_parser(
@@ -385,35 +406,9 @@ def _cmd_ret(args) -> int:
     return 0
 
 
-def _cmd_simulate(args) -> int:
-    net = network_from_dict(load_json(args.network))
-    jobs = _load_jobs(args.jobs)
-    telemetry = _profile_telemetry(args)
-    fault_schedule = None
-    if args.faults:
-        from .faults import parse_fault_spec
-
-        # random: specs need the fault horizon; mirror Simulation.run's
-        # default (latest deadline plus full RET headroom).
-        fault_horizon = args.horizon
-        if fault_horizon is None:
-            fault_horizon = 11.0 * jobs.max_end()
-        fault_schedule = parse_fault_spec(
-            args.faults, net, seed=args.fault_seed, horizon=fault_horizon
-        )
-    sim = Simulation(
-        net,
-        tau=args.tau,
-        slice_length=args.slice_length,
-        policy=args.policy,
-        k_paths=args.k_paths,
-        rejection=args.rejection,
-        telemetry=telemetry,
-        fault_schedule=fault_schedule,
-    )
-    result = sim.run(jobs, horizon=args.horizon)
+def _print_simulation_summary(result, title: str) -> None:
     summary = summarize(result)
-    table = Table(["metric", "value"], title=f"simulation ({args.policy} policy)")
+    table = Table(["metric", "value"], title=title)
     for name in (
         "num_jobs",
         "num_completed",
@@ -435,6 +430,43 @@ def _cmd_simulate(args) -> int:
         table.add_row([name, round(value, 4) if isinstance(value, float) else value])
     print(table.render())
 
+
+def _cmd_simulate(args) -> int:
+    net = network_from_dict(load_json(args.network))
+    jobs = _load_jobs(args.jobs)
+    telemetry = _profile_telemetry(args)
+    fault_schedule = None
+    if args.faults:
+        from .faults import parse_fault_spec
+
+        # random: specs need the fault horizon; mirror Simulation.run's
+        # default (latest deadline plus full RET headroom).
+        fault_horizon = args.horizon
+        if fault_horizon is None:
+            fault_horizon = 11.0 * jobs.max_end()
+        fault_schedule = parse_fault_spec(
+            args.faults, net, seed=args.fault_seed, horizon=fault_horizon
+        )
+    solve_budget = None
+    if args.solve_budget is not None:
+        from .lp.solver import SolveBudget
+
+        solve_budget = SolveBudget(args.solve_budget)
+    sim = Simulation(
+        net,
+        tau=args.tau,
+        slice_length=args.slice_length,
+        policy=args.policy,
+        k_paths=args.k_paths,
+        rejection=args.rejection,
+        telemetry=telemetry,
+        fault_schedule=fault_schedule,
+        journal=args.journal,
+        solve_budget=solve_budget,
+    )
+    result = sim.run(jobs, horizon=args.horizon)
+    _print_simulation_summary(result, f"simulation ({args.policy} policy)")
+
     if fault_schedule is not None:
         from .analysis import resilience_report
 
@@ -450,6 +482,21 @@ def _cmd_simulate(args) -> int:
             ).run(jobs, horizon=args.horizon)
         print()
         print(resilience_report(result, baseline).table().render())
+
+    _print_profile(telemetry)
+
+    if args.output:
+        from .serialization import simulation_to_dict
+
+        save_json(simulation_to_dict(result), args.output)
+        print(f"\nwrote run log to {args.output}")
+    return 0
+
+
+def _cmd_resume(args) -> int:
+    telemetry = _profile_telemetry(args)
+    result = Simulation.resume(args.journal, telemetry=telemetry)
+    _print_simulation_summary(result, f"resumed simulation ({args.journal})")
 
     _print_profile(telemetry)
 
@@ -559,6 +606,7 @@ _COMMANDS = {
     "schedule": _cmd_schedule,
     "ret": _cmd_ret,
     "simulate": _cmd_simulate,
+    "resume": _cmd_resume,
     "experiment": _cmd_experiment,
     "verify": _cmd_verify,
 }

@@ -27,7 +27,13 @@ import numpy as np
 
 from ..errors import InfeasibleProblemError, ScheduleError, ValidationError
 from ..lp.model import ProblemStructure
-from ..lp.solver import LinearProgram, LPSolution, SolveResilience, solve_lp
+from ..lp.solver import (
+    LinearProgram,
+    LPSolution,
+    SolveBudget,
+    SolveResilience,
+    solve_lp,
+)
 from ..obs import NULL_TELEMETRY, Telemetry
 from ..network.graph import Network
 from ..network.paths import Path, build_path_sets
@@ -90,6 +96,7 @@ def solve_subret_lp(
     gamma: Callable[[np.ndarray], np.ndarray] = quick_finish_gamma,
     telemetry: Telemetry | None = None,
     resilience: SolveResilience | None = None,
+    budget: SolveBudget | None = None,
 ) -> LPSolution:
     """Solve the SUB-RET LP relaxation; raises when infeasible."""
     return solve_lp(
@@ -97,6 +104,7 @@ def solve_subret_lp(
         telemetry=telemetry,
         label="subret",
         resilience=resilience,
+        budget=budget,
     )
 
 
@@ -177,6 +185,7 @@ def solve_ret(
     capacity_profile=None,
     telemetry: Telemetry | None = None,
     resilience: SolveResilience | None = None,
+    budget: SolveBudget | None = None,
 ) -> RetResult:
     """Algorithm 2: find the smallest end-time extension completing all jobs.
 
@@ -227,12 +236,23 @@ def solve_ret(
     resilience:
         Optional :class:`~repro.lp.solver.SolveResilience` forwarded to
         every SUB-RET probe's LP solve (retry / fallback chain).
+    budget:
+        Optional :class:`~repro.lp.solver.SolveBudget` covering the
+        *whole* Algorithm 2 run: checked between binary-search probes
+        (``"ret_probe"``) and forwarded to every probe's LP solve.
+        Unlike :meth:`Scheduler.schedule` there is no degradation rung
+        for RET — a partial extension search has no meaningful fallback
+        — so exhaustion raises
+        :class:`~repro.errors.BudgetExceededError` and the caller (e.g.
+        the simulator's overload handler) decides what to do.
 
     Raises
     ------
     ScheduleError
         SUB-RET is LP-infeasible even at ``b_max``, or the ``delta`` loop
         runs past ``b_max`` without completing every job.
+    BudgetExceededError
+        ``budget`` ran out between or during probes.
     """
     if b_max <= 0:
         raise ValidationError(f"b_max must be positive, got {b_max}")
@@ -245,6 +265,8 @@ def solve_ret(
     if path_sets is None:
         path_sets = build_path_sets(network, jobs.od_pairs(), k_paths)
     telemetry = telemetry or NULL_TELEMETRY
+    if budget is not None:
+        budget.ensure_started()
     phase = "bounds"
 
     def stretch(b: float) -> JobSet:
@@ -254,6 +276,8 @@ def solve_ret(
 
     def attempt(b: float) -> tuple[ProblemStructure, LPSolution] | None:
         """Structure + LP solution at extension ``b``, or None if infeasible."""
+        if budget is not None:
+            budget.check("ret_probe")
         extended = stretch(b)
         grid = TimeGrid.covering(extended.max_end(), slice_length)
         profile = (
@@ -273,7 +297,11 @@ def solve_ret(
         telemetry.count("ret_probes")
         try:
             solution = solve_subret_lp(
-                structure, gamma, telemetry=telemetry, resilience=resilience
+                structure,
+                gamma,
+                telemetry=telemetry,
+                resilience=resilience,
+                budget=budget,
             )
         except InfeasibleProblemError:
             telemetry.record(

@@ -16,15 +16,15 @@ from collections.abc import Hashable, Iterator, Mapping, Sequence
 
 import numpy as np
 
-from ..errors import ValidationError
+from ..errors import BudgetExceededError, ValidationError
 from ..lp.model import ProblemStructure
-from ..lp.solver import SolveResilience
+from ..lp.solver import LPSolution, SolveBudget, SolveResilience
 from ..network.graph import Network
 from ..obs import NULL_TELEMETRY, Telemetry
 from ..network.paths import Path, build_path_sets
 from ..timegrid import TimeGrid
 from ..workload.jobs import JobSet
-from .lpdar import GreedyOrder, LpdarResult, lpdar
+from .lpdar import GreedyOrder, LpdarResult, discretize, greedy_adjust, lpdar
 from .metrics import fraction_finished
 from .stage2 import Stage2Result, solve_stage2_lp
 from .throughput import Stage1Result, solve_stage1
@@ -77,6 +77,18 @@ class ScheduleResult:
         The fairness parameter actually used (after any escalation).
     alpha_escalations:
         How many times ``alpha`` was raised per Remark 1.
+    degraded:
+        ``None`` for a full solve; otherwise the degradation-ladder rung
+        that produced this schedule after a
+        :class:`~repro.errors.BudgetExceededError` — ``"lpd_greedy"``
+        (LPD floor of the last fractional solution plus the Algorithm 1
+        greedy residual pass) or ``"greedy_baseline"`` (greedy from an
+        empty assignment; no LP solved at all).  Degraded schedules are
+        always capacity-feasible and integer, but carry no optimality or
+        fairness guarantee.
+    degraded_reason:
+        Human-readable cause of the degradation (the budget error
+        message), or ``None``.
     """
 
     structure: ProblemStructure
@@ -85,6 +97,8 @@ class ScheduleResult:
     assignments: LpdarResult
     alpha: float
     alpha_escalations: int
+    degraded: str | None = None
+    degraded_reason: str | None = None
 
     # ------------------------------------------------------------------
     # Headline quantities
@@ -222,6 +236,13 @@ class Scheduler:
         Optional :class:`~repro.lp.solver.SolveResilience` forwarded to
         every stage-1/stage-2 LP solve, enabling the bounded retry /
         backend-fallback chain.  ``None`` (the default) solves once.
+    budget:
+        Optional :class:`~repro.lp.solver.SolveBudget` default for every
+        :meth:`schedule` call (a per-call ``budget=`` overrides it).
+        When a solve overruns the budget, :meth:`schedule` does not
+        raise: it walks the degradation ladder (full pipeline → LPD
+        floor + greedy residual → greedy baseline) and returns a
+        feasible schedule with ``degraded`` set.
     """
 
     def __init__(
@@ -237,6 +258,7 @@ class Scheduler:
         rng: np.random.Generator | None = None,
         telemetry: Telemetry | None = None,
         resilience: SolveResilience | None = None,
+        budget: SolveBudget | None = None,
     ) -> None:
         if not 0.0 <= alpha <= 1.0:
             raise ValidationError(f"alpha must be in [0, 1], got {alpha}")
@@ -258,6 +280,7 @@ class Scheduler:
         self.rng = rng
         self.telemetry = telemetry or NULL_TELEMETRY
         self.resilience = resilience
+        self.budget = budget
 
     def build_structure(
         self,
@@ -304,6 +327,7 @@ class Scheduler:
         weights: np.ndarray | None = None,
         capacity_profile=None,
         path_sets: Mapping[tuple[Node, Node], Sequence[Path]] | None = None,
+        budget: SolveBudget | None = None,
     ) -> ScheduleResult:
         """Run stage 1, stage 2 and LPDAR; escalate ``alpha`` if needed.
 
@@ -312,8 +336,17 @@ class Scheduler:
         paper's size weighting, ``w_i = D_i``, before normalization).
         ``path_sets`` optionally overrides path computation (e.g. the
         online controller rebuilding paths around failed links).
+
+        With a ``budget`` (per-call, or the scheduler-wide default), a
+        :class:`~repro.errors.BudgetExceededError` from any LP solve is
+        absorbed by the degradation ladder instead of propagating: the
+        pass falls back to the cheapest rung that still yields a
+        feasible integer schedule, marked via ``result.degraded``.
         """
         telemetry = self.telemetry
+        budget = budget if budget is not None else self.budget
+        if budget is not None:
+            budget.ensure_started()
         with telemetry.span("schedule"):
             structure = self.build_structure(
                 jobs, grid, path_sets=path_sets, capacity_profile=capacity_profile
@@ -322,21 +355,45 @@ class Scheduler:
                 weights = np.array(
                     [j.weight if j.weight is not None else j.size for j in jobs]
                 )
-            stage1 = solve_stage1(
-                structure, telemetry=telemetry, resilience=self.resilience
-            )
+            try:
+                stage1 = solve_stage1(
+                    structure,
+                    telemetry=telemetry,
+                    resilience=self.resilience,
+                    budget=budget,
+                )
+            except BudgetExceededError as exc:
+                # Rung 3: nothing solved; greedy from an empty assignment.
+                return self._degraded(
+                    structure, None, "greedy_baseline", str(exc), self.alpha, 0
+                )
 
             alpha = self.alpha
             escalations = 0
+            result: ScheduleResult | None = None
             while True:
-                stage2 = solve_stage2_lp(
-                    structure,
-                    stage1.zstar,
-                    alpha,
-                    weights,
-                    telemetry=telemetry,
-                    resilience=self.resilience,
-                )
+                try:
+                    stage2 = solve_stage2_lp(
+                        structure,
+                        stage1.zstar,
+                        alpha,
+                        weights,
+                        telemetry=telemetry,
+                        resilience=self.resilience,
+                        budget=budget,
+                    )
+                except BudgetExceededError as exc:
+                    if result is not None:
+                        # Budget died mid alpha-escalation; the previous
+                        # pass is a complete, valid schedule (it merely
+                        # misses the fairness floor), so commit it.
+                        telemetry.count("budget_stopped_escalations")
+                        return result
+                    # Rung 2: stage 1 solved but stage 2 did not; round
+                    # the stage-1 fractional assignment instead.
+                    return self._degraded(
+                        structure, stage1, "lpd_greedy", str(exc), alpha, escalations
+                    )
                 rounded = lpdar(
                     structure,
                     stage2.x,
@@ -361,5 +418,74 @@ class Scheduler:
                     telemetry.count("schedule_passes")
                     telemetry.count("alpha_escalations", escalations)
                     return result
+                if budget is not None and budget.expired():
+                    telemetry.count("budget_stopped_escalations")
+                    return result
                 alpha = min(alpha + self.alpha_step, self.alpha_max)
                 escalations += 1
+
+    def _degraded(
+        self,
+        structure: ProblemStructure,
+        stage1: Stage1Result | None,
+        level: str,
+        reason: str,
+        alpha: float,
+        escalations: int,
+    ) -> ScheduleResult:
+        """Build a budget-degraded :class:`ScheduleResult`.
+
+        ``"lpd_greedy"`` rounds the stage-1 fractional assignment (LPD
+        truncation + Algorithm 1 residual pass); ``"greedy_baseline"``
+        runs Algorithm 1 from an all-zero assignment.  Both are integer
+        and capacity-feasible by construction, so the epoch always has
+        something checker-clean to commit.  Placeholder stage-1/stage-2
+        results (``zstar = 0``, zero iterations) stand in for the solves
+        that never ran.
+        """
+        telemetry = self.telemetry
+        n = structure.num_cols
+        frac = (
+            stage1.x if (level == "lpd_greedy" and stage1 is not None)
+            else np.zeros(n)
+        )
+        x_lpd = discretize(frac)
+        x_lpdar = greedy_adjust(
+            structure,
+            x_lpd,
+            order=self.greedy_order,
+            cap_at_target=self.cap_at_target,
+            rng=self.rng,
+            telemetry=telemetry,
+        )
+        rounded = LpdarResult(
+            x_lp=np.asarray(frac, dtype=float), x_lpd=x_lpd, x_lpdar=x_lpdar
+        )
+        if stage1 is None:
+            stage1 = Stage1Result(
+                zstar=0.0,
+                x=np.zeros(n),
+                solution=LPSolution(x=np.zeros(n + 1), objective=0.0),
+            )
+        frac_obj = structure.weighted_throughput(rounded.x_lp)
+        stage2 = Stage2Result(
+            x=rounded.x_lp,
+            objective=frac_obj,
+            zstar=stage1.zstar,
+            alpha=alpha,
+            solution=LPSolution(x=rounded.x_lp, objective=frac_obj),
+        )
+        telemetry.count("degraded_solves")
+        telemetry.count(f"degraded_solves_{level}")
+        telemetry.record("degraded_solve", level=level, reason=reason)
+        telemetry.count("schedule_passes")
+        return ScheduleResult(
+            structure=structure,
+            stage1=stage1,
+            stage2=stage2,
+            assignments=rounded,
+            alpha=alpha,
+            alpha_escalations=escalations,
+            degraded=level,
+            degraded_reason=reason,
+        )

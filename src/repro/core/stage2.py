@@ -25,7 +25,13 @@ import numpy as np
 
 from ..errors import ValidationError
 from ..lp.model import ProblemStructure
-from ..lp.solver import LinearProgram, LPSolution, SolveResilience, solve_lp
+from ..lp.solver import (
+    LinearProgram,
+    LPSolution,
+    SolveBudget,
+    SolveResilience,
+    solve_lp,
+)
 from ..obs import NULL_TELEMETRY, Telemetry
 
 __all__ = ["Stage2Result", "build_stage2_lp", "solve_stage2_lp", "objective_weights"]
@@ -134,18 +140,25 @@ def solve_stage2_lp(
     weights: np.ndarray | None = None,
     telemetry: Telemetry | None = None,
     resilience: SolveResilience | None = None,
+    budget: SolveBudget | None = None,
 ) -> Stage2Result:
     """Solve the stage-2 LP relaxation.
 
     ``telemetry`` (optional) times assembly and solve under a
     ``"stage2"`` span; ``resilience`` (optional) enables
-    :func:`~repro.lp.solver.solve_lp`'s retry / fallback chain.
+    :func:`~repro.lp.solver.solve_lp`'s retry / fallback chain;
+    ``budget`` (optional) forwards a
+    :class:`~repro.lp.solver.SolveBudget` deadline to the solve.
     """
     telemetry = telemetry or NULL_TELEMETRY
     with telemetry.span("stage2"):
         problem = build_stage2_lp(structure, zstar, alpha, weights)
         solution = solve_lp(
-            problem, telemetry=telemetry, label="stage2", resilience=resilience
+            problem,
+            telemetry=telemetry,
+            label="stage2",
+            resilience=resilience,
+            budget=budget,
         )
     return Stage2Result(
         x=solution.x,

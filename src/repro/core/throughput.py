@@ -20,7 +20,13 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..lp.model import ProblemStructure
-from ..lp.solver import LinearProgram, LPSolution, SolveResilience, solve_lp
+from ..lp.solver import (
+    LinearProgram,
+    LPSolution,
+    SolveBudget,
+    SolveResilience,
+    solve_lp,
+)
 from ..obs import NULL_TELEMETRY, Telemetry
 
 __all__ = ["Stage1Result", "build_stage1_lp", "solve_stage1"]
@@ -101,6 +107,7 @@ def solve_stage1(
     structure: ProblemStructure,
     telemetry: Telemetry | None = None,
     resilience: SolveResilience | None = None,
+    budget: SolveBudget | None = None,
 ) -> Stage1Result:
     """Solve the stage-1 MCF problem and return ``Z*``.
 
@@ -109,13 +116,18 @@ def solve_stage1(
     never raises for modelling reasons.  ``telemetry`` (optional) times
     assembly and solve under a ``"stage1"`` span; ``resilience``
     (optional) enables :func:`~repro.lp.solver.solve_lp`'s bounded
-    retry / backend-fallback chain.
+    retry / backend-fallback chain; ``budget`` (optional) forwards a
+    :class:`~repro.lp.solver.SolveBudget` deadline to the solve.
     """
     telemetry = telemetry or NULL_TELEMETRY
     with telemetry.span("stage1"):
         problem = build_stage1_lp(structure)
         solution = solve_lp(
-            problem, telemetry=telemetry, label="stage1", resilience=resilience
+            problem,
+            telemetry=telemetry,
+            label="stage1",
+            resilience=resilience,
+            budget=budget,
         )
     zstar = float(solution.x[-1])
     return Stage1Result(

@@ -14,6 +14,8 @@ __all__ = [
     "InfeasibleProblemError",
     "UnboundedProblemError",
     "ScheduleError",
+    "BudgetExceededError",
+    "JournalError",
 ]
 
 
@@ -76,4 +78,36 @@ class ScheduleError(ReproError, RuntimeError):
 
     Raised, for example, when Algorithm 2 (RET) exhausts ``b_max`` without
     finding an end-time extension under which every job completes.
+    """
+
+
+class BudgetExceededError(ReproError, RuntimeError):
+    """A solve overran its :class:`~repro.lp.solver.SolveBudget`.
+
+    Deliberately *not* a :class:`SolverError`: running out of wall time
+    is a policy outcome, not a backend failure, so the resilient solve
+    chain never retries it and the degradation ladder in
+    :class:`~repro.core.scheduler.Scheduler` catches it separately.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        where: str | None = None,
+        wall_time_s: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        #: Pipeline stage at which the budget ran out (e.g. ``"stage2"``).
+        self.where = where
+        #: The budget's total wall-clock allowance, when known.
+        self.wall_time_s = wall_time_s
+
+
+class JournalError(ReproError, RuntimeError):
+    """An epoch journal is missing, unreadable or beyond tail recovery.
+
+    Torn or corrupt *tails* are recovered silently (the journal resumes
+    from its last valid record); this error means the journal cannot be
+    used at all — no file, no valid header, or an unsupported schema
+    version.
     """

@@ -123,6 +123,12 @@ def _parse_inline_event(entry: str) -> FaultEvent:
 
 def _parse_json(path: str, network: Network) -> FaultSchedule:
     payload = load_json(path)
+    if not isinstance(payload, dict):
+        raise ValidationError(
+            f"fault file {path!r} must be a JSON object with an "
+            "'events' list, not a bare "
+            f"{type(payload).__name__}"
+        )
     raw = payload.get("events")
     if not isinstance(raw, list):
         raise ValidationError(
@@ -141,6 +147,16 @@ def _parse_json(path: str, network: Network) -> FaultSchedule:
             raise ValidationError(
                 f"fault file event #{i} is missing {missing.args[0]!r}"
             ) from None
+        except (TypeError, ValueError):
+            raise ValidationError(
+                f"fault file event #{i} has a non-numeric time "
+                f"{item.get('time')!r}"
+            ) from None
+        for what, node in (("source", source), ("target", target)):
+            if not isinstance(node, (str, int, float, bool)):
+                raise ValidationError(
+                    f"fault file event #{i} has a non-scalar {what} {node!r}"
+                )
         bidirectional = bool(item.get("bidirectional", True))
         if kind == "down":
             events.append(LinkDown(time, source, target, bidirectional))
@@ -151,9 +167,21 @@ def _parse_json(path: str, network: Network) -> FaultSchedule:
                 raise ValidationError(
                     f"fault file degrade event #{i} needs 'remaining'"
                 )
+            try:
+                remaining = int(item["remaining"])
+            except (TypeError, ValueError):
+                raise ValidationError(
+                    f"fault file degrade event #{i} has a non-integer "
+                    f"'remaining' {item['remaining']!r}"
+                ) from None
+            if remaining != item["remaining"]:
+                raise ValidationError(
+                    f"fault file degrade event #{i} has a fractional "
+                    f"'remaining' {item['remaining']!r}"
+                )
             events.append(
                 WavelengthDegrade(
-                    time, source, target, item["remaining"], bidirectional
+                    time, source, target, remaining, bidirectional
                 )
             )
         else:

@@ -6,6 +6,7 @@ from .solver import (
     DEFAULT_RESILIENCE,
     LinearProgram,
     LPSolution,
+    SolveBudget,
     SolveResilience,
     solve_lp,
 )
@@ -15,6 +16,7 @@ __all__ = [
     "LinearProgram",
     "LPSolution",
     "SolveResilience",
+    "SolveBudget",
     "DEFAULT_RESILIENCE",
     "solve_lp",
     "solve_milp",

@@ -28,10 +28,24 @@ Modelling outcomes (:class:`~repro.errors.InfeasibleProblemError`,
 :class:`~repro.errors.UnboundedProblemError`) are never retried — they
 are answers, not failures.  ``resilience=None`` (the default) keeps the
 exact single-shot behaviour.
+
+Deadline-aware solving
+----------------------
+
+An online controller must commit *something* before its epoch boundary,
+so every solve entry point also accepts a :class:`SolveBudget` — a
+cooperative wall-clock watchdog.  The budget is checked before each
+backend attempt (and forwarded to HiGHS as its native ``time_limit``),
+and exhaustion raises :class:`~repro.errors.BudgetExceededError`, which
+the resilience chain never retries (wall time spent on one backend is
+gone for all of them).  The graceful-degradation ladder that turns a
+budget overrun into a cheaper-but-feasible schedule lives one layer up,
+in :class:`~repro.core.scheduler.Scheduler`.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -39,6 +53,7 @@ import scipy.sparse as sp
 from scipy.optimize import linprog
 
 from ..errors import (
+    BudgetExceededError,
     InfeasibleProblemError,
     SolverError,
     UnboundedProblemError,
@@ -50,6 +65,7 @@ __all__ = [
     "LinearProgram",
     "LPSolution",
     "SolveResilience",
+    "SolveBudget",
     "DEFAULT_RESILIENCE",
     "solve_lp",
 ]
@@ -89,9 +105,33 @@ class LinearProgram:
         self.objective = np.asarray(self.objective, dtype=float)
         if self.objective.ndim != 1:
             raise ValidationError("objective must be a 1-D coefficient vector")
+        if not np.all(np.isfinite(self.objective)):
+            raise ValidationError(
+                "objective coefficients must be finite (a corrupt problem "
+                "would silently poison the solve)"
+            )
         n = self.num_vars
         self.b_ub = self._check_block("a_ub", self.a_ub, self.b_ub, n)
         self.b_eq = self._check_block("a_eq", self.a_eq, self.b_eq, n)
+        self._check_bounds()
+
+    def _check_bounds(self) -> None:
+        """Reject bound values no LP can mean: NaN, and inverted infinities.
+
+        ``lower = -inf`` and ``upper = +inf`` are legitimate (free /
+        one-sided variables); ``NaN`` anywhere, ``lower = +inf`` or
+        ``upper = -inf`` can only come from corrupted data — comparisons
+        against NaN are all false, so without this check such values
+        sail through ``bounds_arrays`` and poison the backend.
+        """
+        lo = np.asarray(self.lower, dtype=float)
+        hi = np.asarray(self.upper, dtype=float)
+        if np.any(np.isnan(lo)) or np.any(np.isnan(hi)):
+            raise ValidationError("variable bounds must not contain NaN")
+        if np.any(lo == np.inf):
+            raise ValidationError("a lower bound is +inf (no feasible value)")
+        if np.any(hi == -np.inf):
+            raise ValidationError("an upper bound is -inf (no feasible value)")
 
     @staticmethod
     def _check_block(name, mat, rhs, n) -> np.ndarray | None:
@@ -107,6 +147,11 @@ class LinearProgram:
             raise ValidationError(
                 f"{name}'s rhs must be a scalar or 1-D vector, "
                 f"got shape {rhs.shape}"
+            )
+        if not np.all(np.isfinite(rhs)):
+            raise ValidationError(
+                f"{name}'s rhs must be finite; non-finite right-hand sides "
+                "(e.g. from a corrupt checkpoint) are rejected"
             )
         if mat.shape[1] != n:
             raise ValidationError(
@@ -204,6 +249,93 @@ class SolveResilience:
 DEFAULT_RESILIENCE = SolveResilience()
 
 
+class SolveBudget:
+    """A cooperative wall-clock allowance for one solve pass.
+
+    The budget is a countdown clock shared by every stage of a solve
+    pass (stage 1, the stage-2/alpha-escalation loop, RET probes): the
+    first consumer starts it, and each subsequent :meth:`check` raises
+    :class:`~repro.errors.BudgetExceededError` once ``wall_time_s`` has
+    elapsed.  The HiGHS backend additionally receives the remaining
+    time as its native ``time_limit`` so a single long LP solve cannot
+    blow through the deadline between two cooperative checks.
+
+    The clock is deliberately explicit: the online controller calls
+    :meth:`restart` at each epoch boundary so one budget object covers
+    the whole run, while standalone callers can hand a fresh budget to
+    :meth:`~repro.core.scheduler.Scheduler.schedule` or
+    :func:`~repro.core.ret.solve_ret` and let the callee start it.
+
+    Parameters
+    ----------
+    wall_time_s:
+        Total wall-clock allowance, in seconds, per :meth:`restart`.
+    min_backend_time_s:
+        Floor on the ``time_limit`` handed to the backend, so a nearly
+        exhausted budget never passes a zero or negative limit.
+    """
+
+    def __init__(
+        self, wall_time_s: float, min_backend_time_s: float = 1e-3
+    ) -> None:
+        if not wall_time_s > 0:
+            raise ValidationError(
+                f"wall_time_s must be positive, got {wall_time_s}"
+            )
+        if not min_backend_time_s > 0:
+            raise ValidationError(
+                f"min_backend_time_s must be positive, got {min_backend_time_s}"
+            )
+        self.wall_time_s = float(wall_time_s)
+        self.min_backend_time_s = float(min_backend_time_s)
+        self._deadline: float | None = None
+
+    @property
+    def started(self) -> bool:
+        """Whether the countdown is running."""
+        return self._deadline is not None
+
+    def restart(self) -> "SolveBudget":
+        """(Re)start the countdown: full ``wall_time_s`` from now."""
+        self._deadline = time.perf_counter() + self.wall_time_s
+        return self
+
+    def ensure_started(self) -> "SolveBudget":
+        """Start the countdown only if it is not already running."""
+        if self._deadline is None:
+            self.restart()
+        return self
+
+    def remaining(self) -> float:
+        """Seconds left (may be negative once overrun; full if unstarted)."""
+        if self._deadline is None:
+            return self.wall_time_s
+        return self._deadline - time.perf_counter()
+
+    def expired(self) -> bool:
+        """Whether a started countdown has run out."""
+        return self._deadline is not None and self.remaining() <= 0.0
+
+    def check(self, where: str = "solve") -> None:
+        """Cooperative watchdog point; raises once the budget is spent."""
+        self.ensure_started()
+        if self.expired():
+            raise BudgetExceededError(
+                f"solve budget of {self.wall_time_s:g}s exhausted at "
+                f"{where!r}",
+                where=where,
+                wall_time_s=self.wall_time_s,
+            )
+
+    def backend_time_limit(self) -> float:
+        """The ``time_limit`` to hand the backend (never non-positive)."""
+        return max(self.remaining(), self.min_backend_time_s)
+
+    def __repr__(self) -> str:
+        state = f"remaining={self.remaining():.3f}s" if self.started else "idle"
+        return f"SolveBudget(wall_time_s={self.wall_time_s:g}, {state})"
+
+
 def _matrix_nnz(matrix) -> int:
     """Stored-entry count of an optional (sparse or dense) matrix."""
     if matrix is None:
@@ -271,6 +403,7 @@ def solve_lp(
     telemetry: Telemetry | None = None,
     label: str | None = None,
     resilience: SolveResilience | None = None,
+    budget: SolveBudget | None = None,
 ) -> LPSolution:
     """Solve ``problem``; raise typed errors on failure.
 
@@ -295,6 +428,13 @@ def solve_lp(
         Optional :class:`SolveResilience` enabling the bounded
         retry-perturb-fallback chain described in the module docstring.
         ``None`` (the default) solves exactly once.
+    budget:
+        Optional :class:`SolveBudget` watchdog.  Checked before every
+        attempt, and forwarded to the HiGHS backend as its native
+        ``time_limit``.  A :class:`~repro.errors.BudgetExceededError` is
+        never retried by the resilience chain — running out of wall
+        time is a policy decision for the caller's degradation ladder,
+        not a solver failure.
 
     Raises
     ------
@@ -302,6 +442,9 @@ def solve_lp(
         No feasible point exists.
     UnboundedProblemError
         The objective is unbounded in the requested sense.
+    BudgetExceededError
+        ``budget`` ran out before an attempt started or during a
+        backend solve.
     SolverError
         Any other backend failure (numerical issues, limits).  With a
         resilience policy, raised only after the whole chain is
@@ -313,13 +456,17 @@ def solve_lp(
         raise ValidationError(
             f"unknown backend {backend!r}; pick 'highs' or 'simplex'"
         )
+    if budget is not None:
+        budget.check(label or "lp_solve")
     if resilience is None:
-        return _solve_once(problem, backend, telemetry, label)
+        return _solve_once(problem, backend, telemetry, label, budget)
 
     tried: list[str] = []
     retries = 0
     last_error: SolverError | None = None
     for attempt in range(resilience.max_retries + 1):
+        if budget is not None:
+            budget.check(label or "lp_solve")
         candidate = (
             problem
             if attempt == 0
@@ -327,7 +474,7 @@ def solve_lp(
         )
         tried.append(backend)
         try:
-            return _solve_once(candidate, backend, telemetry, label)
+            return _solve_once(candidate, backend, telemetry, label, budget)
         except (InfeasibleProblemError, UnboundedProblemError):
             raise  # modelling outcomes, not failures: never retried
         except SolverError as exc:
@@ -351,8 +498,10 @@ def solve_lp(
     ):
         tried.append(fallback)
         telemetry.count("lp_backend_fallbacks")
+        if budget is not None:
+            budget.check(label or "lp_solve")
         try:
-            return _solve_once(problem, fallback, telemetry, label)
+            return _solve_once(problem, fallback, telemetry, label, budget)
         except (InfeasibleProblemError, UnboundedProblemError):
             raise
         except SolverError as exc:
@@ -374,11 +523,15 @@ def _solve_once(
     backend: str,
     telemetry: Telemetry,
     label: str | None,
+    budget: SolveBudget | None = None,
 ) -> LPSolution:
     """One backend attempt; the pre-resilience ``solve_lp`` body."""
     if backend == "simplex":
         from .simplex import simplex_solve
 
+        # The pure-Python simplex has no native time limit; an overrun
+        # here is caught by the next cooperative check rather than
+        # discarding the (valid) solution it just produced.
         with telemetry.span("lp_solve") as span:
             solution = simplex_solve(problem)
         _record_solve(telemetry, problem, solution, backend, span.elapsed, label)
@@ -389,6 +542,11 @@ def _solve_once(
         )
     c = -problem.objective if problem.maximize else problem.objective
     lo, hi = problem.bounds_arrays()
+    options = (
+        {"time_limit": budget.backend_time_limit()}
+        if budget is not None
+        else None
+    )
     with telemetry.span("lp_solve") as span:
         result = linprog(
             c,
@@ -398,11 +556,20 @@ def _solve_once(
             b_eq=problem.b_eq,
             bounds=np.column_stack([lo, hi]),
             method="highs",
+            options=options,
         )
     if result.status == 2:
         raise InfeasibleProblemError()
     if result.status == 3:
         raise UnboundedProblemError()
+    if result.status == 1 and budget is not None:
+        # HiGHS hit the time_limit we set from the budget: report it as
+        # a budget outcome, not a solver failure, so it is never retried.
+        raise BudgetExceededError(
+            f"HiGHS hit the budget time_limit during {label or 'lp_solve'}",
+            where=label or "lp_solve",
+            wall_time_s=budget.wall_time_s,
+        )
     if result.status != 0 or not result.success:
         raise SolverError(
             f"LP solve failed: {result.message}", status=result.status

@@ -199,7 +199,8 @@ class Telemetry:
         return json.dumps(self.as_dict(), indent=indent)
 
     def render(self) -> str:
-        """Compact ASCII report: spans, LP solves, RET trace, counters."""
+        """Compact ASCII report: spans, LP solves, RET trace, degraded
+        solves and counters."""
         from ..analysis.reporting import Table
 
         sections: list[str] = []
@@ -271,6 +272,16 @@ class Telemetry:
                 table.add_row(
                     [r["visited_triples"], r["grants"], r["granted_wavelengths"]]
                 )
+            sections.append(table.render())
+
+        degraded = self.records_of("degraded_solve")
+        if degraded:
+            table = Table(
+                ["level", "reason"],
+                title="telemetry — degraded solves (budget ladder)",
+            )
+            for r in degraded:
+                table.add_row([r["level"], r["reason"]])
             sections.append(table.render())
 
         if self.counters:

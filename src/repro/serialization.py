@@ -40,6 +40,8 @@ __all__ = [
     "schedule_to_dict",
     "simulation_to_dict",
     "report_to_dict",
+    "fault_events_to_list",
+    "fault_events_from_list",
     "save_json",
     "load_json",
 ]
@@ -248,6 +250,68 @@ def simulation_to_dict(result) -> dict:
             for event in result.events
         ],
     }
+
+
+# ----------------------------------------------------------------------
+# Fault events
+# ----------------------------------------------------------------------
+def fault_events_to_list(events) -> list:
+    """Plain-list form of fault events (for the epoch journal header).
+
+    Each event becomes ``{"kind": ..., "time": ..., "source": ...,
+    "target": ..., "bidirectional": ...}`` plus ``"remaining"`` for
+    degrades.  Inverse: :func:`fault_events_from_list`.
+    """
+    from .faults.events import LinkDown, LinkUp, WavelengthDegrade
+
+    out = []
+    for ev in events:
+        if isinstance(ev, LinkDown):
+            kind = "down"
+        elif isinstance(ev, LinkUp):
+            kind = "up"
+        elif isinstance(ev, WavelengthDegrade):
+            kind = "degrade"
+        else:
+            raise ValidationError(
+                f"not a fault event: {type(ev).__name__}"
+            )
+        record = {
+            "kind": kind,
+            "time": ev.time,
+            "source": _check_identifier(ev.source, "node"),
+            "target": _check_identifier(ev.target, "node"),
+            "bidirectional": ev.bidirectional,
+        }
+        if kind == "degrade":
+            record["remaining"] = ev.remaining
+        out.append(record)
+    return out
+
+
+def fault_events_from_list(records: list) -> list:
+    """Inverse of :func:`fault_events_to_list`; validates every record."""
+    from .faults.events import LinkDown, LinkUp, WavelengthDegrade
+
+    kinds = {"down": LinkDown, "up": LinkUp, "degrade": WavelengthDegrade}
+    out = []
+    for record in records:
+        try:
+            cls = kinds[record["kind"]]
+            kwargs = {
+                "time": float(record["time"]),
+                "source": record["source"],
+                "target": record["target"],
+                "bidirectional": bool(record.get("bidirectional", True)),
+            }
+            if cls is WavelengthDegrade:
+                kwargs["remaining"] = int(record["remaining"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValidationError(
+                f"malformed fault-event record {record!r}: {exc}"
+            ) from None
+        out.append(cls(**kwargs))
+    return out
 
 
 # ----------------------------------------------------------------------

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..errors import ValidationError
+
 __all__ = [
     "Event",
     "JobArrived",
@@ -25,6 +27,9 @@ __all__ = [
     "LinkRestored",
     "DeliveryLost",
     "JobRescheduled",
+    "DegradedSolve",
+    "EVENT_TYPES",
+    "event_from_dict",
 ]
 
 
@@ -175,3 +180,67 @@ class JobRescheduled(Event):
 
     job_id: int | str
     reason: str
+
+
+@dataclass(frozen=True)
+class DegradedSolve(Event):
+    """An epoch's solve ran out of budget and fell down the ladder.
+
+    The scheduler still committed a feasible integer assignment —
+    ``level`` names the degradation rung that produced it
+    (``"lpd_greedy"`` or ``"greedy_baseline"``, see
+    :class:`~repro.core.scheduler.ScheduleResult`).
+    """
+
+    epoch: int
+    level: str
+    reason: str
+
+
+#: Event-class registry by name: the inverse of the ``type`` field that
+#: :func:`repro.serialization.simulation_to_dict` writes.
+EVENT_TYPES: dict[str, type[Event]] = {
+    cls.__name__: cls
+    for cls in (
+        JobArrived,
+        JobAdmitted,
+        JobRejected,
+        JobSizeReduced,
+        JobDeadlineExtended,
+        SchedulingPass,
+        JobProgress,
+        JobCompleted,
+        JobExpired,
+        LinkFailed,
+        LinkDegraded,
+        LinkRestored,
+        DeliveryLost,
+        JobRescheduled,
+        DegradedSolve,
+    )
+}
+
+
+def event_from_dict(data: dict) -> Event:
+    """Rebuild an event from its serialized ``{"type": ..., ...}`` form.
+
+    Inverse of the event encoding in
+    :func:`repro.serialization.simulation_to_dict`, used when replaying
+    an epoch journal.  Unknown types and mismatched fields raise
+    :class:`~repro.errors.ValidationError`.
+    """
+    if not isinstance(data, dict) or "type" not in data:
+        raise ValidationError(
+            'serialized event must be a dict with a "type" field'
+        )
+    fields = dict(data)
+    name = fields.pop("type")
+    cls = EVENT_TYPES.get(name)
+    if cls is None:
+        raise ValidationError(f"unknown event type {name!r}")
+    try:
+        return cls(**fields)
+    except TypeError as exc:
+        raise ValidationError(
+            f"malformed {name} event: {exc}"
+        ) from None

@@ -24,19 +24,22 @@ paper's earlier companion papers quantified.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
+from pathlib import Path
 from typing import Literal
 
 import numpy as np
 
-from ..errors import ScheduleError, ValidationError
+from ..errors import BudgetExceededError, ScheduleError, ValidationError
 from ..faults.events import LinkDown, WavelengthDegrade
 from ..faults.schedule import FaultSchedule
-from ..lp.solver import DEFAULT_RESILIENCE, SolveResilience
+from ..lp.solver import DEFAULT_RESILIENCE, SolveBudget, SolveResilience
 from ..network.capacity import CapacityProfile
 from ..network.graph import Network
 from ..obs import NULL_TELEMETRY, Telemetry
 from ..network.paths import build_path_sets
+from ..recovery.crash import CrashInjector
+from ..recovery.journal import EpochJournal, read_journal
 from ..timegrid import TimeGrid
 from ..workload.jobs import Job, JobSet
 from ..core.admission import admit_greedy, admit_max_prefix, by_arrival
@@ -44,6 +47,7 @@ from ..core.metrics import mean_link_utilization, per_slice_delivery
 from ..core.ret import solve_ret
 from ..core.scheduler import Scheduler
 from .events import (
+    DegradedSolve,
     DeliveryLost,
     Event,
     JobAdmitted,
@@ -58,6 +62,7 @@ from .events import (
     LinkFailed,
     LinkRestored,
     SchedulingPass,
+    event_from_dict,
 )
 
 __all__ = ["AdmissionPolicy", "JobRecord", "SimulationResult", "Simulation"]
@@ -238,6 +243,24 @@ class Simulation:
         ``alpha`` escalation may legitimately stop at its cap with the
         floor unmet (Remark 1), which the result records as
         ``meets_fairness`` rather than as a defect.
+    journal:
+        Optional path to a write-ahead epoch journal
+        (:class:`~repro.recovery.journal.EpochJournal`).  The run
+        commits its full controller state there after every epoch, and
+        :meth:`resume` can pick the run up from the last committed
+        epoch after a crash.  Incompatible with ``capacity_profile``
+        and ``keep_schedules`` (neither is journal-serializable).
+    solve_budget:
+        Optional :class:`~repro.lp.solver.SolveBudget` wall-clock
+        allowance, restarted at every epoch boundary and covering the
+        epoch's whole solve chain (RET extension search + scheduling
+        pass).  Exhaustion never aborts the epoch: the scheduler's
+        degradation ladder commits a cheaper feasible assignment and
+        the run emits a :class:`~repro.sim.events.DegradedSolve` event.
+    crash_injector:
+        Optional :class:`~repro.recovery.crash.CrashInjector` killing
+        the run at a named crash point for recovery testing.  The
+        ``mid-journal`` point requires a ``journal``.
     """
 
     def __init__(
@@ -257,6 +280,9 @@ class Simulation:
         fault_schedule: FaultSchedule | None = None,
         resilience: SolveResilience | None = None,
         verify_epochs: bool = False,
+        journal: str | Path | None = None,
+        solve_budget: SolveBudget | None = None,
+        crash_injector: CrashInjector | None = None,
     ) -> None:
         if tau <= 0 or slice_length <= 0:
             raise ValidationError("tau and slice_length must be positive")
@@ -296,6 +322,28 @@ class Simulation:
         self.resilience = resilience
         self.verify_epochs = verify_epochs
         self.telemetry = telemetry or NULL_TELEMETRY
+        if journal is not None:
+            if capacity_profile is not None:
+                raise ValidationError(
+                    "journal= cannot be combined with capacity_profile=; "
+                    "external capacity profiles are not journal-serializable"
+                )
+            if keep_schedules:
+                raise ValidationError(
+                    "journal= cannot be combined with keep_schedules=True; "
+                    "live ScheduleResult objects are not journal-serializable"
+                )
+        self.journal_path = Path(journal) if journal is not None else None
+        self.solve_budget = solve_budget
+        if (
+            crash_injector is not None
+            and crash_injector.point == "mid-journal"
+            and journal is None
+        ):
+            raise ValidationError(
+                'the "mid-journal" crash point needs a journal= path to tear'
+            )
+        self.crash_injector = crash_injector
 
     # ------------------------------------------------------------------
     def run(self, jobs: JobSet, horizon: float | None = None) -> SimulationResult:
@@ -307,7 +355,238 @@ class Simulation:
             horizon = (1.0 + self.ret_b_max) * jobs.max_end()
         records = {j.id: JobRecord(j, j.end, j.size) for j in jobs}
         order = [j.id for j in jobs]
+        journal = None
+        if self.journal_path is not None:
+            journal = EpochJournal.create(
+                self.journal_path, self._journal_header(jobs, horizon)
+            )
+        return self._run_loop(
+            jobs,
+            float(horizon),
+            records,
+            order,
+            events=[],
+            now=0.0,
+            epoch=0,
+            fault_idx=0,
+            used_edges={},
+            journal=journal,
+        )
+
+    @classmethod
+    def resume(
+        cls, path: str | Path, telemetry: Telemetry | None = None
+    ) -> SimulationResult:
+        """Recover a crashed run from its journal and finish it.
+
+        Rebuilds the simulation (network, jobs, configuration, fault
+        timeline) from the journal header, replays every committed
+        epoch's state, and continues the controller loop from the last
+        committed epoch boundary.  A torn or corrupt journal tail is
+        dropped silently — the run re-executes from the last valid
+        record (solves are deterministic, so the redone epoch commits
+        the same state the crash destroyed).  The continued run keeps
+        appending to the same journal, healing any torn tail on its
+        first commit.
+
+        Raises :class:`~repro.errors.JournalError` when the journal is
+        missing or unusable (see
+        :func:`~repro.recovery.journal.read_journal`).
+        """
+        from ..serialization import (
+            fault_events_from_list,
+            jobs_from_dict,
+            network_from_dict,
+        )
+
+        replay = read_journal(path)
+        header = replay.header
+        try:
+            network = network_from_dict(header["network"])
+            jobs = jobs_from_dict({"jobs": header["jobs"]})
+            config = dict(header["config"])
+            horizon = float(header["horizon"])
+        except (KeyError, TypeError) as exc:
+            raise ValidationError(
+                f"journal header at {path} is missing field {exc}"
+            ) from None
+        fault_schedule = None
+        if header.get("faults") is not None:
+            fault_schedule = FaultSchedule(
+                network, fault_events_from_list(header["faults"])
+            )
+        solve_budget = (
+            SolveBudget(**config["solve_budget"])
+            if config.get("solve_budget")
+            else None
+        )
+        resilience = (
+            SolveResilience(**config["resilience"])
+            if config.get("resilience")
+            else None
+        )
+        sim = cls(
+            network,
+            tau=config["tau"],
+            slice_length=config["slice_length"],
+            policy=config["policy"],
+            k_paths=config["k_paths"],
+            alpha=config["alpha"],
+            ret_b_max=config["ret_b_max"],
+            ret_delta=config["ret_delta"],
+            rejection=config["rejection"],
+            verify_epochs=config.get("verify_epochs", False),
+            telemetry=telemetry,
+            fault_schedule=fault_schedule,
+            resilience=resilience,
+            journal=path,
+            solve_budget=solve_budget,
+        )
+        records = {j.id: JobRecord(j, j.end, j.size) for j in jobs}
+        order = [j.id for j in jobs]
         events: list[Event] = []
+        for entry in replay.entries:
+            for ev in entry.get("events", ()):
+                events.append(event_from_dict(ev))
+        now, epoch, fault_idx = 0.0, 0, 0
+        used_edges: dict[int | str, frozenset[int]] = {}
+        last = replay.last_entry
+        if last is not None:
+            now = float(last["now"])
+            epoch = int(last["epoch"])
+            fault_idx = int(last["fault_idx"])
+            for rec_data in last["records"]:
+                rec = records[rec_data["job"]]
+                rec.status = str(rec_data["status"])
+                rec.remaining = float(rec_data["remaining"])
+                rec.effective_end = float(rec_data["effective_end"])
+                ct = rec_data["completion_time"]
+                rec.completion_time = float(ct) if ct is not None else None
+            used_edges = {
+                row[0]: frozenset(int(e) for e in row[1])
+                for row in last.get("used_edges", ())
+            }
+        journal = EpochJournal.open_existing(path)
+        sim.telemetry.count("journal_resumes")
+        return sim._run_loop(
+            jobs,
+            horizon,
+            records,
+            order,
+            events,
+            now,
+            epoch,
+            fault_idx,
+            used_edges,
+            journal,
+        )
+
+    # ------------------------------------------------------------------
+    def _journal_header(self, jobs: JobSet, horizon: float) -> dict:
+        """The journal's immutable run description (first line)."""
+        from ..serialization import (
+            fault_events_to_list,
+            jobs_to_dict,
+            network_to_dict,
+        )
+
+        return {
+            "network": network_to_dict(self.network),
+            "jobs": jobs_to_dict(jobs)["jobs"],
+            "horizon": float(horizon),
+            "config": {
+                "tau": self.tau,
+                "slice_length": self.slice_length,
+                "policy": self.policy,
+                "k_paths": self.k_paths,
+                "alpha": self.alpha,
+                "ret_b_max": self.ret_b_max,
+                "ret_delta": self.ret_delta,
+                "rejection": self.rejection,
+                "verify_epochs": self.verify_epochs,
+                "solve_budget": (
+                    {
+                        "wall_time_s": self.solve_budget.wall_time_s,
+                        "min_backend_time_s": self.solve_budget.min_backend_time_s,
+                    }
+                    if self.solve_budget is not None
+                    else None
+                ),
+                "resilience": (
+                    asdict(self.resilience)
+                    if self.resilience is not None
+                    else None
+                ),
+            },
+            "faults": (
+                fault_events_to_list(self.fault_schedule.events)
+                if self.fault_schedule is not None
+                else None
+            ),
+        }
+
+    @staticmethod
+    def _journal_entry(
+        order: list,
+        records: dict,
+        now: float,
+        epoch: int,
+        fault_idx: int,
+        used_edges: dict,
+        new_events: list,
+    ) -> dict:
+        """One committed-epoch record: the controller's full mutable state."""
+        return {
+            "epoch": int(epoch),
+            "now": float(now),
+            "fault_idx": int(fault_idx),
+            "records": [
+                {
+                    "job": records[i].job.id,
+                    "status": records[i].status,
+                    "remaining": records[i].remaining,
+                    "effective_end": records[i].effective_end,
+                    "completion_time": records[i].completion_time,
+                }
+                for i in order
+            ],
+            "used_edges": [
+                [job_id, sorted(int(e) for e in edges)]
+                for job_id, edges in sorted(
+                    used_edges.items(), key=lambda kv: str(kv[0])
+                )
+            ],
+            "events": [
+                {"type": type(ev).__name__, **asdict(ev)} for ev in new_events
+            ],
+        }
+
+    def _crash_point(self, point: str, epoch: int) -> None:
+        """Fire the crash injector if this is its (point, epoch)."""
+        ci = self.crash_injector
+        if ci is not None and ci.should_fire(point, epoch):
+            ci.fire(point, epoch)
+
+    def _run_loop(
+        self,
+        jobs: JobSet,
+        horizon: float,
+        records: dict,
+        order: list,
+        events: list,
+        now: float,
+        epoch: int,
+        fault_idx: int,
+        used_edges: dict,
+        journal: EpochJournal | None,
+    ) -> SimulationResult:
+        """The controller loop proper, from an arbitrary committed state.
+
+        ``run`` enters it with fresh state, ``resume`` with state
+        replayed from a journal; everything the loop mutates is either
+        an argument or derived from one, so the two entry points share
+        every line of epoch logic.
+        """
         kept_schedules: list = []
         verification: list = []
         scheduler = Scheduler(
@@ -322,12 +601,38 @@ class Simulation:
             self.network, jobs.od_pairs(), self.k_paths
         )
 
-        epoch = 0
-        now = 0.0
-        fault_idx = 0
-        #: job id -> edge ids its most recent schedule actually used.
-        used_edges: dict[int | str, frozenset[int]] = {}
-        unseen = sorted(jobs, key=lambda j: (j.arrival, str(j.id)))
+        journal_mark = len(events)
+
+        def commit(crash_epoch: int | None = None) -> None:
+            """Durably record the loop state reached so far."""
+            nonlocal journal_mark
+            if journal is None:
+                return
+            entry = self._journal_entry(
+                order,
+                records,
+                now,
+                epoch,
+                fault_idx,
+                used_edges,
+                events[journal_mark:],
+            )
+            ci = self.crash_injector
+            if (
+                crash_epoch is not None
+                and ci is not None
+                and ci.should_fire("mid-journal", crash_epoch)
+            ):
+                journal.append_torn(entry)
+                ci.fire("mid-journal", crash_epoch)
+            journal.append(entry)
+            journal_mark = len(events)
+            self.telemetry.count("journal_commits")
+
+        unseen = sorted(
+            (rec.job for rec in records.values() if rec.status == "pending"),
+            key=lambda j: (j.arrival, str(j.id)),
+        )
         while now < horizon - 1e-9:
             # 1. Collect arrivals up to this epoch.
             while unseen and unseen[0].arrival <= now + 1e-9:
@@ -362,7 +667,14 @@ class Simulation:
                     break  # nothing active, nothing to come
                 now = self._advance_to(unseen[0].arrival)
                 epoch = int(round(now / self.tau))
+                commit()
                 continue
+
+            self._crash_point("pre-solve", epoch)
+            if self.solve_budget is not None:
+                # A fresh allowance per epoch: the budget covers the
+                # whole solve chain (RET + scheduling) for this pass.
+                self.solve_budget.restart()
 
             # 4. Admission control + scheduling, timed as one pass (the
             #    span replaces the old hand-rolled perf_counter block and
@@ -391,11 +703,14 @@ class Simulation:
                         grid,
                         capacity_profile=profile,
                         path_sets=epoch_paths,
+                        budget=self.solve_budget,
                     )
             if residual is None:
                 now += self.tau
                 epoch += 1
+                commit()
                 continue
+            self._crash_point("post-solve", epoch)
             events.append(
                 SchedulingPass(
                     now,
@@ -407,6 +722,12 @@ class Simulation:
                     mean_link_utilization(result.structure, result.x),
                 )
             )
+            if result.degraded is not None:
+                events.append(
+                    DegradedSolve(
+                        now, epoch, result.degraded, result.degraded_reason or ""
+                    )
+                )
 
             if self.keep_schedules:
                 kept_schedules.append((epoch, result))
@@ -415,10 +736,15 @@ class Simulation:
             if self.verify_epochs:
                 self._verify_planned(result, verification)
 
-            # 5. Execute the first tau worth of slices.
+            # 5. Execute the first tau worth of slices, then commit the
+            #    post-execution state as this epoch's journal record.
             self._execute(result, records, now, events, verification)
+            self._crash_point("pre-commit", epoch)
+            pass_epoch = epoch
             now += self.tau
             epoch += 1
+            commit(crash_epoch=pass_epoch)
+            self._crash_point("post-commit", pass_epoch)
 
         self._expire_stale(records, horizon, events, final=True)
         return SimulationResult(
@@ -603,9 +929,12 @@ class Simulation:
                 path_sets=path_sets,
                 telemetry=self.telemetry,
                 resilience=self.resilience,
+                budget=self.solve_budget,
             )
-        except ScheduleError:
-            return residual  # run best-effort; expiry will record the loss
+        except (ScheduleError, BudgetExceededError):
+            # No completing extension found (or no time left to look for
+            # one): run best-effort; expiry will record the loss.
+            return residual
         if ret.b_final > 0:
             out = []
             for job in residual:

@@ -185,6 +185,100 @@ class TestSimulateCommand:
         assert "num_completed" in printed
 
 
+class TestResumeCommand:
+    def test_journal_then_resume(self, tmp_path, net_file, jobs_file, capsys):
+        journal = tmp_path / "run.jsonl"
+        assert (
+            main(
+                [
+                    "simulate", "--network", str(net_file),
+                    "--jobs", str(jobs_file), "--journal", str(journal),
+                ]
+            )
+            == 0
+        )
+        assert journal.exists()
+        capsys.readouterr()
+        assert main(["resume", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "resumed simulation" in out
+        assert "num_completed" in out
+
+    def test_solve_budget_flag(self, net_file, jobs_file, capsys):
+        assert (
+            main(
+                [
+                    "simulate", "--network", str(net_file),
+                    "--jobs", str(jobs_file), "--solve-budget", "30",
+                ]
+            )
+            == 0
+        )
+        assert "num_completed" in capsys.readouterr().out
+
+    def test_resume_missing_journal_is_clean_error(self, tmp_path, capsys):
+        assert main(["resume", str(tmp_path / "nope.jsonl")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestFaultSpecErrors:
+    """Malformed --faults files fail with error messages, not tracebacks."""
+
+    def _simulate(self, net_file, jobs_file, spec):
+        return main(
+            [
+                "simulate", "--network", str(net_file),
+                "--jobs", str(jobs_file), "--faults", str(spec),
+            ]
+        )
+
+    def test_nonexistent_fault_file(self, tmp_path, net_file, jobs_file, capsys):
+        code = self._simulate(net_file, jobs_file, tmp_path / "missing.json")
+        assert code == 1
+        assert "error: no such file" in capsys.readouterr().err
+
+    def test_fault_file_not_an_object(self, tmp_path, net_file, jobs_file, capsys):
+        spec = tmp_path / "bad.json"
+        spec.write_text(json.dumps([1, 2, 3]))
+        assert self._simulate(net_file, jobs_file, spec) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "'events' list" in err
+
+    def test_non_numeric_time(self, tmp_path, net_file, jobs_file, capsys):
+        spec = tmp_path / "bad.json"
+        spec.write_text(json.dumps({
+            "events": [
+                {"kind": "down", "source": 0, "target": 1, "time": "soon"},
+            ],
+        }))
+        assert self._simulate(net_file, jobs_file, spec) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "non-numeric time" in err and "'soon'" in err
+
+    def test_bad_degrade_remaining(self, tmp_path, net_file, jobs_file, capsys):
+        spec = tmp_path / "bad.json"
+        spec.write_text(json.dumps({
+            "events": [
+                {"kind": "degrade", "source": 0, "target": 1,
+                 "time": 1.0, "remaining": "lots"},
+            ],
+        }))
+        assert self._simulate(net_file, jobs_file, spec) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "non-integer" in err
+
+    def test_non_scalar_endpoint(self, tmp_path, net_file, jobs_file, capsys):
+        spec = tmp_path / "bad.json"
+        spec.write_text(json.dumps({
+            "events": [
+                {"kind": "down", "source": [0, 1], "target": 1, "time": 1.0},
+            ],
+        }))
+        assert self._simulate(net_file, jobs_file, spec) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "non-scalar source" in err
+
+
 class TestErrorHandling:
     def test_missing_file_is_clean_error(self, capsys):
         code = main(["schedule", "--network", "/nope.json", "--jobs", "/nope.json"])

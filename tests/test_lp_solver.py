@@ -70,6 +70,57 @@ class TestLinearProgramValidation:
             )
 
 
+class TestNonFiniteRejection:
+    """NaN/inf coefficients fail construction, not solve time."""
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_objective_must_be_finite(self, bad):
+        with pytest.raises(ValidationError, match="objective"):
+            LinearProgram(objective=np.array([1.0, bad]))
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_b_ub_must_be_finite(self, bad):
+        with pytest.raises(ValidationError, match="a_ub's rhs"):
+            LinearProgram(
+                objective=np.ones(2), a_ub=sp.eye(2),
+                b_ub=np.array([1.0, bad]),
+            )
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_b_eq_must_be_finite(self, bad):
+        with pytest.raises(ValidationError, match="a_eq's rhs"):
+            LinearProgram(
+                objective=np.ones(2), a_eq=sp.eye(2),
+                b_eq=np.array([bad, 1.0]),
+            )
+
+    def test_nan_bound_rejected(self):
+        with pytest.raises(ValidationError, match="NaN"):
+            LinearProgram(
+                objective=np.ones(2), lower=np.array([0.0, np.nan])
+            )
+        with pytest.raises(ValidationError, match="NaN"):
+            LinearProgram(
+                objective=np.ones(2), upper=np.array([np.nan, 1.0])
+            )
+
+    def test_infinite_bounds_still_legal(self):
+        # Unbounded-above variables are expressed with +inf on purpose.
+        lp = LinearProgram(
+            objective=np.ones(2),
+            lower=np.array([0.0, -np.inf]),
+            upper=np.array([np.inf, 5.0]),
+        )
+        lo, hi = lp.bounds_arrays()
+        assert lo[1] == -np.inf and hi[0] == np.inf
+
+    def test_inverted_infinite_bounds_rejected(self):
+        with pytest.raises(ValidationError, match="lower bound"):
+            LinearProgram(objective=np.ones(2), lower=np.array([0.0, np.inf]))
+        with pytest.raises(ValidationError, match="upper bound"):
+            LinearProgram(objective=np.ones(2), upper=np.array([-np.inf, 1.0]))
+
+
 class TestSolveLP:
     def test_simple_minimize(self):
         # min x0 + x1 s.t. x0 + x1 >= 2 (as -x0 - x1 <= -2), x >= 0.

@@ -18,7 +18,7 @@ class TestPublicSurface:
     def test_subpackages_importable(self):
         subs = (
             "core", "network", "workload", "lp", "sim",
-            "analysis", "faults", "verify",
+            "analysis", "faults", "verify", "recovery",
         )
         for sub in subs:
             mod = importlib.import_module(f"repro.{sub}")
@@ -36,6 +36,25 @@ class TestPublicSurface:
         ):
             assert name in repro.__all__, f"{name} missing from repro.__all__"
             assert getattr(repro, name) is getattr(repro.verify, name)
+
+    def test_recovery_names_exported_at_top_level(self):
+        """The durability entry points are part of the top-level API."""
+        for name in (
+            "EpochJournal",
+            "JournalReplay",
+            "read_journal",
+            "SCHEMA_VERSION",
+            "CRASH_POINTS",
+            "CrashInjector",
+            "SimulatedCrash",
+            "SolveBudget",
+        ):
+            assert name in repro.__all__, f"{name} missing from repro.__all__"
+            assert getattr(repro, name) is getattr(repro.recovery, name)
+
+    def test_solve_budget_shared_with_lp_layer(self):
+        """repro.recovery re-exports the lp layer's SolveBudget, not a copy."""
+        assert repro.recovery.SolveBudget is repro.lp.SolveBudget
 
     def test_all_errors_exported_at_top_level(self):
         """Every error type is catchable from the top-level namespace.
