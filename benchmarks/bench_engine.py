@@ -1,0 +1,258 @@
+"""ENG — layered model engine vs from-scratch builds, with a JSON trail.
+
+The engine (``docs/architecture.md``) promises that reuse across
+related solves — cached paths, per-job layout fragments and memoized
+LP solutions keyed on the *discretized* instance — makes the RET
+binary-search probe loop and the periodic controller measurably faster
+while changing nothing about the answers.  This benchmark pins both
+halves of that claim on the paper's Abilene topology:
+
+* **RET probe loop** — an overloaded calibrated workload forces a full
+  bisection on ``b``; the warm engine must be at least
+  ``RET_SPEEDUP_FLOOR``× faster than ``ModelEngine.cold`` *and* return
+  the identical extension and assignment.
+* **Multi-epoch simulate** — the controller loop re-plans every epoch;
+  warm must never be slower than cold (within noise slack) and the
+  serialized runs must match.
+
+Results (best-of-``REPEATS`` wall times, speedups, verified-equal
+metrics and the engine's cache counters) are written to
+``BENCH_engine.json`` at the repo root, which CI uploads as an
+artifact.  Runs under pytest (the CI gate) or as a plain script::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py
+"""
+
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+import scipy
+
+from repro import Simulation, Telemetry, __version__, serialization
+from repro.analysis import Table
+from repro.core.ret import solve_ret
+from repro.workload import WorkloadConfig, WorkloadGenerator
+from repro.workload.jobs import JobSet
+
+from _support import abilene_network, calibrated_jobs
+
+SEED = 1009
+REPEATS = 3
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+#: Acceptance floor for the RET probe-loop case (ISSUE 5 target).
+RET_SPEEDUP_FLOOR = 1.5
+#: The simulate case only gates "not slower than baseline" (plus noise).
+SIM_SLOWDOWN_RATIO = 0.10
+SIM_ABS_SLACK_S = 0.10
+
+#: Overloaded calibration: Z* < 1 forces RET to genuinely extend.
+RET_NUM_JOBS = 18
+RET_TARGET_ZSTAR = 0.65
+#: Half-unit slices and a tight tolerance make the bisection long and
+#: its late probes cluster below slice granularity — the regime the
+#: discretized solve memo is built for (b_hat lands well inside b_max).
+RET_B_MAX = 1.0
+RET_SEARCH_TOL = 1e-6
+RET_SLICE_LENGTH = 0.5
+
+SIM_NUM_JOBS = 10
+SIM_CONFIG = WorkloadConfig(
+    size_low=30.0,
+    size_high=120.0,
+    window_slices_low=4,
+    window_slices_high=10,
+    start_slack_slices=2,
+)
+
+
+def _ret_instance():
+    network = abilene_network()
+    jobs = calibrated_jobs(
+        network, RET_NUM_JOBS, seed=SEED, target_zstar=RET_TARGET_ZSTAR
+    )
+    return network, jobs
+
+
+def _sim_instance():
+    network = abilene_network()
+    generator = WorkloadGenerator(network, config=SIM_CONFIG, seed=SEED)
+    jobs = JobSet(
+        [generator.job(i, arrival=float(i % 5)) for i in range(SIM_NUM_JOBS)]
+    )
+    return network, jobs
+
+
+def _time_best_of(fn, repeats=REPEATS):
+    """(min seconds, last result) over ``repeats`` runs of ``fn``."""
+    best, result = float("inf"), None
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _case_ret_probe_loop():
+    """Warm vs cold RET bisection on overloaded Abilene."""
+    network, jobs = _ret_instance()
+    telemetry = Telemetry()
+
+    def run(warm_start, tel=None):
+        return solve_ret(
+            network,
+            jobs,
+            slice_length=RET_SLICE_LENGTH,
+            b_max=RET_B_MAX,
+            search_tol=RET_SEARCH_TOL,
+            telemetry=tel,
+            warm_start=warm_start,
+        )
+
+    cold_s, cold = _time_best_of(lambda: run(False))
+    warm_s, warm = _time_best_of(lambda: run(True, telemetry))
+
+    # Verify-identical outputs before any timing claim.
+    assert warm.b_hat == pytest.approx(cold.b_hat)
+    assert warm.b_final == pytest.approx(cold.b_final)
+    assert warm.delta_steps == cold.delta_steps
+    assert np.array_equal(
+        warm.assignments.x_lpdar, cold.assignments.x_lpdar
+    )
+
+    counters = telemetry.counters
+    return {
+        "engine_seconds": round(warm_s, 4),
+        "baseline_seconds": round(cold_s, 4),
+        "speedup": round(cold_s / warm_s, 3),
+        "metrics": {
+            "b_hat": round(float(warm.b_hat), 9),
+            "b_final": round(float(warm.b_final), 9),
+            "delta_steps": int(warm.delta_steps),
+            "ret_probes": int(counters.get("ret_probes", 0)),
+            "warm_starts": int(counters.get("warm_starts", 0)),
+            "engine_solves": int(counters.get("engine_solves", 0)),
+            "layout_fragment_hits": int(
+                counters.get("layout_fragment_hits", 0)
+            ),
+        },
+    }
+
+
+def _case_simulate_epochs():
+    """Warm vs cold periodic controller, staggered arrivals on Abilene."""
+    network, jobs = _sim_instance()
+    telemetry = Telemetry()
+
+    # "extend" re-runs RET every overloaded epoch through the shared
+    # engine, so path-cache reuse across epochs is visible in the
+    # counters; the gate is only "never slower than from-scratch".
+    cold_s, cold = _time_best_of(
+        lambda: Simulation(network, policy="extend", warm_start=False).run(jobs)
+    )
+    warm_s, warm = _time_best_of(
+        lambda: Simulation(
+            network,
+            policy="extend",
+            warm_start=True,
+            telemetry=telemetry,
+        ).run(jobs)
+    )
+
+    # Job lifecycles must match exactly (events also carry wall-clock
+    # solve timings, so they are compared in the equivalence tests with
+    # those stripped, not here).
+    warm_dump = serialization.simulation_to_dict(warm)
+    cold_dump = serialization.simulation_to_dict(cold)
+    assert warm_dump["records"] == cold_dump["records"], (
+        "warm and cold simulations diverged"
+    )
+
+    counters = telemetry.counters
+    return {
+        "engine_seconds": round(warm_s, 4),
+        "baseline_seconds": round(cold_s, 4),
+        "speedup": round(cold_s / warm_s, 3),
+        "metrics": {
+            "completion_rate": round(float(warm.completion_rate), 9),
+            "delivered_volume": round(float(warm.delivered_volume), 9),
+            "structure_cache_hits": int(
+                counters.get("structure_cache_hits", 0)
+            ),
+            "path_cache_hits": int(counters.get("path_cache_hits", 0)),
+            "layout_fragment_hits": int(
+                counters.get("layout_fragment_hits", 0)
+            ),
+        },
+    }
+
+
+def run_engine_bench() -> dict:
+    """Run both cases and return the ``BENCH_engine.json`` document."""
+    return {
+        "schema": 1,
+        "suite": "engine-speedup",
+        "repeats": REPEATS,
+        "target_ret_speedup": RET_SPEEDUP_FLOOR,
+        "versions": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "scipy": scipy.__version__,
+            "repro": __version__,
+        },
+        "cases": {
+            "ret_probe_loop_abilene": _case_ret_probe_loop(),
+            "simulate_epochs_abilene": _case_simulate_epochs(),
+        },
+    }
+
+
+def _as_table(document: dict) -> Table:
+    table = Table(
+        ["case", "engine (s)", "baseline (s)", "speedup"],
+        title="ENG — layered engine vs from-scratch (Abilene)",
+    )
+    for name, case in document["cases"].items():
+        table.add_row(
+            [
+                name,
+                case["engine_seconds"],
+                case["baseline_seconds"],
+                f"{case['speedup']}x",
+            ]
+        )
+    return table
+
+
+def test_engine_speedup(report):
+    document = run_engine_bench()
+    BENCH_PATH.write_text(json.dumps(document, indent=2) + "\n")
+    report(_as_table(document))
+
+    ret = document["cases"]["ret_probe_loop_abilene"]
+    assert ret["speedup"] >= RET_SPEEDUP_FLOOR, (
+        f"RET probe loop speedup {ret['speedup']}x is below the "
+        f"{RET_SPEEDUP_FLOOR}x floor "
+        f"(engine {ret['engine_seconds']}s vs baseline "
+        f"{ret['baseline_seconds']}s)"
+    )
+
+    sim = document["cases"]["simulate_epochs_abilene"]
+    limit = (
+        sim["baseline_seconds"] * (1.0 + SIM_SLOWDOWN_RATIO) + SIM_ABS_SLACK_S
+    )
+    assert sim["engine_seconds"] <= limit, (
+        f"warm simulate ({sim['engine_seconds']}s) slower than the "
+        f"from-scratch baseline ({sim['baseline_seconds']}s) beyond noise"
+    )
+
+
+if __name__ == "__main__":
+    doc = run_engine_bench()
+    BENCH_PATH.write_text(json.dumps(doc, indent=2) + "\n")
+    print(_as_table(doc).render())
+    print(f"\nwrote {BENCH_PATH}")

@@ -28,9 +28,22 @@ The three top-level entry points are:
   controller loop.
 """
 
-from . import analysis, core, experiments, faults, lp, network, obs, recovery, sim, verify, workload
+from . import analysis, core, engine, experiments, faults, lp, network, obs, recovery, sim, verify, workload
 from . import serialization
 from .analysis import ResilienceReport, resilience_report
+from .engine import (
+    HighsBackend,
+    ModelEngine,
+    SimplexBackend,
+    SolverBackend,
+    TopologyLayer,
+    LayoutLayer,
+    WarmStart,
+    available_backends,
+    build_structure,
+    get_backend,
+    register_backend,
+)
 from .core import (
     AdmissionDecision,
     NegotiationSession,
@@ -134,6 +147,7 @@ __all__ = [
     # subpackages
     "analysis",
     "core",
+    "engine",
     "experiments",
     "faults",
     "lp",
@@ -170,6 +184,18 @@ __all__ = [
     "DEFAULT_RESILIENCE",
     "solve_lp",
     "solve_milp",
+    # model engine and solver-backend registry
+    "ModelEngine",
+    "build_structure",
+    "TopologyLayer",
+    "LayoutLayer",
+    "SolverBackend",
+    "WarmStart",
+    "HighsBackend",
+    "SimplexBackend",
+    "register_backend",
+    "get_backend",
+    "available_backends",
     # observability
     "Telemetry",
     "NullTelemetry",

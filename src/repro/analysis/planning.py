@@ -22,7 +22,7 @@ import numpy as np
 from ..core.stage2 import solve_stage2_lp
 from ..core.throughput import solve_stage1
 from ..errors import ValidationError
-from ..lp.model import ProblemStructure
+from ..engine import build_structure
 from ..network.graph import Network
 from ..timegrid import TimeGrid
 from ..workload.jobs import JobSet
@@ -138,7 +138,7 @@ def plan_upgrades(
     current = network.copy()
 
     def evaluate(net: Network):
-        structure = ProblemStructure(net, jobs, grid, k_paths)
+        structure = build_structure(net, jobs, grid, k_paths)
         zstar = solve_stage1(structure).zstar
         stage2 = solve_stage2_lp(structure, zstar, alpha)
         return structure, zstar, stage2.objective

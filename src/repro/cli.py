@@ -117,6 +117,10 @@ def _build_parser() -> argparse.ArgumentParser:
     ret.add_argument("--profile", action="store_true",
                      help="print the solve-telemetry tables (including the "
                      "binary-search trace) after the run")
+    ret.add_argument("--no-warm-start", action="store_true",
+                     help="disable the model engine's layout/solution reuse "
+                     "across binary-search probes (same result, slower; "
+                     "see docs/architecture.md)")
     ret.add_argument("-o", "--output", default=None,
                      help="write the extended-schedule grant list as JSON")
 
@@ -152,6 +156,10 @@ def _build_parser() -> argparse.ArgumentParser:
                      "instead of overrunning the epoch")
     sim.add_argument("--profile", action="store_true",
                      help="print the solve-telemetry tables after the run")
+    sim.add_argument("--no-warm-start", action="store_true",
+                     help="disable the model engine's cross-epoch reuse "
+                     "(identical records and events, slower; "
+                     "see docs/architecture.md)")
     sim.add_argument("-o", "--output", default=None,
                      help="write the run's records and event log as JSON")
 
@@ -352,6 +360,7 @@ def _cmd_ret(args) -> int:
         delta=args.delta,
         mode=args.mode,
         telemetry=telemetry,
+        warm_start=not args.no_warm_start,
     )
     table = Table(["metric", "value"], title="RET (Algorithm 2) summary")
     table.add_row(["mode", result.mode])
@@ -463,6 +472,7 @@ def _cmd_simulate(args) -> int:
         fault_schedule=fault_schedule,
         journal=args.journal,
         solve_budget=solve_budget,
+        warm_start=not args.no_warm_start,
     )
     result = sim.run(jobs, horizon=args.horizon)
     _print_simulation_summary(result, f"simulation ({args.policy} policy)")
@@ -479,6 +489,7 @@ def _cmd_simulate(args) -> int:
                 policy=args.policy,
                 k_paths=args.k_paths,
                 rejection=args.rejection,
+                warm_start=not args.no_warm_start,
             ).run(jobs, horizon=args.horizon)
         print()
         print(resilience_report(result, baseline).table().render())

@@ -25,13 +25,12 @@ from collections.abc import Callable
 
 import numpy as np
 
+from ..engine.engine import ModelEngine
 from ..errors import ValidationError
-from ..lp.model import ProblemStructure
 from ..network.graph import Network
-from ..network.paths import build_path_sets
 from ..timegrid import TimeGrid
 from ..workload.jobs import Job, JobSet
-from .throughput import solve_stage1
+from .throughput import build_stage1_lp, solve_stage1
 
 __all__ = [
     "by_arrival",
@@ -116,7 +115,10 @@ def admit_max_prefix(
     if threshold <= 0:
         raise ValidationError(f"threshold must be positive, got {threshold}")
     ordered = jobs.sorted_by(key)
-    path_sets = build_path_sets(network, ordered.od_pairs(), k_paths)
+    # One engine for the whole search: paths resolve once, and the final
+    # prefix's re-solve below is a pure memo hit instead of a second LP.
+    engine = ModelEngine(network, k_paths)
+    path_sets = engine.topology.path_sets(ordered.od_pairs())
 
     schedulable: list[Job] = []
     rejected: list[Job] = []
@@ -128,14 +130,13 @@ def admit_max_prefix(
     def prefix_zstar(count: int) -> float:
         if count == 0:
             return float("inf")
-        structure = ProblemStructure(
-            network,
-            JobSet(schedulable[:count]),
-            grid,
-            k_paths,
-            path_sets=path_sets,
+        structure = engine.structure(
+            JobSet(schedulable[:count]), grid, path_sets=path_sets
         )
-        return solve_stage1(structure).zstar
+        solution = engine.cached_solve(
+            structure, "stage1", lambda: build_stage1_lp(structure)
+        )
+        return float(solution.x[-1])
 
     # Binary search the largest count with Z*(prefix) >= threshold.
     lo, hi = 0, len(schedulable)  # invariant: prefix_zstar(lo) >= threshold
@@ -181,7 +182,10 @@ def admit_greedy(
     if threshold <= 0:
         raise ValidationError(f"threshold must be positive, got {threshold}")
     ordered = jobs.sorted_by(key)
-    path_sets = build_path_sets(network, ordered.od_pairs(), k_paths)
+    # The candidate sets all share paths and per-job layout fragments;
+    # an engine makes the per-job stage-1 solves reuse both.
+    engine = ModelEngine(network, k_paths)
+    path_sets = engine.topology.path_sets(ordered.od_pairs())
 
     accepted: list[Job] = []
     rejected: list[Job] = []
@@ -193,9 +197,7 @@ def admit_greedy(
             rejected.append(job)
             continue
         candidate = JobSet(accepted + [job])
-        structure = ProblemStructure(
-            network, candidate, grid, k_paths, path_sets=path_sets
-        )
+        structure = engine.structure(candidate, grid, path_sets=path_sets)
         z = solve_stage1(structure).zstar
         if z >= threshold:
             accepted.append(job)

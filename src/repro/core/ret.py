@@ -25,6 +25,7 @@ from typing import Literal
 
 import numpy as np
 
+from ..engine.engine import ModelEngine
 from ..errors import InfeasibleProblemError, ScheduleError, ValidationError
 from ..lp.model import ProblemStructure
 from ..lp.solver import (
@@ -36,8 +37,7 @@ from ..lp.solver import (
 )
 from ..obs import NULL_TELEMETRY, Telemetry
 from ..network.graph import Network
-from ..network.paths import Path, build_path_sets
-from ..timegrid import TimeGrid
+from ..network.paths import Path
 from ..workload.jobs import JobSet
 from .lpdar import GreedyOrder, LpdarResult, lpdar
 from .metrics import COMPLETION_TOL, average_end_time, fraction_finished
@@ -82,12 +82,10 @@ def build_subret_lp(
     costs = gamma(structure.col_slice)
     if np.any(costs <= 0) or not np.all(np.isfinite(costs)):
         raise ValidationError("gamma must produce positive finite costs")
-    import scipy.sparse as sp
+    from ..engine.assembly import capacity_floor_blocks
 
-    a_ub = sp.vstack(
-        [structure.capacity_matrix, -structure.demand_matrix], format="csr"
-    )
-    b_ub = np.concatenate([structure.cap_rhs, -structure.demands])
+    # Completion floors: -delivered_i <= -d_i (constraint (15)).
+    a_ub, b_ub = capacity_floor_blocks(structure, -structure.demands)
     return LinearProgram(objective=costs, a_ub=a_ub, b_ub=b_ub, maximize=False)
 
 
@@ -186,6 +184,8 @@ def solve_ret(
     telemetry: Telemetry | None = None,
     resilience: SolveResilience | None = None,
     budget: SolveBudget | None = None,
+    engine: "ModelEngine | None" = None,
+    warm_start: bool = True,
 ) -> RetResult:
     """Algorithm 2: find the smallest end-time extension completing all jobs.
 
@@ -245,6 +245,17 @@ def solve_ret(
         — so exhaustion raises
         :class:`~repro.errors.BudgetExceededError` and the caller (e.g.
         the simulator's overload handler) decides what to do.
+    engine:
+        Optional shared :class:`~repro.engine.ModelEngine` (must be
+        bound to ``network`` with matching ``k_paths``).  The simulator
+        passes its own so probe layouts and solutions carry over across
+        epochs; by default each call builds a private engine.
+    warm_start:
+        When no ``engine`` is supplied, whether the private engine may
+        reuse layouts and memoize probe solves (results are identical
+        either way; ``False`` — the CLI's ``--no-warm-start`` — forces
+        the fully from-scratch audit path).  Ignored when ``engine`` is
+        given.
 
     Raises
     ------
@@ -262,46 +273,63 @@ def solve_ret(
         raise ValidationError(f"search_tol must be positive, got {search_tol}")
     if mode not in ("end_time", "interval"):
         raise ValidationError(f"unknown RET mode {mode!r}")
-    if path_sets is None:
-        path_sets = build_path_sets(network, jobs.od_pairs(), k_paths)
     telemetry = telemetry or NULL_TELEMETRY
+    if engine is None:
+        engine = (
+            ModelEngine(network, k_paths, telemetry=telemetry)
+            if warm_start
+            else ModelEngine.cold(network, k_paths, telemetry=telemetry)
+        )
+    else:
+        if engine.network is not network:
+            raise ValidationError(
+                "engine is bound to a different network than solve_ret's"
+            )
+        if engine.k_paths != k_paths:
+            raise ValidationError(
+                f"engine resolves k_paths={engine.k_paths} but solve_ret "
+                f"was asked for k_paths={k_paths}"
+            )
+    if path_sets is None:
+        path_sets = engine.topology.path_sets(jobs.od_pairs())
     if budget is not None:
         budget.ensure_started()
-    phase = "bounds"
+    # The default Quick-Finish objective is part of the LP family's
+    # identity; a caller-supplied gamma is not visible to the memo key,
+    # so those probes always solve from scratch.
+    cacheable_gamma = gamma is quick_finish_gamma
 
-    def stretch(b: float) -> JobSet:
-        if mode == "interval":
-            return jobs.with_extended_intervals(b)
-        return jobs.with_extended_ends(b)
+    def attempt(
+        b: float, phase: str
+    ) -> tuple[ProblemStructure, LPSolution] | None:
+        """Structure + LP solution at extension ``b``, or None if infeasible.
 
-    def attempt(b: float) -> tuple[ProblemStructure, LPSolution] | None:
-        """Structure + LP solution at extension ``b``, or None if infeasible."""
+        ``phase`` labels the probe's role in the algorithm (``"bounds"``
+        for the b_max / 0 endpoint checks, ``"search"`` for bisection,
+        ``"delta"`` for integer-completion nudges) so the telemetry
+        trace distinguishes them.
+        """
         if budget is not None:
             budget.check("ret_probe")
-        extended = stretch(b)
-        grid = TimeGrid.covering(extended.max_end(), slice_length)
-        profile = (
-            capacity_profile.for_grid(grid)
-            if capacity_profile is not None
-            else None
-        )
-        structure = ProblemStructure(
-            network,
-            extended,
-            grid,
-            k_paths,
+        structure = engine.extend_windows(
+            jobs,
+            b,
+            mode=mode,
+            slice_length=slice_length,
             path_sets=path_sets,
-            capacity_profile=profile,
-            telemetry=telemetry,
+            capacity_profile=capacity_profile,
         )
         telemetry.count("ret_probes")
         try:
-            solution = solve_subret_lp(
+            solution = engine.cached_solve(
                 structure,
-                gamma,
+                "subret",
+                lambda: build_subret_lp(structure, gamma),
+                cache=cacheable_gamma,
                 telemetry=telemetry,
                 resilience=resilience,
                 budget=budget,
+                label="subret",
             )
         except InfeasibleProblemError:
             telemetry.record(
@@ -324,23 +352,22 @@ def solve_ret(
 
     with telemetry.span("ret"):
         # Step 1: binary search for the smallest LP-feasible b.
-        upper_attempt = attempt(b_max)
+        upper_attempt = attempt(b_max, "bounds")
         if upper_attempt is None:
             raise ScheduleError(
                 f"SUB-RET is infeasible even with end times extended by "
                 f"(1 + {b_max}); the network cannot carry this demand"
             )
-        zero_attempt = attempt(0.0)
+        zero_attempt = attempt(0.0, "bounds")
         if zero_attempt is not None:
             b_hat = 0.0
             best = zero_attempt
         else:
-            phase = "search"
             lo, hi = 0.0, b_max
             best = upper_attempt
             while hi - lo > search_tol:
                 mid = 0.5 * (lo + hi)
-                result = attempt(mid)
+                result = attempt(mid, "search")
                 if result is None:
                     lo = mid
                 else:
@@ -349,7 +376,6 @@ def solve_ret(
             b_hat = hi
 
         # Steps 2-5: round with LPDAR; extend by delta until all jobs finish.
-        phase = "delta"
         b = b_hat
         current: tuple[ProblemStructure, LPSolution] | None = best
         delta_steps = 0
@@ -393,4 +419,4 @@ def solve_ret(
             # LP infeasibility above b_hat can only come from slice rounding
             # at the window edge; attempt() returning None just means another
             # delta step is needed.
-            current = attempt(b)
+            current = attempt(b, "delta")

@@ -16,12 +16,13 @@ from collections.abc import Hashable, Iterator, Mapping, Sequence
 
 import numpy as np
 
+from ..engine.engine import ModelEngine
 from ..errors import BudgetExceededError, ValidationError
 from ..lp.model import ProblemStructure
 from ..lp.solver import LPSolution, SolveBudget, SolveResilience
 from ..network.graph import Network
 from ..obs import NULL_TELEMETRY, Telemetry
-from ..network.paths import Path, build_path_sets
+from ..network.paths import Path
 from ..timegrid import TimeGrid
 from ..workload.jobs import JobSet
 from .lpdar import GreedyOrder, LpdarResult, discretize, greedy_adjust, lpdar
@@ -243,6 +244,13 @@ class Scheduler:
         raise: it walks the degradation ladder (full pipeline → LPD
         floor + greedy residual → greedy baseline) and returns a
         feasible schedule with ``degraded`` set.
+    engine:
+        Optional shared :class:`~repro.engine.ModelEngine` (must be
+        bound to ``network`` with ``k_paths`` matching).  Callers that
+        schedule repeatedly — the simulator above all — pass one engine
+        so path resolution, structure layouts and per-job fragments
+        carry over between calls; by default the scheduler builds its
+        own.
     """
 
     def __init__(
@@ -259,6 +267,7 @@ class Scheduler:
         telemetry: Telemetry | None = None,
         resilience: SolveResilience | None = None,
         budget: SolveBudget | None = None,
+        engine: "ModelEngine | None" = None,
     ) -> None:
         if not 0.0 <= alpha <= 1.0:
             raise ValidationError(f"alpha must be in [0, 1], got {alpha}")
@@ -281,6 +290,19 @@ class Scheduler:
         self.telemetry = telemetry or NULL_TELEMETRY
         self.resilience = resilience
         self.budget = budget
+        if engine is None:
+            engine = ModelEngine(network, k_paths, telemetry=self.telemetry)
+        else:
+            if engine.network is not network:
+                raise ValidationError(
+                    "engine is bound to a different network than the scheduler's"
+                )
+            if engine.k_paths != k_paths:
+                raise ValidationError(
+                    f"engine resolves k_paths={engine.k_paths} but the "
+                    f"scheduler was asked for k_paths={k_paths}"
+                )
+        self.engine = engine
 
     def build_structure(
         self,
@@ -300,24 +322,17 @@ class Scheduler:
         around dead links instead of holding useless zero-capacity
         grants on them.
         """
-        if grid is None:
-            grid = TimeGrid.covering(jobs.max_end(), self.slice_length)
-        if path_sets is None:
-            banned = frozenset()
-            if capacity_profile is not None:
-                dead = np.flatnonzero(capacity_profile.matrix.max(axis=1) == 0)
-                banned = frozenset(int(e) for e in dead)
-            path_sets = build_path_sets(
-                self.network, jobs.od_pairs(), self.k_paths, banned_edges=banned
-            )
-        return ProblemStructure(
-            self.network,
+        banned = frozenset()
+        if path_sets is None and capacity_profile is not None:
+            dead = np.flatnonzero(capacity_profile.matrix.max(axis=1) == 0)
+            banned = frozenset(int(e) for e in dead)
+        return self.engine.structure(
             jobs,
             grid,
-            self.k_paths,
+            slice_length=self.slice_length,
             path_sets=path_sets,
             capacity_profile=capacity_profile,
-            telemetry=self.telemetry,
+            banned_edges=banned,
         )
 
     def schedule(

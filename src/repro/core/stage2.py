@@ -89,14 +89,13 @@ def build_stage2_lp(
     if zstar < 0:
         raise ValidationError(f"zstar must be >= 0, got {zstar}")
 
-    import scipy.sparse as sp
+    from ..engine.assembly import capacity_floor_blocks
 
-    # Fairness rows: -delivered_i <= -(1 - alpha) * Z* * d_i.
+    # Fairness rows: -delivered_i <= -(1 - alpha) * Z* * d_i.  The
+    # stacked matrix is cached on the structure, so alpha escalations
+    # re-assemble only the right-hand side.
     fairness_rhs = -(1.0 - alpha) * zstar * structure.demands
-    a_ub = sp.vstack(
-        [structure.capacity_matrix, -structure.demand_matrix], format="csr"
-    )
-    b_ub = np.concatenate([structure.cap_rhs, fairness_rhs])
+    a_ub, b_ub = capacity_floor_blocks(structure, fairness_rhs)
     return LinearProgram(
         objective=objective_weights(structure, weights),
         a_ub=a_ub,

@@ -17,7 +17,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
-import scipy.sparse as sp
 
 from ..lp.model import ProblemStructure
 from ..lp.solver import (
@@ -67,38 +66,21 @@ def build_stage1_lp(structure: ProblemStructure) -> LinearProgram:
     Variables are the ``num_cols`` wavelength assignments followed by one
     extra column for ``Z``.  Constraint (2) becomes the equality block
     ``demand_matrix @ x - d_i * Z = 0``; constraint (3) is the capacity
-    block with a zero column for ``Z``.
+    block with a zero column for ``Z``.  The stacked blocks come from
+    :func:`repro.engine.assembly.stage1_blocks`, which caches them on
+    the structure for repeat assemblies of the same instance.
     """
-    n = structure.num_cols
-    num_jobs = len(structure.jobs)
+    from ..engine.assembly import stage1_blocks
 
-    # Equalities: [demand_matrix | -d] [x; Z] = 0.
-    a_eq = sp.hstack(
-        [
-            structure.demand_matrix,
-            sp.csr_matrix(
-                (-structure.demands, (np.arange(num_jobs), np.zeros(num_jobs, int))),
-                shape=(num_jobs, 1),
-            ),
-        ],
-        format="csr",
-    )
-    # Inequalities: [capacity_matrix | 0] [x; Z] <= C.
-    a_ub = sp.hstack(
-        [
-            structure.capacity_matrix,
-            sp.csr_matrix((structure.capacity_matrix.shape[0], 1)),
-        ],
-        format="csr",
-    )
-    objective = np.zeros(n + 1)
+    a_eq, b_eq, a_ub, b_ub = stage1_blocks(structure)
+    objective = np.zeros(structure.num_cols + 1)
     objective[-1] = 1.0
     return LinearProgram(
         objective=objective,
         a_ub=a_ub,
-        b_ub=structure.cap_rhs,
+        b_ub=b_ub,
         a_eq=a_eq,
-        b_eq=np.zeros(num_jobs),
+        b_eq=b_eq,
         maximize=True,
     )
 

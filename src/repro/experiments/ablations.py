@@ -16,7 +16,7 @@ from ..core.metrics import jains_fairness_index
 from ..core.realization import realize_schedule
 from ..core.stage2 import solve_stage2_lp
 from ..core.throughput import solve_stage1
-from ..lp.model import ProblemStructure
+from ..engine import build_structure
 from ..timegrid import TimeGrid
 from ..workload import WorkloadConfig
 from .figures import ExperimentResult, _timed
@@ -39,7 +39,7 @@ def ablation_alpha(quick: bool = False, seed: int = 606) -> ExperimentResult:
     )
     paths = shared_path_sets(network, jobs)
     grid = TimeGrid.covering(jobs.max_end())
-    structure = ProblemStructure(network, jobs, grid, 4, path_sets=paths)
+    structure = build_structure(network, jobs, grid, 4, path_sets=paths)
     zstar = solve_stage1(structure).zstar
     alphas = (0.0, 0.1, 0.4) if quick else (0.0, 0.05, 0.1, 0.2, 0.4)
 
@@ -77,7 +77,7 @@ def ablation_paths(quick: bool = False, seed: int = 707) -> ExperimentResult:
     def rows():
         for k in ks:
             grid = TimeGrid.covering(jobs.max_end())
-            structure = ProblemStructure(network, jobs, grid, k_paths=k)
+            structure = build_structure(network, jobs, grid, k_paths=k)
             zstar = solve_stage1(structure).zstar
             aggregate = solve_stage2_lp(structure, zstar, alpha=1.0).objective
             yield (k, round(zstar, 4), round(aggregate, 4))
@@ -104,7 +104,7 @@ def ablation_continuity(quick: bool = False, seed: int = 1717) -> ExperimentResu
         for w in sweep:
             net_w = network.with_wavelengths(w, 20.0)
             grid = TimeGrid.covering(jobs.max_end())
-            structure = ProblemStructure(net_w, jobs, grid, 4, path_sets=paths)
+            structure = build_structure(net_w, jobs, grid, 4, path_sets=paths)
             zstar = solve_stage1(structure).zstar
             stage2 = solve_stage2_lp(structure, zstar, alpha=0.1)
             rounded = lpdar(structure, stage2.x)

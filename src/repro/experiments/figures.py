@@ -23,7 +23,7 @@ from ..core.ret import solve_ret
 from ..core.stage2 import solve_stage2_lp
 from ..core.throughput import solve_stage1
 from ..errors import ValidationError
-from ..lp.model import ProblemStructure
+from ..engine import build_structure
 from ..obs import Telemetry
 from ..timegrid import TimeGrid
 from ..workload import WorkloadConfig, WorkloadGenerator
@@ -189,7 +189,7 @@ def fig3_computation_time(
             )
             paths = shared_path_sets(network, jobs)
             grid = TimeGrid.covering(jobs.max_end())
-            structure = ProblemStructure(network, jobs, grid, 4, path_sets=paths)
+            structure = build_structure(network, jobs, grid, 4, path_sets=paths)
             telemetry = Telemetry()
             with telemetry.span("lp"):
                 zstar = solve_stage1(structure, telemetry=telemetry).zstar

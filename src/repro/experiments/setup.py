@@ -20,7 +20,7 @@ import numpy as np
 from ..core.lpdar import lpdar
 from ..core.stage2 import solve_stage2_lp
 from ..core.throughput import solve_stage1
-from ..lp.model import ProblemStructure
+from ..engine import build_structure
 from ..network import abilene, waxman_network
 from ..network.graph import Network
 from ..network.paths import build_path_sets
@@ -72,7 +72,7 @@ def calibrated_jobs(
     generator = WorkloadGenerator(network, config, seed=seed)
     jobs = generator.jobs(num_jobs)
     grid = TimeGrid.covering(jobs.max_end())
-    structure = ProblemStructure(network, jobs, grid, k_paths)
+    structure = build_structure(network, jobs, grid, k_paths)
     zstar = solve_stage1(structure).zstar
     if zstar <= 0:
         raise RuntimeError("calibration workload has Z* = 0")
@@ -115,7 +115,7 @@ def throughput_pipeline(
     """
     network = base_network.with_wavelengths(wavelengths, TOTAL_LINK_RATE)
     grid = TimeGrid.covering(jobs.max_end())
-    structure = ProblemStructure(
+    structure = build_structure(
         network, jobs, grid, k_paths, path_sets=path_sets
     )
     zstar = solve_stage1(structure).zstar

@@ -45,9 +45,41 @@ from ..network.paths import Path, build_path_sets
 from ..timegrid import TimeGrid
 from ..workload.jobs import JobSet
 
-__all__ = ["ProblemStructure"]
+__all__ = ["ProblemStructure", "job_capacity_fragment"]
 
 Node = Hashable
+
+
+def job_capacity_fragment(
+    paths: Sequence[Path], span: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One job's capacity-block sparsity pattern, in relative coordinates.
+
+    Returns three parallel read-only ``int64`` arrays
+    ``(edge, rel_slice, rel_col)``: entry ``t`` says column
+    ``job_offset + rel_col[t]`` loads edge ``edge[t]`` on slice
+    ``first_slice + rel_slice[t]``.  The pattern depends only on the
+    job's path edge ids and its window *span* — not on where the window
+    sits on the grid or where the job's columns start — so the engine's
+    layout layer caches it across RET probes, simulator epochs and jobs
+    that happen to share ``(paths, span)``.
+    """
+    rel = np.arange(span, dtype=np.int64)
+    edge_parts: list[np.ndarray] = []
+    slice_parts: list[np.ndarray] = []
+    col_parts: list[np.ndarray] = []
+    for p, path in enumerate(paths):
+        edges = np.asarray(path.edge_ids, dtype=np.int64)
+        # Each edge of the path is loaded on every allowed slice.
+        edge_parts.append(np.repeat(edges, span))
+        slice_parts.append(np.tile(rel, len(edges)))
+        col_parts.append(np.tile(p * span + rel, len(edges)))
+    edge = np.concatenate(edge_parts)
+    rel_slice = np.concatenate(slice_parts)
+    rel_col = np.concatenate(col_parts)
+    for arr in (edge, rel_slice, rel_col):
+        arr.setflags(write=False)
+    return edge, rel_slice, rel_col
 
 
 class ProblemStructure:
@@ -73,6 +105,13 @@ class ProblemStructure:
         Optional :class:`~repro.obs.Telemetry`; assembly is timed under a
         ``"structure_build"`` span and a ``structure`` record captures
         the instance's dimensions (jobs, columns, capacity rows, nnz).
+    fragment_cache:
+        Optional mutable mapping shared across builds (normally owned by
+        :class:`~repro.engine.layout.LayoutLayer`): per-job capacity
+        fragments keyed on ``(path edge ids, span)`` are looked up
+        before being recomputed, so rebuilds over a changed grid reuse
+        every unchanged per-job segment.  Hits and builds count as
+        ``layout_fragment_hits`` / ``layout_fragment_builds``.
 
     Notes
     -----
@@ -89,10 +128,20 @@ class ProblemStructure:
         path_sets: Mapping[tuple[Node, Node], Sequence[Path]] | None = None,
         capacity_profile: "CapacityProfile | None" = None,
         telemetry: Telemetry | None = None,
+        fragment_cache: dict | None = None,
     ) -> None:
         telemetry = telemetry or NULL_TELEMETRY
         with telemetry.span("structure_build"):
-            self._build(network, jobs, grid, k_paths, path_sets, capacity_profile)
+            self._build(
+                network,
+                jobs,
+                grid,
+                k_paths,
+                path_sets,
+                capacity_profile,
+                fragment_cache,
+                telemetry,
+            )
         telemetry.record(
             "structure",
             jobs=len(jobs),
@@ -111,6 +160,8 @@ class ProblemStructure:
         k_paths: int,
         path_sets: Mapping[tuple[Node, Node], Sequence[Path]] | None,
         capacity_profile: "CapacityProfile | None",
+        fragment_cache: dict | None = None,
+        telemetry: Telemetry = NULL_TELEMETRY,
     ) -> None:
         if len(jobs) == 0:
             raise ValidationError("cannot build a problem over zero jobs")
@@ -208,31 +259,48 @@ class ProblemStructure:
         self.demands = jobs.sizes() / network.wavelength_rate
         self.demands.setflags(write=False)
 
-        self._build_capacity_block()
+        self._assembly_cache: dict = {}
+        self._build_capacity_block(fragment_cache, telemetry)
         self._build_demand_block()
 
     # ------------------------------------------------------------------
     # Constraint blocks
     # ------------------------------------------------------------------
-    def _build_capacity_block(self) -> None:
-        """Rows of constraint (3): one per (edge, slice) actually used."""
+    def _build_capacity_block(
+        self,
+        fragment_cache: dict | None = None,
+        telemetry: Telemetry = NULL_TELEMETRY,
+    ) -> None:
+        """Rows of constraint (3): one per (edge, slice) actually used.
+
+        Per-job sparsity patterns come from
+        :func:`job_capacity_fragment` in window-relative coordinates and
+        are shifted to absolute rows/columns here; a shared
+        ``fragment_cache`` skips recomputing patterns seen in previous
+        builds (same paths and span, any window position).
+        """
         num_slices = self.grid.num_slices
         row_keys_parts: list[np.ndarray] = []
         col_parts: list[np.ndarray] = []
         for i in range(len(self.jobs)):
             span = int(self.span[i])
-            slices = np.arange(
-                self.first_slice[i], self.first_slice[i] + span, dtype=np.int64
+            fragment = None
+            key = None
+            if fragment_cache is not None:
+                key = (tuple(p.edge_ids for p in self.paths[i]), span)
+                fragment = fragment_cache.get(key)
+            if fragment is None:
+                fragment = job_capacity_fragment(self.paths[i], span)
+                if fragment_cache is not None:
+                    fragment_cache[key] = fragment
+                telemetry.count("layout_fragment_builds")
+            else:
+                telemetry.count("layout_fragment_hits")
+            edge, rel_slice, rel_col = fragment
+            row_keys_parts.append(
+                edge * num_slices + (int(self.first_slice[i]) + rel_slice)
             )
-            for p, path in enumerate(self.paths[i]):
-                edges = np.asarray(path.edge_ids, dtype=np.int64)
-                c0 = int(self.job_offset[i]) + p * span
-                cols = np.arange(c0, c0 + span, dtype=np.int64)
-                # Each edge of the path is loaded on every allowed slice.
-                row_keys_parts.append(
-                    (edges[:, None] * num_slices + slices[None, :]).ravel()
-                )
-                col_parts.append(np.broadcast_to(cols, (len(edges), span)).ravel())
+            col_parts.append(int(self.job_offset[i]) + rel_col)
         row_keys = np.concatenate(row_keys_parts)
         cols = np.concatenate(col_parts)
 

@@ -404,6 +404,7 @@ def solve_lp(
     label: str | None = None,
     resilience: SolveResilience | None = None,
     budget: SolveBudget | None = None,
+    warm_start=None,
 ) -> LPSolution:
     """Solve ``problem``; raise typed errors on failure.
 
@@ -412,10 +413,13 @@ def solve_lp(
     problem:
         The LP to solve.
     backend:
-        ``"highs"`` (default, SciPy's HiGHS — use this at scale) or
+        Name of a backend registered with
+        :func:`repro.engine.backend.register_backend`.  Bundled:
+        ``"highs"`` (default, SciPy's HiGHS — use this at scale) and
         ``"simplex"`` (the pure-Python reference solver in
         :mod:`repro.lp.simplex`, for small instances and auditing; it
-        does not report duals).
+        does not report duals).  Unknown names raise
+        :class:`~repro.errors.ValidationError`.
     telemetry:
         Optional :class:`~repro.obs.Telemetry` collector; when given,
         the solve is timed under an ``"lp_solve"`` span and an
@@ -452,14 +456,22 @@ def solve_lp(
         ``backends_tried`` context.
     """
     telemetry = telemetry or NULL_TELEMETRY
-    if backend not in ("highs", "simplex"):
-        raise ValidationError(
-            f"unknown backend {backend!r}; pick 'highs' or 'simplex'"
-        )
+    # Lazy import: repro.engine.backend imports this module for the
+    # bundled backend implementations, so the registry lookup must not
+    # run at import time.
+    from ..engine.backend import get_backend
+
+    backend_obj = get_backend(backend)
     if budget is not None:
         budget.check(label or "lp_solve")
     if resilience is None:
-        return _solve_once(problem, backend, telemetry, label, budget)
+        return backend_obj.solve(
+            problem,
+            warm_start=warm_start,
+            telemetry=telemetry,
+            label=label,
+            budget=budget,
+        )
 
     tried: list[str] = []
     retries = 0
@@ -474,7 +486,13 @@ def solve_lp(
         )
         tried.append(backend)
         try:
-            return _solve_once(candidate, backend, telemetry, label, budget)
+            return backend_obj.solve(
+                candidate,
+                warm_start=warm_start,
+                telemetry=telemetry,
+                label=label,
+                budget=budget,
+            )
         except (InfeasibleProblemError, UnboundedProblemError):
             raise  # modelling outcomes, not failures: never retried
         except SolverError as exc:
@@ -501,7 +519,13 @@ def solve_lp(
         if budget is not None:
             budget.check(label or "lp_solve")
         try:
-            return _solve_once(problem, fallback, telemetry, label, budget)
+            return get_backend(fallback).solve(
+                problem,
+                warm_start=warm_start,
+                telemetry=telemetry,
+                label=label,
+                budget=budget,
+            )
         except (InfeasibleProblemError, UnboundedProblemError):
             raise
         except SolverError as exc:

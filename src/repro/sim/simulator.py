@@ -30,6 +30,7 @@ from typing import Literal
 
 import numpy as np
 
+from ..engine.engine import ModelEngine
 from ..errors import BudgetExceededError, ScheduleError, ValidationError
 from ..faults.events import LinkDown, WavelengthDegrade
 from ..faults.schedule import FaultSchedule
@@ -37,7 +38,6 @@ from ..lp.solver import DEFAULT_RESILIENCE, SolveBudget, SolveResilience
 from ..network.capacity import CapacityProfile
 from ..network.graph import Network
 from ..obs import NULL_TELEMETRY, Telemetry
-from ..network.paths import build_path_sets
 from ..recovery.crash import CrashInjector
 from ..recovery.journal import EpochJournal, read_journal
 from ..timegrid import TimeGrid
@@ -261,6 +261,14 @@ class Simulation:
         Optional :class:`~repro.recovery.crash.CrashInjector` killing
         the run at a named crash point for recovery testing.  The
         ``mid-journal`` point requires a ``journal``.
+    warm_start:
+        Whether the run's shared :class:`~repro.engine.ModelEngine` may
+        reuse path sets, structure layouts and memoized RET probe
+        solutions across epochs (the default).  ``False`` — the CLI's
+        ``--no-warm-start`` — rebuilds and re-solves everything from
+        scratch each epoch; results (records, events, journal bytes)
+        are identical either way, only slower.  Recorded in the journal
+        header so :meth:`resume` replays with the same setting.
     """
 
     def __init__(
@@ -283,6 +291,7 @@ class Simulation:
         journal: str | Path | None = None,
         solve_budget: SolveBudget | None = None,
         crash_injector: CrashInjector | None = None,
+        warm_start: bool = True,
     ) -> None:
         if tau <= 0 or slice_length <= 0:
             raise ValidationError("tau and slice_length must be positive")
@@ -322,6 +331,16 @@ class Simulation:
         self.resilience = resilience
         self.verify_epochs = verify_epochs
         self.telemetry = telemetry or NULL_TELEMETRY
+        self.warm_start = bool(warm_start)
+        # One engine for the whole run: path sets, structure layouts and
+        # memoized RET probe solves carry over between epochs.  A cold
+        # engine (--no-warm-start) rebuilds everything from scratch each
+        # epoch; results are identical either way.
+        self._engine = (
+            ModelEngine(network, k_paths, telemetry=self.telemetry)
+            if self.warm_start
+            else ModelEngine.cold(network, k_paths, telemetry=self.telemetry)
+        )
         if journal is not None:
             if capacity_profile is not None:
                 raise ValidationError(
@@ -441,6 +460,7 @@ class Simulation:
             resilience=resilience,
             journal=path,
             solve_budget=solve_budget,
+            warm_start=config.get("warm_start", True),
         )
         records = {j.id: JobRecord(j, j.end, j.size) for j in jobs}
         order = [j.id for j in jobs]
@@ -504,6 +524,7 @@ class Simulation:
                 "ret_delta": self.ret_delta,
                 "rejection": self.rejection,
                 "verify_epochs": self.verify_epochs,
+                "warm_start": self.warm_start,
                 "solve_budget": (
                     {
                         "wall_time_s": self.solve_budget.wall_time_s,
@@ -596,10 +617,9 @@ class Simulation:
             slice_length=self.slice_length,
             telemetry=self.telemetry,
             resilience=self.resilience,
+            engine=self._engine,
         )
-        base_paths = build_path_sets(
-            self.network, jobs.od_pairs(), self.k_paths
-        )
+        base_paths = self._engine.topology.path_sets(jobs.od_pairs())
 
         journal_mark = len(events)
 
@@ -800,8 +820,8 @@ class Simulation:
         failed = self.fault_schedule.failed_edges_at(now)
         if not failed:
             return residual, None
-        epoch_paths = build_path_sets(
-            self.network, residual.od_pairs(), self.k_paths, banned_edges=failed
+        epoch_paths = self._engine.topology.path_sets(
+            residual.od_pairs(), banned_edges=failed
         )
         routable = [j for j in residual if epoch_paths[(j.source, j.dest)]]
         if len(routable) == len(residual):
@@ -930,6 +950,7 @@ class Simulation:
                 telemetry=self.telemetry,
                 resilience=self.resilience,
                 budget=self.solve_budget,
+                engine=self._engine,
             )
         except (ScheduleError, BudgetExceededError):
             # No completing extension found (or no time left to look for

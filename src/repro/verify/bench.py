@@ -30,7 +30,7 @@ import scipy
 from ..core.ret import solve_ret
 from ..core.scheduler import Scheduler
 from ..core.throughput import solve_stage1
-from ..lp.model import ProblemStructure
+from ..engine import build_structure
 from ..network import topologies
 from ..sim.simulator import Simulation
 from ..timegrid import TimeGrid
@@ -60,7 +60,7 @@ def _case_stage1() -> dict:
     network = topologies.abilene(capacity=1, wavelength_rate=20.0)
     jobs = WorkloadGenerator(network, seed=0).jobs(16)
     grid = TimeGrid.covering(jobs.max_end())
-    structure = ProblemStructure(network, jobs, grid, k_paths=2)
+    structure = build_structure(network, jobs, grid, k_paths=2)
     result = solve_stage1(structure)
     return {"zstar": result.zstar, "num_cols": structure.num_cols}
 

@@ -40,7 +40,7 @@ import numpy as np
 from ..core.scheduler import Scheduler
 from ..errors import ReproError
 from ..faults.schedule import FaultSchedule
-from ..lp.model import ProblemStructure
+from ..engine import build_structure
 from ..network import topologies
 from ..network.graph import Network
 from ..serialization import schedule_to_dict
@@ -237,7 +237,7 @@ def run_scenario(
             scenario, report, gap, backend_agree, tuple(failures)
         )
 
-    structure = ProblemStructure(
+    structure = build_structure(
         scenario.network, scenario.jobs, scenario.grid, k_paths=2
     )
     # alpha_max=1.0: let Remark-1 escalation run until the floor is

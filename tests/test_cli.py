@@ -156,6 +156,20 @@ class TestRetCommand:
         assert "RET binary-search trace" in printed
         assert "feasible" in printed
 
+    def test_ret_no_warm_start(self, net_file, jobs_file, capsys):
+        assert (
+            main(
+                [
+                    "ret", "--network", str(net_file), "--jobs", str(jobs_file),
+                    "--no-warm-start",
+                ]
+            )
+            == 0
+        )
+        printed = capsys.readouterr().out
+        assert "b_final" in printed
+        assert "jobs finished" in printed
+
     def test_interval_mode(self, net_file, jobs_file, capsys):
         assert (
             main(
@@ -177,6 +191,19 @@ class TestSimulateCommand:
                 [
                     "simulate", "--network", str(net_file),
                     "--jobs", str(jobs_file), "--policy", policy,
+                ]
+            )
+            == 0
+        )
+        printed = capsys.readouterr().out
+        assert "num_completed" in printed
+
+    def test_simulate_no_warm_start(self, net_file, jobs_file, capsys):
+        assert (
+            main(
+                [
+                    "simulate", "--network", str(net_file),
+                    "--jobs", str(jobs_file), "--no-warm-start",
                 ]
             )
             == 0

@@ -1,0 +1,171 @@
+"""Property tests: the engine's incremental path must be invisible.
+
+Every reuse level the layered model engine adds — cached paths, cached
+structures, per-job fragments, memoized solves — is an optimization of a
+pure function, so a warm engine must produce outputs *identical* to a
+cold, from-scratch build on the same instance.  These tests drive both
+paths over :func:`repro.verify.fuzz.make_scenario` seeds and compare the
+results bit-for-bit (schedules, RET extensions, simulation records and
+journal entries).
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import serialization
+from repro.core.ret import solve_ret
+from repro.core.scheduler import Scheduler
+from repro.engine import ModelEngine, build_structure
+from repro.errors import ReproError
+from repro.lp.model import ProblemStructure
+from repro.sim.simulator import Simulation
+from repro.verify.checker import verify_schedule
+from repro.verify.fuzz import make_scenario
+
+SOLVER_SETTINGS = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        HealthCheck.function_scoped_fixture,
+    ],
+)
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+def _strip_timings(obj):
+    """Drop wall-clock fields (and the crc that covers them).
+
+    ``SchedulingPass`` events record ``solve_seconds``; it is the one
+    legitimately nondeterministic value in a journal or simulation dump,
+    so equivalence is checked on everything else.
+    """
+    if isinstance(obj, dict):
+        return {
+            k: _strip_timings(v)
+            for k, v in obj.items()
+            if k not in ("solve_seconds", "crc")
+        }
+    if isinstance(obj, list):
+        return [_strip_timings(v) for v in obj]
+    return obj
+
+
+def _matrices_equal(left, right):
+    return (
+        (left.capacity_matrix != right.capacity_matrix).nnz == 0
+        and (left.demand_matrix != right.demand_matrix).nnz == 0
+        and np.array_equal(left.cap_rhs, right.cap_rhs)
+        and left.num_cols == right.num_cols
+    )
+
+
+@SOLVER_SETTINGS
+@given(seed=seeds)
+def test_engine_structure_matches_cold_build(seed):
+    """Engine-built structures are bit-identical to direct construction."""
+    sc = make_scenario(seed, allow_faults=False)
+    engine = ModelEngine(sc.network, k_paths=3)
+    warm = engine.structure(sc.jobs, sc.grid)
+    cold = ProblemStructure(
+        sc.network,
+        sc.jobs,
+        sc.grid,
+        3,
+        path_sets=engine.topology.path_sets(sc.jobs.od_pairs()),
+    )
+    assert _matrices_equal(warm, cold)
+    # The module-level factory (used by experiments/analysis/verify call
+    # sites) goes through the same layers.
+    via_factory = build_structure(sc.network, sc.jobs, sc.grid, 3)
+    assert _matrices_equal(via_factory, cold)
+
+
+@SOLVER_SETTINGS
+@given(seed=seeds)
+def test_scheduler_warm_equals_cold(seed):
+    """A warm engine changes nothing about the schedule or its report."""
+    sc = make_scenario(seed, allow_faults=False)
+    warm_sched = Scheduler(sc.network, k_paths=3)
+    cold_sched = Scheduler(
+        sc.network, k_paths=3, engine=ModelEngine.cold(sc.network, 3)
+    )
+    try:
+        warm = warm_sched.schedule(sc.jobs, sc.grid)
+    except ReproError as exc:
+        with pytest.raises(type(exc)):
+            cold_sched.schedule(sc.jobs, sc.grid)
+        return
+    cold = cold_sched.schedule(sc.jobs, sc.grid)
+    assert warm.zstar == pytest.approx(cold.zstar)
+    assert np.array_equal(warm.assignments.x_lpdar, cold.assignments.x_lpdar)
+    warm_report = verify_schedule(warm.structure, warm.assignments.x_lpdar)
+    cold_report = verify_schedule(cold.structure, cold.assignments.x_lpdar)
+    assert warm_report.ok == cold_report.ok
+    assert len(warm_report.violations) == len(cold_report.violations)
+    # Scheduling the same jobs again through the warm scheduler is a
+    # pure cache hit and must replay the identical assignment.
+    again = warm_sched.schedule(sc.jobs, sc.grid)
+    assert np.array_equal(again.assignments.x_lpdar, warm.assignments.x_lpdar)
+
+
+@SOLVER_SETTINGS
+@given(seed=seeds)
+def test_solve_ret_warm_equals_cold(seed):
+    """RET with memoized probes finds the same extension as without."""
+    sc = make_scenario(seed, allow_faults=False)
+    try:
+        warm = solve_ret(sc.network, sc.jobs, k_paths=3, warm_start=True)
+    except ReproError as exc:
+        with pytest.raises(type(exc)):
+            solve_ret(sc.network, sc.jobs, k_paths=3, warm_start=False)
+        return
+    cold = solve_ret(sc.network, sc.jobs, k_paths=3, warm_start=False)
+    assert warm.b_hat == pytest.approx(cold.b_hat)
+    assert warm.b_final == pytest.approx(cold.b_final)
+    assert warm.delta_steps == cold.delta_steps
+    assert np.array_equal(warm.assignments.x_lpdar, cold.assignments.x_lpdar)
+
+
+@SOLVER_SETTINGS
+@given(seed=seeds)
+def test_simulation_warm_equals_cold(seed):
+    """Multi-epoch controller runs are identical with and without reuse."""
+    sc = make_scenario(seed, allow_faults=True)
+    kwargs = dict(k_paths=3, fault_schedule=sc.fault_schedule)
+    warm = Simulation(sc.network, warm_start=True, **kwargs).run(sc.jobs)
+    cold = Simulation(sc.network, warm_start=False, **kwargs).run(sc.jobs)
+    assert _strip_timings(serialization.simulation_to_dict(warm)) == (
+        _strip_timings(serialization.simulation_to_dict(cold))
+    )
+
+
+@pytest.mark.parametrize("seed", [3, 11, 27])
+def test_journal_epoch_entries_identical_warm_vs_cold(seed, tmp_path):
+    """Warm starts never leak into the journal's committed state.
+
+    The header records the ``warm_start`` flag (so ``resume`` rebuilds
+    the same engine configuration); every line after it — the committed
+    epoch records — must be byte-identical.
+    """
+    sc = make_scenario(seed, allow_faults=False)
+    paths = {True: tmp_path / "warm.jsonl", False: tmp_path / "cold.jsonl"}
+    for flag, path in paths.items():
+        Simulation(
+            sc.network, k_paths=3, warm_start=flag, journal=path
+        ).run(sc.jobs)
+    warm_lines = paths[True].read_text().splitlines()
+    cold_lines = paths[False].read_text().splitlines()
+    warm_entries = [_strip_timings(json.loads(l)) for l in warm_lines[1:]]
+    cold_entries = [_strip_timings(json.loads(l)) for l in cold_lines[1:]]
+    assert warm_entries == cold_entries
+    warm_header = _strip_timings(json.loads(warm_lines[0]))
+    cold_header = _strip_timings(json.loads(cold_lines[0]))
+    assert warm_header["data"]["config"].pop("warm_start") is True
+    assert cold_header["data"]["config"].pop("warm_start") is False
+    assert warm_header == cold_header

@@ -37,6 +37,24 @@ class TestPublicSurface:
             assert name in repro.__all__, f"{name} missing from repro.__all__"
             assert getattr(repro, name) is getattr(repro.verify, name)
 
+    def test_engine_names_exported_at_top_level(self):
+        """The model engine and backend registry are top-level API."""
+        for name in (
+            "ModelEngine",
+            "build_structure",
+            "TopologyLayer",
+            "LayoutLayer",
+            "SolverBackend",
+            "WarmStart",
+            "HighsBackend",
+            "SimplexBackend",
+            "register_backend",
+            "get_backend",
+            "available_backends",
+        ):
+            assert name in repro.__all__, f"{name} missing from repro.__all__"
+            assert getattr(repro, name) is getattr(repro.engine, name)
+
     def test_recovery_names_exported_at_top_level(self):
         """The durability entry points are part of the top-level API."""
         for name in (
