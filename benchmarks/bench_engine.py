@@ -1,24 +1,30 @@
 """ENG — layered model engine vs from-scratch builds, with a JSON trail.
 
 The engine (``docs/architecture.md``) promises that reuse across
-related solves — cached paths, per-job layout fragments and memoized
-LP solutions keyed on the *discretized* instance — makes the RET
-binary-search probe loop and the periodic controller measurably faster
-while changing nothing about the answers.  This benchmark pins both
-halves of that claim on the paper's Abilene topology:
+related solves — cached paths, per-job layout fragments, memoized LP
+solutions keyed on the *discretized* instance, delta-patched structures
+and carried cross-epoch plans — makes the RET binary-search probe loop
+and the periodic controller measurably faster while changing nothing
+about the answers.  This benchmark pins both halves of that claim:
 
 * **RET probe loop** — an overloaded calibrated workload forces a full
   bisection on ``b``; the warm engine must be at least
   ``RET_SPEEDUP_FLOOR``× faster than ``ModelEngine.cold`` *and* return
   the identical extension and assignment.
-* **Multi-epoch simulate** — the controller loop re-plans every epoch;
-  warm must never be slower than cold (within noise slack) and the
-  serialized runs must match.
+* **Multi-epoch simulate (Abilene)** — the controller re-plans a
+  book-ahead reservation workload every epoch.  Warm must be at least
+  ``SIM_SPEEDUP_FLOOR``× faster, every epoch after the first must
+  reuse structure (exact cache hit or delta patch — never a cold
+  build), and the runs must serialize identically.
+* **Multi-epoch simulate (100-node Waxman)** — the same controller
+  loop at research-backbone scale, gating that cross-epoch reuse
+  survives a network an order of magnitude larger than Abilene.
 
 Results (best-of-``REPEATS`` wall times, speedups, verified-equal
 metrics and the engine's cache counters) are written to
-``BENCH_engine.json`` at the repo root, which CI uploads as an
-artifact.  Runs under pytest (the CI gate) or as a plain script::
+``BENCH_engine.json`` at the repo root, which CI diffs against the
+committed baseline (``benchmarks/check_regression.py``) and uploads as
+an artifact.  Runs under pytest (the CI gate) or as a plain script::
 
     PYTHONPATH=src python benchmarks/bench_engine.py
 """
@@ -26,6 +32,7 @@ artifact.  Runs under pytest (the CI gate) or as a plain script::
 import json
 import platform
 import time
+from dataclasses import replace
 from pathlib import Path
 
 import numpy as np
@@ -35,6 +42,7 @@ import scipy
 from repro import Simulation, Telemetry, __version__, serialization
 from repro.analysis import Table
 from repro.core.ret import solve_ret
+from repro.network.waxman import waxman_network
 from repro.workload import WorkloadConfig, WorkloadGenerator
 from repro.workload.jobs import JobSet
 
@@ -46,9 +54,17 @@ BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
 #: Acceptance floor for the RET probe-loop case (ISSUE 5 target).
 RET_SPEEDUP_FLOOR = 1.5
-#: The simulate case only gates "not slower than baseline" (plus noise).
-SIM_SLOWDOWN_RATIO = 0.10
-SIM_ABS_SLACK_S = 0.10
+#: Acceptance floor for the Abilene multi-epoch simulate case (ISSUE 6
+#: target): with delta-patched structures and carried warm starts the
+#: controller loop must be at least twice as fast warm as cold.  This
+#: replaces the old "not slower than baseline plus noise" slack gate —
+#: a regression back to rebuild-everything now fails CI instead of
+#: hiding inside the tolerance.
+SIM_SPEEDUP_FLOOR = 2.0
+#: The Waxman scale case gates more conservatively: the network is an
+#: order of magnitude larger, so path resolution and LP solves dominate
+#: differently, but cross-epoch reuse must still pay for itself.
+WAXMAN_SPEEDUP_FLOOR = 1.5
 
 #: Overloaded calibration: Z* < 1 forces RET to genuinely extend.
 RET_NUM_JOBS = 18
@@ -61,12 +77,41 @@ RET_SEARCH_TOL = 1e-6
 RET_SLICE_LENGTH = 0.5
 
 SIM_NUM_JOBS = 10
+#: Windows are booked this many slices ahead of submission.  Advance
+#: reservation is the paper's operating model for research-network bulk
+#: transfers, and it is exactly the regime that exposed the cross-epoch
+#: cache miss: every pre-window epoch re-plans a near-identical residual,
+#: so a warm engine should answer from carried state (witness-certified
+#: RET bounds, memoized zero probes, patched scheduler structures) while
+#: a cold one rebuilds and re-solves the same LPs from scratch.
+SIM_BOOKAHEAD_SLICES = 12
 SIM_CONFIG = WorkloadConfig(
     size_low=30.0,
     size_high=120.0,
     window_slices_low=4,
     window_slices_high=10,
     start_slack_slices=2,
+)
+
+WAXMAN_NUM_NODES = 100
+WAXMAN_NUM_JOBS = 12
+WAXMAN_BOOKAHEAD_SLICES = 6
+WAXMAN_CONFIG = WorkloadConfig(
+    size_low=30.0,
+    size_high=120.0,
+    window_slices_low=4,
+    window_slices_high=8,
+    start_slack_slices=2,
+)
+
+#: Counters surfaced per epoch by the simulator's ``epoch_cache_stats``
+#: telemetry records; the bench asserts on the first two.
+_EPOCH_COUNTERS = (
+    "structure_cache_hits",
+    "structure_patch_hits",
+    "cold_builds",
+    "warm_starts",
+    "ret_witness_hits",
 )
 
 
@@ -78,12 +123,28 @@ def _ret_instance():
     return network, jobs
 
 
+def _booked_ahead(generator, num_jobs, arrival_mod, lead_slices):
+    """Jobs submitted on a cycle, windows shifted ``lead_slices`` ahead."""
+    jobs = []
+    for i in range(num_jobs):
+        job = generator.job(i, arrival=float(i % arrival_mod))
+        jobs.append(
+            replace(job, start=job.start + lead_slices, end=job.end + lead_slices)
+        )
+    return JobSet(jobs)
+
+
 def _sim_instance():
     network = abilene_network()
     generator = WorkloadGenerator(network, config=SIM_CONFIG, seed=SEED)
-    jobs = JobSet(
-        [generator.job(i, arrival=float(i % 5)) for i in range(SIM_NUM_JOBS)]
-    )
+    jobs = _booked_ahead(generator, SIM_NUM_JOBS, 5, SIM_BOOKAHEAD_SLICES)
+    return network, jobs
+
+
+def _waxman_instance():
+    network = waxman_network(WAXMAN_NUM_NODES, seed=SEED)
+    generator = WorkloadGenerator(network, config=WAXMAN_CONFIG, seed=SEED)
+    jobs = _booked_ahead(generator, WAXMAN_NUM_JOBS, 4, WAXMAN_BOOKAHEAD_SLICES)
     return network, jobs
 
 
@@ -143,24 +204,19 @@ def _case_ret_probe_loop():
     }
 
 
-def _case_simulate_epochs():
-    """Warm vs cold periodic controller, staggered arrivals on Abilene."""
-    network, jobs = _sim_instance()
-    telemetry = Telemetry()
+def _simulate_case(network, jobs):
+    """Warm vs cold multi-epoch controller run over one instance.
 
-    # "extend" re-runs RET every overloaded epoch through the shared
-    # engine, so path-cache reuse across epochs is visible in the
-    # counters; the gate is only "never slower than from-scratch".
+    The timed runs carry no telemetry (measuring the engine, not the
+    collector); a separate instrumented warm run then captures counters
+    and the per-epoch ``epoch_cache_stats`` evidence — a fresh run,
+    because repeating a timed one would duplicate its epoch records.
+    """
     cold_s, cold = _time_best_of(
         lambda: Simulation(network, policy="extend", warm_start=False).run(jobs)
     )
     warm_s, warm = _time_best_of(
-        lambda: Simulation(
-            network,
-            policy="extend",
-            warm_start=True,
-            telemetry=telemetry,
-        ).run(jobs)
+        lambda: Simulation(network, policy="extend", warm_start=True).run(jobs)
     )
 
     # Job lifecycles must match exactly (events also carry wall-clock
@@ -172,6 +228,27 @@ def _case_simulate_epochs():
         "warm and cold simulations diverged"
     )
 
+    telemetry = Telemetry()
+    Simulation(
+        network, policy="extend", warm_start=True, telemetry=telemetry
+    ).run(jobs)
+    per_epoch = [
+        {name: int(rec[name]) for name in _EPOCH_COUNTERS}
+        | {"epoch": int(rec["epoch"])}
+        for rec in telemetry.records_of("epoch_cache_stats")
+    ]
+    # Structural evidence the speedup rests on: the run must actually
+    # patch (not just exact-hit), and no epoch after the first may fall
+    # back to an all-cold rebuild.
+    assert any(e["structure_patch_hits"] > 0 for e in per_epoch), (
+        "no structure was delta-patched; the warm path degenerated"
+    )
+    for entry in per_epoch[1:]:
+        reused = entry["structure_cache_hits"] + entry["structure_patch_hits"]
+        assert reused > 0, (
+            f"epoch {entry['epoch']} reused no structure: {entry}"
+        )
+
     counters = telemetry.counters
     return {
         "engine_seconds": round(warm_s, 4),
@@ -180,24 +257,47 @@ def _case_simulate_epochs():
         "metrics": {
             "completion_rate": round(float(warm.completion_rate), 9),
             "delivered_volume": round(float(warm.delivered_volume), 9),
+            "epochs": len(per_epoch),
             "structure_cache_hits": int(
                 counters.get("structure_cache_hits", 0)
             ),
+            "structure_patch_hits": int(
+                counters.get("structure_patch_hits", 0)
+            ),
+            "cold_builds": int(counters.get("cold_builds", 0)),
+            "warm_starts": int(counters.get("warm_starts", 0)),
+            "ret_witness_skips": int(counters.get("ret_witness_skips", 0)),
+            "engine_memo_bypass": int(counters.get("engine_memo_bypass", 0)),
             "path_cache_hits": int(counters.get("path_cache_hits", 0)),
             "layout_fragment_hits": int(
                 counters.get("layout_fragment_hits", 0)
             ),
         },
+        "per_epoch": per_epoch,
     }
 
 
+def _case_simulate_epochs():
+    """Book-ahead reservations on Abilene, re-planned every epoch."""
+    network, jobs = _sim_instance()
+    return _simulate_case(network, jobs)
+
+
+def _case_simulate_waxman():
+    """The same controller loop on a 100-node Waxman research backbone."""
+    network, jobs = _waxman_instance()
+    return _simulate_case(network, jobs)
+
+
 def run_engine_bench() -> dict:
-    """Run both cases and return the ``BENCH_engine.json`` document."""
+    """Run all cases and return the ``BENCH_engine.json`` document."""
     return {
-        "schema": 1,
+        "schema": 2,
         "suite": "engine-speedup",
         "repeats": REPEATS,
         "target_ret_speedup": RET_SPEEDUP_FLOOR,
+        "target_sim_speedup": SIM_SPEEDUP_FLOOR,
+        "target_waxman_speedup": WAXMAN_SPEEDUP_FLOOR,
         "versions": {
             "python": platform.python_version(),
             "numpy": np.__version__,
@@ -207,6 +307,7 @@ def run_engine_bench() -> dict:
         "cases": {
             "ret_probe_loop_abilene": _case_ret_probe_loop(),
             "simulate_epochs_abilene": _case_simulate_epochs(),
+            "simulate_epochs_waxman100": _case_simulate_waxman(),
         },
     }
 
@@ -214,7 +315,7 @@ def run_engine_bench() -> dict:
 def _as_table(document: dict) -> Table:
     table = Table(
         ["case", "engine (s)", "baseline (s)", "speedup"],
-        title="ENG — layered engine vs from-scratch (Abilene)",
+        title="ENG — layered engine vs from-scratch",
     )
     for name, case in document["cases"].items():
         table.add_row(
@@ -228,27 +329,23 @@ def _as_table(document: dict) -> Table:
     return table
 
 
+def _assert_floor(document: dict, case_name: str, floor: float) -> None:
+    case = document["cases"][case_name]
+    assert case["speedup"] >= floor, (
+        f"{case_name} speedup {case['speedup']}x is below the {floor}x "
+        f"floor (engine {case['engine_seconds']}s vs baseline "
+        f"{case['baseline_seconds']}s)"
+    )
+
+
 def test_engine_speedup(report):
     document = run_engine_bench()
     BENCH_PATH.write_text(json.dumps(document, indent=2) + "\n")
     report(_as_table(document))
 
-    ret = document["cases"]["ret_probe_loop_abilene"]
-    assert ret["speedup"] >= RET_SPEEDUP_FLOOR, (
-        f"RET probe loop speedup {ret['speedup']}x is below the "
-        f"{RET_SPEEDUP_FLOOR}x floor "
-        f"(engine {ret['engine_seconds']}s vs baseline "
-        f"{ret['baseline_seconds']}s)"
-    )
-
-    sim = document["cases"]["simulate_epochs_abilene"]
-    limit = (
-        sim["baseline_seconds"] * (1.0 + SIM_SLOWDOWN_RATIO) + SIM_ABS_SLACK_S
-    )
-    assert sim["engine_seconds"] <= limit, (
-        f"warm simulate ({sim['engine_seconds']}s) slower than the "
-        f"from-scratch baseline ({sim['baseline_seconds']}s) beyond noise"
-    )
+    _assert_floor(document, "ret_probe_loop_abilene", RET_SPEEDUP_FLOOR)
+    _assert_floor(document, "simulate_epochs_abilene", SIM_SPEEDUP_FLOOR)
+    _assert_floor(document, "simulate_epochs_waxman100", WAXMAN_SPEEDUP_FLOOR)
 
 
 if __name__ == "__main__":

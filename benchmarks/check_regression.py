@@ -1,0 +1,69 @@
+"""Diff a fresh ``BENCH_engine.json`` against a committed baseline.
+
+The speedup floors inside ``bench_engine.py`` catch collapses below an
+absolute bar; this check catches *relative* slides — a change that keeps
+every case above its floor but gives back a chunk of the committed
+speedup still fails.  CI copies the committed ``BENCH_engine.json`` to a
+baseline path before re-running the bench, then invokes::
+
+    python benchmarks/check_regression.py <baseline.json> <fresh.json>
+
+A case regresses when its fresh speedup falls below
+``baseline_speedup * (1 - TOLERANCE)``.  The tolerance absorbs runner
+noise (best-of-3 wall times on shared CI hardware); cases present only
+in the fresh document are reported as new and pass, cases that
+*disappeared* fail.  Exit status is the number of regressed cases.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: Fractional speedup loss tolerated before a case counts as regressed.
+TOLERANCE = 0.25
+
+
+def compare(baseline: dict, fresh: dict) -> list[str]:
+    """Human-readable regression report lines; empty means clean."""
+    problems: list[str] = []
+    base_cases = baseline.get("cases", {})
+    fresh_cases = fresh.get("cases", {})
+    for name, base in sorted(base_cases.items()):
+        if name not in fresh_cases:
+            problems.append(f"{name}: case missing from fresh results")
+            continue
+        base_speedup = float(base["speedup"])
+        fresh_speedup = float(fresh_cases[name]["speedup"])
+        floor = base_speedup * (1.0 - TOLERANCE)
+        if fresh_speedup < floor:
+            problems.append(
+                f"{name}: speedup {fresh_speedup}x regressed below "
+                f"{floor:.3f}x ({base_speedup}x baseline - "
+                f"{TOLERANCE:.0%} tolerance)"
+            )
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    baseline_path, fresh_path = Path(argv[1]), Path(argv[2])
+    baseline = json.loads(baseline_path.read_text())
+    fresh = json.loads(fresh_path.read_text())
+    problems = compare(baseline, fresh)
+    for name, case in sorted(fresh.get("cases", {}).items()):
+        marker = "NEW " if name not in baseline.get("cases", {}) else ""
+        base = baseline.get("cases", {}).get(name, {}).get("speedup", "-")
+        print(f"{marker}{name}: {base}x -> {case['speedup']}x")
+    if problems:
+        print()
+        for line in problems:
+            print(f"REGRESSION {line}")
+    return len(problems)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

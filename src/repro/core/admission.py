@@ -94,6 +94,29 @@ class AdmissionDecision:
         return len(self.rejected)
 
 
+def _admission_engine(
+    network: Network, k_paths: int, engine: ModelEngine | None
+) -> ModelEngine:
+    """Validate a caller-shared engine, or mint a local one.
+
+    A shared engine (the simulator passes its per-run instance) lets the
+    prefix search's structures patch from — and donate back to — the
+    run's epoch structures instead of starting from an empty cache.
+    """
+    if engine is None:
+        return ModelEngine(network, k_paths)
+    if engine.network is not network:
+        raise ValidationError(
+            "engine is bound to a different network than the admission call's"
+        )
+    if engine.k_paths != k_paths:
+        raise ValidationError(
+            f"engine resolves k_paths={engine.k_paths} but admission was "
+            f"asked for k_paths={k_paths}"
+        )
+    return engine
+
+
 def admit_max_prefix(
     network: Network,
     jobs: JobSet,
@@ -101,6 +124,7 @@ def admit_max_prefix(
     k_paths: int = 4,
     threshold: float = 1.0,
     key: Callable[[Job], tuple] = by_arrival,
+    engine: ModelEngine | None = None,
 ) -> AdmissionDecision:
     """Footnote-1 rejection: longest admissible prefix by binary search.
 
@@ -111,13 +135,17 @@ def admit_max_prefix(
     Jobs that are individually unschedulable (no path, or no whole slice
     inside their window) are rejected outright before the search, since
     they force ``Z* = 0`` for any prefix containing them.
+
+    ``engine`` optionally shares a caller's :class:`ModelEngine` (bound
+    to the same network / ``k_paths``), so the search's prefix
+    structures reuse — and feed — the caller's caches.
     """
     if threshold <= 0:
         raise ValidationError(f"threshold must be positive, got {threshold}")
     ordered = jobs.sorted_by(key)
     # One engine for the whole search: paths resolve once, and the final
     # prefix's re-solve below is a pure memo hit instead of a second LP.
-    engine = ModelEngine(network, k_paths)
+    engine = _admission_engine(network, k_paths, engine)
     path_sets = engine.topology.path_sets(ordered.od_pairs())
 
     schedulable: list[Job] = []
@@ -165,6 +193,7 @@ def admit_greedy(
     k_paths: int = 4,
     threshold: float = 1.0,
     key: Callable[[Job], tuple] = by_size_descending,
+    engine: ModelEngine | None = None,
 ) -> AdmissionDecision:
     """Greedy non-prefix admission (the footnote's "future work").
 
@@ -184,7 +213,7 @@ def admit_greedy(
     ordered = jobs.sorted_by(key)
     # The candidate sets all share paths and per-job layout fragments;
     # an engine makes the per-job stage-1 solves reuse both.
-    engine = ModelEngine(network, k_paths)
+    engine = _admission_engine(network, k_paths, engine)
     path_sets = engine.topology.path_sets(ordered.od_pairs())
 
     accepted: list[Job] = []

@@ -16,8 +16,9 @@ from .backend import (
     get_backend,
     register_backend,
 )
+from .delta import CarriedPlan, map_warm_start, patch_structure
 from .engine import ModelEngine, build_structure
-from .layout import LayoutLayer
+from .layout import FragmentCache, LayoutLayer
 from .topology import TopologyLayer
 
 __all__ = [
@@ -25,6 +26,10 @@ __all__ = [
     "build_structure",
     "TopologyLayer",
     "LayoutLayer",
+    "FragmentCache",
+    "CarriedPlan",
+    "patch_structure",
+    "map_warm_start",
     "SolverBackend",
     "WarmStart",
     "HighsBackend",

@@ -26,7 +26,7 @@ backend-independent.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Protocol, runtime_checkable
 
 import numpy as np
@@ -54,11 +54,24 @@ class WarmStart:
     ----------
     x:
         The previous optimal point (same column layout expected).
+    ineq_duals, eq_duals:
+        Dual values of the previous solve's inequality / equality
+        blocks, for dual-simplex-capable backends (``None`` when the
+        producing backend reported none).
     basis:
         Opaque basis information for basis-capable backends (``None``
         for the bundled ones, which report no basis).
     label:
         The telemetry label of the solve that produced the hint.
+    structure:
+        The :class:`~repro.lp.model.ProblemStructure` the hint's column
+        and row spaces refer to.  When the next solve of the family runs
+        over a *different* (e.g. delta-patched) structure, the engine
+        re-indexes the hint through
+        :func:`repro.engine.delta.map_warm_start` before a
+        warm-start-capable backend sees it; entries with no counterpart
+        in the new structure become neutral zeros.  Excluded from
+        equality/repr — it is an identity anchor, not data.
 
     A warm start is always *advisory*: a backend that cannot consume it
     must produce the same answer it would from a cold start, so results
@@ -66,8 +79,11 @@ class WarmStart:
     """
 
     x: np.ndarray
+    ineq_duals: np.ndarray | None = None
+    eq_duals: np.ndarray | None = None
     basis: tuple | None = None
     label: str | None = None
+    structure: object | None = field(default=None, repr=False, compare=False)
 
 
 @runtime_checkable

@@ -50,6 +50,7 @@ from ..obs import NULL_TELEMETRY, Telemetry
 from ..timegrid import TimeGrid
 from ..workload.jobs import JobSet
 from .backend import WarmStart, get_backend
+from .delta import CarriedPlan, map_warm_start
 from .layout import LayoutLayer
 from .topology import TopologyLayer
 
@@ -83,7 +84,8 @@ class ModelEngine:
         Enables the solve-layer memo and the :class:`WarmStart` hint
         threading.  Off, every solve runs from scratch (results are
         identical either way; see the module docstring).
-    cache_structures, cache_fragments, max_cached_structures:
+    cache_structures, cache_fragments, max_cached_structures,
+    max_cached_fragments:
         Layout-layer reuse knobs (see
         :class:`~repro.engine.layout.LayoutLayer`).
     max_cached_solutions:
@@ -101,9 +103,10 @@ class ModelEngine:
         cache_structures: bool = True,
         cache_fragments: bool = True,
         max_cached_structures: int = 64,
+        max_cached_fragments: int = 512,
         max_cached_solutions: int = 256,
     ) -> None:
-        get_backend(backend)  # fail fast on unknown names
+        self._backend_obj = get_backend(backend)  # fail fast on unknown names
         self.backend = backend
         self.warm_start = bool(warm_start)
         self.telemetry = telemetry or NULL_TELEMETRY
@@ -114,6 +117,7 @@ class ModelEngine:
             cache_structures=cache_structures,
             cache_fragments=cache_fragments,
             max_structures=max_cached_structures,
+            max_fragments=max_cached_fragments,
         )
         if max_cached_solutions < 1:
             raise ValidationError(
@@ -122,6 +126,7 @@ class ModelEngine:
         self.max_cached_solutions = int(max_cached_solutions)
         self._solutions: OrderedDict[tuple, object] = OrderedDict()
         self._last_hint: dict[str, WarmStart] = {}
+        self._carried: CarriedPlan | None = None
 
     @classmethod
     def cold(
@@ -237,6 +242,63 @@ class ModelEngine:
         )
 
     # ------------------------------------------------------------------
+    # Cross-epoch carried state
+    # ------------------------------------------------------------------
+    def carry_plan(self, structure: ProblemStructure, x) -> None:
+        """Carry a committed schedule into the next epoch's solves.
+
+        The scheduler calls this after every successful pass.  The plan
+        (in absolute time) becomes a feasibility *witness*: RET's next
+        ``b_max`` bounds probe can skip its build-and-solve entirely
+        when :meth:`certify_feasible` maps the plan onto the candidate
+        instance (see :class:`~repro.engine.delta.CarriedPlan`).  A
+        no-op on cold engines — the audit path carries nothing.
+        """
+        if not self.warm_start:
+            return
+        self._carried = CarriedPlan.from_assignment(structure, x)
+        self.telemetry.count("plans_carried")
+
+    @property
+    def has_carried_plan(self) -> bool:
+        return self._carried is not None
+
+    def invalidate_carried(self) -> None:
+        """Drop the carried plan (fault events must bust carried state).
+
+        Certification re-validates paths and capacities on every use, so
+        this is defense in depth rather than a correctness requirement —
+        but a plan drawn before a fault is a poor witness after one, and
+        dropping it keeps the fault epoch on the honest cold path.
+        """
+        if self._carried is not None:
+            self._carried = None
+            self.telemetry.count("carried_invalidations")
+
+    def certify_feasible(
+        self,
+        jobs: JobSet,
+        grid: TimeGrid,
+        path_sets: Mapping[tuple[Node, Node], Sequence[Path]],
+    ) -> bool:
+        """Prove (or fail to prove) SUB-RET feasibility from carried state.
+
+        Sound, never complete: ``True`` means the carried plan maps to
+        an explicit feasible point of the instance's SUB-RET LP, so the
+        probe's outcome is known without solving; ``False`` means
+        nothing — the caller solves as it always did.
+        """
+        if not self.warm_start or self._carried is None:
+            return False
+        ok = self._carried.certifies(
+            self.network, jobs, grid, path_sets, self.k_paths
+        )
+        self.telemetry.count(
+            "ret_witness_hits" if ok else "ret_witness_misses"
+        )
+        return ok
+
+    # ------------------------------------------------------------------
     # Solve layer
     # ------------------------------------------------------------------
     def cached_solve(
@@ -280,7 +342,18 @@ class ModelEngine:
                     if hit is _INFEASIBLE:
                         raise InfeasibleProblemError()
                     return hit
+            else:
+                # A memoizable call over a structure the layout cache
+                # never keyed (built outside the engine, or with
+                # structure caching off) silently falls through to a
+                # cold solve; make the bypass visible in telemetry.
+                telemetry.count("engine_memo_bypass")
         hint = self._last_hint.get(kind) if self.warm_start else None
+        if hint is not None and self._backend_obj.supports_warm_start:
+            # Re-index the hint onto this structure's column/row spaces
+            # (neutral entries where no counterpart exists).  Backends
+            # that ignore hints never need the mapping.
+            hint = map_warm_start(hint, structure)
         try:
             solution = solve_lp(
                 build(),
@@ -297,7 +370,14 @@ class ModelEngine:
             raise
         telemetry.count("engine_solves")
         if self.warm_start:
-            self._last_hint[kind] = WarmStart(x=solution.x, label=label or kind)
+            self._last_hint[kind] = WarmStart(
+                x=solution.x,
+                ineq_duals=solution.ineq_duals,
+                eq_duals=solution.eq_duals,
+                basis=solution.basis,
+                label=label or kind,
+                structure=structure,
+            )
         if key is not None:
             self._remember(key, solution)
         return solution
@@ -313,6 +393,7 @@ class ModelEngine:
         self.layout.clear()
         self._solutions.clear()
         self._last_hint.clear()
+        self._carried = None
 
     def __repr__(self) -> str:
         return (

@@ -39,11 +39,50 @@ from ..network.paths import Path
 from ..obs import NULL_TELEMETRY, Telemetry
 from ..timegrid import TimeGrid
 from ..workload.jobs import JobSet
+from .delta import patch_structure
 from .topology import TopologyLayer
 
-__all__ = ["LayoutLayer"]
+__all__ = ["LayoutLayer", "FragmentCache"]
 
 Node = Hashable
+
+#: How many most-recent cached structures a near-miss tries as donors.
+#: A simulator epoch leaves at most a handful of live structures (RET
+#: probes plus the scheduling grid), so the previous epoch's donors are
+#: always within this window.
+MAX_PATCH_DONORS = 6
+
+
+class FragmentCache(OrderedDict):
+    """LRU-bounded mapping for per-job capacity fragments.
+
+    Fragments are small (three int64 arrays per ``(paths, span)`` key)
+    but a long simulation over a heavy workload mints new keys every
+    epoch — unbounded growth contradicts the million-job north star the
+    same way the old unbounded solution memo did.  ``get`` refreshes
+    recency; inserting past ``max_entries`` evicts the stalest entry.
+    """
+
+    def __init__(self, max_entries: int) -> None:
+        super().__init__()
+        if max_entries < 1:
+            raise ValidationError(
+                f"max_entries must be >= 1, got {max_entries}"
+            )
+        self.max_entries = int(max_entries)
+
+    def get(self, key, default=None):
+        try:
+            value = super().__getitem__(key)
+        except KeyError:
+            return default
+        self.move_to_end(key)
+        return value
+
+    def __setitem__(self, key, value) -> None:
+        super().__setitem__(key, value)
+        while len(self) > self.max_entries:
+            self.popitem(last=False)
 
 
 def _jobs_key(jobs: JobSet) -> tuple:
@@ -108,9 +147,16 @@ class LayoutLayer:
     cache_structures, cache_fragments:
         Independently disable either reuse level (the from-scratch
         baseline :meth:`repro.engine.ModelEngine.cold` turns both off).
+        Structure caching also enables delta *patching*: an exact-cache
+        miss tries the most recent cached structures as donors
+        (:func:`repro.engine.delta.patch_structure`) before paying a
+        cold build, counted as ``structure_patch_hits``.
     max_structures:
         LRU bound on retained structures (matrices are the bulk of an
         instance's memory; old epochs must not accumulate forever).
+    max_fragments:
+        LRU bound on retained per-job fragments (see
+        :class:`FragmentCache`).
     """
 
     def __init__(
@@ -120,6 +166,7 @@ class LayoutLayer:
         cache_structures: bool = True,
         cache_fragments: bool = True,
         max_structures: int = 64,
+        max_fragments: int = 512,
     ) -> None:
         if max_structures < 1:
             raise ValidationError(
@@ -130,8 +177,11 @@ class LayoutLayer:
         self.cache_structures = bool(cache_structures)
         self.cache_fragments = bool(cache_fragments)
         self.max_structures = int(max_structures)
+        self.max_fragments = int(max_fragments)
         self._structures: OrderedDict[tuple, ProblemStructure] = OrderedDict()
-        self._fragments: dict | None = {} if self.cache_fragments else None
+        self._fragments: FragmentCache | None = (
+            FragmentCache(max_fragments) if self.cache_fragments else None
+        )
 
     @property
     def network(self):
@@ -172,17 +222,23 @@ class LayoutLayer:
                 self._structures.move_to_end(key)
                 self.telemetry.count("structure_cache_hits")
                 return hit
-        built = ProblemStructure(
-            self.network,
-            jobs,
-            grid,
-            self.topology.k_paths,
-            path_sets=path_sets,
-            capacity_profile=capacity_profile,
-            telemetry=self.telemetry,
-            fragment_cache=self._fragments,
-        )
-        self.telemetry.count("cold_builds")
+        built = None
+        if key is not None and capacity_profile is None:
+            built = self._try_patch(jobs, grid, path_sets)
+        if built is not None:
+            self.telemetry.count("structure_patch_hits")
+        else:
+            built = ProblemStructure(
+                self.network,
+                jobs,
+                grid,
+                self.topology.k_paths,
+                path_sets=path_sets,
+                capacity_profile=capacity_profile,
+                telemetry=self.telemetry,
+                fragment_cache=self._fragments,
+            )
+            self.telemetry.count("cold_builds")
         if key is not None:
             # Solve-memo key: discretized windows instead of raw floats,
             # so probes that only differ below slice granularity share
@@ -192,6 +248,39 @@ class LayoutLayer:
             while len(self._structures) > self.max_structures:
                 self._structures.popitem(last=False)
         return built
+
+    def _try_patch(
+        self,
+        jobs: JobSet,
+        grid: TimeGrid,
+        path_sets: Mapping[tuple[Node, Node], Sequence[Path]],
+    ) -> ProblemStructure | None:
+        """Near-miss path: patch from the freshest compatible donor.
+
+        Tries the :data:`MAX_PATCH_DONORS` most recently used cached
+        structures; the first donor the patcher accepts wins.  ``None``
+        sends the caller to the cold build (and its validation errors).
+        """
+        if not self._structures:
+            return None
+        tried = 0
+        with self.telemetry.span("structure_patch"):
+            for donor in reversed(self._structures.values()):
+                patched = patch_structure(
+                    donor,
+                    jobs,
+                    grid,
+                    self.topology.k_paths,
+                    path_sets,
+                    fragment_cache=self._fragments,
+                    telemetry=self.telemetry,
+                )
+                if patched is not None:
+                    return patched
+                tried += 1
+                if tried >= MAX_PATCH_DONORS:
+                    return None
+        return None
 
     def clear(self) -> None:
         """Drop every cached structure and fragment."""

@@ -301,6 +301,11 @@ class ProblemStructure:
                 edge * num_slices + (int(self.first_slice[i]) + rel_slice)
             )
             col_parts.append(int(self.job_offset[i]) + rel_col)
+        # Absolute per-job segments, kept for delta patching: a donor
+        # job whose window, routes and column offset all line up lends
+        # its segment verbatim to the patched build
+        # (:func:`repro.engine.delta.patch_structure`).
+        self._cap_segments = list(zip(row_keys_parts, col_parts))
         row_keys = np.concatenate(row_keys_parts)
         cols = np.concatenate(col_parts)
 

@@ -195,6 +195,12 @@ class LPSolution:
         "one more unit of right-hand side improves the stated objective
         by this much."  ``None`` when the backend reported no duals
         (e.g. MILP solves).
+    basis:
+        Opaque basis description from basis-reporting backends, carried
+        into the next :class:`~repro.engine.backend.WarmStart` of the
+        same LP family.  ``None`` for the bundled backends (SciPy's
+        HiGHS binding exposes no basis; the reference simplex reports
+        none).
     """
 
     x: np.ndarray
@@ -202,6 +208,7 @@ class LPSolution:
     iterations: int = 0
     ineq_duals: np.ndarray | None = None
     eq_duals: np.ndarray | None = None
+    basis: tuple | None = None
 
 
 @dataclass(frozen=True)

@@ -653,6 +653,20 @@ class Simulation:
             (rec.job for rec in records.values() if rec.status == "pending"),
             key=lambda j: (j.arrival, str(j.id)),
         )
+        # Per-epoch engine reuse evidence: after each scheduling pass an
+        # ``epoch_cache_stats`` record captures the *delta* of these
+        # counters, so benches and tests can assert that every epoch
+        # after the first reuses structure (cache hit or patch) rather
+        # than paying a cold build.  Records are telemetry-only — they
+        # never enter the journal, so warm/cold equivalence is untouched.
+        cache_counter_names = (
+            "structure_cache_hits",
+            "structure_patch_hits",
+            "cold_builds",
+            "warm_starts",
+            "ret_witness_hits",
+        )
+        cache_totals = dict.fromkeys(cache_counter_names, 0.0)
         while now < horizon - 1e-9:
             # 1. Collect arrivals up to this epoch.
             while unseen and unseen[0].arrival <= now + 1e-9:
@@ -664,6 +678,12 @@ class Simulation:
             affected: frozenset[int] = frozenset()
             if self.fault_schedule is not None:
                 fault_idx, affected = self._detect_faults(fault_idx, now, events)
+                if affected:
+                    # The carried plan's paths may cross edges that just
+                    # failed or recovered; its feasibility certificate is
+                    # built on the pre-fault route set, so drop it and
+                    # let this epoch's RET probe solve for real.
+                    self._engine.invalidate_carried()
 
             # 2. Expire active jobs whose window can no longer fit a slice.
             self._expire_stale(records, now, events)
@@ -725,6 +745,13 @@ class Simulation:
                         path_sets=epoch_paths,
                         budget=self.solve_budget,
                     )
+            if residual is not None and self.telemetry.enabled:
+                delta = {}
+                for name in cache_counter_names:
+                    total = self.telemetry.counters.get(name, 0.0)
+                    delta[name] = total - cache_totals[name]
+                    cache_totals[name] = total
+                self.telemetry.record("epoch_cache_stats", epoch=epoch, **delta)
             if residual is None:
                 now += self.tau
                 epoch += 1
@@ -923,6 +950,7 @@ class Simulation:
                 self.k_paths,
                 threshold=1.0,
                 key=by_arrival,
+                engine=self._engine,
             )
             for job in decision.rejected:
                 rec = records[job.id]

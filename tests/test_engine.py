@@ -1,5 +1,7 @@
 """Unit tests for the layered model engine and the solver-backend registry."""
 
+import dataclasses
+
 import numpy as np
 import pytest
 
@@ -8,6 +10,7 @@ from repro.core.ret import build_subret_lp, solve_ret
 from repro.core.scheduler import Scheduler
 from repro.core.throughput import build_stage1_lp
 from repro.engine import (
+    FragmentCache,
     HighsBackend,
     LayoutLayer,
     ModelEngine,
@@ -17,6 +20,7 @@ from repro.engine import (
     build_structure,
     capacity_floor_blocks,
     get_backend,
+    map_warm_start,
     register_backend,
     stage1_blocks,
 )
@@ -52,6 +56,33 @@ def _matrices_equal(left, right):
         and (left.demand_matrix != right.demand_matrix).nnz == 0
         and np.array_equal(left.cap_rhs, right.cap_rhs)
         and left.num_cols == right.num_cols
+    )
+
+
+def _structures_bit_identical(left, right):
+    """Every array and matrix of two structures, compared exactly."""
+    for name in (
+        "first_slice",
+        "span",
+        "num_paths",
+        "job_offset",
+        "col_job",
+        "col_slice",
+        "col_path",
+        "col_len",
+        "demands",
+        "cap_row_edge",
+        "cap_row_slice",
+        "cap_rhs",
+    ):
+        if not np.array_equal(getattr(left, name), getattr(right, name)):
+            return False
+    return (
+        _matrices_equal(left, right)
+        and left.grid == right.grid
+        and [
+            [tuple(p.edge_ids) for p in pset] for pset in left.paths
+        ] == [[tuple(p.edge_ids) for p in pset] for pset in right.paths]
     )
 
 
@@ -431,3 +462,323 @@ class TestFrontEndWiring:
         via_factory = build_structure(network, jobs, grid, 2)
         direct = ProblemStructure(network, jobs, grid, 2)
         assert _matrices_equal(via_factory, direct)
+
+
+class TestDeltaPatching:
+    """Near-miss structure patching (repro.engine.delta.patch_structure)."""
+
+    def _cold(self, engine, jobs, grid, path_sets=None):
+        if path_sets is None:
+            path_sets = engine.topology.path_sets(jobs.od_pairs())
+        return ProblemStructure(
+            engine.network, jobs, grid, engine.k_paths, path_sets=path_sets
+        )
+
+    def test_shifted_windows_patch_bit_identical(self, network, jobs):
+        telemetry = Telemetry()
+        engine = ModelEngine(network, k_paths=2, telemetry=telemetry)
+        engine.structure(jobs, TimeGrid.covering(jobs.max_end()))
+        shifted = JobSet(
+            [
+                dataclasses.replace(
+                    j, start=j.start + 1.0, end=j.end + 1.0, size=j.size * 0.5
+                )
+                for j in jobs
+            ]
+        )
+        grid = TimeGrid.covering(shifted.max_end())
+        patched = engine.structure(shifted, grid)
+        assert telemetry.counters["structure_patch_hits"] == 1
+        assert telemetry.counters["cold_builds"] == 1
+        assert _structures_bit_identical(
+            patched, self._cold(engine, shifted, grid)
+        )
+
+    def test_departed_and_new_jobs_patch_bit_identical(self, network, jobs):
+        telemetry = Telemetry()
+        engine = ModelEngine(network, k_paths=2, telemetry=telemetry)
+        engine.structure(jobs, TimeGrid.covering(jobs.max_end()))
+        nodes = network.nodes
+        # Job "b" departs, a brand-new "c" arrives, "a"'s residual shrinks.
+        changed = JobSet(
+            [
+                dataclasses.replace(jobs[0], size=1.5, start=2.0),
+                Job(id="c", source=nodes[2], dest=nodes[5], size=3.0,
+                    start=1.0, end=6.0),
+            ]
+        )
+        grid = TimeGrid.covering(changed.max_end())
+        patched = engine.structure(changed, grid)
+        assert telemetry.counters["structure_patch_hits"] == 1
+        assert _structures_bit_identical(
+            patched, self._cold(engine, changed, grid)
+        )
+
+    def test_same_layout_clone_shares_matrices(self, network, jobs):
+        telemetry = Telemetry()
+        engine = ModelEngine(network, k_paths=2, telemetry=telemetry)
+        grid = TimeGrid.covering(jobs.max_end())
+        donor = engine.structure(jobs, grid)
+        shrunk = JobSet(
+            [dataclasses.replace(j, size=j.size * 0.25) for j in jobs]
+        )
+        clone = engine.structure(shrunk, grid)
+        assert telemetry.counters["structure_patch_hits"] == 1
+        # Same windows, routes and grid: the donor's assembled matrices
+        # apply verbatim — shared, not recomputed.
+        assert clone.capacity_matrix is donor.capacity_matrix
+        assert clone.demand_matrix is donor.demand_matrix
+        assert clone.col_slice is donor.col_slice
+        record = telemetry.records_of("structure_patched")[0]
+        assert record["clone"] is True
+        assert _structures_bit_identical(clone, self._cold(engine, shrunk, grid))
+
+    def test_patch_declines_when_routes_change(self, network, jobs):
+        telemetry = Telemetry()
+        engine = ModelEngine(network, k_paths=2, telemetry=telemetry)
+        grid = TimeGrid.covering(jobs.max_end())
+        engine.structure(jobs, grid)
+        # A fault reroute: the same jobs resolve to different paths, so
+        # the donor's routes must not be reused.
+        banned = engine.topology.path_sets(
+            jobs.od_pairs(), banned_edges=frozenset({0})
+        )
+        rebuilt = engine.structure(jobs, grid, path_sets=banned)
+        assert telemetry.counters.get("structure_patch_hits", 0) == 0
+        assert telemetry.counters["cold_builds"] == 2
+        assert _structures_bit_identical(
+            rebuilt, self._cold(engine, jobs, grid, path_sets=banned)
+        )
+
+    def test_patch_declines_under_capacity_profile(self, network, jobs):
+        telemetry = Telemetry()
+        engine = ModelEngine(network, k_paths=2, telemetry=telemetry)
+        grid = TimeGrid.covering(jobs.max_end())
+        engine.structure(jobs, grid)
+        profile = CapacityProfile.constant(network, grid)
+        engine.structure(jobs, grid, capacity_profile=profile)
+        assert telemetry.counters.get("structure_patch_hits", 0) == 0
+        assert telemetry.counters["cold_builds"] == 2
+
+    def test_patched_structures_carry_engine_key(self, network, jobs):
+        telemetry = Telemetry()
+        engine = ModelEngine(network, k_paths=2, telemetry=telemetry)
+        engine.structure(jobs, TimeGrid.covering(jobs.max_end()))
+        shifted = JobSet(
+            [dataclasses.replace(j, start=j.start + 1.0, end=j.end + 1.0)
+             for j in jobs]
+        )
+        patched = engine.structure(shifted, TimeGrid.covering(shifted.max_end()))
+        assert telemetry.counters["structure_patch_hits"] == 1
+        assert patched._engine_key is not None
+        # The solve memo works over patched structures: two solves, one LP.
+        engine.cached_solve(patched, "stage1", lambda: build_stage1_lp(patched))
+        engine.cached_solve(patched, "stage1", lambda: build_stage1_lp(patched))
+        assert telemetry.counters["warm_starts"] == 1
+        assert telemetry.counters.get("engine_memo_bypass", 0) == 0
+
+    def test_memo_bypass_counted_for_unkeyed_structures(self, network, jobs):
+        telemetry = Telemetry()
+        engine = ModelEngine(network, k_paths=2, telemetry=telemetry)
+        # Built outside the engine: no _engine_key, so the memo cannot
+        # apply and the bypass must be visible.
+        outside = ProblemStructure(
+            network, jobs, TimeGrid.covering(jobs.max_end()), 2,
+            path_sets=engine.topology.path_sets(jobs.od_pairs()),
+        )
+        engine.cached_solve(outside, "stage1", lambda: build_stage1_lp(outside))
+        assert telemetry.counters["engine_memo_bypass"] == 1
+        assert telemetry.counters.get("warm_starts", 0) == 0
+
+
+class TestCacheBounds:
+    def test_fragment_cache_is_lru_bounded(self):
+        cache = FragmentCache(max_entries=2)
+        cache["a"], cache["b"] = 1, 2
+        assert cache.get("a") == 1  # refreshes recency: "b" is now oldest
+        cache["c"] = 3
+        assert len(cache) == 2
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+
+    def test_fragment_cache_validates_bound(self):
+        with pytest.raises(ValidationError):
+            FragmentCache(max_entries=0)
+
+    def test_layout_fragments_respect_bound(self, network, jobs):
+        engine = ModelEngine(network, k_paths=2, max_cached_fragments=1)
+        for extra in range(4):
+            engine.structure(
+                jobs, TimeGrid.covering(jobs.max_end() + float(extra))
+            )
+        assert len(engine.layout._fragments) <= 1
+
+    def test_solution_memo_is_lru_bounded(self, network, jobs):
+        engine = ModelEngine(network, k_paths=2, max_cached_solutions=2)
+        for extra in range(4):
+            s = engine.structure(
+                jobs, TimeGrid.covering(jobs.max_end() + float(extra))
+            )
+            engine.cached_solve(s, "stage1", lambda s=s: build_stage1_lp(s))
+        assert len(engine._solutions) == 2
+
+
+class TestCarriedPlan:
+    def test_scheduler_carries_committed_plan(self, network, jobs):
+        engine = ModelEngine(network, k_paths=2)
+        scheduler = Scheduler(network, k_paths=2, engine=engine)
+        assert not engine.has_carried_plan
+        scheduler.schedule(jobs)
+        assert engine.has_carried_plan
+
+    def test_cold_engine_never_carries(self, network, jobs):
+        engine = ModelEngine.cold(network, k_paths=2)
+        Scheduler(network, k_paths=2, engine=engine).schedule(jobs)
+        assert not engine.has_carried_plan
+        assert not engine.certify_feasible(jobs, TimeGrid.covering(4.0), {})
+
+    def test_witness_certifies_feasible_instance(self, network, jobs):
+        telemetry = Telemetry()
+        engine = ModelEngine(network, k_paths=2, telemetry=telemetry)
+        Scheduler(network, k_paths=2, engine=engine).schedule(jobs)
+        grid = TimeGrid.covering(jobs.max_end())
+        path_sets = engine.topology.path_sets(jobs.od_pairs())
+        assert engine.certify_feasible(jobs, grid, path_sets)
+        assert telemetry.counters["ret_witness_hits"] == 1
+
+    def test_witness_declines_oversized_demand(self, network, jobs):
+        telemetry = Telemetry()
+        engine = ModelEngine(network, k_paths=2, telemetry=telemetry)
+        Scheduler(network, k_paths=2, engine=engine).schedule(jobs)
+        grid = TimeGrid.covering(jobs.max_end())
+        path_sets = engine.topology.path_sets(jobs.od_pairs())
+        huge = JobSet([dataclasses.replace(j, size=1e6) for j in jobs])
+        assert not engine.certify_feasible(huge, grid, path_sets)
+        assert telemetry.counters["ret_witness_misses"] == 1
+
+    def test_invalidate_drops_the_plan(self, network, jobs):
+        telemetry = Telemetry()
+        engine = ModelEngine(network, k_paths=2, telemetry=telemetry)
+        Scheduler(network, k_paths=2, engine=engine).schedule(jobs)
+        engine.invalidate_carried()
+        assert not engine.has_carried_plan
+        assert telemetry.counters["carried_invalidations"] == 1
+        engine.invalidate_carried()  # idempotent: nothing left to count
+        assert telemetry.counters["carried_invalidations"] == 1
+
+    def test_ret_skips_bounds_probe_with_witness(self, network, jobs):
+        telemetry = Telemetry()
+        engine = ModelEngine(network, k_paths=2, telemetry=telemetry)
+        Scheduler(network, k_paths=2, engine=engine).schedule(jobs)
+        cold = solve_ret(network, jobs, k_paths=2, warm_start=False)
+        warm = solve_ret(
+            network, jobs, k_paths=2, engine=engine, telemetry=telemetry
+        )
+        assert telemetry.counters["ret_witness_skips"] == 1
+        probes = telemetry.records_of("ret_probe")
+        assert probes[0]["phase"] == "bounds"
+        assert probes[0].get("witness") is True
+        # The skipped probe changes nothing about the answer.
+        assert warm.b_hat == pytest.approx(cold.b_hat)
+        assert warm.b_final == pytest.approx(cold.b_final)
+        assert np.array_equal(
+            warm.assignments.x_lpdar, cold.assignments.x_lpdar
+        )
+
+
+class TestWarmStartMapping:
+    def _patched_pair(self, network, jobs):
+        engine = ModelEngine(network, k_paths=2)
+        donor = engine.structure(jobs, TimeGrid.covering(jobs.max_end()))
+        shifted = JobSet(
+            [dataclasses.replace(j, start=j.start + 1.0, end=j.end + 1.0)
+             for j in jobs]
+        )
+        target = engine.structure(shifted, TimeGrid.covering(shifted.max_end()))
+        return donor, target
+
+    def test_hint_without_structure_passes_through(self, network, jobs):
+        engine = ModelEngine(network, k_paths=2)
+        structure = engine.structure(jobs, TimeGrid.covering(jobs.max_end()))
+        hint = WarmStart(x=np.zeros(structure.num_cols))
+        assert map_warm_start(hint, structure) is hint
+        bound = WarmStart(x=np.zeros(structure.num_cols), structure=structure)
+        assert map_warm_start(bound, structure) is bound
+
+    def test_columns_map_by_identity_with_neutral_fill(self, network, jobs):
+        donor, target = self._patched_pair(network, jobs)
+        x = np.arange(1.0, donor.num_cols + 2)  # +1 trailing aux (stage 1 Z)
+        hint = WarmStart(
+            x=x,
+            ineq_duals=np.arange(1.0, donor.capacity_matrix.shape[0] + 1),
+            basis=(1, 2),
+            structure=donor,
+        )
+        mapped = map_warm_start(hint, target)
+        assert mapped.x.shape[0] == target.num_cols + 1
+        assert mapped.x[-1] == x[-1]  # aux column preserved positionally
+        assert mapped.basis is None  # a permuted basis is worse than none
+        assert mapped.structure is target
+        assert mapped.ineq_duals.shape[0] == target.capacity_matrix.shape[0]
+        # Columns are matched by (job, path, absolute slice time): shifting
+        # every window by +1 slice leaves the overlap carrying donor values
+        # and zero-fills columns over the new final slice.
+        for c in range(target.num_cols):
+            i = int(target.col_job[c])
+            ident = (
+                target.jobs[i].id,
+                tuple(target.paths[i][int(target.col_path[c])].edge_ids),
+                float(target.grid.slice_start(int(target.col_slice[c]))),
+            )
+            donor_vals = {}
+            for d in range(donor.num_cols):
+                di = int(donor.col_job[d])
+                donor_vals[
+                    (
+                        donor.jobs[di].id,
+                        tuple(
+                            donor.paths[di][int(donor.col_path[d])].edge_ids
+                        ),
+                        float(donor.grid.slice_start(int(donor.col_slice[d]))),
+                    )
+                ] = x[d]
+            assert mapped.x[c] == donor_vals.get(ident, 0.0)
+
+    def test_warm_capable_backend_receives_mapped_hint(self, network, jobs):
+        received = []
+
+        class RecordingBackend:
+            name = "recording"
+            supports_warm_start = True
+
+            def solve(self, problem, *, warm_start=None, telemetry=None,
+                      label=None, budget=None):
+                received.append(warm_start)
+                return HighsBackend().solve(
+                    problem, telemetry=telemetry, label=label, budget=budget
+                )
+
+        register_backend(RecordingBackend())
+        try:
+            engine = ModelEngine(network, k_paths=2, backend="recording")
+            donor = engine.structure(jobs, TimeGrid.covering(jobs.max_end()))
+            engine.cached_solve(
+                donor, "stage1", lambda: build_stage1_lp(donor)
+            )
+            assert received[0] is None  # nothing to hint from yet
+            shifted = JobSet(
+                [dataclasses.replace(j, start=j.start + 1.0, end=j.end + 1.0)
+                 for j in jobs]
+            )
+            target = engine.structure(
+                shifted, TimeGrid.covering(shifted.max_end())
+            )
+            engine.cached_solve(
+                target, "stage1", lambda: build_stage1_lp(target)
+            )
+            hint = received[1]
+            assert hint is not None
+            assert hint.structure is target  # re-indexed, not passed raw
+            assert hint.x.shape[0] == target.num_cols + 1
+        finally:
+            backend_mod._REGISTRY.pop("recording", None)

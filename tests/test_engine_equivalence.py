@@ -13,7 +13,7 @@ import json
 
 import numpy as np
 import pytest
-from hypothesis import HealthCheck, given, settings
+from hypothesis import HealthCheck, assume, given, settings
 from hypothesis import strategies as st
 
 from repro import serialization
@@ -143,6 +143,39 @@ def test_simulation_warm_equals_cold(seed):
     assert _strip_timings(serialization.simulation_to_dict(warm)) == (
         _strip_timings(serialization.simulation_to_dict(cold))
     )
+
+
+@SOLVER_SETTINGS
+@given(seed=seeds)
+def test_fault_journal_identical_warm_vs_cold(seed, tmp_path):
+    """Faults mid-run never let carried state leak into the journal.
+
+    Fault epochs are where the delta layer is most dangerous: a carried
+    plan or patched structure built before an edge went down must be
+    invalidated, not silently reused.  This drives fuzz scenarios that
+    actually carry a :class:`FaultSchedule` through the extend policy
+    (the policy that re-plans hardest around outages) and demands the
+    committed journal lines match a cold run byte-for-byte.
+    """
+    sc = make_scenario(seed, allow_faults=True)
+    assume(sc.fault_schedule is not None)
+    # The journal rewrites the whole file per commit, so reusing the
+    # same paths across hypothesis examples is safe.
+    paths = {True: tmp_path / "warm.jsonl", False: tmp_path / "cold.jsonl"}
+    for flag, path in paths.items():
+        Simulation(
+            sc.network,
+            policy="extend",
+            k_paths=3,
+            warm_start=flag,
+            fault_schedule=sc.fault_schedule,
+            journal=path,
+        ).run(sc.jobs)
+    warm_lines = paths[True].read_text().splitlines()
+    cold_lines = paths[False].read_text().splitlines()
+    warm_entries = [_strip_timings(json.loads(l)) for l in warm_lines[1:]]
+    cold_entries = [_strip_timings(json.loads(l)) for l in cold_lines[1:]]
+    assert warm_entries == cold_entries
 
 
 @pytest.mark.parametrize("seed", [3, 11, 27])
