@@ -1,0 +1,284 @@
+"""SRV — the reservation front-end under a 100k-request arrival storm.
+
+The service (``docs/service.md``) promises that overload hardening is
+*cheap* and *lossless*: a bounded queue plus a token bucket shed the
+bulk of a storm in O(1) per request with an explicit
+``Rejected(reason="overload")``, while every request that reaches a
+decision epoch is admitted against the paper's feasibility machinery
+and — once accepted — is delivered in full.  This benchmark pins the
+numbers behind that claim:
+
+* **Overload stream (Abilene)** — ``STREAM_EPOCHS * STREAM_PER_EPOCH``
+  (>= ``REQUESTS_FLOOR`` = 100k) requests arrive in per-epoch bursts
+  roughly 300x the token-bucket rate.  The run reports sustained
+  admissions/sec, decisions/sec and p50/p99 decision latency, and
+  asserts the robustness invariants: every submission gets exactly one
+  response, and **zero accepted reservations are lost** (every
+  commitment completes).
+* **Journaled stream (Abilene)** — the same shape with the write-ahead
+  batch journal on: the durable decisions/sec rate, plus proof that the
+  journal replays — ``ReservationService.resume`` on the finished
+  journal must rebuild a commitment book with the identical canonical
+  digest.
+
+The admitted load is deliberately calibrated below the starvation edge
+(``STREAM_RATE`` per epoch on Abilene): admission guarantees *fluid*
+feasibility (Z* >= 1), but the executed LPDAR schedule is integer, so a
+front door that admits right at capacity can strand small commitments.
+Keeping the bucket rate conservative is exactly the knob the service
+exposes for that, and the zero-lost assertion here gates it.
+
+Results are written to ``BENCH_service.json`` at the repo root, which
+CI diffs against the committed baseline
+(``benchmarks/check_regression.py``, ``score`` cases) and uploads as an
+artifact.  Runs under pytest (the CI gate) or as a plain script::
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+"""
+
+import asyncio
+import json
+import platform
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import __version__
+from repro.analysis import Table
+from repro.service import ReservationService
+
+from _support import abilene_network
+
+SEED = 1009
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+#: Acceptance floor on the arrival-stream size (ISSUE 7: the SLO
+#: numbers must hold "under a >= 100k-job arrival stream").
+REQUESTS_FLOOR = 100_000
+
+#: Fractional score loss ``check_regression.py`` tolerates before a
+#: case counts as regressed.  Scores are absolute rates (requests/sec
+#: of one streaming pass), far noisier across runners than the engine
+#: bench's same-process speedup ratios — hence much looser than the
+#: default 25%.
+SCORE_TOLERANCE = 0.5
+
+#: The storm: per-epoch bursts ~300x the bucket rate, 50 epochs.
+STREAM_EPOCHS = 50
+STREAM_PER_EPOCH = 2400
+STREAM_QUEUE_LIMIT = 64
+STREAM_RATE = 8.0
+
+#: The durable variant keeps the same shape but fewer requests — every
+#: decided batch pays an fsync'd journal append.
+JOURNAL_EPOCHS = 30
+JOURNAL_PER_EPOCH = 400
+
+#: Request mix: single-wavelength-slice transfers (Abilene delivers 20
+#: units per wavelength-slice) with windows of 6-11 slices.
+SIZE_LOW, SIZE_HIGH = 4.0, 18.0
+WINDOW_LOW, WINDOW_HIGH = 6, 12
+START_SLACK = 3
+
+
+def _request_stream(network, epochs, per_epoch):
+    """Per-epoch batches of request dicts (pre-generated: the timed
+    loop measures the service, not the RNG)."""
+    rng = np.random.default_rng(SEED)
+    nodes = list(network.nodes)
+    batches, rid = [], 0
+    for epoch in range(epochs):
+        now = float(epoch)
+        batch = []
+        for _ in range(per_epoch):
+            s, d = rng.choice(len(nodes), size=2, replace=False)
+            start = now + float(rng.integers(0, START_SLACK))
+            batch.append({
+                "id": f"q{rid}",
+                "source": nodes[s],
+                "dest": nodes[d],
+                "size": float(rng.uniform(SIZE_LOW, SIZE_HIGH)),
+                "start": start,
+                "end": start + float(rng.integers(WINDOW_LOW, WINDOW_HIGH)),
+                "arrival": now,
+            })
+            rid += 1
+        batches.append(batch)
+    return batches
+
+
+async def _serve(service, batches):
+    for batch in batches:
+        for request in batch:
+            service.submit(request)
+        await service.tick()
+    while not service.idle:
+        await service.tick()
+
+
+def _run_stream(batches, **service_kwargs):
+    """One streaming pass; (seconds, service) with the service closed."""
+    service = ReservationService(
+        abilene_network(),
+        queue_limit=STREAM_QUEUE_LIMIT,
+        rate=STREAM_RATE,
+        **service_kwargs,
+    )
+    t0 = time.perf_counter()
+    asyncio.run(_serve(service, batches))
+    seconds = time.perf_counter() - t0
+    service.close()
+    return seconds, service
+
+
+def _assert_slos(service, total_requests):
+    """The robustness invariants every case must clear."""
+    c = service.stats.counters
+    responded = c["decided"] + c["shed"] + c["invalid"]
+    assert c["submitted"] == total_requests
+    assert responded == total_requests, (
+        f"{total_requests - responded} submissions never got a response"
+    )
+    assert c["accepted"] > 0, "the storm starved out every admission"
+    assert service.book.num_lost == 0, (
+        f"{service.book.num_lost} accepted reservations were lost "
+        "(expired or voided without renegotiation)"
+    )
+    for key, reservation in service.book.reservations.items():
+        assert reservation.status == "completed", (
+            f"reservation {key} ended {reservation.status} with "
+            f"{reservation.remaining} undelivered"
+        )
+
+
+def _case_dict(seconds, service, total_requests, extra=None):
+    snap = service.stats.snapshot()
+    case = {
+        "seconds": round(seconds, 4),
+        "score": round(snap["decisions_per_sec"], 1),
+        "metrics": {
+            "requests": total_requests,
+            "epochs": int(service.epoch),
+            "submitted": snap["submitted"],
+            "accepted": snap["accepted"],
+            "rejected": snap["rejected"],
+            "negotiated": snap["negotiated"],
+            "shed": snap["shed"],
+            "lost": service.book.num_lost,
+            "admissions_per_sec": round(snap["admissions_per_sec"], 2),
+            "decisions_per_sec": round(snap["decisions_per_sec"], 1),
+            "p50_decision_latency_s": round(
+                snap["p50_decision_latency_s"], 6
+            ),
+            "p99_decision_latency_s": round(
+                snap["p99_decision_latency_s"], 6
+            ),
+            "shed_rate": round(snap["shed_rate"], 4),
+        },
+    }
+    if extra:
+        case["metrics"].update(extra)
+    return case
+
+
+def _case_overload_stream():
+    """>= 100k requests against the undurable front door."""
+    network = abilene_network()
+    batches = _request_stream(network, STREAM_EPOCHS, STREAM_PER_EPOCH)
+    total = sum(len(b) for b in batches)
+    assert total >= REQUESTS_FLOOR, (
+        f"stream of {total} requests is below the {REQUESTS_FLOOR} floor"
+    )
+    seconds, service = _run_stream(batches)
+    _assert_slos(service, total)
+    return _case_dict(seconds, service, total)
+
+
+def _case_journaled_stream():
+    """The durable front door, plus a replay check on its journal."""
+    network = abilene_network()
+    batches = _request_stream(network, JOURNAL_EPOCHS, JOURNAL_PER_EPOCH)
+    total = sum(len(b) for b in batches)
+    with tempfile.TemporaryDirectory() as tmp:
+        journal = Path(tmp) / "service.jsonl"
+        seconds, service = _run_stream(batches, journal=journal)
+        _assert_slos(service, total)
+        digest = service.book.digest()
+        journal_bytes = journal.stat().st_size
+
+        # Durability evidence: the write-ahead journal alone rebuilds
+        # the identical commitment book.
+        resumed = ReservationService.resume(str(journal))
+        assert resumed.book.digest() == digest, (
+            "journal replay diverged from the live commitment book"
+        )
+        assert resumed.book.ledger == service.book.ledger
+        resumed.close()
+    return _case_dict(
+        seconds, service, total,
+        extra={"journal_bytes": journal_bytes, "replay_digest_ok": True},
+    )
+
+
+def run_service_bench() -> dict:
+    """Run all cases and return the ``BENCH_service.json`` document."""
+    return {
+        "schema": 1,
+        "suite": "service-slo",
+        "tolerance": SCORE_TOLERANCE,
+        "requests_floor": REQUESTS_FLOOR,
+        "versions": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "repro": __version__,
+        },
+        "cases": {
+            "overload_stream_abilene": _case_overload_stream(),
+            "journaled_stream_abilene": _case_journaled_stream(),
+        },
+    }
+
+
+def _as_table(document: dict) -> Table:
+    table = Table(
+        [
+            "case", "requests", "seconds", "decisions/s", "admissions/s",
+            "p99 (ms)", "shed", "lost",
+        ],
+        title="SRV — reservation front-end SLOs",
+    )
+    for name, case in document["cases"].items():
+        m = case["metrics"]
+        table.add_row([
+            name,
+            m["requests"],
+            case["seconds"],
+            m["decisions_per_sec"],
+            m["admissions_per_sec"],
+            round(m["p99_decision_latency_s"] * 1e3, 2),
+            f"{m['shed_rate']:.1%}",
+            m["lost"],
+        ])
+    return table
+
+
+def test_service_slos(report):
+    document = run_service_bench()
+    BENCH_PATH.write_text(json.dumps(document, indent=2) + "\n")
+    report(_as_table(document))
+
+    stream = document["cases"]["overload_stream_abilene"]["metrics"]
+    assert stream["requests"] >= REQUESTS_FLOOR
+    assert stream["lost"] == 0
+    assert document["cases"]["journaled_stream_abilene"]["metrics"][
+        "replay_digest_ok"
+    ]
+
+
+if __name__ == "__main__":
+    doc = run_service_bench()
+    BENCH_PATH.write_text(json.dumps(doc, indent=2) + "\n")
+    print(_as_table(doc).render())
+    print(f"\nwrote {BENCH_PATH}")

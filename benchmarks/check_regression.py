@@ -1,18 +1,24 @@
-"""Diff a fresh ``BENCH_engine.json`` against a committed baseline.
+"""Diff a fresh benchmark JSON document against a committed baseline.
 
-The speedup floors inside ``bench_engine.py`` catch collapses below an
-absolute bar; this check catches *relative* slides — a change that keeps
-every case above its floor but gives back a chunk of the committed
-speedup still fails.  CI copies the committed ``BENCH_engine.json`` to a
-baseline path before re-running the bench, then invokes::
+The absolute floors inside the benches themselves (speedup floors in
+``bench_engine.py``, the zero-lost / 100k-stream gates in
+``bench_service.py``) catch collapses below a hard bar; this check
+catches *relative* slides — a change that keeps every case above its
+floor but gives back a chunk of the committed performance still fails.
+CI copies the committed document to a baseline path before re-running
+the bench, then invokes::
 
     python benchmarks/check_regression.py <baseline.json> <fresh.json>
 
-A case regresses when its fresh speedup falls below
-``baseline_speedup * (1 - TOLERANCE)``.  The tolerance absorbs runner
-noise (best-of-3 wall times on shared CI hardware); cases present only
-in the fresh document are reported as new and pass, cases that
-*disappeared* fail.  Exit status is the number of regressed cases.
+Each case gates on one metric: ``speedup`` (engine-style cases — a
+ratio of two wall times measured in the same process, stable across
+runners) or, when no speedup is present, ``score`` (service-style
+cases — an absolute rate, noisier).  A case regresses when its fresh
+metric falls below ``baseline * (1 - tolerance)``; the tolerance is the
+document-level ``"tolerance"`` field of the baseline when present, else
+``TOLERANCE``.  Cases present only in the fresh document are reported
+as new and pass, cases that *disappeared* fail.  Exit status is the
+number of regressed cases.
 """
 
 from __future__ import annotations
@@ -21,27 +27,41 @@ import json
 import sys
 from pathlib import Path
 
-#: Fractional speedup loss tolerated before a case counts as regressed.
+#: Default fractional loss tolerated before a case counts as regressed;
+#: a baseline document's ``"tolerance"`` field overrides it.
 TOLERANCE = 0.25
+
+
+def _metric(case: dict) -> tuple[str, float]:
+    """``(name, value)`` of the metric a case gates on."""
+    if "speedup" in case:
+        return "speedup", float(case["speedup"])
+    return "score", float(case["score"])
 
 
 def compare(baseline: dict, fresh: dict) -> list[str]:
     """Human-readable regression report lines; empty means clean."""
     problems: list[str] = []
+    tolerance = float(baseline.get("tolerance", TOLERANCE))
     base_cases = baseline.get("cases", {})
     fresh_cases = fresh.get("cases", {})
     for name, base in sorted(base_cases.items()):
         if name not in fresh_cases:
             problems.append(f"{name}: case missing from fresh results")
             continue
-        base_speedup = float(base["speedup"])
-        fresh_speedup = float(fresh_cases[name]["speedup"])
-        floor = base_speedup * (1.0 - TOLERANCE)
-        if fresh_speedup < floor:
+        metric, base_value = _metric(base)
+        if metric not in fresh_cases[name]:
             problems.append(
-                f"{name}: speedup {fresh_speedup}x regressed below "
-                f"{floor:.3f}x ({base_speedup}x baseline - "
-                f"{TOLERANCE:.0%} tolerance)"
+                f"{name}: fresh case lost its {metric!r} metric"
+            )
+            continue
+        fresh_value = float(fresh_cases[name][metric])
+        floor = base_value * (1.0 - tolerance)
+        if fresh_value < floor:
+            problems.append(
+                f"{name}: {metric} {fresh_value} regressed below "
+                f"{floor:.3f} ({base_value} baseline - "
+                f"{tolerance:.0%} tolerance)"
             )
     return problems
 
@@ -55,9 +75,10 @@ def main(argv: list[str]) -> int:
     fresh = json.loads(fresh_path.read_text())
     problems = compare(baseline, fresh)
     for name, case in sorted(fresh.get("cases", {}).items()):
+        metric, value = _metric(case)
         marker = "NEW " if name not in baseline.get("cases", {}) else ""
-        base = baseline.get("cases", {}).get(name, {}).get("speedup", "-")
-        print(f"{marker}{name}: {base}x -> {case['speedup']}x")
+        base = baseline.get("cases", {}).get(name, {}).get(metric, "-")
+        print(f"{marker}{name}: {metric} {base} -> {value}")
     if problems:
         print()
         for line in problems:

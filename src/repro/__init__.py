@@ -28,7 +28,7 @@ The three top-level entry points are:
   controller loop.
 """
 
-from . import analysis, core, engine, experiments, faults, lp, network, obs, recovery, sim, verify, workload
+from . import analysis, core, engine, experiments, faults, lp, network, obs, recovery, service, sim, verify, workload
 from . import serialization
 from .analysis import ResilienceReport, resilience_report
 from .engine import (
@@ -77,6 +77,7 @@ from .errors import (
     BudgetExceededError,
     InfeasibleProblemError,
     JournalError,
+    JournalLockedError,
     ReproError,
     ScheduleError,
     SolverError,
@@ -114,6 +115,7 @@ from .network import (
 from .network import topologies
 from .recovery import (
     CRASH_POINTS,
+    SERVICE_CRASH_POINTS,
     CrashInjector,
     EpochJournal,
     JournalReplay,
@@ -121,6 +123,20 @@ from .recovery import (
     SimulatedCrash,
     SolveBudget,
     read_journal,
+)
+from .service import (
+    Accepted,
+    ClosedLoopDriver,
+    CommitmentBook,
+    Decision,
+    DecisionHandle,
+    Negotiated,
+    Rejected,
+    Reservation,
+    ReservationRequest,
+    ReservationService,
+    ServiceStats,
+    parse_request,
 )
 from .sim import Simulation, SimulationResult, SimulationSummary, summarize
 from .timegrid import TimeGrid
@@ -154,6 +170,7 @@ __all__ = [
     "network",
     "obs",
     "recovery",
+    "service",
     "sim",
     "verify",
     "workload",
@@ -241,9 +258,23 @@ __all__ = [
     "JournalReplay",
     "read_journal",
     "CRASH_POINTS",
+    "SERVICE_CRASH_POINTS",
     "CrashInjector",
     "SimulatedCrash",
     "SolveBudget",
+    # reservation service
+    "ReservationService",
+    "ReservationRequest",
+    "Decision",
+    "DecisionHandle",
+    "Accepted",
+    "Rejected",
+    "Negotiated",
+    "parse_request",
+    "CommitmentBook",
+    "Reservation",
+    "ServiceStats",
+    "ClosedLoopDriver",
     # verification
     "Violation",
     "VerificationReport",
@@ -267,5 +298,6 @@ __all__ = [
     "ScheduleError",
     "BudgetExceededError",
     "JournalError",
+    "JournalLockedError",
     "__version__",
 ]

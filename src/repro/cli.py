@@ -11,6 +11,10 @@ JSON formats of :mod:`repro.serialization`:
 * ``simulate``  — replay the workload through the periodic controller;
 * ``resume``    — continue a journaled simulation after a crash
   (see docs/recovery.md);
+* ``serve``     — run the online reservation service over an arrival
+  trace: batched admission, accept/reject/negotiate responses, load
+  shedding, journaled decisions, and crash recovery via
+  ``serve --resume`` (see docs/service.md);
 * ``experiment`` — regenerate a paper figure (fig1..fig4, jobs-finished);
 * ``verify``    — check a serialized schedule against its problem's
   invariants, or run the seeded scenario fuzzer / benchmark micro-suite
@@ -20,6 +24,7 @@ JSON formats of :mod:`repro.serialization`:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from collections.abc import Sequence
 
@@ -173,6 +178,59 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="print the solve-telemetry tables after the run")
     res.add_argument("-o", "--output", default=None,
                      help="write the run's records and event log as JSON")
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the online reservation service over an arrival trace",
+    )
+    srv.add_argument("--network", default=None,
+                     help="network JSON (required unless --resume)")
+    srv.add_argument("--trace", default=None,
+                     help="arrival trace: jobs JSON/CSV driven through the "
+                     "closed-loop requester population")
+    srv.add_argument("--requests", default=None, metavar="PATH",
+                     help="raw request records (JSON list) submitted "
+                     "verbatim; malformed records get typed rejections "
+                     "instead of tracebacks")
+    srv.add_argument("--resume", default=None, metavar="JOURNAL",
+                     help="recover a crashed service from its decision "
+                     "journal, then keep serving (see docs/service.md)")
+    srv.add_argument("--tau", type=float, default=1.0)
+    srv.add_argument("--slice-length", type=float, default=1.0)
+    srv.add_argument("--k-paths", type=int, default=4)
+    srv.add_argument("--queue-limit", type=int, default=1024,
+                     help="bounded arrival queue; beyond it requests are "
+                     "shed with an explicit 'overload' rejection")
+    srv.add_argument("--rate", type=float, default=64.0,
+                     help="token-bucket admission guard: decisions per "
+                     "epoch the service will attempt")
+    srv.add_argument("--burst", type=float, default=None,
+                     help="token-bucket burst size (default: --rate)")
+    srv.add_argument("--journal", default=None, metavar="PATH",
+                     help="journal every decision before responding so a "
+                     "crashed service can be recovered with --resume")
+    srv.add_argument("--solve-budget", type=float, default=None,
+                     metavar="SECONDS",
+                     help="per-epoch wall-clock budget; missed-deadline "
+                     "decisions fall back to certified verdicts")
+    srv.add_argument("--crash", default=None, metavar="POINT@EPOCH",
+                     help="inject a simulated crash (testing): one of "
+                     "pre-batch, post-solve, pre-respond, post-journal "
+                     "at the given epoch, e.g. 'pre-respond@2'")
+    srv.add_argument("--faults", default=None, metavar="SPEC",
+                     help="inject link faults (same spec language as "
+                     "'repro simulate --faults')")
+    srv.add_argument("--fault-seed", type=int, default=0)
+    srv.add_argument("--retry-limit", type=int, default=2,
+                     help="closed-loop driver: overload-shed retries per "
+                     "request (exponential backoff in epochs)")
+    srv.add_argument("--negotiate-limit", type=int, default=2,
+                     help="closed-loop driver: negotiated counter-offers "
+                     "accepted per request before giving up")
+    srv.add_argument("--profile", action="store_true",
+                     help="print the solve-telemetry tables after the run")
+    srv.add_argument("-o", "--output", default=None,
+                     help="write the SLO snapshot + commitment book as JSON")
 
     ver = sub.add_parser(
         "verify",
@@ -519,6 +577,144 @@ def _cmd_resume(args) -> int:
     return 0
 
 
+def _parse_crash_spec(spec: str):
+    """``POINT@EPOCH`` → a one-shot :class:`CrashInjector`."""
+    from .errors import ValidationError
+    from .recovery import CrashInjector
+
+    point, sep, epoch = spec.partition("@")
+    if not sep:
+        raise ValidationError(
+            f"crash spec {spec!r} must look like 'pre-respond@2'"
+        )
+    try:
+        at = int(epoch)
+    except ValueError:
+        raise ValidationError(
+            f"crash spec {spec!r}: epoch {epoch!r} is not an integer"
+        ) from None
+    return CrashInjector(point, at)
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .recovery import SimulatedCrash, SolveBudget
+    from .service import ClosedLoopDriver, ReservationService
+
+    telemetry = _profile_telemetry(args)
+    crash = _parse_crash_spec(args.crash) if args.crash else None
+    solve_budget = (
+        SolveBudget(args.solve_budget)
+        if args.solve_budget is not None else None
+    )
+
+    if args.resume:
+        service = ReservationService.resume(
+            args.resume,
+            telemetry=telemetry,
+            crash_injector=crash,
+            solve_budget=solve_budget,
+        )
+        print(
+            f"recovered service from {args.resume}: epoch {service.epoch}, "
+            f"{service.book.num_accepted} reservations committed"
+        )
+    else:
+        if not args.network:
+            print("error: serve needs --network (or --resume)",
+                  file=sys.stderr)
+            return 2
+        net = network_from_dict(load_json(args.network))
+        fault_schedule = None
+        if args.faults:
+            from .faults import parse_fault_spec
+
+            horizon = 100.0 * args.tau
+            if args.trace:
+                horizon = max(horizon, 11.0 * _load_jobs(args.trace).max_end())
+            fault_schedule = parse_fault_spec(
+                args.faults, net, seed=args.fault_seed, horizon=horizon
+            )
+        service = ReservationService(
+            net,
+            tau=args.tau,
+            slice_length=args.slice_length,
+            k_paths=args.k_paths,
+            queue_limit=args.queue_limit,
+            rate=args.rate,
+            burst=args.burst,
+            journal=args.journal,
+            solve_budget=solve_budget,
+            crash_injector=crash,
+            fault_schedule=fault_schedule,
+            telemetry=telemetry,
+        )
+
+    try:
+        if args.requests:
+            records = load_json(args.requests)
+            if not isinstance(records, list):
+                records = [records]
+            handles = [service.submit(record) for record in records]
+            while not service.idle or service.queue_depth:
+                asyncio.run(service.tick())
+            for handle in handles:
+                decision = handle.decision
+                detail = getattr(decision, "reason", "") or (
+                    f"[{getattr(decision, 'start', '')}, "
+                    f"{getattr(decision, 'end', '')}]"
+                )
+                print(f"{decision.request_id}: {decision.kind} {detail}")
+        if args.trace:
+            jobs = _load_jobs(args.trace)
+            driver = ClosedLoopDriver(
+                service,
+                jobs,
+                retry_limit=args.retry_limit,
+                negotiate_limit=args.negotiate_limit,
+            )
+            report = asyncio.run(driver.run())
+            print(
+                f"drove {len(jobs)} requests: {report.accepted} accepted, "
+                f"{report.rejected} rejected, "
+                f"{report.renegotiated} renegotiated, "
+                f"{report.shed_retries} shed retries"
+            )
+        elif not args.requests:
+            # No arrival source: drain whatever the journal carried over.
+            while not service.idle:
+                asyncio.run(service.tick())
+    except SimulatedCrash as exc:
+        service.close()
+        print(f"simulated crash: {exc}", file=sys.stderr)
+        if args.journal or args.resume:
+            journal = args.journal or args.resume
+            print(f"recover with: repro serve --resume {journal}",
+                  file=sys.stderr)
+        return 3
+
+    print()
+    print(service.stats.table().render())
+    book = service.book
+    print(
+        f"\ncommitment book: {len(book.ledger)} decisions, "
+        f"{book.num_accepted} reservations, {book.num_lost} lost, "
+        f"digest {book.digest()[:16]}"
+    )
+    _print_profile(telemetry)
+
+    if args.output:
+        save_json(
+            {"slo": service.stats.snapshot(), "book": book.to_dict(),
+             "digest": book.digest()},
+            args.output,
+        )
+        print(f"\nwrote service report to {args.output}")
+    service.close()
+    return 0
+
+
 def _cmd_verify(args) -> int:
     from .verify.bench import DEFAULT_BENCH_PATH, write_bench
     from .verify.fuzz import run_fuzz
@@ -618,6 +814,7 @@ _COMMANDS = {
     "ret": _cmd_ret,
     "simulate": _cmd_simulate,
     "resume": _cmd_resume,
+    "serve": _cmd_serve,
     "experiment": _cmd_experiment,
     "verify": _cmd_verify,
 }
@@ -632,6 +829,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # Downstream closed the pipe (e.g. `repro ... | head`); die
+        # quietly like a well-behaved filter.  Point stdout at devnull
+        # so the interpreter's shutdown flush cannot raise again.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

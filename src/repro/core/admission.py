@@ -26,7 +26,8 @@ from collections.abc import Callable
 import numpy as np
 
 from ..engine.engine import ModelEngine
-from ..errors import ValidationError
+from ..errors import BudgetExceededError, ValidationError
+from ..lp.solver import SolveBudget
 from ..network.graph import Network
 from ..timegrid import TimeGrid
 from ..workload.jobs import Job, JobSet
@@ -79,11 +80,17 @@ class AdmissionDecision:
     zstar:
         Stage-1 throughput of the admitted set (``inf`` when everything
         was rejected, vacuously feasible).
+    degraded:
+        True when a :class:`~repro.lp.solver.SolveBudget` ran out before
+        the search finished; the decision is still sound (every admitted
+        prefix was proven feasible before the budget died) but may admit
+        fewer jobs than an unhurried pass would.
     """
 
     admitted: JobSet
     rejected: JobSet
     zstar: float
+    degraded: bool = False
 
     @property
     def num_admitted(self) -> int:
@@ -125,6 +132,8 @@ def admit_max_prefix(
     threshold: float = 1.0,
     key: Callable[[Job], tuple] = by_arrival,
     engine: ModelEngine | None = None,
+    budget: SolveBudget | None = None,
+    path_sets: dict | None = None,
 ) -> AdmissionDecision:
     """Footnote-1 rejection: longest admissible prefix by binary search.
 
@@ -138,15 +147,22 @@ def admit_max_prefix(
 
     ``engine`` optionally shares a caller's :class:`ModelEngine` (bound
     to the same network / ``k_paths``), so the search's prefix
-    structures reuse — and feed — the caller's caches.
+    structures reuse — and feed — the caller's caches.  ``path_sets``
+    optionally overrides the engine's path resolution (the simulator
+    passes fault-pruned sets while links are down); ``budget`` bounds
+    the search's total wall time — when it expires mid-search, the
+    longest prefix already *proven* admissible is returned with
+    ``degraded=True`` instead of letting the probe blow the epoch
+    deadline.
     """
     if threshold <= 0:
         raise ValidationError(f"threshold must be positive, got {threshold}")
     ordered = jobs.sorted_by(key)
-    # One engine for the whole search: paths resolve once, and the final
-    # prefix's re-solve below is a pure memo hit instead of a second LP.
+    # One engine for the whole search: paths resolve once and prefix
+    # structures share layout fragments across probes.
     engine = _admission_engine(network, k_paths, engine)
-    path_sets = engine.topology.path_sets(ordered.od_pairs())
+    if path_sets is None:
+        path_sets = engine.topology.path_sets(ordered.od_pairs())
 
     schedulable: list[Job] = []
     rejected: list[Job] = []
@@ -162,27 +178,42 @@ def admit_max_prefix(
             JobSet(schedulable[:count]), grid, path_sets=path_sets
         )
         solution = engine.cached_solve(
-            structure, "stage1", lambda: build_stage1_lp(structure)
+            structure,
+            "stage1",
+            lambda: build_stage1_lp(structure),
+            budget=budget,
         )
         return float(solution.x[-1])
 
-    # Binary search the largest count with Z*(prefix) >= threshold.
-    lo, hi = 0, len(schedulable)  # invariant: prefix_zstar(lo) >= threshold
-    if prefix_zstar(hi) >= threshold:
-        lo = hi
-    else:
-        while hi - lo > 1:
-            mid = (lo + hi) // 2
-            if prefix_zstar(mid) >= threshold:
-                lo = mid
-            else:
-                hi = mid
+    # Binary search the largest count with Z*(prefix) >= threshold,
+    # tracking (lo, Z*(lo)) so the budget-exhausted exit below never
+    # needs another solve to report the proven prefix.
+    lo, zstar_lo = 0, float("inf")
+    hi = len(schedulable)
+    degraded = False
+    try:
+        z = prefix_zstar(hi)
+        if z >= threshold:
+            lo, zstar_lo = hi, z
+        else:
+            while hi - lo > 1:
+                mid = (lo + hi) // 2
+                z = prefix_zstar(mid)
+                if z >= threshold:
+                    lo, zstar_lo = mid, z
+                else:
+                    hi = mid
+    except BudgetExceededError:
+        # Out of time mid-search: commit the longest prefix already
+        # proven admissible.  Sound (monotonicity) but possibly short.
+        degraded = True
     admitted = JobSet(schedulable[:lo])
     rejected.extend(schedulable[lo:])
     return AdmissionDecision(
         admitted=admitted,
         rejected=JobSet(rejected),
-        zstar=prefix_zstar(lo),
+        zstar=zstar_lo,
+        degraded=degraded,
     )
 
 
@@ -194,6 +225,8 @@ def admit_greedy(
     threshold: float = 1.0,
     key: Callable[[Job], tuple] = by_size_descending,
     engine: ModelEngine | None = None,
+    budget: SolveBudget | None = None,
+    path_sets: dict | None = None,
 ) -> AdmissionDecision:
     """Greedy non-prefix admission (the footnote's "future work").
 
@@ -207,6 +240,10 @@ def admit_greedy(
     Soundness rests on the same monotonicity as the prefix search:
     dropping a job never lowers ``Z*``, so an accepted set stays
     feasible as rejected jobs are skipped.
+
+    ``budget`` and ``path_sets`` behave as in :func:`admit_max_prefix`:
+    a mid-walk budget expiry keeps the already-accepted set and rejects
+    every job not yet probed, with ``degraded=True``.
     """
     if threshold <= 0:
         raise ValidationError(f"threshold must be positive, got {threshold}")
@@ -214,20 +251,31 @@ def admit_greedy(
     # The candidate sets all share paths and per-job layout fragments;
     # an engine makes the per-job stage-1 solves reuse both.
     engine = _admission_engine(network, k_paths, engine)
-    path_sets = engine.topology.path_sets(ordered.od_pairs())
+    if path_sets is None:
+        path_sets = engine.topology.path_sets(ordered.od_pairs())
 
     accepted: list[Job] = []
     rejected: list[Job] = []
     zstar = float("inf")
+    degraded = False
     for job in ordered:
         has_path = bool(path_sets.get((job.source, job.dest)))
         has_slice = len(grid.window_slices(job.start, job.end)) > 0
         if not (has_path and has_slice):
             rejected.append(job)
             continue
+        if degraded:
+            rejected.append(job)
+            continue
         candidate = JobSet(accepted + [job])
         structure = engine.structure(candidate, grid, path_sets=path_sets)
-        z = solve_stage1(structure).zstar
+        try:
+            z = solve_stage1(structure, budget=budget).zstar
+        except BudgetExceededError:
+            # No time left to probe: everything not yet proven in is out.
+            degraded = True
+            rejected.append(job)
+            continue
         if z >= threshold:
             accepted.append(job)
             zstar = z
@@ -237,4 +285,5 @@ def admit_greedy(
         admitted=JobSet(accepted),
         rejected=JobSet(rejected),
         zstar=zstar,
+        degraded=degraded,
     )

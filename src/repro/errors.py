@@ -16,6 +16,7 @@ __all__ = [
     "ScheduleError",
     "BudgetExceededError",
     "JournalError",
+    "JournalLockedError",
 ]
 
 
@@ -111,3 +112,25 @@ class JournalError(ReproError, RuntimeError):
     used at all — no file, no valid header, or an unsupported schema
     version.
     """
+
+
+class JournalLockedError(JournalError):
+    """Another live controller process holds the journal's append lock.
+
+    Opening a journal for appending takes an exclusive ``<path>.lock``
+    file carrying the owner's PID; a second opener from a *different
+    live process* gets this error instead of silently interleaving
+    whole-file rewrites with the first.  Locks left behind by dead
+    processes (a crashed controller) are stale and stolen silently, as
+    are locks held by the opener's own PID — a same-process reopen is
+    exactly the crash-test resume path.
+
+    Attributes
+    ----------
+    owner_pid:
+        PID recorded in the conflicting lock file.
+    """
+
+    def __init__(self, message: str, owner_pid: int | None = None) -> None:
+        super().__init__(message)
+        self.owner_pid = owner_pid

@@ -23,7 +23,12 @@ Wired into :class:`repro.sim.simulator.Simulation` via ``journal=``,
 """
 
 from ..lp.solver import SolveBudget
-from .crash import CRASH_POINTS, CrashInjector, SimulatedCrash
+from .crash import (
+    CRASH_POINTS,
+    SERVICE_CRASH_POINTS,
+    CrashInjector,
+    SimulatedCrash,
+)
 from .journal import SCHEMA_VERSION, EpochJournal, JournalReplay, read_journal
 
 __all__ = [
@@ -32,6 +37,7 @@ __all__ = [
     "JournalReplay",
     "read_journal",
     "CRASH_POINTS",
+    "SERVICE_CRASH_POINTS",
     "CrashInjector",
     "SimulatedCrash",
     "SolveBudget",

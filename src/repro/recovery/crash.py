@@ -25,6 +25,28 @@ leave meaningfully different on-disk state:
     :meth:`~repro.recovery.journal.EpochJournal.append_torn`) before
     the crash, exercising the reader's corrupt-tail recovery.
 
+The reservation service (:mod:`repro.service`) runs a different loop —
+batch, decide, journal, respond — with its own meaningfully-distinct
+death sites (:data:`SERVICE_CRASH_POINTS`):
+
+``pre-batch``
+    Before the tick touches anything.  Queued requests are still
+    undecided; resume re-collects the same batch.
+``post-solve``
+    After decisions and the epoch schedule are computed but before the
+    journal append.  All of the tick's work is lost and replayed.
+``pre-respond``
+    After the batch record is journaled but before any response is
+    released.  The decisions are durable yet unseen — resume must
+    surface them exactly once, not recompute them.
+``post-journal``
+    After responses are released (the tick fully committed).  Resume
+    continues from the next tick with nothing repeated.
+
+(The service's journal appends are atomic whole-file writes, so the
+simulator's ``mid-journal`` torn-tail point covers the same failure
+mode for both loops.)
+
 The injector is one-shot: it fires the first time the run reaches its
 ``(point, epoch)`` and never again, so a resumed run sails past the
 same spot.
@@ -34,7 +56,12 @@ from __future__ import annotations
 
 from ..errors import ReproError, ValidationError
 
-__all__ = ["CRASH_POINTS", "SimulatedCrash", "CrashInjector"]
+__all__ = [
+    "CRASH_POINTS",
+    "SERVICE_CRASH_POINTS",
+    "SimulatedCrash",
+    "CrashInjector",
+]
 
 #: Every named controller-loop crash point, in loop order.
 CRASH_POINTS = (
@@ -43,6 +70,20 @@ CRASH_POINTS = (
     "pre-commit",
     "post-commit",
     "mid-journal",
+)
+
+#: Reservation-service tick crash points, in tick order.  ``post-solve``
+#: is shared with :data:`CRASH_POINTS` (same meaning in both loops).
+SERVICE_CRASH_POINTS = (
+    "pre-batch",
+    "post-solve",
+    "pre-respond",
+    "post-journal",
+)
+
+#: Every crash point any loop understands.
+_ALL_POINTS = CRASH_POINTS + tuple(
+    p for p in SERVICE_CRASH_POINTS if p not in CRASH_POINTS
 )
 
 
@@ -68,16 +109,16 @@ class CrashInjector:
     Parameters
     ----------
     point:
-        One of :data:`CRASH_POINTS`.
+        One of :data:`CRASH_POINTS` or :data:`SERVICE_CRASH_POINTS`.
     epoch:
         Epoch index (scheduling passes count from 0) to die in.
     """
 
     def __init__(self, point: str, epoch: int = 0) -> None:
-        if point not in CRASH_POINTS:
+        if point not in _ALL_POINTS:
             raise ValidationError(
                 f"unknown crash point {point!r}; pick one of "
-                f"{', '.join(CRASH_POINTS)}"
+                f"{', '.join(_ALL_POINTS)}"
             )
         if int(epoch) != epoch or epoch < 0:
             raise ValidationError(

@@ -25,6 +25,30 @@ Journals are small (state scales with job count, not horizon), so the
 rewrite-whole-file strategy costs microseconds per epoch next to the
 epoch's LP solves; ``benchmarks/bench_recovery_overhead.py`` holds this
 under 10% of epoch wall time.
+
+Append lock
+-----------
+
+Because appends rewrite the whole file, two writers interleaving on one
+journal silently destroy each other's tails.  Opening a journal for
+appending therefore takes an exclusive ``<path>.lock`` file holding the
+owner's PID (written and fsynced before use).  A second opener from a
+*different live process* raises
+:class:`~repro.errors.JournalLockedError`; locks whose owner PID is
+dead (a crashed controller) or is the opener's own process (the
+in-process crash-test resume path) are stale and stolen.  The lock is
+released by :meth:`EpochJournal.close` — which the simulator and the
+reservation service call on normal completion — and otherwise expires
+with its owning process.
+
+Record kinds
+------------
+
+The simulator journals ``"epoch"`` records; the reservation service
+journals ``"batch"`` records through the same machinery.  Writers pick
+the kind per :meth:`EpochJournal.append`, readers declare the kind they
+expect via ``read_journal(..., entry_kind=...)`` — a record of any
+other kind truncates the replay there, exactly like a corrupt line.
 """
 
 from __future__ import annotations
@@ -35,9 +59,14 @@ import zlib
 from dataclasses import dataclass
 from pathlib import Path
 
-from ..errors import JournalError, ValidationError
+from ..errors import JournalError, JournalLockedError, ValidationError
 
-__all__ = ["SCHEMA_VERSION", "EpochJournal", "JournalReplay", "read_journal"]
+__all__ = [
+    "SCHEMA_VERSION",
+    "EpochJournal",
+    "JournalReplay",
+    "read_journal",
+]
 
 #: Journal schema version; readers reject anything newer than they know.
 SCHEMA_VERSION = 1
@@ -53,6 +82,65 @@ def _wrap(data: dict) -> str:
     payload = _canonical(data)
     crc = zlib.crc32(payload.encode("utf-8"))
     return _canonical({"v": SCHEMA_VERSION, "crc": crc, "data": data})
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process (EPERM counts as alive)."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    except OSError:
+        return False
+    return True
+
+
+def _lock_path(path: Path) -> Path:
+    return path.with_name(path.name + ".lock")
+
+
+def _acquire_lock(path: Path) -> Path:
+    """Take the journal's exclusive PID lock file, or raise.
+
+    Creation is ``O_CREAT | O_EXCL`` so two racing openers cannot both
+    win; the PID is fsynced before the lock counts as held.  Stale
+    locks (dead owner, unreadable contents) and same-PID locks (an
+    abandoned handle from an earlier, crashed run of *this* process)
+    are stolen.
+    """
+    lock = _lock_path(path)
+    me = os.getpid()
+    for _ in range(3):
+        try:
+            fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+        except FileExistsError:
+            try:
+                owner = int(lock.read_text().split()[0])
+            except (OSError, ValueError, IndexError):
+                owner = None  # unreadable or torn lock: stale
+            if owner is not None and owner != me and _pid_alive(owner):
+                raise JournalLockedError(
+                    f"journal {path} is locked by live process {owner} "
+                    f"(lock file {lock}); a second controller must not "
+                    "interleave appends — resume there or wait for it "
+                    "to finish",
+                    owner_pid=owner,
+                )
+            try:
+                lock.unlink()
+            except FileNotFoundError:
+                pass
+            continue
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(f"{me}\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        return lock
+    raise JournalLockedError(
+        f"journal {path}: lost the lock race at {lock} three times in a row"
+    )
 
 
 def _unwrap(line: str) -> dict | None:
@@ -96,8 +184,13 @@ class JournalReplay:
         return self.entries[-1] if self.entries else None
 
 
-def read_journal(path: str | Path) -> JournalReplay:
+def read_journal(path: str | Path, entry_kind: str = "epoch") -> JournalReplay:
     """Recover a journal from disk, tolerating a torn tail.
+
+    ``entry_kind`` is the record kind the caller expects after the
+    header (``"epoch"`` for simulator journals, ``"batch"`` for
+    reservation-service journals); a record of any other kind counts as
+    a corrupt tail and truncates the replay.
 
     Raises :class:`~repro.errors.JournalError` when the journal is
     unusable outright: missing file, empty file, invalid or wrong-kind
@@ -130,7 +223,7 @@ def read_journal(path: str | Path) -> JournalReplay:
     truncated = False
     for line in lines[1:]:
         data = _unwrap(line)
-        if data is None or data.get("kind") != "epoch":
+        if data is None or data.get("kind") != entry_kind:
             truncated = True
             break
         entries.append(data)
@@ -146,32 +239,46 @@ class EpochJournal:
     or :meth:`open_existing` to continue one — the latter loads the
     valid prefix via :func:`read_journal`, so the first append after a
     torn-tail crash also heals the file.
+
+    Both constructors take the exclusive append lock (module docstring);
+    a second live process opening the same path raises
+    :class:`~repro.errors.JournalLockedError`.  :meth:`close` releases
+    the lock; an unclosed journal's lock dies with its process.
     """
 
-    def __init__(self, path: str | Path, lines: list[str]) -> None:
+    def __init__(
+        self, path: str | Path, lines: list[str], entry_kind: str = "epoch"
+    ) -> None:
         self.path = Path(path)
+        self.entry_kind = entry_kind
         self._lines = lines
+        self._lock = _acquire_lock(self.path)
+        self._closed = False
 
     # ------------------------------------------------------------------
     @classmethod
-    def create(cls, path: str | Path, header: dict) -> "EpochJournal":
+    def create(
+        cls, path: str | Path, header: dict, entry_kind: str = "epoch"
+    ) -> "EpochJournal":
         """Start a fresh journal at ``path``; commits the header line."""
         if not isinstance(header, dict):
             raise ValidationError("journal header must be a dict")
         record = dict(header)
         record["kind"] = "header"
         record["schema"] = SCHEMA_VERSION
-        journal = cls(path, [_wrap(record)])
+        journal = cls(path, [_wrap(record)], entry_kind)
         journal._commit()
         return journal
 
     @classmethod
-    def open_existing(cls, path: str | Path) -> "EpochJournal":
+    def open_existing(
+        cls, path: str | Path, entry_kind: str = "epoch"
+    ) -> "EpochJournal":
         """Reopen a journal for appending, dropping any torn tail."""
-        replay = read_journal(path)
+        replay = read_journal(path, entry_kind=entry_kind)
         lines = [_wrap(replay.header)]
         lines.extend(_wrap(entry) for entry in replay.entries)
-        return cls(path, lines)
+        return cls(path, lines, entry_kind)
 
     # ------------------------------------------------------------------
     @property
@@ -179,12 +286,46 @@ class EpochJournal:
         """Committed epoch entries (the header does not count)."""
         return len(self._lines) - 1
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has released this handle."""
+        return self._closed
+
+    def close(self) -> None:
+        """Release the append lock; further appends raise.
+
+        Idempotent.  Only the normal-completion paths call this — a
+        crashed run leaves its lock behind on purpose, and the stale
+        rules in :func:`_acquire_lock` let the resume steal it.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._lock.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __enter__(self) -> "EpochJournal":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise JournalError(
+                f"journal {self.path} is closed; reopen it with "
+                "EpochJournal.open_existing to append again"
+            )
+
     def append(self, entry: dict) -> None:
-        """Durably commit one epoch record."""
+        """Durably commit one record (of this journal's entry kind)."""
         if not isinstance(entry, dict):
             raise ValidationError("journal entry must be a dict")
+        self._check_open()
         record = dict(entry)
-        record["kind"] = "epoch"
+        record["kind"] = self.entry_kind
         self._lines.append(_wrap(record))
         self._commit()
 
@@ -200,8 +341,9 @@ class EpochJournal:
         """
         if not isinstance(entry, dict):
             raise ValidationError("journal entry must be a dict")
+        self._check_open()
         record = dict(entry)
-        record["kind"] = "epoch"
+        record["kind"] = self.entry_kind
         line = _wrap(record)
         torn = line[: max(1, len(line) // 2)]
         content = "".join(f"{ln}\n" for ln in self._lines) + torn

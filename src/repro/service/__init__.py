@@ -1,0 +1,64 @@
+"""Online reservation service: the admission front-end.
+
+This package wraps the epoch controller (admission + scheduling from
+:mod:`repro.core`) in an async, crash-safe, overload-hardened request
+service:
+
+* :mod:`repro.service.requests` — the request schema, validation, and
+  the accept/reject/negotiate decision types;
+* :mod:`repro.service.core` — :class:`ReservationService`: bounded
+  arrival queue, token-bucket admission-rate guard, epoch-boundary
+  batching, journaled decisions, fault-driven renegotiation, and
+  crash recovery via :meth:`ReservationService.resume`;
+* :mod:`repro.service.book` — the commitment book (decision ledger +
+  reservation lifecycle) whose digest the crash-matrix tests compare;
+* :mod:`repro.service.slo` — SLO counters and decision-latency
+  percentiles;
+* :mod:`repro.service.driver` — a deterministic closed-loop requester
+  population for tests and benchmarks.
+"""
+
+from .book import CommitmentBook, Reservation
+from .core import ReservationService
+from .driver import ClosedLoopDriver, DriverReport, drive
+from .requests import (
+    REASON_DEADLINE,
+    REASON_OVERLOAD,
+    REASON_STALE,
+    Accepted,
+    Decision,
+    DecisionHandle,
+    Negotiated,
+    Rejected,
+    ReservationRequest,
+    decision_from_dict,
+    decision_to_dict,
+    parse_request,
+    parse_request_json,
+    request_to_job,
+)
+from .slo import ServiceStats
+
+__all__ = [
+    "ReservationService",
+    "ReservationRequest",
+    "Decision",
+    "DecisionHandle",
+    "Accepted",
+    "Rejected",
+    "Negotiated",
+    "REASON_OVERLOAD",
+    "REASON_STALE",
+    "REASON_DEADLINE",
+    "parse_request",
+    "parse_request_json",
+    "request_to_job",
+    "decision_to_dict",
+    "decision_from_dict",
+    "CommitmentBook",
+    "Reservation",
+    "ServiceStats",
+    "ClosedLoopDriver",
+    "DriverReport",
+    "drive",
+]

@@ -1,0 +1,123 @@
+"""The commitment book: every promise the service ever made.
+
+Two halves, both append-mostly:
+
+* the **ledger** — one decision record per request id, in the exact
+  dict form that went into the journal.  A request id is decided at
+  most once; resubmitting a decided id replays the recorded decision
+  (idempotent responses, no duplicates after a crash).
+* the **reservations** — one :class:`Reservation` per accepted
+  request, tracking remaining volume and lifecycle status
+  (``accepted`` → ``completed`` / ``expired`` / ``voided``).
+
+:meth:`CommitmentBook.digest` hashes a canonical JSON rendering of
+both halves; the crash-matrix tests assert the digest after
+crash+resume equals the uncrashed run's — "byte-identical commitment
+book" is literally this string.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from ..workload.jobs import Job
+
+__all__ = ["Reservation", "CommitmentBook"]
+
+#: Remaining volume below this fraction of the size counts as done.
+_VOLUME_TOL = 1e-9
+
+
+@dataclass
+class Reservation:
+    """Mutable lifecycle record of one accepted reservation."""
+
+    job: Job
+    remaining: float
+    status: str = "accepted"  # accepted | completed | expired | voided
+    #: Edge ids of the paths the latest committed schedule drives this
+    #: reservation over; faults void a reservation when they hit these.
+    used_edges: frozenset[int] = field(default_factory=frozenset)
+
+    @property
+    def done(self) -> bool:
+        return self.remaining <= _VOLUME_TOL * max(self.job.size, 1.0)
+
+    def to_dict(self) -> dict:
+        return {
+            "id": self.job.id,
+            "source": self.job.source,
+            "dest": self.job.dest,
+            "size": self.job.size,
+            "start": self.job.start,
+            "end": self.job.end,
+            "remaining": self.remaining,
+            "status": self.status,
+        }
+
+
+class CommitmentBook:
+    """Ledger of decisions plus the live reservation table."""
+
+    def __init__(self) -> None:
+        #: request id (stringified) -> journal-form decision dict.
+        self.ledger: dict[str, dict] = {}
+        #: request id (stringified) -> reservation, accepted ids only.
+        self.reservations: dict[str, Reservation] = {}
+
+    # ------------------------------------------------------------------
+    def decided(self, request_key: str) -> dict | None:
+        """The recorded decision for ``request_key``, or ``None``."""
+        return self.ledger.get(request_key)
+
+    def record(self, request_key: str, decision: dict) -> None:
+        self.ledger[request_key] = decision
+
+    def active(self) -> list[Reservation]:
+        """Accepted, unfinished reservations (the committed residual)."""
+        return [
+            r for r in self.reservations.values()
+            if r.status == "accepted" and not r.done
+        ]
+
+    # ------------------------------------------------------------------
+    @property
+    def num_accepted(self) -> int:
+        return len(self.reservations)
+
+    @property
+    def num_lost(self) -> int:
+        """Accepted reservations that ended without full delivery."""
+        return sum(
+            1 for r in self.reservations.values()
+            if r.status in ("expired", "voided")
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "ledger": {k: self.ledger[k] for k in sorted(self.ledger)},
+            "reservations": {
+                k: self.reservations[k].to_dict()
+                for k in sorted(self.reservations)
+            },
+        }
+
+    def digest(self) -> str:
+        """SHA-256 of the canonical book rendering.
+
+        Floats survive a JSON round-trip exactly (``repr`` encoding),
+        so two books built from the same decision/execution history —
+        one live, one replayed from the journal — hash identically.
+        """
+        payload = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def __repr__(self) -> str:
+        return (
+            f"CommitmentBook(decisions={len(self.ledger)}, "
+            f"reservations={len(self.reservations)})"
+        )

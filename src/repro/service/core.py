@@ -1,0 +1,926 @@
+"""The reservation service: an overload-hardened admission front-end.
+
+:class:`ReservationService` turns the paper's batch controller into a
+long-running server.  Requests arrive on a bounded queue
+(:meth:`~ReservationService.submit`), are batched at epoch boundaries
+(:meth:`~ReservationService.tick`, one call per epoch of length
+``tau``), and receive exactly one decision each — accept, reject, or a
+negotiated counter-offer derived from the RET end-time-extension
+machinery (paper Algorithm 2).
+
+Robustness layers, in tick order:
+
+* **Backpressure / load shedding.**  The pending queue is bounded
+  (``queue_limit``); a full queue answers immediately with
+  ``Rejected(reason="overload")``.  A token bucket (``rate`` tokens per
+  epoch, ``burst`` cap) bounds how many queued requests enter each
+  epoch's admission batch; the excess is shed the same way.  Shedding
+  is deliberately *memoryless*: a shed request leaves no trace, so the
+  shed path is O(1) and the journal never grows with offered load.
+* **Decision deadlines.**  The whole tick — admission probe,
+  negotiation, epoch schedule — runs under one
+  :class:`~repro.lp.solver.SolveBudget` restarted per epoch.  If the
+  budget dies mid-admission, requests whose probe never ran get a
+  deterministic fallback verdict: the engine's
+  :meth:`~repro.engine.engine.ModelEngine.certify_feasible` witness
+  check (sound, never complete) may prove them safe; otherwise they are
+  rejected with :data:`~repro.service.requests.REASON_DEADLINE`.
+  Already-committed reservations are never voided on degraded
+  evidence.  The epoch schedule itself rides the PR-4 degradation
+  ladder, so a feasible plan is always committed.
+* **Crash safety.**  Every tick journals its decisions, lifecycle
+  transitions and live residual volumes through
+  :class:`~repro.recovery.journal.EpochJournal` (``"batch"`` records)
+  *before* any response is released.  :meth:`ReservationService.resume`
+  rebuilds an identical commitment book and continues from the next
+  tick; re-submitting an already-decided request id replays the
+  recorded decision without a second ledger entry.
+* **Graceful degradation under faults.**  Link-fault events void the
+  reservations whose committed paths they break — visibly, into
+  renegotiation: the voided residual re-enters the next batch under a
+  derived id (``<id>~v<n>``) and is re-admitted, counter-offered a
+  later window, or explicitly rejected.  Nothing is lost silently.
+
+Time is *virtual*: tick ``e`` decides at ``now = e * tau``.  Decision
+outcomes depend only on request arrival order and epochs — never on
+wall clocks — which is what makes crash+resume byte-identical (see
+``docs/service.md``).  Wall time appears only in SLO latency stats and
+in the optional solve budget (whose journaled decisions are durable
+even though re-deciding under a budget is not bit-reproducible).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+from pathlib import Path
+
+import numpy as np
+
+from ..core.admission import admit_max_prefix
+from ..core.metrics import per_slice_delivery
+from ..core.ret import solve_ret
+from ..core.scheduler import Scheduler
+from ..engine.engine import ModelEngine
+from ..errors import (
+    BudgetExceededError,
+    ScheduleError,
+    ValidationError,
+)
+from ..faults.events import LinkDown, WavelengthDegrade
+from ..faults.schedule import FaultSchedule
+from ..lp.solver import SolveBudget
+from ..network.graph import Network
+from ..obs import NULL_TELEMETRY, Telemetry
+from ..recovery.crash import CrashInjector
+from ..recovery.journal import EpochJournal, read_journal
+from ..timegrid import TimeGrid
+from ..workload.jobs import Job, JobSet
+from .book import CommitmentBook, Reservation
+from .requests import (
+    REASON_DEADLINE,
+    REASON_OVERLOAD,
+    REASON_STALE,
+    Accepted,
+    Decision,
+    DecisionHandle,
+    Negotiated,
+    Rejected,
+    ReservationRequest,
+    decision_from_dict,
+    decision_to_dict,
+    parse_request,
+    request_to_job,
+)
+from .slo import ServiceStats
+
+__all__ = ["ReservationService"]
+
+_EPS = 1e-9
+_VOLUME_TOL = 1e-9
+
+
+class ReservationService:
+    """Async, crash-safe admission front-end over the epoch controller.
+
+    Parameters
+    ----------
+    network:
+        The optical network reservations are scheduled over.
+    tau:
+        Epoch length; tick ``e`` decides at virtual time ``e * tau``.
+    slice_length:
+        Scheduling-grid slice length.
+    k_paths:
+        Candidate paths per origin-destination pair.
+    queue_limit:
+        Bound on undecided queued requests; submissions beyond it are
+        shed immediately with ``Rejected(reason="overload")``.
+    rate, burst:
+        Token-bucket admission guard: ``rate`` requests may enter the
+        batch per epoch, with bursts up to ``burst``.
+    journal:
+        Optional path for the write-ahead batch journal (crash safety).
+    solve_budget:
+        Optional per-epoch wall-clock budget for the tick's solves.
+    crash_injector:
+        Deterministic process-death injection at the service crash
+        points (:data:`~repro.recovery.crash.SERVICE_CRASH_POINTS`).
+    fault_schedule:
+        Link-fault timeline; faults void affected reservations into
+        renegotiation at the next tick boundary.
+    renegotiate_limit:
+        How many derived renegotiation hops a voided reservation gets
+        before it is explicitly rejected.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        tau: float = 1.0,
+        slice_length: float = 1.0,
+        k_paths: int = 4,
+        queue_limit: int = 1024,
+        rate: float = 64.0,
+        burst: float | None = None,
+        journal: str | Path | None = None,
+        solve_budget: SolveBudget | None = None,
+        crash_injector: CrashInjector | None = None,
+        fault_schedule: FaultSchedule | None = None,
+        ret_b_max: float = 10.0,
+        ret_delta: float = 0.1,
+        renegotiate_limit: int = 3,
+        telemetry: Telemetry | None = None,
+        warm_start: bool = True,
+    ) -> None:
+        if tau <= 0:
+            raise ValidationError(f"tau must be positive, got {tau}")
+        if queue_limit < 1:
+            raise ValidationError(
+                f"queue_limit must be at least 1, got {queue_limit}"
+            )
+        if rate <= 0:
+            raise ValidationError(f"rate must be positive, got {rate}")
+        burst = float(rate) if burst is None else float(burst)
+        if burst < 1:
+            raise ValidationError(f"burst must be at least 1, got {burst}")
+        if renegotiate_limit < 0:
+            raise ValidationError(
+                f"renegotiate_limit must be >= 0, got {renegotiate_limit}"
+            )
+        self.network = network
+        self.tau = float(tau)
+        self.slice_length = float(slice_length)
+        self.k_paths = int(k_paths)
+        self.queue_limit = int(queue_limit)
+        self.rate = float(rate)
+        self.burst = burst
+        self.solve_budget = solve_budget
+        self.crash_injector = crash_injector
+        self.fault_schedule = fault_schedule
+        self.ret_b_max = float(ret_b_max)
+        self.ret_delta = float(ret_delta)
+        self.renegotiate_limit = int(renegotiate_limit)
+        self.telemetry = telemetry or NULL_TELEMETRY
+        self.warm_start = warm_start
+        self.stats = ServiceStats(self.telemetry)
+
+        self._engine = ModelEngine(
+            network, k_paths, telemetry=self.telemetry, warm_start=warm_start
+        )
+        self._scheduler = Scheduler(
+            network,
+            k_paths=k_paths,
+            slice_length=self.slice_length,
+            telemetry=self.telemetry,
+            budget=solve_budget,
+            engine=self._engine,
+        )
+        self.book = CommitmentBook()
+        #: Undecided external requests: key -> (request, handle).
+        self._pending: dict[str, tuple[ReservationRequest, DecisionHandle]] = {}
+        #: Renegotiation work carried to the next tick (journaled).
+        self._internal: list[dict] = []
+        self.epoch = 0
+        self._fault_idx = 0
+        self._bucket_tokens = burst
+        self._journal: EpochJournal | None = None
+        self.journal_path = Path(journal) if journal is not None else None
+        if self.journal_path is not None:
+            self._journal = EpochJournal.create(
+                self.journal_path, self._journal_header(), entry_kind="batch"
+            )
+
+    # ------------------------------------------------------------------
+    # Submission (the bounded front door)
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Virtual time of the *next* tick's decisions."""
+        return self.epoch * self.tau
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._pending)
+
+    def submit(self, request: ReservationRequest | dict) -> DecisionHandle:
+        """Enqueue one request; returns a handle its decision resolves.
+
+        Never raises for bad input and never blocks: validation
+        failures, duplicate undecided ids and overload all resolve the
+        handle immediately with an explicit :class:`Rejected`.  A
+        request whose id is already *decided* resolves immediately with
+        the recorded decision (idempotent resubmission — the crash
+        recovery path).
+        """
+        self.stats.count("submitted")
+        if not isinstance(request, ReservationRequest):
+            try:
+                request = parse_request(request, self.network)
+            except ValidationError as exc:
+                self.stats.count("invalid")
+                rid = request.get("id", "?") if isinstance(request, dict) else "?"
+                return DecisionHandle.resolved(
+                    Rejected(rid, self.epoch, f"invalid request: {exc}")
+                )
+        key = request.key
+        recorded = self.book.decided(key)
+        if recorded is not None:
+            self.stats.count("duplicate_submissions")
+            return DecisionHandle.resolved(decision_from_dict(recorded))
+        if key in self._pending:
+            self.stats.count("duplicate_submissions")
+            return self._pending[key][1]
+        if len(self._pending) >= self.queue_limit:
+            self.stats.count("shed")
+            return DecisionHandle.resolved(
+                Rejected(request.id, self.epoch, REASON_OVERLOAD)
+            )
+        handle = DecisionHandle()
+        self._pending[key] = (request, handle)
+        return handle
+
+    # ------------------------------------------------------------------
+    # The tick: one epoch of batched decisions
+    # ------------------------------------------------------------------
+    async def tick(self) -> list[Decision]:
+        """Run one epoch: batch, decide, journal, respond.
+
+        Returns the decisions released this tick (external and
+        renegotiation-derived).  Raises
+        :class:`~repro.recovery.crash.SimulatedCrash` when an armed
+        injector fires — after which this instance is dead, exactly
+        like the process it stands in for; continue via
+        :meth:`resume`.
+        """
+        now = self.now
+        epoch = self.epoch
+        self._crash_point("pre-batch", epoch)
+        if self.solve_budget is not None:
+            self.solve_budget.restart()
+
+        transitions: list[dict] = []
+        self._detect_faults(now, transitions)
+        self._expire_stale(now, transitions)
+
+        batch, shed_handles = self._collect_batch(now)
+        decisions, degraded = self._decide(batch, now, epoch, transitions)
+        transitions.extend(self._schedule_and_execute(now))
+
+        self._crash_point("post-solve", epoch)
+        if self._journal is not None:
+            self._journal.append(
+                self._journal_entry(epoch, now, decisions, transitions)
+            )
+            self.telemetry.count("journal_commits")
+        self._crash_point("pre-respond", epoch)
+
+        # Responses only after the journal holds the decisions: a crash
+        # from here on re-delivers them from the ledger, never re-decides.
+        for handle in shed_handles:
+            handle.release()
+            if handle.latency is not None:
+                self.stats.observe_latency(handle.latency)
+        for decision in decisions:
+            key = str(decision.request_id)
+            self.stats.count("decided")
+            self.stats.count(
+                {"accept": "accepted", "reject": "rejected",
+                 "negotiate": "negotiated"}[decision.kind]
+            )
+            if degraded.get(key):
+                self.stats.count("degraded_decisions")
+            entry = self._pending.pop(key, None)
+            if entry is not None:
+                entry[1].resolve(decision)
+                if entry[1].latency is not None:
+                    self.stats.observe_latency(entry[1].latency)
+        self._crash_point("post-journal", epoch)
+        self.epoch = epoch + 1
+        self.stats.count("ticks")
+        return decisions
+
+    @property
+    def idle(self) -> bool:
+        """Nothing queued, carried, or committed-but-unfinished."""
+        return (
+            not self._pending
+            and not self._internal
+            and not self.book.active()
+        )
+
+    def close(self) -> None:
+        """Release the journal's append lock (normal shutdown)."""
+        if self._journal is not None:
+            self._journal.close()
+
+    # ------------------------------------------------------------------
+    # Tick stages
+    # ------------------------------------------------------------------
+    def _crash_point(self, point: str, epoch: int) -> None:
+        ci = self.crash_injector
+        if ci is not None and ci.should_fire(point, epoch):
+            ci.fire(point, epoch)
+
+    def _detect_faults(self, now: float, transitions: list[dict]) -> None:
+        """Advance the fault cursor; void reservations on broken paths."""
+        fs = self.fault_schedule
+        if fs is None:
+            return
+        affected: set[int] = set()
+        while (
+            self._fault_idx < len(fs.events)
+            and fs.events[self._fault_idx].time <= now + _EPS
+        ):
+            ev = fs.events[self._fault_idx]
+            if isinstance(ev, (LinkDown, WavelengthDegrade)):
+                affected.update(fs.edges_of(ev))
+            self._fault_idx += 1
+        if not affected:
+            return
+        # Carried plans routed before the fault are poor witnesses after.
+        self._engine.invalidate_carried()
+        for key in sorted(self.book.reservations):
+            res = self.book.reservations[key]
+            if res.status != "accepted" or res.done:
+                continue
+            if res.used_edges & affected:
+                self._void(key, res, now, transitions,
+                           "link fault broke the committed path")
+
+    def _void(
+        self,
+        key: str,
+        res: Reservation,
+        now: float,
+        transitions: list[dict],
+        why: str,
+    ) -> None:
+        """Void a commitment into renegotiation — never silent loss."""
+        res.status = "voided"
+        transitions.append({"id": res.job.id, "status": "voided",
+                            "reason": why})
+        self.stats.count("voided")
+        start = max(res.job.start, now)
+        if res.job.end - start < self.slice_length - _EPS:
+            return  # window already gone; expiry semantics, recorded above
+        origin = self._origin_of(key)
+        self._internal.append({
+            "id": self._derived_id(origin),
+            "origin": origin,
+            "source": res.job.source,
+            "dest": res.job.dest,
+            "size": res.remaining,
+            "start": start,
+            "end": res.job.end,
+            "attempt": 1,
+        })
+
+    @staticmethod
+    def _origin_of(key: str) -> str:
+        return key.split("~v", 1)[0]
+
+    def _derived_id(self, origin: str) -> str:
+        n = 1
+        taken = {e["id"] for e in self._internal}
+        while True:
+            candidate = f"{origin}~v{n}"
+            if candidate not in taken and self.book.decided(candidate) is None:
+                return candidate
+            n += 1
+
+    def _expire_stale(self, now: float, transitions: list[dict]) -> None:
+        for key in sorted(self.book.reservations):
+            res = self.book.reservations[key]
+            if res.status != "accepted" or res.done:
+                continue
+            start = max(res.job.start, now)
+            if res.job.end - start < self.slice_length - _EPS:
+                res.status = "expired"
+                transitions.append({"id": res.job.id, "status": "expired"})
+                self.stats.count("expired")
+
+    def _collect_batch(
+        self, now: float
+    ) -> tuple[list[dict], list[DecisionHandle]]:
+        """Internal renegotiations plus bucket-limited external arrivals.
+
+        Returns the batch entries (dicts with a ``job``) and the
+        handles of requests shed this tick; sheds are resolved only
+        after the journal commit, with everything else.
+        """
+        batch: list[dict] = []
+        shed: list[DecisionHandle] = []
+        for entry in self._internal:
+            start = max(entry["start"], now)
+            dead = entry["end"] - start < self.slice_length - _EPS
+            batch.append({**entry, "internal": True,
+                          "job": None if dead else Job(
+                              id=entry["id"], source=entry["source"],
+                              dest=entry["dest"], size=entry["size"],
+                              start=start, end=entry["end"],
+                          )})
+        self._internal = []
+
+        self._bucket_tokens = min(self.burst, self._bucket_tokens + self.rate)
+        eligible = sorted(
+            (k for k, (req, _h) in self._pending.items()
+             if req.arrival <= now + _EPS),
+            key=lambda k: (self._pending[k][0].arrival, k),
+        )
+        for key in eligible:
+            request, handle = self._pending[key]
+            first_boundary = (
+                math.ceil(request.arrival / self.tau - _EPS) * self.tau
+            )
+            if first_boundary < now - _EPS:
+                # Post-crash resubmission of a request whose decision
+                # boundary committed without it: it was shed then (a
+                # decision would be in the ledger), so shed it again.
+                del self._pending[key]
+                handle.stage(Rejected(request.id, self.epoch, REASON_STALE))
+                shed.append(handle)
+                self.stats.count("shed")
+                continue
+            if self._bucket_tokens < 1.0:
+                del self._pending[key]
+                handle.stage(
+                    Rejected(request.id, self.epoch, REASON_OVERLOAD)
+                )
+                shed.append(handle)
+                self.stats.count("shed")
+                continue
+            self._bucket_tokens -= 1.0
+            dead = request.end - max(request.start, now) \
+                < self.slice_length - _EPS
+            batch.append({"id": request.id, "internal": False, "attempt": 0,
+                          "job": None if dead
+                          else request_to_job(request, now)})
+        return batch, shed
+
+    def _grid_and_paths(self, jobs: list[Job], now: float):
+        horizon = max([j.end for j in jobs] + [now + self.tau])
+        grid = TimeGrid.covering(horizon, self.slice_length, start=now)
+        path_sets = None
+        if self.fault_schedule is not None:
+            failed = self.fault_schedule.failed_edges_at(now)
+            if failed:
+                pairs = list({(j.source, j.dest) for j in jobs})
+                path_sets = self._engine.topology.path_sets(
+                    pairs, banned_edges=failed
+                )
+        return grid, path_sets
+
+    def _decide(
+        self,
+        batch: list[dict],
+        now: float,
+        epoch: int,
+        transitions: list[dict],
+    ) -> tuple[list[Decision], dict[str, bool]]:
+        """Admission + negotiation for one batch; commits accepts."""
+        decisions: list[Decision] = []
+        degraded_mark: dict[str, bool] = {}
+        live = []
+        for entry in batch:
+            if entry["job"] is None:
+                # The window closed before a decision epoch could see it.
+                self._record(decisions, Rejected(
+                    entry["id"], epoch,
+                    "window expired before a decision could be made",
+                ))
+            else:
+                live.append(entry)
+        batch = live
+        if not batch:
+            return decisions, degraded_mark
+
+        committed = {
+            str(r.job.id): r for r in self.book.active()
+        }
+        committed_jobs = [
+            self._residual_job(committed[k], now) for k in sorted(committed)
+        ]
+        batch_jobs = [e["job"] for e in batch]
+        all_jobs = committed_jobs + batch_jobs
+        order = {str(j.id): i for i, j in enumerate(all_jobs)}
+        grid, path_sets = self._grid_and_paths(all_jobs, now)
+
+        decision = admit_max_prefix(
+            self.network,
+            JobSet(all_jobs),
+            grid,
+            self.k_paths,
+            threshold=1.0,
+            key=lambda job: (order[str(job.id)],),
+            engine=self._engine,
+            budget=self.solve_budget,
+            path_sets=path_sets,
+        )
+        admitted_ids = {str(j.id) for j in decision.admitted}
+
+        # Committed reservations pushed out by the probe: voided into
+        # renegotiation — but only on *non-degraded* evidence.  When
+        # the budget died mid-search, commitments stand.
+        if not decision.degraded:
+            for key in sorted(committed):
+                if key not in admitted_ids:
+                    self._void(key, committed[key], now, transitions,
+                               "admission re-plan no longer fits commitment")
+
+        negotiate: list[dict] = []
+        for entry in batch:
+            key = str(entry["id"])
+            job = entry["job"]
+            if key in admitted_ids:
+                self._accept(entry, job, epoch, decisions)
+                continue
+            if decision.degraded:
+                # Budget died before this request's probe: fall back to
+                # the sound feasibility witness, then a deterministic
+                # reject — never an unproven accept, never a stall.
+                probe_paths = path_sets
+                if probe_paths is None:
+                    probe_paths = self._engine.topology.path_sets(
+                        list({(j.source, j.dest) for j in all_jobs})
+                    )
+                witness = self._engine.certify_feasible(
+                    JobSet(committed_jobs + [job]), grid, probe_paths
+                )
+                degraded_mark[key] = True
+                if witness:
+                    self._accept(entry, job, epoch, decisions)
+                else:
+                    self._record(decisions, Rejected(
+                        entry["id"], epoch, REASON_DEADLINE
+                    ))
+                continue
+            negotiate.append(entry)
+
+        if negotiate:
+            self._negotiate(negotiate, committed_jobs, epoch, path_sets,
+                            decisions)
+        return decisions, degraded_mark
+
+    def _ledger_dict(self, decision: Decision) -> dict:
+        """The ledger/journal form; accepts carry their full commitment."""
+        data = decision_to_dict(decision)
+        if isinstance(decision, Accepted):
+            job = self.book.reservations[str(decision.request_id)].job
+            data["source"] = job.source
+            data["dest"] = job.dest
+            data["size"] = job.size
+        return data
+
+    def _record(self, decisions: list[Decision], decision: Decision) -> None:
+        """Append a decision and pin it in the ledger immediately."""
+        decisions.append(decision)
+        self.book.record(str(decision.request_id),
+                         self._ledger_dict(decision))
+
+    def _accept(
+        self, entry: dict, job: Job, epoch: int, decisions: list[Decision]
+    ) -> None:
+        self.book.reservations[str(entry["id"])] = Reservation(
+            job=job, remaining=job.size
+        )
+        self._record(decisions,
+                     Accepted(entry["id"], epoch, job.start, job.end))
+        if entry.get("internal"):
+            self.stats.count("renegotiations")
+
+    def _negotiate(
+        self,
+        entries: list[dict],
+        committed_jobs: list[Job],
+        epoch: int,
+        path_sets,
+        decisions: list[Decision],
+    ) -> None:
+        """Counter-offer later windows via RET; reject when none exists.
+
+        The probe models each negotiating job as it will look at the
+        *next* epoch boundary — the earliest moment the requester can
+        act on the offer — so a counter-offer is still feasible when it
+        comes back.  (Committed jobs keep their current residuals,
+        which only makes the probe conservative: by next epoch they
+        will have delivered more, not less.)
+        """
+        next_now = self.now + self.tau
+        probes: list[Job] = []
+        for entry in entries:
+            job = entry["job"]
+            start = max(job.start, next_now)
+            end = job.end
+            if end < start + self.slice_length - _EPS:
+                # The remaining window holds no whole slice by the time
+                # the requester can respond; extend from the smallest
+                # schedulable window instead.
+                end = start + self.slice_length
+            probes.append(replace(job, start=start, end=end, arrival=start))
+        jobs = committed_jobs + probes
+        b_final: float | None = None
+        try:
+            ret = solve_ret(
+                self.network,
+                JobSet(jobs),
+                slice_length=self.slice_length,
+                k_paths=self.k_paths,
+                b_max=self.ret_b_max,
+                delta=self.ret_delta,
+                path_sets=path_sets,
+                telemetry=self.telemetry,
+                budget=self.solve_budget,
+                engine=self._engine,
+                warm_start=self.warm_start,
+            )
+            b_final = max(ret.b_final, self.ret_delta)
+        except (ScheduleError, BudgetExceededError):
+            b_final = None
+
+        for entry, probe in zip(entries, probes):
+            job = entry["job"]
+            if b_final is None:
+                self._record(decisions, Rejected(
+                    entry["id"], epoch,
+                    "insufficient capacity (Z* < 1); "
+                    "no completing end-time extension found",
+                ))
+                continue
+            proposed_end = (1.0 + b_final) * probe.end
+            offer = Negotiated(
+                entry["id"], epoch, job.start, proposed_end,
+                "insufficient capacity in the requested window; "
+                "a later end time fits",
+            )
+            self._record(decisions, offer)
+            if entry.get("internal") and entry["attempt"] < self.renegotiate_limit:
+                # The service renegotiates voided commitments on the
+                # requester's behalf: take the counter-offer and try
+                # again next tick, up to the hop limit.
+                origin = entry["origin"]
+                self._internal.append({
+                    "id": self._derived_id(origin),
+                    "origin": origin,
+                    "source": job.source,
+                    "dest": job.dest,
+                    "size": job.size,
+                    "start": job.start,
+                    "end": proposed_end,
+                    "attempt": entry["attempt"] + 1,
+                })
+
+    @staticmethod
+    def _residual_job(res: Reservation, now: float) -> Job:
+        from dataclasses import replace
+
+        start = max(res.job.start, now)
+        return replace(res.job, size=res.remaining, start=start,
+                       arrival=start)
+
+    def _schedule_and_execute(self, now: float) -> list[dict]:
+        """Plan the committed set and deliver the first epoch of slices."""
+        transitions: list[dict] = []
+        active = {str(r.job.id): r for r in self.book.active()}
+        if not active:
+            return transitions
+        residual = [
+            job
+            for job in (
+                self._residual_job(active[k], now) for k in sorted(active)
+            )
+            if job.end - job.start >= self.slice_length - _EPS
+        ]
+        if not residual:
+            return transitions
+        grid, path_sets = self._grid_and_paths(residual, now)
+        try:
+            result = self._scheduler.schedule(
+                JobSet(residual), grid, path_sets=path_sets,
+                budget=self.solve_budget,
+            )
+        except ScheduleError:
+            # Defensive: no feasible plan this tick (e.g. every path of a
+            # commitment failed).  Deliver nothing; faults/expiry will
+            # void or expire the affected reservations visibly.
+            return transitions
+        if result.degraded is not None:
+            self.telemetry.count("service_degraded_solves")
+        structure = result.structure
+        delivery = per_slice_delivery(structure, np.asarray(result.x))
+        executed = [
+            j for j in range(grid.num_slices)
+            if grid.slice_start(j) < now + self.tau - _EPS
+        ]
+        rate = self.network.wavelength_rate
+        used = self._used_edges(structure, result.x)
+        for i, job in enumerate(structure.jobs):
+            res = active[str(job.id)]
+            res.used_edges = used.get(str(job.id), frozenset())
+            volume = float(delivery[i, executed].sum()) * rate if executed else 0.0
+            if volume <= _VOLUME_TOL:
+                continue
+            res.remaining = max(0.0, res.remaining - volume)
+            if res.done:
+                res.remaining = 0.0
+                res.status = "completed"
+                transitions.append({"id": res.job.id, "status": "completed"})
+                self.stats.count("completed")
+        return transitions
+
+    @staticmethod
+    def _used_edges(structure, x) -> dict[str, frozenset[int]]:
+        used: dict[str, set[int]] = {}
+        for c in np.flatnonzero(np.asarray(x) > _VOLUME_TOL):
+            i = int(structure.col_job[c])
+            path = structure.paths[i][int(structure.col_path[c])]
+            used.setdefault(str(structure.jobs[i].id), set()).update(
+                path.edge_ids
+            )
+        return {k: frozenset(v) for k, v in used.items()}
+
+    # ------------------------------------------------------------------
+    # Journal format
+    # ------------------------------------------------------------------
+    def _journal_header(self) -> dict:
+        from ..serialization import fault_events_to_list, network_to_dict
+
+        return {
+            "service": True,
+            "network": network_to_dict(self.network),
+            "config": {
+                "tau": self.tau,
+                "slice_length": self.slice_length,
+                "k_paths": self.k_paths,
+                "queue_limit": self.queue_limit,
+                "rate": self.rate,
+                "burst": self.burst,
+                "ret_b_max": self.ret_b_max,
+                "ret_delta": self.ret_delta,
+                "renegotiate_limit": self.renegotiate_limit,
+                "warm_start": self.warm_start,
+                "solve_budget": (
+                    {
+                        "wall_time_s": self.solve_budget.wall_time_s,
+                        "min_backend_time_s":
+                            self.solve_budget.min_backend_time_s,
+                    }
+                    if self.solve_budget is not None
+                    else None
+                ),
+            },
+            "faults": (
+                fault_events_to_list(self.fault_schedule.events)
+                if self.fault_schedule is not None
+                else None
+            ),
+        }
+
+    def _journal_entry(
+        self,
+        epoch: int,
+        now: float,
+        decisions: list[Decision],
+        transitions: list[dict],
+    ) -> dict:
+        return {
+            "epoch": int(epoch),
+            "now": float(now),
+            "fault_idx": int(self._fault_idx),
+            "bucket_tokens": float(self._bucket_tokens),
+            # The enriched ledger dicts (accepts carry endpoints/size):
+            # resume rebuilds the ledger byte-for-byte from these.
+            "decisions": [
+                dict(self.book.decided(str(d.request_id))) for d in decisions
+            ],
+            "transitions": transitions,
+            "active": [
+                [key, res.remaining, sorted(res.used_edges)]
+                for key, res in sorted(self.book.reservations.items())
+                if res.status == "accepted" and not res.done
+            ],
+            "internal": list(self._internal),
+        }
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+    @classmethod
+    def resume(
+        cls,
+        path: str | Path,
+        telemetry: Telemetry | None = None,
+        crash_injector: CrashInjector | None = None,
+        solve_budget: SolveBudget | None = None,
+    ) -> "ReservationService":
+        """Rebuild a service from its batch journal and carry on.
+
+        Replays every committed tick's decisions and transitions into a
+        fresh commitment book, overlays the last tick's residual
+        volumes and carried renegotiations, and reopens the journal for
+        appending (healing a torn tail).  The returned service is ready
+        for the tick after the last committed one; requesters re-submit
+        undecided requests and receive either the journaled decision
+        (already-decided ids, replayed verbatim) or a fresh one.
+
+        ``solve_budget`` overrides the journaled budget configuration
+        (pass ``None`` to restore the recorded one).
+        """
+        from ..serialization import fault_events_from_list, network_from_dict
+
+        replay = read_journal(path, entry_kind="batch")
+        header = replay.header
+        try:
+            network = network_from_dict(header["network"])
+            config = dict(header["config"])
+        except (KeyError, TypeError) as exc:
+            raise ValidationError(
+                f"service journal header at {path} is missing field {exc}"
+            ) from None
+        if not header.get("service"):
+            raise ValidationError(
+                f"journal at {path} is a simulator journal, not a "
+                "reservation-service journal; use Simulation.resume"
+            )
+        fault_schedule = None
+        if header.get("faults") is not None:
+            fault_schedule = FaultSchedule(
+                network, fault_events_from_list(header["faults"])
+            )
+        if solve_budget is None and config.get("solve_budget"):
+            solve_budget = SolveBudget(**config["solve_budget"])
+        service = cls(
+            network,
+            tau=config["tau"],
+            slice_length=config["slice_length"],
+            k_paths=config["k_paths"],
+            queue_limit=config["queue_limit"],
+            rate=config["rate"],
+            burst=config["burst"],
+            solve_budget=solve_budget,
+            crash_injector=crash_injector,
+            fault_schedule=fault_schedule,
+            ret_b_max=config["ret_b_max"],
+            ret_delta=config["ret_delta"],
+            renegotiate_limit=config["renegotiate_limit"],
+            telemetry=telemetry,
+            warm_start=config.get("warm_start", True),
+        )
+        for entry in replay.entries:
+            for data in entry["decisions"]:
+                decision = decision_from_dict(data)
+                key = str(decision.request_id)
+                service.book.record(key, dict(data))
+                if isinstance(decision, Accepted):
+                    job = Job(
+                        id=decision.request_id,
+                        source=data["source"],
+                        dest=data["dest"],
+                        size=float(data["size"]),
+                        start=decision.start,
+                        end=decision.end,
+                    )
+                    service.book.reservations[key] = Reservation(
+                        job=job, remaining=job.size
+                    )
+            for t in entry["transitions"]:
+                res = service.book.reservations.get(str(t["id"]))
+                if res is None:
+                    continue
+                res.status = str(t["status"])
+                if res.status == "completed":
+                    res.remaining = 0.0
+            for key, remaining, edges in entry["active"]:
+                res = service.book.reservations[key]
+                res.remaining = float(remaining)
+                res.used_edges = frozenset(int(e) for e in edges)
+        last = replay.last_entry
+        if last is not None:
+            service.epoch = int(last["epoch"]) + 1
+            service._fault_idx = int(last["fault_idx"])
+            service._bucket_tokens = float(last["bucket_tokens"])
+            service._internal = [dict(e) for e in last["internal"]]
+        service._journal = EpochJournal.open_existing(path, entry_kind="batch")
+        service.journal_path = Path(path)
+        service.telemetry.count("journal_resumes")
+        return service

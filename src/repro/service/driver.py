@@ -1,0 +1,280 @@
+"""Closed-loop driver: a deterministic requester population.
+
+:class:`ClosedLoopDriver` plays a job trace against a
+:class:`~repro.service.core.ReservationService` the way a fleet of
+requesters would: it submits each request at its arrival epoch, ticks
+the service once per epoch, and *reacts* to the responses —
+
+* ``Negotiated`` counter-offers are resubmitted under a derived id
+  (``<id>~r<k>``) with the proposed window, up to ``negotiate_limit``
+  hops;
+* ``Rejected(reason="overload")`` sheds are retried with capped
+  exponential backoff in epochs (``backoff_base * 2**attempt``, at
+  most ``max_backoff``), up to ``retry_limit`` attempts;
+* anything else is final.
+
+Every reaction is a pure function of (decision, attempt counters), so
+the driver is deterministic in virtual time: the crash-matrix tests
+run the same trace twice — once clean, once crashed-and-resumed — and
+compare commitment books.  On a :class:`~repro.recovery.crash.
+SimulatedCrash` the driver stops mid-flight exactly like real clients
+losing their server; :meth:`resume_with` attaches the same population
+to a recovered service and re-submits everything still undecided.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+from dataclasses import dataclass, field
+
+from ..errors import ValidationError
+from ..workload.jobs import JobSet
+from .core import ReservationService
+from .requests import (
+    REASON_OVERLOAD,
+    Accepted,
+    Decision,
+    DecisionHandle,
+    Negotiated,
+    Rejected,
+    ReservationRequest,
+)
+
+__all__ = ["ClosedLoopDriver", "DriverReport", "drive"]
+
+_EPS = 1e-9
+
+
+@dataclass
+class _Flight:
+    """One in-flight request plus its reaction counters."""
+
+    request: ReservationRequest
+    retries: int = 0
+    hops: int = 0
+    handle: DecisionHandle | None = None
+
+
+@dataclass
+class DriverReport:
+    """What the population experienced, keyed by *original* trace id."""
+
+    decisions: dict[str, Decision] = field(default_factory=dict)
+    accepted: int = 0
+    rejected: int = 0
+    shed_retries: int = 0
+    renegotiated: int = 0
+
+
+class ClosedLoopDriver:
+    """Deterministic requester population over a job trace."""
+
+    def __init__(
+        self,
+        service: ReservationService,
+        jobs: JobSet,
+        retry_limit: int = 2,
+        backoff_base: int = 1,
+        max_backoff: int = 8,
+        negotiate_limit: int = 2,
+        max_epochs: int = 10_000,
+    ) -> None:
+        if backoff_base < 1:
+            raise ValidationError(
+                f"backoff_base must be >= 1 epoch, got {backoff_base}"
+            )
+        if max_backoff < backoff_base:
+            raise ValidationError(
+                f"max_backoff {max_backoff} is below backoff_base "
+                f"{backoff_base}"
+            )
+        self.service = service
+        self.retry_limit = int(retry_limit)
+        self.backoff_base = int(backoff_base)
+        self.max_backoff = int(max_backoff)
+        self.negotiate_limit = int(negotiate_limit)
+        self.max_epochs = int(max_epochs)
+        self.report = DriverReport()
+        # Arrival schedule: epoch -> flights first submitted there.
+        self._due: dict[int, list[_Flight]] = {}
+        # Submitted, awaiting a decision: request key -> flight.
+        self._inflight: dict[str, _Flight] = {}
+        self._outstanding = 0
+        for job in jobs.sorted_by(lambda j: (j.arrival, str(j.id))):
+            request = ReservationRequest(
+                id=job.id, source=job.source, dest=job.dest,
+                size=job.size, start=job.start, end=job.end,
+                arrival=float(job.arrival),
+            )
+            self._schedule(
+                _Flight(request), self._epoch_of(request.arrival)
+            )
+
+    # ------------------------------------------------------------------
+    def _epoch_of(self, t: float) -> int:
+        return max(0, math.ceil(t / self.service.tau - _EPS))
+
+    def _schedule(self, flight: _Flight, epoch: int) -> None:
+        self._due.setdefault(epoch, []).append(flight)
+        self._outstanding += 1
+
+    @staticmethod
+    def _origin(request_id: int | str) -> str:
+        return str(request_id).split("~", 1)[0]
+
+    # ------------------------------------------------------------------
+    async def run(self) -> DriverReport:
+        """Play the trace to quiescence; returns the population report.
+
+        Raises :class:`~repro.recovery.crash.SimulatedCrash` through
+        from the service when an injector fires — callers resume via
+        :meth:`ReservationService.resume` + :meth:`resume_with`.
+        """
+        service = self.service
+        while (
+            self._outstanding > 0
+            or not service.idle
+        ):
+            epoch = service.epoch
+            if epoch > self.max_epochs:
+                raise ValidationError(
+                    f"driver exceeded max_epochs={self.max_epochs}; "
+                    "the trace does not quiesce"
+                )
+            # Drain everything due as a worklist: reacting to a decision
+            # replayed at submit time (post-crash resubmission) can
+            # schedule a follow-up for this same epoch, and it must go
+            # out before the tick or it arrives stale.
+            while True:
+                due: list[_Flight] = []
+                for e in sorted(k for k in self._due if k <= epoch):
+                    due.extend(self._due.pop(e))
+                if not due:
+                    break
+                for flight in due:  # arrival order kept within each epoch
+                    flight.handle = service.submit(flight.request)
+                    if flight.handle.done:
+                        # Shed / replayed / invalid: react immediately.
+                        self._outstanding -= 1
+                        self._react(flight, flight.handle.decision)
+                    else:
+                        self._inflight[flight.request.key] = flight
+            decided = await service.tick()
+            # React to everything resolved this tick.
+            for decision in decided:
+                flight = self._inflight.pop(str(decision.request_id), None)
+                if flight is None:
+                    continue  # internal renegotiation id, not ours
+                self._outstanding -= 1
+                self._react(flight, decision)
+            # Load sheds resolve through the handle, not the decision
+            # list (they are memoryless, never journaled) — sweep them.
+            shed = [
+                key for key, flight in self._inflight.items()
+                if flight.handle is not None and flight.handle.done
+            ]
+            for key in shed:
+                flight = self._inflight.pop(key)
+                self._outstanding -= 1
+                self._react(flight, flight.handle.decision)
+        return self.report
+
+    def _react(self, flight: _Flight, decision: Decision) -> None:
+        origin = self._origin(decision.request_id)
+        self.report.decisions[origin] = decision
+        service = self.service
+        if isinstance(decision, Accepted):
+            self.report.accepted += 1
+            return
+        if isinstance(decision, Negotiated):
+            if flight.hops >= self.negotiate_limit:
+                self.report.rejected += 1
+                return
+            self.report.renegotiated += 1
+            hops = flight.hops + 1
+            # Post-tick, service.epoch already names the next boundary —
+            # the one the service's counter-offer was probed against.
+            next_epoch = service.epoch
+            arrival = next_epoch * service.tau
+            derived = ReservationRequest(
+                id=f"{origin}~r{hops}",
+                source=flight.request.source,
+                dest=flight.request.dest,
+                size=flight.request.size,
+                start=max(decision.proposed_start, arrival),
+                end=decision.proposed_end,
+                arrival=arrival,
+            )
+            self._schedule(
+                _Flight(derived, retries=flight.retries, hops=hops),
+                next_epoch,
+            )
+            return
+        assert isinstance(decision, Rejected)
+        if (
+            decision.reason.startswith(REASON_OVERLOAD)
+            and flight.retries < self.retry_limit
+        ):
+            self.report.shed_retries += 1
+            retries = flight.retries + 1
+            delay = min(
+                self.backoff_base * (2 ** (retries - 1)), self.max_backoff
+            )
+            next_epoch = service.epoch + delay
+            arrival = next_epoch * service.tau
+            retry = ReservationRequest(
+                id=flight.request.id,
+                source=flight.request.source,
+                dest=flight.request.dest,
+                size=flight.request.size,
+                start=max(flight.request.start, arrival),
+                end=flight.request.end,
+                arrival=arrival,
+            )
+            if retry.end - retry.start >= service.slice_length - _EPS:
+                self._schedule(
+                    _Flight(retry, retries=retries, hops=flight.hops),
+                    next_epoch,
+                )
+                return
+        self.report.rejected += 1
+
+    # ------------------------------------------------------------------
+    def resume_with(self, service: ReservationService) -> None:
+        """Re-attach the population to a crash-recovered service.
+
+        Every flight not yet finally decided is re-submitted at the
+        recovered service's next epoch.  Flights whose decision *was*
+        journaled get the recorded decision replayed on submission, so
+        the population converges to the same book as an uncrashed run.
+        """
+        undecided: list[_Flight] = list(self._inflight.values())
+        for flights in self._due.values():
+            undecided.extend(flights)
+        self._due = {}
+        self._inflight = {}
+        self._outstanding = 0
+        self.service = service
+        epoch = service.epoch
+        for flight in undecided:
+            request = flight.request
+            if request.arrival < epoch * service.tau - _EPS:
+                request = ReservationRequest(
+                    id=request.id, source=request.source, dest=request.dest,
+                    size=request.size,
+                    start=max(request.start, epoch * service.tau),
+                    end=request.end, arrival=epoch * service.tau,
+                )
+                flight.request = request
+            self._schedule(flight, max(epoch, self._epoch_of(request.arrival)))
+
+
+def drive(
+    service: ReservationService,
+    jobs: JobSet,
+    **kwargs,
+) -> DriverReport:
+    """Synchronous convenience wrapper: build, run, and close the loop."""
+    driver = ClosedLoopDriver(service, jobs, **kwargs)
+    return asyncio.run(driver.run())

@@ -1,0 +1,339 @@
+"""Reservation-request schema, validation, and decision types.
+
+The service speaks a small JSON-friendly request language: one record
+per advance reservation, validated up front so malformed input becomes
+a typed :class:`~repro.errors.ValidationError` (and, at the service
+boundary, an explicit :class:`Rejected` response) instead of a
+traceback three layers deep in the LP builder.
+
+Decisions are the service's only outputs.  Every request receives
+exactly one of:
+
+* :class:`Accepted` — the reservation is committed; the service will
+  never silently drop it (crash-recovery replays it, faults void it
+  *visibly* into renegotiation).
+* :class:`Rejected` — with a machine-usable ``reason`` (``"overload"``
+  for load shedding, validation text for malformed requests,
+  capacity/deadline text for admission outcomes).
+* :class:`Negotiated` — a counter-offer: the requested window does not
+  fit, but the RET machinery (paper Algorithm 2) found a later end
+  time that would.  The requester may resubmit under a derived id with
+  the proposed window.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import time
+from dataclasses import dataclass
+
+from ..errors import ValidationError
+from ..network.graph import Network
+from ..workload.jobs import Job
+
+__all__ = [
+    "ReservationRequest",
+    "Decision",
+    "DecisionHandle",
+    "Accepted",
+    "Rejected",
+    "Negotiated",
+    "REASON_OVERLOAD",
+    "REASON_STALE",
+    "REASON_DEADLINE",
+    "parse_request",
+    "parse_request_json",
+    "request_to_job",
+    "decision_to_dict",
+    "decision_from_dict",
+]
+
+#: Load-shedding reason: bounded queue full or admission-rate guard hit.
+REASON_OVERLOAD = "overload"
+#: Post-crash resubmission whose decision boundary already committed
+#: without it — it must have been shed then, so it is shed again.
+REASON_STALE = "overload (stale arrival: decision epoch already committed)"
+#: Fallback verdict when the solve budget died before this request's
+#: admission probe ran and the feasibility certificate could not prove
+#: it safe.
+REASON_DEADLINE = "decision deadline exceeded; feasibility unproven"
+
+
+@dataclass(frozen=True)
+class ReservationRequest:
+    """One advance-reservation request.
+
+    ``start``/``end`` bound the transfer window being reserved (the
+    paper's release time and deadline); ``arrival`` is when the request
+    reached the service — unlike :class:`~repro.workload.jobs.Job`,
+    a request may arrive *after* its window opens (a late submission
+    simply reserves the remainder of its window).
+    """
+
+    id: int | str
+    source: object
+    dest: object
+    size: float
+    start: float
+    end: float
+    arrival: float
+
+    @property
+    def key(self) -> str:
+        return str(self.id)
+
+
+def parse_request(
+    record: object, network: Network | None = None
+) -> ReservationRequest:
+    """Validate one request record into a :class:`ReservationRequest`.
+
+    Mirrors :func:`repro.faults.parse_fault_spec`'s philosophy: every
+    malformed shape gets a :class:`~repro.errors.ValidationError` that
+    names the field and the rule it broke.  With a ``network``, the
+    endpoints are also checked against its node set.
+    """
+    if not isinstance(record, dict):
+        raise ValidationError(
+            f"request must be a JSON object, got {type(record).__name__}"
+        )
+    missing = [k for k in ("id", "source", "dest", "size", "start", "end")
+               if k not in record]
+    if missing:
+        raise ValidationError(
+            f"request is missing field(s): {', '.join(missing)}"
+        )
+    rid = record["id"]
+    if not isinstance(rid, (str, int)) or isinstance(rid, bool):
+        raise ValidationError(
+            f"request id must be a string or integer, got {rid!r}"
+        )
+    label = f"request {rid!r}"
+
+    def number(field: str) -> float:
+        value = record[field]
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ValidationError(
+                f"{label}: {field} must be a number, got {value!r}"
+            )
+        if not math.isfinite(value):
+            raise ValidationError(
+                f"{label}: {field} must be finite, got {value!r}"
+            )
+        return float(value)
+
+    size = number("size")
+    if size <= 0:
+        raise ValidationError(
+            f"{label}: size (volume) must be positive, got {size}"
+        )
+    start = number("start")
+    end = number("end")
+    if end <= start:
+        raise ValidationError(
+            f"{label}: deadline {end} is not after release time {start}"
+        )
+    arrival = number("arrival") if "arrival" in record else start
+    if arrival > end:
+        raise ValidationError(
+            f"{label}: arrival {arrival} is after the deadline {end}; "
+            "the window is already gone"
+        )
+    source, dest = record["source"], record["dest"]
+    if source == dest:
+        raise ValidationError(
+            f"{label}: source and destination must differ, both {source!r}"
+        )
+    if network is not None:
+        nodes = set(network.nodes)
+        for what, node in (("source", source), ("dest", dest)):
+            if node not in nodes:
+                raise ValidationError(
+                    f"{label}: {what} {node!r} is not a node of "
+                    f"network {network.name or '<unnamed>'}"
+                )
+    return ReservationRequest(
+        id=rid, source=source, dest=dest,
+        size=size, start=start, end=end, arrival=arrival,
+    )
+
+
+def parse_request_json(
+    text: str, network: Network | None = None
+) -> ReservationRequest:
+    """Parse one request from a JSON string (malformed JSON included)."""
+    try:
+        record = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"malformed request JSON: {exc}") from None
+    return parse_request(record, network)
+
+
+def request_to_job(
+    request: ReservationRequest, now: float = 0.0, size: float | None = None
+) -> Job:
+    """The admission-problem job for ``request`` as seen at time ``now``.
+
+    The effective release is ``max(start, now)`` (a late submission
+    reserves the rest of its window); ``size`` overrides the volume for
+    renegotiated residuals.
+    """
+    start = max(request.start, now)
+    return Job(
+        id=request.id,
+        source=request.source,
+        dest=request.dest,
+        size=size if size is not None else request.size,
+        start=start,
+        end=request.end,
+    )
+
+
+# ----------------------------------------------------------------------
+# Decisions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Decision:
+    """Base of all responses; ``kind`` discriminates for serialization."""
+
+    request_id: int | str
+    epoch: int
+
+    kind = "decision"
+
+
+@dataclass(frozen=True)
+class Accepted(Decision):
+    """The reservation is committed for ``[start, end]``."""
+
+    start: float = 0.0
+    end: float = 0.0
+
+    kind = "accept"
+
+
+@dataclass(frozen=True)
+class Rejected(Decision):
+    """Turned away; ``reason`` says whether to retry (``"overload"``)."""
+
+    reason: str = ""
+
+    kind = "reject"
+
+
+@dataclass(frozen=True)
+class Negotiated(Decision):
+    """Counter-offer: resubmit with the proposed (later) window."""
+
+    proposed_start: float = 0.0
+    proposed_end: float = 0.0
+    reason: str = ""
+
+    kind = "negotiate"
+
+
+class DecisionHandle:
+    """Awaitable slot one submission's decision lands in.
+
+    The service resolves handles only *after* the tick's journal commit
+    (crash safety: a released response is always recoverable from the
+    ledger).  ``latency`` is the wall-clock submit→resolve time feeding
+    the SLO percentiles — observational only, never journaled.
+    """
+
+    __slots__ = ("_decision", "_staged", "_event", "_submitted", "latency")
+
+    def __init__(self) -> None:
+        self._decision: Decision | None = None
+        self._staged: Decision | None = None
+        self._event: asyncio.Event | None = None
+        self._submitted = time.perf_counter()
+        self.latency: float | None = None
+
+    @classmethod
+    def resolved(cls, decision: Decision) -> "DecisionHandle":
+        handle = cls()
+        handle.resolve(decision)
+        return handle
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self._decision is not None
+
+    @property
+    def decision(self) -> Decision:
+        if self._decision is None:
+            raise ValidationError("decision is not resolved yet")
+        return self._decision
+
+    def stage(self, decision: Decision) -> None:
+        """Record the decision without releasing it (pre-journal)."""
+        self._staged = decision
+
+    def release(self) -> None:
+        """Release a previously staged decision (post-journal)."""
+        if self._staged is None:
+            raise ValidationError("no staged decision to release")
+        self.resolve(self._staged)
+
+    def resolve(self, decision: Decision) -> None:
+        if self._decision is not None:
+            return  # first resolution wins; duplicates are no-ops
+        self._decision = decision
+        self.latency = time.perf_counter() - self._submitted
+        if self._event is not None:
+            self._event.set()
+
+    async def wait(self) -> Decision:
+        """Await the decision (requires a running event loop)."""
+        if self._decision is None:
+            if self._event is None:
+                self._event = asyncio.Event()
+            await self._event.wait()
+        return self.decision
+
+    def __repr__(self) -> str:
+        state = self._decision.kind if self._decision else "pending"
+        return f"DecisionHandle({state})"
+
+
+_DECISION_TYPES: dict[str, type[Decision]] = {
+    cls.kind: cls for cls in (Accepted, Rejected, Negotiated)
+}
+
+
+def decision_to_dict(decision: Decision) -> dict:
+    """Journal/ledger form of a decision (stable field order)."""
+    out: dict = {"kind": decision.kind, "id": decision.request_id,
+                 "epoch": decision.epoch}
+    if isinstance(decision, Accepted):
+        out["start"] = decision.start
+        out["end"] = decision.end
+    elif isinstance(decision, Rejected):
+        out["reason"] = decision.reason
+    elif isinstance(decision, Negotiated):
+        out["proposed_start"] = decision.proposed_start
+        out["proposed_end"] = decision.proposed_end
+        out["reason"] = decision.reason
+    return out
+
+
+def decision_from_dict(data: dict) -> Decision:
+    """Inverse of :func:`decision_to_dict`."""
+    try:
+        kind = data["kind"]
+        cls = _DECISION_TYPES[kind]
+        if cls is Accepted:
+            return Accepted(data["id"], int(data["epoch"]),
+                            float(data["start"]), float(data["end"]))
+        if cls is Rejected:
+            return Rejected(data["id"], int(data["epoch"]),
+                            str(data["reason"]))
+        return Negotiated(data["id"], int(data["epoch"]),
+                          float(data["proposed_start"]),
+                          float(data["proposed_end"]), str(data["reason"]))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValidationError(f"malformed decision record: {exc}") from None

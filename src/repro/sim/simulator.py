@@ -420,6 +420,11 @@ class Simulation:
 
         replay = read_journal(path)
         header = replay.header
+        if header.get("service"):
+            raise ValidationError(
+                f"{path} is a reservation-service journal; "
+                "use ReservationService.resume"
+            )
         try:
             network = network_from_dict(header["network"])
             jobs = jobs_from_dict({"jobs": header["jobs"]})
@@ -794,6 +799,8 @@ class Simulation:
             self._crash_point("post-commit", pass_epoch)
 
         self._expire_stale(records, horizon, events, final=True)
+        if journal is not None:
+            journal.close()  # run finished: release the append lock
         return SimulationResult(
             records=tuple(records[i] for i in order),
             events=tuple(events),
@@ -951,7 +958,18 @@ class Simulation:
                 threshold=1.0,
                 key=by_arrival,
                 engine=self._engine,
+                budget=self.solve_budget,
+                path_sets=path_sets,
             )
+            if decision.degraded:
+                events.append(
+                    DegradedSolve(
+                        now,
+                        int(round(now / self.tau)),
+                        "admission",
+                        "solve budget expired during the admission probe",
+                    )
+                )
             for job in decision.rejected:
                 rec = records[job.id]
                 # Never evict a job that already received service; it

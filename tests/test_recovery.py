@@ -237,6 +237,103 @@ class TestJournal:
 # ----------------------------------------------------------------------
 # Crash injector
 # ----------------------------------------------------------------------
+class TestJournalLock:
+    """Satellite: the append lock keeps two writers off one journal."""
+
+    def test_second_opener_gets_locked_error(self, tmp_path):
+        from repro import JournalLockedError
+
+        path = tmp_path / "j.jsonl"
+        journal = EpochJournal.create(path, {"run": "x"})
+        # Simulate another live process holding the lock: PID 1 is
+        # always alive (same-PID locks are stolen by design, so our own
+        # PID cannot exercise the contention path in one process).
+        lock = tmp_path / "j.jsonl.lock"
+        lock.write_text("1\n")
+        with pytest.raises(JournalLockedError, match="locked by live"):
+            EpochJournal.open_existing(path)
+        try:
+            EpochJournal.open_existing(path)
+        except JournalLockedError as exc:
+            assert exc.owner_pid == 1
+        journal.close()
+
+    def test_stale_dead_pid_lock_is_stolen(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        EpochJournal.create(path, {"run": "x"}).close()
+        lock = tmp_path / "j.jsonl.lock"
+        # A PID from a crashed writer: far beyond any live process.
+        lock.write_text("999999999\n")
+        journal = EpochJournal.open_existing(path)
+        journal.append({"epoch": 0})
+        journal.close()
+        assert not lock.exists()
+
+    def test_close_releases_the_lock(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        lock = tmp_path / "j.jsonl.lock"
+        journal = EpochJournal.create(path, {"run": "x"})
+        assert lock.exists()
+        assert int(lock.read_text().strip()) == __import__("os").getpid()
+        journal.close()
+        assert not lock.exists()
+        assert journal.closed
+
+    def test_close_is_idempotent(self, tmp_path):
+        journal = EpochJournal.create(tmp_path / "j.jsonl", {"run": "x"})
+        journal.close()
+        journal.close()
+
+    def test_append_after_close_raises(self, tmp_path):
+        journal = EpochJournal.create(tmp_path / "j.jsonl", {"run": "x"})
+        journal.close()
+        with pytest.raises(JournalError, match="closed"):
+            journal.append({"epoch": 0})
+
+    def test_context_manager_releases(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with EpochJournal.create(path, {"run": "x"}) as journal:
+            journal.append({"epoch": 0})
+        assert not (tmp_path / "j.jsonl.lock").exists()
+        assert read_journal(path).last_entry["epoch"] == 0
+
+    def test_same_pid_lock_is_stolen(self, tmp_path):
+        """Crash-recovery in-process (tests, single-process restarts):
+        our own abandoned lock never blocks us."""
+        path = tmp_path / "j.jsonl"
+        EpochJournal.create(path, {"run": "x"})  # never closed
+        journal = EpochJournal.open_existing(path)
+        journal.append({"epoch": 0})
+        journal.close()
+
+
+class TestJournalEntryKinds:
+    """Simulator and service journals are distinct record kinds."""
+
+    def test_entries_carry_their_kind(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with EpochJournal.create(path, {"x": 1}, entry_kind="batch") as j:
+            j.append({"epoch": 0})
+        replay = read_journal(path, entry_kind="batch")
+        assert [e["epoch"] for e in replay.entries] == [0]
+
+    def test_wrong_kind_truncates_replay(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with EpochJournal.create(path, {"x": 1}, entry_kind="batch") as j:
+            j.append({"epoch": 0})
+        replay = read_journal(path, entry_kind="epoch")
+        assert replay.entries == ()
+        assert replay.truncated
+
+    def test_simulation_resume_refuses_service_journal(self, tmp_path):
+        path = tmp_path / "svc.jsonl"
+        EpochJournal.create(
+            path, {"service": True}, entry_kind="batch"
+        ).close()
+        with pytest.raises(ValidationError, match="reservation-service"):
+            Simulation.resume(path)
+
+
 class TestCrashInjector:
     def test_unknown_point_rejected(self):
         with pytest.raises(ValidationError):

@@ -1,0 +1,311 @@
+"""Unit tests for the online reservation service front-end.
+
+Covers the request schema validation (satellite: typed rejections for
+malformed input), the accept/reject/negotiate decision protocol,
+idempotent resubmission, the decision lifecycle, and the closed-loop
+driver's reactions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro import (
+    Job,
+    JobSet,
+    ValidationError,
+)
+from repro.network import topologies
+from repro.service import (
+    REASON_OVERLOAD,
+    Accepted,
+    ClosedLoopDriver,
+    Negotiated,
+    Rejected,
+    ReservationRequest,
+    ReservationService,
+    decision_from_dict,
+    decision_to_dict,
+    drive,
+    parse_request,
+    parse_request_json,
+    request_to_job,
+)
+
+
+@pytest.fixture
+def net():
+    return topologies.ring(4, capacity=2)
+
+
+@pytest.fixture
+def tight_net():
+    """One link, one wavelength, rate 1: easy to saturate."""
+    return topologies.line(2, capacity=1, wavelength_rate=1.0)
+
+
+def _request(net, rid="r1", size=2.0, start=0.0, end=6.0, arrival=None):
+    return {
+        "id": rid,
+        "source": net.nodes[0],
+        "dest": net.nodes[2] if len(net.nodes) > 2 else net.nodes[1],
+        "size": size,
+        "start": start,
+        "end": end,
+        **({"arrival": arrival} if arrival is not None else {}),
+    }
+
+
+def _tick(service):
+    return asyncio.run(service.tick())
+
+
+class TestRequestValidation:
+    def test_valid_record_parses(self, net):
+        req = parse_request(_request(net), net)
+        assert req.key == "r1"
+        assert req.arrival == 0.0  # defaults to start
+
+    @pytest.mark.parametrize(
+        "mutation, fragment",
+        [
+            ({"size": -1.0}, "must be positive"),
+            ({"size": 0.0}, "must be positive"),
+            ({"size": float("nan")}, "must be finite"),
+            ({"size": "big"}, "must be a number"),
+            ({"start": 6.0, "end": 2.0}, "is not after release time"),
+            ({"end": 6.0, "arrival": 7.0}, "after the deadline"),
+            ({"id": None}, "must be a string or integer"),
+            ({"id": True}, "must be a string or integer"),
+        ],
+    )
+    def test_malformed_fields(self, net, mutation, fragment):
+        record = {**_request(net), **mutation}
+        with pytest.raises(ValidationError, match=fragment):
+            parse_request(record, net)
+
+    def test_missing_fields_named(self, net):
+        with pytest.raises(ValidationError, match="size, start"):
+            parse_request({"id": 1, "source": 0, "dest": 1, "end": 2.0})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ValidationError, match="JSON object"):
+            parse_request(["not", "a", "dict"])
+
+    def test_loopback_rejected(self, net):
+        record = _request(net)
+        record["dest"] = record["source"]
+        with pytest.raises(ValidationError, match="must differ"):
+            parse_request(record, net)
+
+    def test_unknown_node_rejected(self, net):
+        record = {**_request(net), "source": "nowhere"}
+        with pytest.raises(ValidationError, match="not a node"):
+            parse_request(record, net)
+
+    def test_malformed_json_rejected(self, net):
+        with pytest.raises(ValidationError, match="malformed request JSON"):
+            parse_request_json("{not json", net)
+
+    def test_late_submission_allowed(self, net):
+        # Unlike Job, arrival may exceed start (a late submission).
+        req = parse_request(_request(net, start=0.0, end=6.0, arrival=3.0))
+        job = request_to_job(req, now=3.0)
+        assert job.start == 3.0  # clamped to now; window remainder kept
+        assert job.end == 6.0
+
+
+class TestSubmitProtocol:
+    def test_invalid_submission_rejected_not_raised(self, net):
+        service = ReservationService(net)
+        handle = service.submit({**_request(net), "size": -5.0})
+        assert handle.done
+        assert isinstance(handle.decision, Rejected)
+        assert handle.decision.reason.startswith("invalid request")
+        assert service.stats.counters["invalid"] == 1
+        service.close()
+
+    def test_accept_lifecycle(self, net):
+        service = ReservationService(net)
+        handle = service.submit(_request(net))
+        assert not handle.done  # decisions land at epoch boundaries
+        decisions = _tick(service)
+        assert len(decisions) == 1
+        decision = handle.decision
+        assert isinstance(decision, Accepted)
+        assert decision.request_id == "r1"
+        assert handle.latency is not None
+        # Drive to completion: the reservation delivers and completes.
+        while not service.idle:
+            _tick(service)
+        res = service.book.reservations["r1"]
+        assert res.status == "completed"
+        assert res.remaining == 0.0
+        assert service.book.num_lost == 0
+        service.close()
+
+    def test_duplicate_pending_returns_same_handle(self, net):
+        service = ReservationService(net)
+        h1 = service.submit(_request(net))
+        h2 = service.submit(_request(net))
+        assert h1 is h2
+        assert service.stats.counters["duplicate_submissions"] == 1
+        service.close()
+
+    def test_decided_id_replays_recorded_decision(self, net):
+        service = ReservationService(net)
+        h1 = service.submit(_request(net))
+        _tick(service)
+        h2 = service.submit(_request(net))
+        assert h2.done
+        assert h2.decision == h1.decision
+        # No second ledger entry: the book still has exactly one record.
+        assert len(service.book.ledger) == 1
+        service.close()
+
+    def test_dead_window_rejected(self, net):
+        # Window shorter than one slice can never be scheduled.
+        service = ReservationService(net, slice_length=1.0)
+        handle = service.submit(_request(net, start=0.0, end=0.5))
+        _tick(service)
+        assert isinstance(handle.decision, Rejected)
+        assert "window expired" in handle.decision.reason
+        service.close()
+
+    def test_await_decision(self, net):
+        service = ReservationService(net)
+
+        async def scenario():
+            handle = service.submit(_request(net))
+            tick = asyncio.ensure_future(service.tick())
+            decision = await handle.wait()
+            await tick
+            return decision
+
+        decision = asyncio.run(scenario())
+        assert isinstance(decision, Accepted)
+        service.close()
+
+
+class TestNegotiation:
+    def test_infeasible_window_gets_counter_offer(self, tight_net):
+        # 10 volume through a rate-1 link in a 2-long window: Z* < 1,
+        # but RET finds a completing extension, so the service counters.
+        service = ReservationService(tight_net, ret_b_max=10.0)
+        handle = service.submit(_request(tight_net, size=10.0, end=2.0))
+        _tick(service)
+        decision = handle.decision
+        assert isinstance(decision, Negotiated)
+        assert decision.proposed_end > 2.0
+        assert service.stats.counters["negotiated"] == 1
+        service.close()
+
+    def test_hopeless_request_rejected(self, tight_net):
+        # Even the maximal RET extension cannot deliver this volume.
+        service = ReservationService(tight_net, ret_b_max=2.0)
+        handle = service.submit(_request(tight_net, size=1000.0, end=2.0))
+        _tick(service)
+        decision = handle.decision
+        assert isinstance(decision, Rejected)
+        assert "insufficient capacity" in decision.reason
+        service.close()
+
+    def test_counter_offer_is_acceptable(self, tight_net):
+        # Resubmitting with the proposed window must be accepted.
+        service = ReservationService(tight_net, ret_b_max=10.0)
+        handle = service.submit(_request(tight_net, size=10.0, end=2.0))
+        _tick(service)
+        offer = handle.decision
+        assert isinstance(offer, Negotiated)
+        follow_up = service.submit(
+            _request(
+                tight_net, rid="r1~r1", size=10.0,
+                start=max(offer.proposed_start, service.now),
+                end=offer.proposed_end, arrival=service.now,
+            )
+        )
+        _tick(service)
+        assert isinstance(follow_up.decision, Accepted)
+        service.close()
+
+
+class TestClosedLoopDriver:
+    def test_drives_trace_to_quiescence(self, net):
+        jobs = JobSet(
+            [
+                Job(id=i, source=net.nodes[i % 4], dest=net.nodes[(i + 2) % 4],
+                    size=2.0, start=float(i % 2), end=float(i % 2) + 6.0)
+                for i in range(6)
+            ]
+        )
+        service = ReservationService(net)
+        report = drive(service, jobs)
+        assert report.accepted == 6
+        assert report.rejected == 0
+        assert service.book.num_lost == 0
+        assert service.idle
+        service.close()
+
+    def test_negotiated_offers_resubmitted(self, tight_net):
+        jobs = JobSet(
+            [Job(id="big", source=tight_net.nodes[0], dest=tight_net.nodes[1],
+                 size=10.0, start=0.0, end=2.0)]
+        )
+        service = ReservationService(tight_net, ret_b_max=10.0)
+        report = drive(service, jobs)
+        assert report.renegotiated >= 1
+        assert isinstance(report.decisions["big"], Accepted)
+        # The accepted derived request carries the ~r suffix.
+        accepted_keys = list(service.book.reservations)
+        assert any("~r" in key for key in accepted_keys)
+        service.close()
+
+    def test_overload_sheds_retried_with_backoff(self, net):
+        jobs = JobSet(
+            [
+                Job(id=i, source=net.nodes[i % 4], dest=net.nodes[(i + 2) % 4],
+                    size=1.0, start=0.0, end=20.0)
+                for i in range(8)
+            ]
+        )
+        # Rate 2/epoch: most of the burst is shed, then retried later.
+        service = ReservationService(net, rate=2.0, burst=2.0)
+        report = drive(service, jobs, retry_limit=5)
+        assert report.shed_retries > 0
+        assert report.accepted == 8
+        service.close()
+
+
+class TestDecisionSerialization:
+    @pytest.mark.parametrize(
+        "decision",
+        [
+            Accepted("a", 3, 1.0, 7.5),
+            Rejected(17, 0, REASON_OVERLOAD),
+            Negotiated("n", 2, 4.0, 11.0, "Z* < 1"),
+        ],
+    )
+    def test_round_trip(self, decision):
+        assert decision_from_dict(decision_to_dict(decision)) == decision
+
+    def test_malformed_decision_record(self):
+        with pytest.raises(ValidationError, match="malformed decision"):
+            decision_from_dict({"kind": "accept", "id": 1})
+
+
+class TestConstructorValidation:
+    def test_bad_parameters_rejected(self, net):
+        with pytest.raises(ValidationError):
+            ReservationService(net, tau=0.0)
+        with pytest.raises(ValidationError):
+            ReservationService(net, queue_limit=0)
+        with pytest.raises(ValidationError):
+            ReservationService(net, rate=0.0)
+
+    def test_driver_rejects_bad_backoff(self, net):
+        service = ReservationService(net)
+        with pytest.raises(ValidationError, match="backoff_base"):
+            ClosedLoopDriver(service, JobSet(), backoff_base=0)
+        service.close()

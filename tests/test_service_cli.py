@@ -1,0 +1,199 @@
+"""CLI tests for ``repro serve``: smoke, validation, crash/resume."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.serialization import load_json
+
+
+@pytest.fixture
+def net_file(tmp_path):
+    path = tmp_path / "net.json"
+    assert (
+        main(
+            [
+                "topology", "ring", "--nodes", "4", "--capacity", "2",
+                "-o", str(path),
+            ]
+        )
+        == 0
+    )
+    return path
+
+
+@pytest.fixture
+def trace_file(tmp_path, net_file):
+    path = tmp_path / "trace.json"
+    assert (
+        main(
+            [
+                "workload", "--network", str(net_file), "--jobs", "6",
+                "--seed", "3", "--arrival-rate", "1.0", "--horizon", "5",
+                "-o", str(path),
+            ]
+        )
+        == 0
+    )
+    return path
+
+
+class TestServeSmoke:
+    def test_trace_run_prints_slos_and_writes_report(
+        self, tmp_path, net_file, trace_file, capsys
+    ):
+        out_file = tmp_path / "report.json"
+        code = main(
+            [
+                "serve", "--network", str(net_file), "--trace",
+                str(trace_file), "-o", str(out_file),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "reservation service SLOs" in out
+        assert "commitment book:" in out
+        report = load_json(out_file)
+        assert report["slo"]["decided"] >= 1
+        assert report["book"]["ledger"]
+        assert len(report["digest"]) == 64
+
+    def test_missing_network_is_an_error(self, capsys):
+        assert main(["serve", "--trace", "nope.json"]) == 2
+        assert "--network" in capsys.readouterr().err
+
+    def test_bad_crash_spec_rejected(self, net_file, capsys):
+        assert (
+            main(["serve", "--network", str(net_file), "--crash", "bogus"])
+            == 1
+        )
+        assert "crash spec" in capsys.readouterr().err
+
+
+class TestServeValidation:
+    """Satellite: request-schema validation surfaces typed rejections."""
+
+    def test_malformed_records_rejected_not_crashed(
+        self, tmp_path, net_file, capsys
+    ):
+        requests = tmp_path / "requests.json"
+        requests.write_text(json.dumps([
+            {"id": "ok", "source": 0, "dest": 2, "size": 4.0,
+             "start": 0.0, "end": 6.0},
+            {"id": "neg-size", "source": 0, "dest": 2, "size": -2.0,
+             "start": 0.0, "end": 6.0},
+            {"id": "backwards", "source": 0, "dest": 2, "size": 4.0,
+             "start": 6.0, "end": 2.0},
+            {"id": "loop", "source": 1, "dest": 1, "size": 4.0,
+             "start": 0.0, "end": 6.0},
+            {"id": "ghost", "source": "nowhere", "dest": 2, "size": 4.0,
+             "start": 0.0, "end": 6.0},
+            {"source": 0, "dest": 2, "size": 4.0, "start": 0.0, "end": 6.0},
+            "not-even-an-object",
+        ]))
+        code = main(
+            ["serve", "--network", str(net_file), "--requests",
+             str(requests)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ok: accept" in out
+        assert "must be positive" in out
+        assert "is not after release time" in out
+        assert "must differ" in out
+        assert "not a node" in out
+        assert "missing field" in out
+        assert "must be a JSON object" in out
+
+    def test_malformed_json_file_is_clean_error(self, net_file, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{this is not json")
+        code = main(
+            ["serve", "--network", str(net_file), "--requests", str(bad)]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestServeCrashResume:
+    def test_crash_then_resume_reproduces_clean_digest(
+        self, tmp_path, net_file, trace_file, capsys
+    ):
+        clean_out = tmp_path / "clean.json"
+        assert (
+            main(
+                ["serve", "--network", str(net_file), "--trace",
+                 str(trace_file), "--journal",
+                 str(tmp_path / "clean.jsonl"), "-o", str(clean_out)]
+            )
+            == 0
+        )
+        clean_digest = load_json(clean_out)["digest"]
+        capsys.readouterr()
+
+        journal = tmp_path / "crashed.jsonl"
+        code = main(
+            ["serve", "--network", str(net_file), "--trace",
+             str(trace_file), "--journal", str(journal),
+             "--crash", "pre-respond@1"]
+        )
+        assert code == 3
+        err = capsys.readouterr().err
+        assert "simulated crash" in err
+        assert "--resume" in err
+
+        resumed_out = tmp_path / "resumed.json"
+        code = main(
+            ["serve", "--resume", str(journal), "--trace",
+             str(trace_file), "-o", str(resumed_out)]
+        )
+        assert code == 0
+        assert "recovered service" in capsys.readouterr().out
+        assert load_json(resumed_out)["digest"] == clean_digest
+
+    def test_resume_rejects_simulator_journal(self, tmp_path, capsys):
+        journal = tmp_path / "sim.jsonl"
+        net = tmp_path / "line.json"
+        jobs = tmp_path / "jobs.json"
+        assert main(["topology", "line", "--nodes", "3", "-o", str(net)]) == 0
+        assert (
+            main(["workload", "--network", str(net), "--jobs", "2",
+                  "-o", str(jobs)]) == 0
+        )
+        assert (
+            main(["simulate", "--network", str(net), "--jobs", str(jobs),
+                  "--journal", str(journal)]) == 0
+        )
+        assert main(["serve", "--resume", str(journal)]) == 1
+        assert "simulator journal" in capsys.readouterr().err
+
+
+class TestServeFaults:
+    def test_fault_spec_voids_into_renegotiation(
+        self, tmp_path, net_file, capsys
+    ):
+        # A long transfer whose path dies mid-flight: the reservation is
+        # voided and renegotiated, never silently lost.
+        trace = tmp_path / "long.json"
+        trace.write_text(json.dumps({
+            "jobs": [
+                {"id": "long", "source": 0, "dest": 1, "size": 200.0,
+                 "start": 0.0, "end": 10.0},
+            ]
+        }))
+        code = main(
+            ["serve", "--network", str(net_file), "--trace", str(trace),
+             "--faults", "down:0-1@2", "-o", str(tmp_path / "out.json")]
+        )
+        assert code == 0
+        report = load_json(tmp_path / "out.json")
+        statuses = {
+            r["status"] for r in report["book"]["reservations"].values()
+        }
+        # Either the re-route absorbed the fault or the void/renegotiate
+        # chain ran; in both cases nothing is silently dropped.
+        assert report["slo"]["decided"] >= 1
+        assert statuses <= {"accepted", "completed", "voided", "expired"}

@@ -1,0 +1,245 @@
+"""Crash-matrix tests for the reservation service.
+
+The acceptance criterion, verbatim: for every service crash point ×
+{accept, reject, negotiate} outcome, killing a journaled service there
+and resuming it yields a commitment book byte-identical (same digest)
+to the uncrashed run's, with no duplicate ledger entries and no
+request decided twice.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro import (
+    SERVICE_CRASH_POINTS,
+    CrashInjector,
+    Job,
+    JobSet,
+    SimulatedCrash,
+)
+from repro.network import topologies
+from repro.service import ClosedLoopDriver, ReservationService
+
+
+def _accept_net():
+    return topologies.ring(4, capacity=2)
+
+
+def _tight_net():
+    return topologies.line(2, capacity=1, wavelength_rate=1.0)
+
+
+def _slow_net():
+    """Rate 0.5: size-2 jobs take >= 4 epochs, so crashes late in the
+    execution phase have live reservations to threaten."""
+    return topologies.ring(4, capacity=1, wavelength_rate=0.5)
+
+
+def _accept_jobs(net):
+    """All admissible: every decision is an accept."""
+    return JobSet(
+        [
+            Job(id=i, source=net.nodes[i % 4], dest=net.nodes[(i + 2) % 4],
+                size=2.0, start=float(i % 2), end=float(i % 2) + 6.0)
+            for i in range(6)
+        ]
+    )
+
+
+def _reject_jobs(net):
+    """Hopelessly oversized: rejected even after maximal RET extension."""
+    return JobSet(
+        [
+            Job(id="fits", source=net.nodes[0], dest=net.nodes[1],
+                size=1.0, start=0.0, end=4.0),
+            Job(id="hopeless", source=net.nodes[0], dest=net.nodes[1],
+                size=1000.0, start=1.0, end=3.0),
+        ]
+    )
+
+
+def _negotiate_jobs(net):
+    """Z* < 1 in the requested window, but a later end time completes."""
+    return JobSet(
+        [
+            Job(id="big", source=net.nodes[0], dest=net.nodes[1],
+                size=10.0, start=0.0, end=2.0),
+        ]
+    )
+
+
+SCENARIOS = {
+    "accept": (_accept_net, _accept_jobs, {}),
+    "reject": (_tight_net, _reject_jobs, {"ret_b_max": 2.0}),
+    "negotiate": (_tight_net, _negotiate_jobs, {"ret_b_max": 10.0}),
+}
+
+
+def _run(net, jobs, path, crash=None, **kwargs):
+    """One driver run; returns (service, report-or-None if crashed)."""
+    service = ReservationService(
+        net, journal=str(path), crash_injector=crash, **kwargs
+    )
+    driver = ClosedLoopDriver(service, jobs)
+    try:
+        report = asyncio.run(driver.run())
+    except SimulatedCrash:
+        service.close()
+        return service, driver, None
+    return service, driver, report
+
+
+@pytest.mark.parametrize("outcome", sorted(SCENARIOS))
+@pytest.mark.parametrize("point", SERVICE_CRASH_POINTS)
+def test_crash_matrix(tmp_path, point, outcome):
+    make_net, make_jobs, kwargs = SCENARIOS[outcome]
+    net = make_net()
+
+    clean_svc, _, clean_report = _run(
+        net, make_jobs(net), tmp_path / "clean.jsonl", **kwargs
+    )
+    assert clean_report is not None
+    clean_digest = clean_svc.book.digest()
+    clean_ledger = dict(clean_svc.book.ledger)
+    clean_svc.close()
+
+    # Crash in epoch 1: after the first decisions are journaled, while
+    # work is still in flight (renegotiations, executing reservations).
+    path = tmp_path / "crash.jsonl"
+    crashed_svc, driver, report = _run(
+        net, make_jobs(net), path,
+        crash=CrashInjector(point, 1), **kwargs
+    )
+    assert report is None, f"injector at {point}@1 never fired"
+
+    resumed = ReservationService.resume(str(path))
+    driver.resume_with(resumed)
+    asyncio.run(driver.run())
+
+    assert resumed.book.digest() == clean_digest, (
+        f"{outcome} outcome diverged after crash at {point}"
+    )
+    # No duplicate ledger entries: exactly the clean run's decisions.
+    assert resumed.book.ledger == clean_ledger
+    resumed.close()
+
+
+def test_crash_at_epoch_zero_header_only_journal(tmp_path):
+    """Pre-batch at epoch 0 leaves a header-only journal; resume works."""
+    net = _accept_net()
+    path = tmp_path / "early.jsonl"
+    _, driver, report = _run(
+        net, _accept_jobs(net), path, crash=CrashInjector("pre-batch", 0)
+    )
+    assert report is None
+
+    clean_svc, _, _ = _run(net, _accept_jobs(net), tmp_path / "clean.jsonl")
+    clean_digest = clean_svc.book.digest()
+    clean_svc.close()
+
+    resumed = ReservationService.resume(str(path))
+    assert resumed.epoch == 0
+    assert not resumed.book.ledger
+    driver.resume_with(resumed)
+    asyncio.run(driver.run())
+    assert resumed.book.digest() == clean_digest
+    resumed.close()
+
+
+def test_no_request_responded_twice(tmp_path):
+    """Post-crash resubmission replays the ledger; the driver sees each
+    origin decided exactly once per run and the ledger never grows a
+    duplicate."""
+    net = _accept_net()
+    jobs = _accept_jobs(net)
+    path = tmp_path / "dup.jsonl"
+    _, driver, report = _run(
+        net, jobs, path, crash=CrashInjector("pre-respond", 1)
+    )
+    assert report is None
+
+    resumed = ReservationService.resume(str(path))
+    driver.resume_with(resumed)
+    asyncio.run(driver.run())
+    # Every original request decided exactly once in the final ledger.
+    origins = {key.split("~", 1)[0] for key in resumed.book.ledger}
+    assert origins == {str(j.id) for j in jobs}
+    for job in jobs:
+        matching = [k for k in resumed.book.ledger if k == str(job.id)]
+        assert len(matching) == 1
+    # Replayed resubmissions were counted, not re-decided.
+    assert resumed.stats.counters["duplicate_submissions"] >= 1
+    resumed.close()
+
+
+def test_double_crash_double_resume(tmp_path):
+    """Crash, resume, crash again later, resume again: still identical."""
+    net = _slow_net()
+    clean_svc, _, _ = _run(net, _accept_jobs(net), tmp_path / "clean.jsonl")
+    clean_digest = clean_svc.book.digest()
+    clean_svc.close()
+
+    path = tmp_path / "twice.jsonl"
+    _, driver, report = _run(
+        net, _accept_jobs(net), path, crash=CrashInjector("post-solve", 1)
+    )
+    assert report is None
+
+    resumed = ReservationService.resume(
+        str(path), crash_injector=CrashInjector("pre-respond", 3)
+    )
+    driver.resume_with(resumed)
+    with pytest.raises(SimulatedCrash):
+        asyncio.run(driver.run())
+    resumed.close()
+
+    final = ReservationService.resume(str(path))
+    driver.resume_with(final)
+    asyncio.run(driver.run())
+    assert final.book.digest() == clean_digest
+    final.close()
+
+
+def test_fault_voiding_survives_crash(tmp_path):
+    """A link fault voids affected reservations into renegotiation; the
+    void + renegotiation chain replays identically across a crash."""
+    from repro.faults.schedule import FaultSchedule
+    from repro.faults.events import LinkDown
+
+    net = _slow_net()
+    jobs = _accept_jobs(net)
+    edge = net.edges[0]
+    faults = FaultSchedule(
+        net, [LinkDown(time=2.0, source=edge.source, target=edge.target)]
+    )
+
+    def run(path, crash=None):
+        service = ReservationService(
+            net, journal=str(path), fault_schedule=faults,
+            crash_injector=crash,
+        )
+        driver = ClosedLoopDriver(service, jobs)
+        try:
+            report = asyncio.run(driver.run())
+        except SimulatedCrash:
+            service.close()
+            return service, driver, None
+        return service, driver, report
+
+    clean_svc, _, clean_report = run(tmp_path / "clean.jsonl")
+    assert clean_report is not None
+    clean_digest = clean_svc.book.digest()
+    clean_svc.close()
+
+    path = tmp_path / "crash.jsonl"
+    _, driver, report = run(path, crash=CrashInjector("post-solve", 3))
+    assert report is None
+
+    resumed = ReservationService.resume(str(path))
+    driver.resume_with(resumed)
+    asyncio.run(driver.run())
+    assert resumed.book.digest() == clean_digest
+    resumed.close()

@@ -1,0 +1,87 @@
+"""Property test: crash+resume is invisible in the commitment book.
+
+Satellite of the service PR, verbatim: over ``make_scenario`` arrival
+streams, the commitment book after a crash and resume is byte-identical
+(same canonical digest) to the uncrashed run's, across all service
+crash points and crash epochs — including scenarios with fault
+timelines, where voiding and renegotiation must also replay exactly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import tempfile
+from pathlib import Path
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import SERVICE_CRASH_POINTS, CrashInjector, SimulatedCrash
+from repro.service import ClosedLoopDriver, ReservationService
+from repro.verify.fuzz import make_scenario
+
+
+def _run_to_quiescence(scenario, path, crash=None):
+    """One journaled driver run; (service, driver, crashed?)."""
+    service = ReservationService(
+        scenario.network,
+        journal=str(path),
+        fault_schedule=scenario.fault_schedule,
+        crash_injector=crash,
+        # Generous bounds: shedding is memoryless (never journaled), so
+        # the digest property is cleanest with no sheds in the stream.
+        queue_limit=4096,
+        rate=4096.0,
+    )
+    driver = ClosedLoopDriver(service, scenario.jobs, max_epochs=400)
+    try:
+        asyncio.run(driver.run())
+    except SimulatedCrash:
+        service.close()
+        return service, driver, True
+    return service, driver, False
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    print_blob=True,
+)
+@given(
+    seed=st.integers(min_value=0, max_value=400),
+    point=st.sampled_from(SERVICE_CRASH_POINTS),
+    crash_epoch=st.integers(min_value=0, max_value=3),
+)
+def test_crash_resume_book_identical(seed, point, crash_epoch):
+    scenario = make_scenario(seed)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        clean_svc, _, crashed = _run_to_quiescence(
+            scenario, Path(tmp) / "clean.jsonl"
+        )
+        assert not crashed
+        clean_digest = clean_svc.book.digest()
+        clean_ledger = dict(clean_svc.book.ledger)
+        clean_svc.close()
+
+        path = Path(tmp) / "crash.jsonl"
+        service, driver, crashed = _run_to_quiescence(
+            scenario, path, crash=CrashInjector(point, crash_epoch)
+        )
+        if not crashed:
+            # The run quiesced before the injector's epoch: already a
+            # full clean run, which must agree outright.
+            assert service.book.digest() == clean_digest
+            service.close()
+            return
+
+        resumed = ReservationService.resume(str(path))
+        driver.resume_with(resumed)
+        asyncio.run(driver.run())
+        assert resumed.book.digest() == clean_digest, (
+            f"scenario seed={seed} diverged after crash at "
+            f"{point}@{crash_epoch}: {scenario.description}"
+        )
+        assert resumed.book.ledger == clean_ledger
+        resumed.close()
