@@ -1,10 +1,32 @@
-"""Shim: benchmark instance builders live in :mod:`repro.experiments.setup`.
+"""Shared benchmark plumbing: instance builders, timing, JSON trail.
 
-Kept so every ``bench_*.py`` file can keep its local ``from _support
-import ...`` imports; the implementation moved into the library so the
-CLI and downstream users can run the same experiments without pytest.
+Instance builders live in :mod:`repro.experiments.setup` (re-exported
+here so every ``bench_*.py`` file can keep its local ``from _support
+import ...`` imports); the harness helpers below used to be duplicated
+across ``bench_engine.py``, ``bench_service.py`` and ``conftest.py``
+and are now defined once so the fleet benchmark and future suites pick
+up the same timing and document conventions:
+
+* :func:`time_best_of` — best-of-N wall timing, returning the result;
+* :func:`booked_ahead` — workload windows shifted ahead of submission
+  (the multi-epoch controller shape used by ENG and the fleet bench);
+* :func:`bench_versions` — the ``versions`` stanza every
+  ``BENCH_*.json`` document embeds;
+* :func:`write_bench_document` — the canonical trailing-newline JSON
+  write that ``check_regression.py`` diffs against.
 """
 
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import replace
+from pathlib import Path
+
+import numpy as np
+
+from repro import __version__
 from repro.experiments.setup import (  # noqa: F401
     ALPHA,
     TOTAL_LINK_RATE,
@@ -16,3 +38,42 @@ from repro.experiments.setup import (  # noqa: F401
     shared_path_sets,
     throughput_pipeline,
 )
+from repro.workload.jobs import JobSet
+
+
+def time_best_of(fn, repeats: int = 3):
+    """(min seconds, last result) over ``repeats`` runs of ``fn``."""
+    best, result = float("inf"), None
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def booked_ahead(generator, num_jobs: int, arrival_mod: int, lead_slices: int):
+    """Jobs submitted on a cycle, windows shifted ``lead_slices`` ahead."""
+    jobs = []
+    for i in range(num_jobs):
+        job = generator.job(i, arrival=float(i % arrival_mod))
+        jobs.append(
+            replace(job, start=job.start + lead_slices, end=job.end + lead_slices)
+        )
+    return JobSet(jobs)
+
+
+def bench_versions(**extra: str) -> dict:
+    """The ``versions`` stanza shared by every ``BENCH_*.json``."""
+    versions = {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "repro": __version__,
+    }
+    versions.update(extra)
+    return versions
+
+
+def write_bench_document(path: Path, document: dict) -> None:
+    """Write a benchmark JSON document the way ``check_regression.py``
+    and the committed baselines expect (indent=2, trailing newline)."""
+    path.write_text(json.dumps(document, indent=2) + "\n")

@@ -29,24 +29,26 @@ an artifact.  Runs under pytest (the CI gate) or as a plain script::
     PYTHONPATH=src python benchmarks/bench_engine.py
 """
 
-import json
-import platform
-import time
-from dataclasses import replace
 from pathlib import Path
 
 import numpy as np
 import pytest
 import scipy
 
-from repro import Simulation, Telemetry, __version__, serialization
+from repro import Simulation, Telemetry, serialization
 from repro.analysis import Table
 from repro.core.ret import solve_ret
 from repro.network.waxman import waxman_network
 from repro.workload import WorkloadConfig, WorkloadGenerator
-from repro.workload.jobs import JobSet
 
-from _support import abilene_network, calibrated_jobs
+from _support import (
+    abilene_network,
+    bench_versions,
+    booked_ahead,
+    calibrated_jobs,
+    time_best_of,
+    write_bench_document,
+)
 
 SEED = 1009
 REPEATS = 3
@@ -123,39 +125,22 @@ def _ret_instance():
     return network, jobs
 
 
-def _booked_ahead(generator, num_jobs, arrival_mod, lead_slices):
-    """Jobs submitted on a cycle, windows shifted ``lead_slices`` ahead."""
-    jobs = []
-    for i in range(num_jobs):
-        job = generator.job(i, arrival=float(i % arrival_mod))
-        jobs.append(
-            replace(job, start=job.start + lead_slices, end=job.end + lead_slices)
-        )
-    return JobSet(jobs)
-
-
 def _sim_instance():
     network = abilene_network()
     generator = WorkloadGenerator(network, config=SIM_CONFIG, seed=SEED)
-    jobs = _booked_ahead(generator, SIM_NUM_JOBS, 5, SIM_BOOKAHEAD_SLICES)
+    jobs = booked_ahead(generator, SIM_NUM_JOBS, 5, SIM_BOOKAHEAD_SLICES)
     return network, jobs
 
 
 def _waxman_instance():
     network = waxman_network(WAXMAN_NUM_NODES, seed=SEED)
     generator = WorkloadGenerator(network, config=WAXMAN_CONFIG, seed=SEED)
-    jobs = _booked_ahead(generator, WAXMAN_NUM_JOBS, 4, WAXMAN_BOOKAHEAD_SLICES)
+    jobs = booked_ahead(generator, WAXMAN_NUM_JOBS, 4, WAXMAN_BOOKAHEAD_SLICES)
     return network, jobs
 
 
 def _time_best_of(fn, repeats=REPEATS):
-    """(min seconds, last result) over ``repeats`` runs of ``fn``."""
-    best, result = float("inf"), None
-    for _ in range(max(1, repeats)):
-        t0 = time.perf_counter()
-        result = fn()
-        best = min(best, time.perf_counter() - t0)
-    return best, result
+    return time_best_of(fn, repeats=repeats)
 
 
 def _case_ret_probe_loop():
@@ -298,12 +283,7 @@ def run_engine_bench() -> dict:
         "target_ret_speedup": RET_SPEEDUP_FLOOR,
         "target_sim_speedup": SIM_SPEEDUP_FLOOR,
         "target_waxman_speedup": WAXMAN_SPEEDUP_FLOOR,
-        "versions": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "scipy": scipy.__version__,
-            "repro": __version__,
-        },
+        "versions": bench_versions(scipy=scipy.__version__),
         "cases": {
             "ret_probe_loop_abilene": _case_ret_probe_loop(),
             "simulate_epochs_abilene": _case_simulate_epochs(),
@@ -340,7 +320,7 @@ def _assert_floor(document: dict, case_name: str, floor: float) -> None:
 
 def test_engine_speedup(report):
     document = run_engine_bench()
-    BENCH_PATH.write_text(json.dumps(document, indent=2) + "\n")
+    write_bench_document(BENCH_PATH, document)
     report(_as_table(document))
 
     _assert_floor(document, "ret_probe_loop_abilene", RET_SPEEDUP_FLOOR)
@@ -350,6 +330,6 @@ def test_engine_speedup(report):
 
 if __name__ == "__main__":
     doc = run_engine_bench()
-    BENCH_PATH.write_text(json.dumps(doc, indent=2) + "\n")
+    write_bench_document(BENCH_PATH, doc)
     print(_as_table(doc).render())
     print(f"\nwrote {BENCH_PATH}")

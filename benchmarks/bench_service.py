@@ -37,19 +37,16 @@ artifact.  Runs under pytest (the CI gate) or as a plain script::
 """
 
 import asyncio
-import json
-import platform
 import tempfile
 import time
 from pathlib import Path
 
 import numpy as np
 
-from repro import __version__
 from repro.analysis import Table
 from repro.service import ReservationService
 
-from _support import abilene_network
+from _support import abilene_network, bench_versions, write_bench_document
 
 SEED = 1009
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
@@ -229,11 +226,7 @@ def run_service_bench() -> dict:
         "suite": "service-slo",
         "tolerance": SCORE_TOLERANCE,
         "requests_floor": REQUESTS_FLOOR,
-        "versions": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "repro": __version__,
-        },
+        "versions": bench_versions(),
         "cases": {
             "overload_stream_abilene": _case_overload_stream(),
             "journaled_stream_abilene": _case_journaled_stream(),
@@ -266,7 +259,7 @@ def _as_table(document: dict) -> Table:
 
 def test_service_slos(report):
     document = run_service_bench()
-    BENCH_PATH.write_text(json.dumps(document, indent=2) + "\n")
+    write_bench_document(BENCH_PATH, document)
     report(_as_table(document))
 
     stream = document["cases"]["overload_stream_abilene"]["metrics"]
@@ -279,6 +272,6 @@ def test_service_slos(report):
 
 if __name__ == "__main__":
     doc = run_service_bench()
-    BENCH_PATH.write_text(json.dumps(doc, indent=2) + "\n")
+    write_bench_document(BENCH_PATH, doc)
     print(_as_table(doc).render())
     print(f"\nwrote {BENCH_PATH}")

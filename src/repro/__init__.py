@@ -28,7 +28,7 @@ The three top-level entry points are:
   controller loop.
 """
 
-from . import analysis, core, engine, experiments, faults, lp, network, obs, recovery, service, sim, verify, workload
+from . import analysis, core, engine, experiments, faults, lp, network, obs, parallel, recovery, service, sim, verify, workload
 from . import serialization
 from .analysis import ResilienceReport, resilience_report
 from .engine import (
@@ -101,6 +101,15 @@ from .lp import (
     solve_milp,
 )
 from .obs import NULL_TELEMETRY, NullTelemetry, Telemetry
+from .parallel import (
+    Shard,
+    ShardedScheduler,
+    TaskResult,
+    TaskSpec,
+    partition_structure,
+    register_task,
+    run_fleet,
+)
 from .network import (
     CapacityProfile,
     Edge,
@@ -169,6 +178,7 @@ __all__ = [
     "lp",
     "network",
     "obs",
+    "parallel",
     "recovery",
     "service",
     "sim",
@@ -275,6 +285,14 @@ __all__ = [
     "Reservation",
     "ServiceStats",
     "ClosedLoopDriver",
+    # parallel execution: fleet mode and decomposed solves
+    "TaskSpec",
+    "TaskResult",
+    "register_task",
+    "run_fleet",
+    "Shard",
+    "partition_structure",
+    "ShardedScheduler",
     # verification
     "Violation",
     "VerificationReport",

@@ -18,7 +18,9 @@ JSON formats of :mod:`repro.serialization`:
 * ``experiment`` — regenerate a paper figure (fig1..fig4, jobs-finished);
 * ``verify``    — check a serialized schedule against its problem's
   invariants, or run the seeded scenario fuzzer / benchmark micro-suite
-  (see docs/verify.md).
+  (see docs/verify.md);
+* ``fleet``     — fan fuzz scenarios or experiment cells out to a pool
+  of worker processes (see docs/parallel.md).
 """
 
 from __future__ import annotations
@@ -107,6 +109,14 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="print job and link Gantt charts")
     sched.add_argument("--profile", action="store_true",
                        help="print the solve-telemetry tables after the run")
+    sched.add_argument("--sharded", action="store_true",
+                       help="solve via repro.parallel's decomposed path: "
+                       "partition into independent shards, solve each "
+                       "through the backend registry, merge the grants "
+                       "(see docs/parallel.md)")
+    sched.add_argument("--workers", type=int, default=1,
+                       help="worker processes for --sharded shard solves "
+                       "(1 = sequential in-process)")
     sched.add_argument("-o", "--output", default=None,
                        help="write the grant list as JSON")
 
@@ -165,6 +175,11 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="disable the model engine's cross-epoch reuse "
                      "(identical records and events, slower; "
                      "see docs/architecture.md)")
+    sim.add_argument("--planner", choices=["monolithic", "sharded"],
+                     default="monolithic",
+                     help="per-epoch scheduler: 'sharded' partitions each "
+                     "epoch's instance into independent shards and merges "
+                     "the grants (see docs/parallel.md)")
     sim.add_argument("-o", "--output", default=None,
                      help="write the run's records and event log as JSON")
 
@@ -254,6 +269,10 @@ def _build_parser() -> argparse.ArgumentParser:
                      "a schedule file")
     ver.add_argument("--seed", type=int, default=0,
                      help="base seed for --fuzz (deterministic)")
+    ver.add_argument("--workers", type=int, default=1,
+                     help="worker processes for --fuzz scenarios (results "
+                     "are identical to a sequential run; see "
+                     "docs/parallel.md)")
     ver.add_argument("--gap-bound", type=float, default=None,
                      help="override the documented LPDAR-vs-exact gap bound")
     ver.add_argument("--bench", action="store_true",
@@ -264,6 +283,36 @@ def _build_parser() -> argparse.ArgumentParser:
     ver.add_argument("-o", "--output", default=None,
                      help="write the verification report / fuzz summary / "
                      "benchmark document as JSON")
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="fan seeded fuzz scenarios or experiment cells out to a "
+        "pool of worker processes (see docs/parallel.md)",
+    )
+    fleet.add_argument(
+        "what", choices=["fuzz", "experiments"],
+        help="what to fan out: seeded fuzz scenarios, or paper-figure / "
+        "ablation experiment cells",
+    )
+    fleet.add_argument("--jobs", type=int, default=None,
+                       help="worker processes (default: every core the "
+                       "process may use; 1 runs inline)")
+    fleet.add_argument("--count", type=int, default=25,
+                       help="fuzz scenarios to run (fuzz mode)")
+    fleet.add_argument("--seed", type=int, default=0,
+                       help="base seed for fuzz scenarios (deterministic)")
+    fleet.add_argument("--gap-bound", type=float, default=None,
+                       help="override the documented LPDAR-vs-exact gap "
+                       "bound (fuzz mode)")
+    fleet.add_argument("--no-oracle", action="store_true",
+                       help="skip the exact-MILP oracle (fuzz mode; faster)")
+    fleet.add_argument("--names", default="all",
+                       help="comma-separated experiment names, or 'all' "
+                       "(experiments mode)")
+    fleet.add_argument("--quick", action="store_true",
+                       help="scaled-down experiment cells (experiments mode)")
+    fleet.add_argument("-o", "--output", default=None,
+                       help="write the fleet summary as JSON")
 
     exp = sub.add_parser(
         "experiment", help="regenerate one of the paper's figures"
@@ -367,13 +416,25 @@ def _cmd_schedule(args) -> int:
     net = network_from_dict(load_json(args.network))
     jobs = _load_jobs(args.jobs)
     telemetry = _profile_telemetry(args)
-    scheduler = Scheduler(
-        net,
-        k_paths=args.k_paths,
-        alpha=args.alpha,
-        slice_length=args.slice_length,
-        telemetry=telemetry,
-    )
+    if args.sharded:
+        from .parallel.sharded import ShardedScheduler
+
+        scheduler = ShardedScheduler(
+            net,
+            k_paths=args.k_paths,
+            alpha=args.alpha,
+            slice_length=args.slice_length,
+            telemetry=telemetry,
+            workers=args.workers,
+        )
+    else:
+        scheduler = Scheduler(
+            net,
+            k_paths=args.k_paths,
+            alpha=args.alpha,
+            slice_length=args.slice_length,
+            telemetry=telemetry,
+        )
     result = scheduler.schedule(jobs)
 
     table = Table(["metric", "value"], title="schedule summary")
@@ -531,6 +592,7 @@ def _cmd_simulate(args) -> int:
         journal=args.journal,
         solve_budget=solve_budget,
         warm_start=not args.no_warm_start,
+        planner=args.planner,
     )
     result = sim.run(jobs, horizon=args.horizon)
     _print_simulation_summary(result, f"simulation ({args.policy} policy)")
@@ -737,7 +799,9 @@ def _cmd_verify(args) -> int:
 
     if args.fuzz is not None:
         bound = args.gap_bound if args.gap_bound is not None else DEFAULT_GAP_BOUND
-        summary = run_fuzz(args.fuzz, seed=args.seed, gap_bound=bound)
+        summary = run_fuzz(
+            args.fuzz, seed=args.seed, gap_bound=bound, jobs=args.workers
+        )
         print(summary.render())
         if args.output:
             save_json(
@@ -787,6 +851,90 @@ def _cmd_verify(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_fleet(args) -> int:
+    from .parallel.fleet import TaskSpec, default_jobs, run_fleet
+
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+
+    if args.what == "fuzz":
+        from .verify.fuzz import run_fuzz
+        from .verify.oracles import DEFAULT_GAP_BOUND
+
+        bound = (
+            args.gap_bound if args.gap_bound is not None else DEFAULT_GAP_BOUND
+        )
+        summary = run_fuzz(
+            args.count,
+            seed=args.seed,
+            gap_bound=bound,
+            oracle=not args.no_oracle,
+            jobs=jobs,
+        )
+        print(summary.render())
+        print(f"({jobs} worker{'s' if jobs != 1 else ''})")
+        if args.output:
+            save_json(
+                {
+                    "seed": args.seed,
+                    "count": args.count,
+                    "jobs": jobs,
+                    "gap_bound": bound,
+                    "ok": summary.ok,
+                    "max_gap": summary.max_gap,
+                    "failing_seeds": list(summary.failing_seeds),
+                },
+                args.output,
+            )
+            print(f"wrote fleet fuzz summary to {args.output}")
+        return 0 if summary.ok else 1
+
+    # experiments mode: one cell per named experiment / ablation.
+    names = (
+        sorted(EXPERIMENTS)
+        if args.names == "all"
+        else [n.strip() for n in args.names.split(",") if n.strip()]
+    )
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(
+            f"error: unknown experiment(s) {unknown}; "
+            f"available: {sorted(EXPERIMENTS)}",
+            file=sys.stderr,
+        )
+        return 2
+    specs = [
+        TaskSpec("experiment", {"name": name, "quick": args.quick}, label=name)
+        for name in names
+    ]
+    results = run_fleet(specs, jobs=jobs)
+    failed = []
+    rows = []
+    for res in results:
+        if res.ok:
+            print(res.value.table().render())
+            print(f"({res.value.seconds:.1f}s)\n")
+            rows.append(
+                {
+                    "experiment": res.value.experiment_id,
+                    "seconds": res.value.seconds,
+                    "ok": True,
+                }
+            )
+        else:
+            failed.append(res.label)
+            print(f"[FAIL] {res.label}: {res.error_type}: {res.error}\n")
+            rows.append({"experiment": res.label, "ok": False,
+                         "error": res.error})
+    print(
+        f"{len(results)} experiment cells, {len(failed)} failed "
+        f"({jobs} worker{'s' if jobs != 1 else ''})"
+    )
+    if args.output:
+        save_json({"jobs": jobs, "cells": rows}, args.output)
+        print(f"wrote fleet experiment summary to {args.output}")
+    return 0 if not failed else 1
+
+
 def _cmd_experiment(args) -> int:
     names = sorted(EXPERIMENTS) if args.name == "all" else [args.name]
     results = []
@@ -817,6 +965,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "experiment": _cmd_experiment,
     "verify": _cmd_verify,
+    "fleet": _cmd_fleet,
 }
 
 

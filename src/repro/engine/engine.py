@@ -241,6 +241,33 @@ class ModelEngine:
             structure.jobs, grid, path_sets=path_sets, capacity_profile=profile
         )
 
+    def substructure(
+        self, structure: ProblemStructure, job_indices
+    ) -> ProblemStructure:
+        """The structure restricted to ``job_indices`` of ``structure``.
+
+        The shard builder of :mod:`repro.parallel.sharded`: the child
+        keeps the parent's grid, capacity profile and already-resolved
+        per-job path lists, so its column blocks are bit-identical to
+        the parent's (only the offsets shift) and the layout layer can
+        cache it across repeated solves (alpha escalations, RET
+        probes).
+        """
+        indices = list(job_indices)
+        if not indices:
+            raise ValidationError("substructure needs at least one job index")
+        jobs = JobSet([structure.jobs[i] for i in indices])
+        path_sets: dict[tuple[Node, Node], Sequence[Path]] = {}
+        for i in indices:
+            job = structure.jobs[i]
+            path_sets.setdefault((job.source, job.dest), structure.paths[i])
+        return self.structure(
+            jobs,
+            structure.grid,
+            path_sets=path_sets,
+            capacity_profile=structure.capacity_profile,
+        )
+
     # ------------------------------------------------------------------
     # Cross-epoch carried state
     # ------------------------------------------------------------------

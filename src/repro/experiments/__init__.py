@@ -9,6 +9,7 @@ from .figures import (
     fig2_abilene_throughput,
     fig3_computation_time,
     fig4_ret_end_time,
+    fleet_experiment,
     jobs_finished,
     run_experiment,
 )
@@ -37,6 +38,7 @@ __all__ = [
     "write_report",
     "EXPERIMENTS",
     "run_experiment",
+    "fleet_experiment",
     "fig1_random_throughput",
     "fig2_abilene_throughput",
     "fig3_computation_time",

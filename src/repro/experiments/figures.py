@@ -298,3 +298,13 @@ def run_experiment(name: str, quick: bool = False) -> ExperimentResult:
             f"unknown experiment {name!r}; pick from {sorted(EXPERIMENTS)}"
         ) from None
     return fn(quick=quick)
+
+
+def fleet_experiment(name: str, quick: bool = False) -> ExperimentResult:
+    """Fleet-task entry point: run one experiment cell in a worker.
+
+    Registered as the built-in ``experiment`` task in
+    :mod:`repro.parallel.fleet`; the indirection keeps the fleet module
+    free of an import-time dependency on the experiment registry.
+    """
+    return run_experiment(name, quick=quick)

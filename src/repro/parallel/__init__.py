@@ -1,0 +1,50 @@
+"""Parallel execution layer: fleet mode and decomposed (sharded) solves.
+
+Two independent levels of parallelism, per the roadmap's sharding item:
+
+* **Fleet mode** (:mod:`repro.parallel.fleet`) — fan whole tasks
+  (seeded fuzz scenarios, experiment cells) out to a pool of worker
+  processes as picklable :class:`TaskSpec` envelopes; results come
+  back in spec order, so a run is deterministic regardless of
+  completion order.  ``repro fleet`` and ``repro verify --fuzz --jobs``
+  sit on top of this.
+* **Decomposed solves** (:mod:`repro.parallel.partition` /
+  :mod:`repro.parallel.sharded`) — split one scheduling instance into
+  independent subproblems (conflict-graph components over shared edges
+  and overlapping windows, which subsumes network components after
+  fault edge bans and disjoint time blocks), solve the shards through
+  the solver-backend registry, and merge the grants back into a single
+  :class:`~repro.core.scheduler.ScheduleResult`.  The
+  :func:`repro.verify.oracles.sharded_vs_monolithic` oracle checks
+  every merged schedule against the monolithic solve.
+
+``docs/parallel.md`` has the full design narrative: decomposition
+rules, merge semantics and the determinism guarantees.
+"""
+
+from .fleet import (
+    TaskResult,
+    TaskSpec,
+    default_jobs,
+    get_task,
+    register_task,
+    run_fleet,
+    task_names,
+)
+from .partition import Shard, partition_structure
+from .sharded import ShardedScheduler, ShardSolveSpec, fleet_shard_solve
+
+__all__ = [
+    "TaskSpec",
+    "TaskResult",
+    "register_task",
+    "get_task",
+    "task_names",
+    "run_fleet",
+    "default_jobs",
+    "Shard",
+    "partition_structure",
+    "ShardedScheduler",
+    "ShardSolveSpec",
+    "fleet_shard_solve",
+]

@@ -1,0 +1,436 @@
+"""Decomposed solves: partition, solve shards concurrently, merge grants.
+
+:class:`ShardedScheduler` is a drop-in for
+:class:`~repro.core.scheduler.Scheduler` that splits each instance into
+the independent subproblems found by
+:func:`~repro.parallel.partition.partition_structure`, solves them
+through the :mod:`solver-backend registry <repro.engine.backend>` —
+concurrently across worker processes when ``workers > 1`` — and merges
+the per-shard grants back into one :class:`ScheduleResult` over the
+monolithic structure.
+
+Why the merge is sound (and when it is *identical*):
+
+* Shards share no capacity row, so stage 1 decomposes exactly:
+  the global ``Z*`` is the minimum of the shard optima.
+* Stage 2 receives the *global* ``Z*`` and the *globally normalized*
+  per-job weights, so each shard LP is the exact restriction of the
+  monolithic LP to the shard's columns; concatenating shard optima is a
+  monolithic optimum.
+* Algorithm 1 only debits residual capacity on a job's own path edges,
+  so running it per shard equals running it monolithically up to the
+  order jobs are visited — which within a shard is the monolithic
+  order.
+* The Remark-1 alpha escalation loop re-checks the fairness floor on
+  the **merged** integer schedule each round, mirroring the monolithic
+  loop's decision exactly.
+
+With a single shard the pipeline degenerates to the monolithic one on
+bit-identical LPs, so grants match exactly.  With several shards the
+merged result optimizes the same LPs but may land on a different
+optimal vertex than the monolithic solve; the
+:func:`repro.verify.oracles.sharded_vs_monolithic` oracle pins down
+what must still agree (``Z*``, LP objective, LPDAR objective within
+``DEFAULT_GAP_BOUND``) and every merged schedule passes the shared
+invariant checker.
+
+Out of scope — delegated to the monolithic scheduler unchanged: solves
+under a :class:`~repro.lp.solver.SolveBudget` (the degradation ladder
+is inherently global) and the ``greedy_order="random"`` / explicit
+``rng`` variants (per-shard rng streams cannot replay the monolithic
+draw sequence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..core.lpdar import GreedyOrder, LpdarResult, lpdar
+from ..core.scheduler import ScheduleResult, Scheduler
+from ..core.stage2 import Stage2Result, build_stage2_lp, objective_weights
+from ..core.throughput import Stage1Result, build_stage1_lp
+from ..engine import build_structure
+from ..engine.engine import ModelEngine
+from ..errors import SolverError, ValidationError
+from ..lp.model import ProblemStructure
+from ..lp.solver import LPSolution, SolveBudget, SolveResilience, solve_lp
+from ..network.graph import Network
+from ..network.paths import Path
+from ..obs import Telemetry
+from ..timegrid import TimeGrid
+from ..workload.jobs import JobSet
+from .fleet import TaskSpec, run_fleet
+from .partition import Shard, partition_structure
+
+__all__ = ["ShardSolveSpec", "ShardedScheduler", "fleet_shard_solve"]
+
+
+@dataclass(frozen=True)
+class ShardSolveSpec:
+    """Picklable payload describing one shard solve.
+
+    Carries everything a worker process needs to rebuild the shard's
+    :class:`~repro.lp.model.ProblemStructure` (the full network and
+    grid are shared — capacity rows only materialize for (edge, slice)
+    pairs the shard's paths actually use) plus the solve parameters.
+    ``stage`` selects the stage-1 ``Z*`` solve or the stage-2 + LPDAR
+    pass.
+    """
+
+    network: Network
+    jobs: JobSet
+    grid: TimeGrid
+    k_paths: int
+    paths: tuple[tuple[Path, ...], ...]
+    capacity_profile: object = None
+    backend: str = "highs"
+    resilience: SolveResilience | None = None
+    stage: str = "stage1"
+    zstar: float = 0.0
+    alpha: float = 0.0
+    weights: np.ndarray | None = None
+    greedy_order: GreedyOrder = "paper"
+    cap_at_target: bool = False
+
+
+def _shard_structure(spec: ShardSolveSpec) -> ProblemStructure:
+    """Rebuild the shard's structure from its spec (worker side)."""
+    path_sets: dict = {}
+    for job, paths in zip(spec.jobs, spec.paths):
+        path_sets.setdefault((job.source, job.dest), list(paths))
+    return build_structure(
+        spec.network,
+        spec.jobs,
+        spec.grid,
+        k_paths=spec.k_paths,
+        path_sets=path_sets,
+        capacity_profile=spec.capacity_profile,
+    )
+
+
+def fleet_shard_solve(
+    spec: ShardSolveSpec, structure: ProblemStructure | None = None
+) -> dict:
+    """Fleet task: solve one shard; returns plain picklable arrays.
+
+    Solves through :func:`~repro.lp.solver.solve_lp`, i.e. whatever
+    :class:`~repro.engine.backend.SolverBackend` ``spec.backend``
+    names in the registry.
+    """
+    if structure is None:
+        structure = _shard_structure(spec)
+    if spec.stage == "stage1":
+        solution = solve_lp(
+            build_stage1_lp(structure),
+            backend=spec.backend,
+            label="stage1",
+            resilience=spec.resilience,
+        )
+        return {"zstar": float(solution.x[-1]), "x": solution.x[:-1].copy()}
+    if spec.stage != "stage2":
+        raise ValidationError(f"unknown shard stage {spec.stage!r}")
+    solution = solve_lp(
+        build_stage2_lp(structure, spec.zstar, spec.alpha, spec.weights),
+        backend=spec.backend,
+        label="stage2",
+        resilience=spec.resilience,
+    )
+    rounded = lpdar(
+        structure,
+        solution.x,
+        order=spec.greedy_order,
+        cap_at_target=spec.cap_at_target,
+    )
+    return {
+        "x_lp": rounded.x_lp,
+        "x_lpd": rounded.x_lpd,
+        "x_lpdar": rounded.x_lpdar,
+        "objective": float(solution.objective),
+    }
+
+
+class ShardedScheduler:
+    """Scheduler facade solving each instance as independent shards.
+
+    Accepts the same scheduling knobs as
+    :class:`~repro.core.scheduler.Scheduler` (it owns one internally
+    for structure building, validation and the delegation cases) plus:
+
+    workers:
+        Worker processes for concurrent shard solves.  ``1`` (the
+        default) solves shards sequentially in-process, reusing the
+        engine's layout caches across alpha rounds; results are
+        identical either way.
+    backend:
+        Registered :class:`~repro.engine.backend.SolverBackend` name
+        used for every shard solve.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        k_paths: int = 4,
+        alpha: float = 0.1,
+        alpha_step: float = 0.1,
+        alpha_max: float = 0.5,
+        slice_length: float = 1.0,
+        greedy_order: GreedyOrder = "paper",
+        cap_at_target: bool = False,
+        rng: np.random.Generator | None = None,
+        telemetry: Telemetry | None = None,
+        resilience: SolveResilience | None = None,
+        budget: SolveBudget | None = None,
+        engine: ModelEngine | None = None,
+        workers: int = 1,
+        backend: str = "highs",
+    ) -> None:
+        if workers < 1:
+            raise ValidationError(f"workers must be >= 1, got {workers}")
+        self._mono = Scheduler(
+            network,
+            k_paths=k_paths,
+            alpha=alpha,
+            alpha_step=alpha_step,
+            alpha_max=alpha_max,
+            slice_length=slice_length,
+            greedy_order=greedy_order,
+            cap_at_target=cap_at_target,
+            rng=rng,
+            telemetry=telemetry,
+            resilience=resilience,
+            budget=budget,
+            engine=engine,
+        )
+        self.workers = int(workers)
+        self.backend = backend
+
+    @property
+    def network(self) -> Network:
+        return self._mono.network
+
+    @property
+    def engine(self) -> ModelEngine:
+        return self._mono.engine
+
+    @property
+    def telemetry(self):
+        return self._mono.telemetry
+
+    def build_structure(self, jobs, grid=None, path_sets=None, capacity_profile=None):
+        """See :meth:`repro.core.scheduler.Scheduler.build_structure`."""
+        return self._mono.build_structure(
+            jobs, grid, path_sets=path_sets, capacity_profile=capacity_profile
+        )
+
+    def partition(
+        self,
+        jobs: JobSet,
+        grid: TimeGrid | None = None,
+        path_sets=None,
+        capacity_profile=None,
+    ) -> list[Shard]:
+        """The shards :meth:`schedule` would solve for this instance."""
+        structure = self.build_structure(
+            jobs, grid, path_sets=path_sets, capacity_profile=capacity_profile
+        )
+        return partition_structure(structure)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        jobs: JobSet,
+        grid: TimeGrid | None = None,
+        weights: np.ndarray | None = None,
+        capacity_profile=None,
+        path_sets=None,
+        budget: SolveBudget | None = None,
+    ) -> ScheduleResult:
+        """Partition, solve shards (concurrently), merge, escalate alpha.
+
+        Same contract as
+        :meth:`repro.core.scheduler.Scheduler.schedule`; calls with a
+        budget or a randomized greedy order delegate to the monolithic
+        scheduler (see the module docstring).
+        """
+        mono = self._mono
+        budget = budget if budget is not None else mono.budget
+        if budget is not None or mono.greedy_order == "random" or mono.rng is not None:
+            return mono.schedule(
+                jobs,
+                grid,
+                weights=weights,
+                capacity_profile=capacity_profile,
+                path_sets=path_sets,
+                budget=budget,
+            )
+        telemetry = mono.telemetry
+        with telemetry.span("sharded_schedule"):
+            structure = mono.build_structure(
+                jobs, grid, path_sets=path_sets, capacity_profile=capacity_profile
+            )
+            if weights is None and any(j.weight is not None for j in jobs):
+                weights = np.array(
+                    [j.weight if j.weight is not None else j.size for j in jobs]
+                )
+            # Monolithic-scale column coefficients: validates weights up
+            # front and prices the merged LP solution exactly as the
+            # monolithic stage-2 objective would.
+            coeffs = objective_weights(structure, weights)
+            if weights is None:
+                w_global = structure.demands / structure.demands.sum()
+            else:
+                w_global = np.asarray(weights, dtype=float)
+
+            shards = partition_structure(structure)
+            telemetry.count("sharded_solves")
+            telemetry.count("shard_solves", len(shards))
+
+            base_specs = [
+                self._shard_spec(structure, shard, w_global) for shard in shards
+            ]
+            local_structures = None
+            if self.workers == 1:
+                local_structures = [
+                    mono.engine.substructure(structure, shard.job_indices)
+                    for shard in shards
+                ]
+
+            stage1_outs = self._solve_shards(base_specs, local_structures)
+            zstar = min(out["zstar"] for out in stage1_outs)
+            x1 = np.zeros(structure.num_cols)
+            for shard, out in zip(shards, stage1_outs):
+                self._merge_into(structure, shard, out["x"], x1)
+            stage1 = Stage1Result(
+                zstar=zstar,
+                x=x1,
+                solution=LPSolution(x=np.append(x1, zstar), objective=zstar),
+            )
+
+            alpha = mono.alpha
+            escalations = 0
+            while True:
+                specs = [
+                    replace(spec, stage="stage2", zstar=zstar, alpha=alpha)
+                    for spec in base_specs
+                ]
+                outs = self._solve_shards(specs, local_structures)
+                merged = {}
+                for key in ("x_lp", "x_lpd", "x_lpdar"):
+                    vec = np.zeros(structure.num_cols)
+                    for shard, out in zip(shards, outs):
+                        self._merge_into(structure, shard, out[key], vec)
+                    merged[key] = vec
+                objective = float(coeffs @ merged["x_lp"])
+                stage2 = Stage2Result(
+                    x=merged["x_lp"],
+                    objective=objective,
+                    zstar=zstar,
+                    alpha=alpha,
+                    solution=LPSolution(x=merged["x_lp"], objective=objective),
+                )
+                result = ScheduleResult(
+                    structure=structure,
+                    stage1=stage1,
+                    stage2=stage2,
+                    assignments=LpdarResult(**merged),
+                    alpha=alpha,
+                    alpha_escalations=escalations,
+                )
+                if (
+                    mono.alpha_step <= 0
+                    or alpha >= mono.alpha_max
+                    or result.meets_fairness("lpdar")
+                ):
+                    telemetry.count("schedule_passes")
+                    telemetry.count("alpha_escalations", escalations)
+                    break
+                alpha = min(alpha + mono.alpha_step, mono.alpha_max)
+                escalations += 1
+        # Same cross-epoch seeding as the monolithic scheduler: the
+        # merged integer plan is capacity-feasible, so it serves as the
+        # next epoch's RET feasibility witness.
+        mono.engine.carry_plan(result.structure, result.x)
+        return result
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _shard_spec(
+        self, structure: ProblemStructure, shard: Shard, w_global: np.ndarray
+    ) -> ShardSolveSpec:
+        jobs = JobSet([structure.jobs[i] for i in shard.job_indices])
+        paths = tuple(
+            tuple(structure.paths[i]) for i in shard.job_indices
+        )
+        return ShardSolveSpec(
+            network=structure.network,
+            jobs=jobs,
+            grid=structure.grid,
+            k_paths=structure.k_paths,
+            paths=paths,
+            capacity_profile=structure.capacity_profile,
+            backend=self.backend,
+            resilience=self._mono.resilience,
+            weights=w_global[list(shard.job_indices)],
+            greedy_order=self._mono.greedy_order,
+            cap_at_target=self._mono.cap_at_target,
+        )
+
+    def _solve_shards(
+        self,
+        specs: list[ShardSolveSpec],
+        structures: list[ProblemStructure] | None,
+    ) -> list[dict]:
+        """Solve every shard, in-process or across the fleet pool."""
+        if self.workers == 1 or len(specs) == 1:
+            if structures is None:
+                return [fleet_shard_solve(spec) for spec in specs]
+            return [
+                fleet_shard_solve(spec, structure)
+                for spec, structure in zip(specs, structures)
+            ]
+        results = run_fleet(
+            [
+                TaskSpec("shard_solve", {"spec": spec}, label=f"shard[{i}]")
+                for i, spec in enumerate(specs)
+            ],
+            jobs=min(self.workers, len(specs)),
+        )
+        outs = []
+        for result in results:
+            if not result.ok:
+                raise SolverError(
+                    f"shard solve {result.label} failed: "
+                    f"{result.error_type}: {result.error}"
+                )
+            outs.append(result.value)
+        return outs
+
+    @staticmethod
+    def _merge_into(
+        structure: ProblemStructure,
+        shard: Shard,
+        values: np.ndarray,
+        out: np.ndarray,
+    ) -> None:
+        """Scatter a shard-local column vector into the monolithic one.
+
+        Shard structures share the parent's grid and per-job path lists,
+        so a job's column block has the same width in both layouts; only
+        the offsets differ.
+        """
+        offset = 0
+        for i in shard.job_indices:
+            width = int(structure.num_paths[i] * structure.span[i])
+            cols = structure.job_columns(i)
+            out[cols] = values[offset : offset + width]
+            offset += width
+        if offset != len(values):
+            raise SolverError(
+                f"shard solution has {len(values)} columns, "
+                f"expected {offset}"
+            )

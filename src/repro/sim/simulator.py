@@ -269,6 +269,19 @@ class Simulation:
         scratch each epoch; results (records, events, journal bytes)
         are identical either way, only slower.  Recorded in the journal
         header so :meth:`resume` replays with the same setting.
+    planner:
+        Which scheduler plans each epoch: ``"monolithic"`` (the
+        default) uses :class:`~repro.core.scheduler.Scheduler`;
+        ``"sharded"`` uses
+        :class:`~repro.parallel.sharded.ShardedScheduler`, which
+        partitions each epoch's instance into independent subproblems
+        and merges the shard grants (see ``docs/parallel.md``).  Every
+        merged schedule is equivalence-checked against the monolithic
+        contract by the verify layer's oracle; recorded in the journal
+        header so :meth:`resume` replans the same way.
+    planner_workers:
+        Worker processes for concurrent shard solves when ``planner``
+        is ``"sharded"`` (``1`` solves shards sequentially in-process).
     """
 
     def __init__(
@@ -292,6 +305,8 @@ class Simulation:
         solve_budget: SolveBudget | None = None,
         crash_injector: CrashInjector | None = None,
         warm_start: bool = True,
+        planner: str = "monolithic",
+        planner_workers: int = 1,
     ) -> None:
         if tau <= 0 or slice_length <= 0:
             raise ValidationError("tau and slice_length must be positive")
@@ -332,6 +347,20 @@ class Simulation:
         self.verify_epochs = verify_epochs
         self.telemetry = telemetry or NULL_TELEMETRY
         self.warm_start = bool(warm_start)
+        # The per-epoch planner.  "sharded" swaps the monolithic
+        # Scheduler for repro.parallel's ShardedScheduler (partition +
+        # merge); the shard-equivalence oracle guarantees merged
+        # schedules stay checker-clean, and RET/admission solves are
+        # unaffected.  Recorded in the journal header so a resumed run
+        # replans exactly as the original did.
+        if planner not in ("monolithic", "sharded"):
+            raise ValidationError(f"unknown planner {planner!r}")
+        if planner_workers < 1:
+            raise ValidationError(
+                f"planner_workers must be >= 1, got {planner_workers}"
+            )
+        self.planner = planner
+        self.planner_workers = int(planner_workers)
         # One engine for the whole run: path sets, structure layouts and
         # memoized RET probe solves carry over between epochs.  A cold
         # engine (--no-warm-start) rebuilds everything from scratch each
@@ -466,6 +495,7 @@ class Simulation:
             journal=path,
             solve_budget=solve_budget,
             warm_start=config.get("warm_start", True),
+            planner=config.get("planner", "monolithic"),
         )
         records = {j.id: JobRecord(j, j.end, j.size) for j in jobs}
         order = [j.id for j in jobs]
@@ -530,6 +560,7 @@ class Simulation:
                 "rejection": self.rejection,
                 "verify_epochs": self.verify_epochs,
                 "warm_start": self.warm_start,
+                "planner": self.planner,
                 "solve_budget": (
                     {
                         "wall_time_s": self.solve_budget.wall_time_s,
@@ -615,15 +646,29 @@ class Simulation:
         """
         kept_schedules: list = []
         verification: list = []
-        scheduler = Scheduler(
-            self.network,
-            k_paths=self.k_paths,
-            alpha=self.alpha,
-            slice_length=self.slice_length,
-            telemetry=self.telemetry,
-            resilience=self.resilience,
-            engine=self._engine,
-        )
+        if self.planner == "sharded":
+            from ..parallel.sharded import ShardedScheduler
+
+            scheduler = ShardedScheduler(
+                self.network,
+                k_paths=self.k_paths,
+                alpha=self.alpha,
+                slice_length=self.slice_length,
+                telemetry=self.telemetry,
+                resilience=self.resilience,
+                engine=self._engine,
+                workers=self.planner_workers,
+            )
+        else:
+            scheduler = Scheduler(
+                self.network,
+                k_paths=self.k_paths,
+                alpha=self.alpha,
+                slice_length=self.slice_length,
+                telemetry=self.telemetry,
+                resilience=self.resilience,
+                engine=self._engine,
+            )
         base_paths = self._engine.topology.path_sets(jobs.od_pairs())
 
         journal_mark = len(events)

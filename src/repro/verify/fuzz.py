@@ -58,6 +58,7 @@ __all__ = [
     "scenarios",
     "run_scenario",
     "run_fuzz",
+    "fleet_fuzz_scenario",
 ]
 
 #: Seed stride separating consecutive scenarios of one fuzz run.
@@ -347,14 +348,77 @@ class FuzzSummary:
         return "\n".join(lines)
 
 
+def fleet_fuzz_scenario(
+    seed: int,
+    gap_bound: float = DEFAULT_GAP_BOUND,
+    oracle: bool = True,
+    allow_faults: bool = True,
+) -> ScenarioOutcome:
+    """Fleet task: regenerate and run the scenario belonging to ``seed``.
+
+    ``seed`` is the *strided* per-scenario seed (already
+    ``base * SEED_STRIDE + i``), so a worker rebuilds exactly the
+    scenario the sequential path would have run — the scenario itself
+    never crosses the process boundary, only the integer does.
+    """
+    scenario = make_scenario(seed, allow_faults=allow_faults)
+    return run_scenario(scenario, gap_bound=gap_bound, oracle=oracle)
+
+
 def run_fuzz(
     count: int,
     seed: int = 0,
     gap_bound: float = DEFAULT_GAP_BOUND,
     oracle: bool = True,
     allow_faults: bool = True,
+    jobs: int = 1,
 ) -> FuzzSummary:
-    """Run ``count`` seeded scenarios; never raises on scenario failure."""
+    """Run ``count`` seeded scenarios; never raises on scenario failure.
+
+    ``jobs > 1`` fans the scenarios out to that many worker processes
+    via :func:`repro.parallel.fleet.run_fleet`; outcomes come back in
+    seed order, so the summary is identical to a sequential run no
+    matter how the pool interleaves completions.  A worker that dies
+    (rather than reports) surfaces as a failing outcome for its
+    scenario, never as a lost seed.
+    """
+    if jobs > 1:
+        from ..parallel.fleet import TaskSpec, run_fleet
+
+        specs = [
+            TaskSpec(
+                "fuzz_scenario",
+                {
+                    "seed": seed * SEED_STRIDE + i,
+                    "gap_bound": gap_bound,
+                    "oracle": oracle,
+                    "allow_faults": allow_faults,
+                },
+                label=f"fuzz[{i}]",
+            )
+            for i in range(count)
+        ]
+        outcomes = []
+        for result in run_fleet(specs, jobs=jobs):
+            if result.ok:
+                outcomes.append(result.value)
+            else:
+                scenario = make_scenario(
+                    seed * SEED_STRIDE + result.index, allow_faults=allow_faults
+                )
+                outcomes.append(
+                    ScenarioOutcome(
+                        scenario,
+                        None,
+                        None,
+                        None,
+                        (
+                            "fleet worker failed: "
+                            f"{result.error_type}: {result.error}",
+                        ),
+                    )
+                )
+        return FuzzSummary(outcomes=tuple(outcomes))
     outcomes = [
         run_scenario(sc, gap_bound=gap_bound, oracle=oracle)
         for sc in scenarios(count, seed, allow_faults=allow_faults)

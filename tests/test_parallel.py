@@ -1,0 +1,422 @@
+"""Unit tests for the parallel layer: fleet runner, partition, sharding.
+
+The equivalence-oracle and determinism properties live in
+``test_parallel_equivalence.py``; this file pins the mechanics — spec
+ordering, failure envelopes, crash retries, partition shapes, merge
+plumbing, and the picklability contract fleet mode depends on
+(satellite 1).
+"""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import (
+    Job,
+    JobSet,
+    Scheduler,
+    ValidationError,
+)
+from repro.faults import FaultSchedule
+from repro.network import topologies
+from repro.network.graph import Network
+from repro.parallel import (
+    Shard,
+    ShardedScheduler,
+    TaskResult,
+    TaskSpec,
+    partition_structure,
+    register_task,
+    run_fleet,
+)
+from repro.parallel.fleet import default_jobs, get_task, task_names
+from repro.parallel.sharded import ShardSolveSpec, fleet_shard_solve
+from repro.recovery import SolveBudget
+from repro.timegrid import TimeGrid
+from repro.verify.fuzz import make_scenario, run_scenario
+
+
+# ---------------------------------------------------------------------------
+# Fleet task functions.  Module-level so fork/spawn workers can import
+# them by qualified name; registered under stable test-local names.
+# ---------------------------------------------------------------------------
+@register_task("test-square")
+def _square(n):
+    return n * n
+
+
+@register_task("test-boom")
+def _boom(message):
+    raise ValueError(message)
+
+
+@register_task("test-crash-once")
+def _crash_once(sentinel):
+    """Dies hard on the first call, succeeds once ``sentinel`` exists."""
+    if os.path.exists(sentinel):
+        return "recovered"
+    with open(sentinel, "w") as fh:
+        fh.write("seen")
+    os._exit(13)
+
+
+class TestFleetRunner:
+    def test_results_in_spec_order(self):
+        specs = [TaskSpec("test-square", {"n": n}) for n in range(8)]
+        for jobs in (1, 3):
+            results = run_fleet(specs, jobs=jobs)
+            assert [r.value for r in results] == [n * n for n in range(8)]
+            assert [r.index for r in results] == list(range(8))
+            assert all(r.ok for r in results)
+
+    def test_inline_and_pooled_runs_agree(self):
+        specs = [
+            TaskSpec("test-square", {"n": n}, label=f"sq[{n}]") for n in range(5)
+        ]
+        inline = run_fleet(specs, jobs=1)
+        pooled = run_fleet(specs, jobs=2)
+        assert [(r.ok, r.value, r.label) for r in inline] == [
+            (r.ok, r.value, r.label) for r in pooled
+        ]
+
+    def test_raising_task_is_contained(self):
+        specs = [
+            TaskSpec("test-square", {"n": 3}),
+            TaskSpec("test-boom", {"message": "kaboom"}),
+            TaskSpec("test-square", {"n": 4}),
+        ]
+        for jobs in (1, 2):
+            results = run_fleet(specs, jobs=jobs)
+            assert [r.ok for r in results] == [True, False, True]
+            failed = results[1]
+            assert failed.error_type == "ValueError"
+            assert "kaboom" in failed.error
+            assert failed.traceback and "ValueError" in failed.traceback
+
+    def test_worker_crash_is_retried_then_succeeds(self, tmp_path):
+        sentinel = str(tmp_path / "crash-once")
+        results = run_fleet(
+            [TaskSpec("test-crash-once", {"sentinel": sentinel})],
+            jobs=2,
+            retries=1,
+        )
+        assert results[0].ok
+        assert results[0].value == "recovered"
+        assert results[0].attempts == 2
+
+    def test_worker_crash_without_retries_is_reported(self, tmp_path):
+        sentinel = str(tmp_path / "crash-hard")
+        results = run_fleet(
+            [TaskSpec("test-crash-once", {"sentinel": sentinel})],
+            jobs=2,
+            retries=0,
+        )
+        assert not results[0].ok
+        assert results[0].error_type == "WorkerCrashed"
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(ValidationError, match="unknown fleet task"):
+            run_fleet([TaskSpec("no-such-task")], jobs=1)
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValidationError, match="jobs"):
+            run_fleet([], jobs=0)
+        with pytest.raises(ValidationError, match="retries"):
+            run_fleet([], jobs=1, retries=-1)
+        with pytest.raises(ValidationError, match="TaskSpec"):
+            run_fleet(["not a spec"], jobs=1)
+
+    def test_empty_specs(self):
+        assert run_fleet([], jobs=4) == []
+
+    def test_dotted_path_and_builtin_names_resolve(self):
+        assert get_task("os:getpid") is os.getpid
+        # Built-ins resolve lazily and land in task_names().
+        assert get_task("fuzz_scenario").__name__ == "fleet_fuzz_scenario"
+        for name in ("fuzz_scenario", "experiment", "shard_solve"):
+            assert name in task_names()
+        assert "test-square" in task_names()
+
+    def test_default_jobs_positive(self):
+        assert default_jobs() >= 1
+
+
+# ---------------------------------------------------------------------------
+# Satellite 1: picklability of everything fleet mode ships to workers.
+# ---------------------------------------------------------------------------
+class TestPicklability:
+    def test_scenario_roundtrip_offline(self):
+        # Seed 0 is an offline (schedule + oracle) scenario.
+        scenario = make_scenario(0)
+        clone = pickle.loads(pickle.dumps(scenario))
+        assert clone.seed == scenario.seed
+        assert clone.description == scenario.description
+        assert [j.id for j in clone.jobs] == [j.id for j in scenario.jobs]
+        original = run_scenario(scenario)
+        replayed = run_scenario(clone)
+        assert replayed.failures == original.failures
+        assert replayed.gap == original.gap
+        assert (replayed.report is None) == (original.report is None)
+        if original.report is not None:
+            assert replayed.report.ok == original.report.ok
+
+    def test_fault_schedule_roundtrip(self):
+        network = topologies.ring(5, capacity=2)
+        schedule = FaultSchedule.random(
+            network, horizon=10.0, mtbf=4.0, mttr=1.0, seed=7
+        )
+        clone = pickle.loads(pickle.dumps(schedule))
+        assert len(clone) == len(schedule)
+        assert list(clone) == list(schedule)
+
+    def test_scenario_with_faults_roundtrip(self):
+        scenario = next(
+            s
+            for s in (make_scenario(seed) for seed in range(64))
+            if s.fault_schedule is not None
+        )
+        clone = pickle.loads(pickle.dumps(scenario))
+        assert list(clone.fault_schedule) == list(scenario.fault_schedule)
+        assert run_scenario(clone).failures == run_scenario(scenario).failures
+
+    def test_pickle_to_worker_roundtrip_deterministic(self):
+        # The full satellite-1 loop: spec pickles into a worker process,
+        # the outcome pickles back, and both match the inline run.
+        specs = [
+            TaskSpec("fuzz_scenario", {"seed": seed, "oracle": True})
+            for seed in (0, 1, 2)
+        ]
+        inline = run_fleet(specs, jobs=1)
+        pooled = run_fleet(specs, jobs=2)
+        for a, b in zip(inline, pooled):
+            assert a.ok and b.ok
+            assert a.value.scenario.description == b.value.scenario.description
+            assert a.value.failures == b.value.failures
+            assert a.value.gap == b.value.gap
+
+    def test_shard_solve_spec_roundtrip(self):
+        network = topologies.line(4, capacity=2)
+        jobs = JobSet(
+            [Job(id="a", source=0, dest=3, size=3.0, start=0.0, end=4.0)]
+        )
+        scheduler = ShardedScheduler(network, k_paths=2)
+        structure = scheduler.build_structure(jobs)
+        spec = ShardSolveSpec(
+            network=structure.network,
+            jobs=structure.jobs,
+            grid=structure.grid,
+            k_paths=structure.k_paths,
+            paths=tuple(tuple(p) for p in structure.paths),
+        )
+        clone = pickle.loads(pickle.dumps(spec))
+        assert fleet_shard_solve(clone)["zstar"] == pytest.approx(
+            fleet_shard_solve(spec)["zstar"]
+        )
+
+
+# ---------------------------------------------------------------------------
+# Partition shapes.
+# ---------------------------------------------------------------------------
+def _two_component_network():
+    net = Network(wavelength_rate=1.0)
+    for c in range(2):
+        for i in range(2):
+            net.add_link_pair(f"c{c}n{i}", f"c{c}n{i + 1}", capacity=2)
+    return net
+
+
+class TestPartition:
+    def test_single_component_single_shard(self):
+        network = topologies.line(4, capacity=2)
+        jobs = JobSet(
+            [
+                Job(id=i, source=0, dest=3, size=1.0, start=0.0, end=3.0)
+                for i in range(3)
+            ]
+        )
+        structure = Scheduler(network, k_paths=2).build_structure(jobs)
+        shards = partition_structure(structure)
+        assert len(shards) == 1
+        assert shards[0].job_indices == (0, 1, 2)
+
+    def test_disjoint_time_blocks_split(self):
+        network = topologies.line(3, capacity=2)
+        jobs = JobSet(
+            [
+                Job(id="early", source=0, dest=2, size=1.0, start=0.0, end=2.0),
+                Job(id="late", source=0, dest=2, size=1.0, start=2.0, end=4.0),
+            ]
+        )
+        structure = Scheduler(network, k_paths=2).build_structure(
+            jobs, TimeGrid.uniform(4)
+        )
+        shards = partition_structure(structure)
+        assert len(shards) == 2
+        # Same edges, but the windows never overlap.
+        assert shards[0].edge_ids == shards[1].edge_ids
+        assert shards[0].slice_window == (0, 2)
+        assert shards[1].slice_window == (2, 4)
+
+    def test_network_components_split(self):
+        network = _two_component_network()
+        jobs = JobSet(
+            [
+                Job(id="a", source="c0n0", dest="c0n2", size=1.0, start=0.0, end=3.0),
+                Job(id="b", source="c1n0", dest="c1n2", size=1.0, start=0.0, end=3.0),
+            ]
+        )
+        structure = Scheduler(network, k_paths=2).build_structure(jobs)
+        shards = partition_structure(structure)
+        assert len(shards) == 2
+        assert not (shards[0].edge_ids & shards[1].edge_ids)
+
+    def test_every_job_in_exactly_one_nonempty_shard(self):
+        scenario = make_scenario(11, allow_faults=False)
+        structure = Scheduler(scenario.network, k_paths=2).build_structure(
+            scenario.jobs, scenario.grid
+        )
+        shards = partition_structure(structure)
+        assert all(isinstance(s, Shard) for s in shards)
+        assert all(s.job_indices for s in shards)
+        covered = sorted(i for s in shards for i in s.job_indices)
+        assert covered == list(range(len(structure.jobs)))
+
+    def test_chained_overlaps_stay_together(self):
+        # a overlaps b, b overlaps c, a never overlaps c: one shard.
+        network = topologies.line(3, capacity=2)
+        jobs = JobSet(
+            [
+                Job(id="a", source=0, dest=2, size=1.0, start=0.0, end=2.0),
+                Job(id="b", source=0, dest=2, size=1.0, start=1.0, end=4.0),
+                Job(id="c", source=0, dest=2, size=1.0, start=3.0, end=5.0),
+            ]
+        )
+        structure = Scheduler(network, k_paths=2).build_structure(
+            jobs, TimeGrid.uniform(5)
+        )
+        assert len(partition_structure(structure)) == 1
+
+
+# ---------------------------------------------------------------------------
+# ShardedScheduler mechanics.
+# ---------------------------------------------------------------------------
+class TestShardedScheduler:
+    def test_single_shard_grant_identical(self):
+        network = topologies.line(4, capacity=2)
+        jobs = JobSet(
+            [
+                Job(id=i, source=0, dest=3, size=2.0, start=0.0, end=4.0)
+                for i in range(3)
+            ]
+        )
+        mono = Scheduler(network, k_paths=2).schedule(jobs)
+        sharded = ShardedScheduler(network, k_paths=2).schedule(jobs)
+        assert sharded.alpha == mono.alpha
+        assert np.array_equal(sharded.x, mono.x)
+        assert np.array_equal(sharded.stage1.x, mono.stage1.x)
+
+    def test_workers_do_not_change_grants(self):
+        network = _two_component_network()
+        jobs = JobSet(
+            [
+                Job(id="a", source="c0n0", dest="c0n2", size=3.0, start=0.0, end=3.0),
+                Job(id="b", source="c1n0", dest="c1n2", size=2.0, start=0.0, end=3.0),
+            ]
+        )
+        seq = ShardedScheduler(network, k_paths=2, workers=1).schedule(jobs)
+        par = ShardedScheduler(network, k_paths=2, workers=2).schedule(jobs)
+        assert par.alpha == seq.alpha
+        assert np.array_equal(par.x, seq.x)
+
+    def test_partition_method_matches_structure_partition(self):
+        network = _two_component_network()
+        jobs = JobSet(
+            [
+                Job(id="a", source="c0n0", dest="c0n2", size=1.0, start=0.0, end=3.0),
+                Job(id="b", source="c1n0", dest="c1n2", size=1.0, start=0.0, end=3.0),
+            ]
+        )
+        scheduler = ShardedScheduler(network, k_paths=2)
+        shards = scheduler.partition(jobs)
+        assert [s.job_indices for s in shards] == [(0,), (1,)]
+
+    def test_budget_delegates_to_monolithic(self):
+        network = topologies.line(3, capacity=2)
+        jobs = JobSet(
+            [Job(id="a", source=0, dest=2, size=1.0, start=0.0, end=3.0)]
+        )
+        scheduler = ShardedScheduler(network, k_paths=2)
+        result = scheduler.schedule(jobs, budget=SolveBudget(wall_time_s=60.0))
+        assert result.verify().ok
+        # The sharded span/counters never fire on the delegated path.
+        assert "sharded_solves" not in scheduler.telemetry.counters
+
+    def test_random_greedy_order_delegates(self):
+        network = topologies.line(3, capacity=2)
+        jobs = JobSet(
+            [Job(id="a", source=0, dest=2, size=1.0, start=0.0, end=3.0)]
+        )
+        scheduler = ShardedScheduler(
+            network,
+            k_paths=2,
+            greedy_order="random",
+            rng=np.random.default_rng(3),
+        )
+        assert scheduler.schedule(jobs).verify().ok
+        assert "sharded_solves" not in scheduler.telemetry.counters
+
+    def test_sharded_telemetry_counters(self):
+        network = _two_component_network()
+        jobs = JobSet(
+            [
+                Job(id="a", source="c0n0", dest="c0n2", size=1.0, start=0.0, end=3.0),
+                Job(id="b", source="c1n0", dest="c1n2", size=1.0, start=0.0, end=3.0),
+            ]
+        )
+        from repro import Telemetry
+
+        scheduler = ShardedScheduler(network, k_paths=2, telemetry=Telemetry())
+        scheduler.schedule(jobs)
+        assert scheduler.telemetry.counters["sharded_solves"] == 1
+        assert scheduler.telemetry.counters["shard_solves"] == 2
+
+    def test_weighted_jobs_match_monolithic(self):
+        network = topologies.line(4, capacity=2)
+        jobs = JobSet(
+            [
+                Job(
+                    id=i,
+                    source=0,
+                    dest=3,
+                    size=2.0,
+                    start=0.0,
+                    end=4.0,
+                    weight=float(i + 1),
+                )
+                for i in range(2)
+            ]
+        )
+        mono = Scheduler(network, k_paths=2).schedule(jobs)
+        sharded = ShardedScheduler(network, k_paths=2).schedule(jobs)
+        assert np.array_equal(sharded.x, mono.x)
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ValidationError, match="workers"):
+            ShardedScheduler(topologies.line(3), workers=0)
+
+    def test_merge_rejects_mismatched_shard_solution(self):
+        network = topologies.line(3, capacity=2)
+        jobs = JobSet(
+            [Job(id="a", source=0, dest=2, size=1.0, start=0.0, end=3.0)]
+        )
+        structure = Scheduler(network, k_paths=2).build_structure(jobs)
+        (shard,) = partition_structure(structure)
+        out = np.zeros(structure.num_cols)
+        from repro.errors import SolverError
+
+        with pytest.raises(SolverError, match="columns"):
+            ShardedScheduler._merge_into(
+                structure, shard, np.zeros(structure.num_cols + 1), out
+            )

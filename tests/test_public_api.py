@@ -18,7 +18,7 @@ class TestPublicSurface:
     def test_subpackages_importable(self):
         subs = (
             "core", "network", "workload", "lp", "sim",
-            "analysis", "faults", "verify", "recovery",
+            "analysis", "faults", "verify", "recovery", "parallel",
         )
         for sub in subs:
             mod = importlib.import_module(f"repro.{sub}")
@@ -69,6 +69,20 @@ class TestPublicSurface:
         ):
             assert name in repro.__all__, f"{name} missing from repro.__all__"
             assert getattr(repro, name) is getattr(repro.recovery, name)
+
+    def test_parallel_names_exported_at_top_level(self):
+        """Fleet mode and decomposed solves are part of the top-level API."""
+        for name in (
+            "TaskSpec",
+            "TaskResult",
+            "register_task",
+            "run_fleet",
+            "Shard",
+            "partition_structure",
+            "ShardedScheduler",
+        ):
+            assert name in repro.__all__, f"{name} missing from repro.__all__"
+            assert getattr(repro, name) is getattr(repro.parallel, name)
 
     def test_solve_budget_shared_with_lp_layer(self):
         """repro.recovery re-exports the lp layer's SolveBudget, not a copy."""
