@@ -28,9 +28,19 @@ The three top-level entry points are:
   controller loop.
 """
 
-from . import analysis, core, engine, experiments, faults, lp, network, obs, parallel, recovery, service, sim, verify, workload
+from . import analysis, chaos, core, engine, experiments, faults, lp, network, obs, parallel, recovery, service, sim, verify, workload
 from . import serialization
 from .analysis import ResilienceReport, resilience_report
+from .chaos import (
+    ChaosReport,
+    ChaosSchedule,
+    FaultyBackend,
+    JournalFaultInjector,
+    MonitorViolation,
+    generate_chaos,
+    parse_chaos_spec,
+    run_chaos,
+)
 from .engine import (
     HighsBackend,
     ModelEngine,
@@ -78,6 +88,7 @@ from .errors import (
     InfeasibleProblemError,
     JournalError,
     JournalLockedError,
+    JournalWriteError,
     ReproError,
     ScheduleError,
     SolverError,
@@ -171,6 +182,7 @@ __version__ = "1.0.0"
 __all__ = [
     # subpackages
     "analysis",
+    "chaos",
     "core",
     "engine",
     "experiments",
@@ -307,6 +319,15 @@ __all__ = [
     "parse_fault_spec",
     "ResilienceReport",
     "resilience_report",
+    # chaos engine
+    "ChaosSchedule",
+    "ChaosReport",
+    "FaultyBackend",
+    "JournalFaultInjector",
+    "MonitorViolation",
+    "generate_chaos",
+    "parse_chaos_spec",
+    "run_chaos",
     # errors
     "ReproError",
     "ValidationError",
@@ -317,5 +338,6 @@ __all__ = [
     "BudgetExceededError",
     "JournalError",
     "JournalLockedError",
+    "JournalWriteError",
     "__version__",
 ]

@@ -1,0 +1,81 @@
+"""Composed chaos engine: deterministic multi-fault injection.
+
+One seed produces one reproducible :class:`ChaosSchedule` — a composed
+timeline of link faults, process crashes, journal write faults, solver
+backend faults, and fleet worker kills/hangs — which
+:func:`run_chaos` drives against the simulator, the reservation
+service, and the process-pool fleet with every invariant monitor
+armed.  See ``docs/chaos.md`` for the spec grammar, the injector
+catalogue, and the monitored invariants.
+
+Layout
+------
+* :mod:`repro.chaos.schedule` — the :class:`ChaosSchedule` timeline,
+  its generator (:func:`generate_chaos`) and spec grammar
+  (:func:`parse_chaos_spec`).
+* :mod:`repro.chaos.inject` — the injectors: :class:`FaultyBackend`
+  (solver registry), :class:`JournalFaultInjector` (ENOSPC / EIO /
+  torn renames), :func:`chaos_fleet_probe` (worker kill / hang).
+* :mod:`repro.chaos.monitors` — always-on invariant monitors returning
+  :class:`MonitorViolation` records.
+* :mod:`repro.chaos.runner` — :func:`run_chaos` and the
+  :class:`ChaosReport` it returns (canonical, byte-stable JSON).
+"""
+
+from .inject import (
+    FaultyBackend,
+    JournalFaultInjector,
+    chaos_fleet_probe,
+    install_faulty_backend,
+)
+from .monitors import (
+    MonitorViolation,
+    monitor_fleet_results,
+    monitor_journal,
+    monitor_service_book,
+    monitor_service_resume_identity,
+    monitor_service_responses,
+    monitor_sim_result,
+    monitor_sim_resume_identity,
+)
+from .runner import CHAOS_TARGETS, ChaosReport, run_chaos
+from .schedule import (
+    BACKEND_MODES,
+    JOURNAL_MODES,
+    WORKER_MODES,
+    BackendFault,
+    ChaosSchedule,
+    CrashFault,
+    JournalFault,
+    WorkerFault,
+    generate_chaos,
+    parse_chaos_spec,
+)
+
+__all__ = [
+    "BACKEND_MODES",
+    "CHAOS_TARGETS",
+    "JOURNAL_MODES",
+    "WORKER_MODES",
+    "BackendFault",
+    "ChaosReport",
+    "ChaosSchedule",
+    "CrashFault",
+    "FaultyBackend",
+    "JournalFault",
+    "JournalFaultInjector",
+    "MonitorViolation",
+    "WorkerFault",
+    "chaos_fleet_probe",
+    "generate_chaos",
+    "install_faulty_backend",
+    "monitor_fleet_results",
+    "monitor_journal",
+    "monitor_service_book",
+    "monitor_service_resume_identity",
+    "monitor_service_responses",
+    "monitor_sim_result",
+    "monitor_sim_resume_identity",
+    "parse_chaos_spec",
+    "run_chaos",
+]

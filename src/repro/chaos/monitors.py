@@ -1,0 +1,314 @@
+"""Always-on invariant monitors for chaos runs.
+
+Each monitor inspects one system-under-chaos artifact (a finished
+simulation, a drained reservation service, a journal file, a fleet
+result set) and returns a list of :class:`MonitorViolation` records —
+empty means the invariant held.  The chaos runner keeps every monitor
+armed on every run: a chaos campaign that "passes" has zero violations
+across all of them, not merely "nothing crashed".
+
+Monitored invariants (see ``docs/chaos.md``):
+
+* **No lost reservation** — every accepted reservation reaches a
+  terminal or visible state (completed / expired / voided); nothing
+  accepted ever silently disappears from the commitment book.
+* **Exactly one response** — every submitted request resolves exactly
+  one decision, even across crash + resume + idempotent resubmission.
+* **Checker-clean schedules** — every committed epoch allocation passes
+  :func:`repro.verify.verify_assignment` (the simulator runs with
+  ``verify_epochs=True``; a violation raises *and* is recorded here).
+* **Resume identity** — replaying the journal reconstructs the same
+  state: byte-identical commitment-book digests for the service,
+  equal record outcomes for the simulator.
+* **Journal recoverable** — the journal is never unreadable; at worst
+  its torn tail is dropped.
+
+Monitor details never embed filesystem paths, so violation lists are
+byte-identical across runs of the same seed in different temp dirs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "MonitorViolation",
+    "monitor_journal",
+    "monitor_sim_result",
+    "monitor_sim_resume_identity",
+    "monitor_service_book",
+    "monitor_service_responses",
+    "monitor_service_resume_identity",
+    "monitor_fleet_results",
+]
+
+_TERMINAL_SIM = ("completed", "expired", "rejected")
+_KNOWN_RES = ("accepted", "completed", "expired", "voided")
+
+
+@dataclass(frozen=True)
+class MonitorViolation:
+    """One invariant breach observed by a chaos monitor."""
+
+    monitor: str
+    target: str
+    detail: str
+
+    def to_dict(self) -> dict:
+        return {
+            "monitor": self.monitor,
+            "target": self.target,
+            "detail": self.detail,
+        }
+
+
+def monitor_journal(path, target: str, entry_kind: str = "epoch") -> list:
+    """The journal must read back (possibly minus a dropped torn tail)."""
+    from ..recovery.journal import read_journal
+
+    try:
+        read_journal(path, entry_kind=entry_kind)
+    except Exception as exc:  # noqa: BLE001 - any failure is the finding
+        return [
+            MonitorViolation(
+                "journal-recoverable",
+                target,
+                f"journal unreadable after fault ({type(exc).__name__})",
+            )
+        ]
+    return []
+
+
+def monitor_sim_result(result, target: str = "sim") -> list:
+    """Every job terminal; every armed epoch verification clean."""
+    violations = []
+    for rec in result.records:
+        if rec.status not in _TERMINAL_SIM:
+            violations.append(
+                MonitorViolation(
+                    "no-lost-job",
+                    target,
+                    f"job {rec.job.id} ended in non-terminal state "
+                    f"{rec.status!r}",
+                )
+            )
+    for i, report in enumerate(result.verification):
+        if not report.ok:
+            violations.append(
+                MonitorViolation(
+                    "checker-clean",
+                    target,
+                    f"epoch verification report {i} failed",
+                )
+            )
+    return violations
+
+
+def monitor_sim_resume_identity(path, result, target: str = "sim") -> list:
+    """Resuming the finished journal must reproduce the same outcomes.
+
+    The resumed run replays committed state and re-executes any epochs
+    past the last commit; solves are deterministic, so statuses and
+    delivered volumes must match the original run exactly.
+    """
+    from ..sim.simulator import Simulation
+
+    try:
+        redone = Simulation.resume(path)
+    except Exception as exc:  # noqa: BLE001 - any failure is the finding
+        return [
+            MonitorViolation(
+                "resume-identity",
+                target,
+                f"resume of finished run failed ({type(exc).__name__})",
+            )
+        ]
+    violations = []
+    original = {r.job.id: r for r in result.records}
+    replayed = {r.job.id: r for r in redone.records}
+    if sorted(map(str, original)) != sorted(map(str, replayed)):
+        return [
+            MonitorViolation(
+                "resume-identity", target,
+                "resumed run tracks a different job set",
+            )
+        ]
+    for job_id, rec in original.items():
+        twin = replayed[job_id]
+        if rec.status != twin.status or abs(
+            rec.remaining - twin.remaining
+        ) > 1e-9 * max(1.0, rec.job.size):
+            violations.append(
+                MonitorViolation(
+                    "resume-identity",
+                    target,
+                    f"job {job_id}: run ended "
+                    f"{rec.status}/{rec.remaining:.9g}, resume replayed "
+                    f"{twin.status}/{twin.remaining:.9g}",
+                )
+            )
+    return violations
+
+
+def monitor_service_book(service, target: str = "serve") -> list:
+    """No accepted reservation may be lost or left dangling."""
+    violations = []
+    book = service.book
+    for key in sorted(book.reservations):
+        res = book.reservations[key]
+        if res.status not in _KNOWN_RES:
+            violations.append(
+                MonitorViolation(
+                    "no-lost-reservation",
+                    target,
+                    f"reservation {key} in unknown state {res.status!r}",
+                )
+            )
+        recorded = book.decided(key)
+        if recorded is None or recorded.get("kind") != "accept":
+            violations.append(
+                MonitorViolation(
+                    "no-lost-reservation",
+                    target,
+                    f"reservation {key} has no accept decision in the "
+                    "ledger",
+                )
+            )
+    if not service.idle:
+        violations.append(
+            MonitorViolation(
+                "no-lost-reservation",
+                target,
+                "service not idle after drain: queued or active work "
+                "was abandoned",
+            )
+        )
+    return violations
+
+
+def monitor_service_responses(
+    submitted_ids, handles, release_counts, target: str = "serve"
+) -> list:
+    """Every submission resolved exactly once, never twice.
+
+    ``handles`` maps request id to the last
+    :class:`~repro.service.requests.DecisionHandle` the requester
+    holds; ``release_counts`` counts how many times a *fresh* decision
+    for that id came back from :meth:`ReservationService.tick` across
+    the whole crash/resume chain.
+    """
+    violations = []
+    for rid in submitted_ids:
+        handle = handles.get(rid)
+        if handle is None or not handle.done:
+            violations.append(
+                MonitorViolation(
+                    "exactly-one-response",
+                    target,
+                    f"request {rid} never received a decision",
+                )
+            )
+        if release_counts.get(rid, 0) > 1:
+            violations.append(
+                MonitorViolation(
+                    "exactly-one-response",
+                    target,
+                    f"request {rid} was decided "
+                    f"{release_counts[rid]} times",
+                )
+            )
+    return violations
+
+
+def monitor_service_resume_identity(
+    path, live_digest: str, target: str = "serve"
+) -> list:
+    """Two replays of the journal agree with each other and the live book."""
+    from ..service import ReservationService
+
+    digests = []
+    for _ in range(2):
+        try:
+            svc = ReservationService.resume(path)
+        except Exception as exc:  # noqa: BLE001
+            return [
+                MonitorViolation(
+                    "resume-identity",
+                    target,
+                    f"service resume failed ({type(exc).__name__})",
+                )
+            ]
+        digests.append(svc.book.digest())
+        svc.close()
+    violations = []
+    if digests[0] != digests[1]:
+        violations.append(
+            MonitorViolation(
+                "resume-identity", target,
+                "two replays of the same journal produced different "
+                "commitment-book digests",
+            )
+        )
+    if digests[0] != live_digest:
+        violations.append(
+            MonitorViolation(
+                "resume-identity", target,
+                "replayed commitment-book digest differs from the live "
+                "service's",
+            )
+        )
+    return violations
+
+
+def monitor_fleet_results(
+    specs, results, expected_failures, target: str = "fleet"
+) -> list:
+    """One envelope per spec; faults fail loudly, innocents succeed.
+
+    ``expected_failures`` maps spec index to the expected
+    ``error_type`` (``WorkerCrashed`` / ``WorkerHung``); every other
+    spec must return ``ok`` with its deterministic payload.
+    """
+    violations = []
+    by_index = {r.index: r for r in results}
+    for i, spec in enumerate(specs):
+        res = by_index.get(i)
+        if res is None:
+            violations.append(
+                MonitorViolation(
+                    "exactly-one-result",
+                    target,
+                    f"spec {i} ({spec.label}) got no result envelope",
+                )
+            )
+            continue
+        expected = expected_failures.get(i)
+        if expected is None:
+            if not res.ok:
+                violations.append(
+                    MonitorViolation(
+                        "no-lost-task",
+                        target,
+                        f"healthy spec {i} ({spec.label}) failed as "
+                        f"{res.error_type}",
+                    )
+                )
+        elif res.ok or res.error_type != expected:
+            violations.append(
+                MonitorViolation(
+                    "fault-contained",
+                    target,
+                    f"faulted spec {i} ({spec.label}) expected "
+                    f"{expected}, got "
+                    f"{'ok' if res.ok else res.error_type}",
+                )
+            )
+    if len(results) != len(specs):
+        violations.append(
+            MonitorViolation(
+                "exactly-one-result",
+                target,
+                f"{len(specs)} specs produced {len(results)} envelopes",
+            )
+        )
+    return violations

@@ -1,0 +1,441 @@
+"""The chaos runner: drive composed fault timelines against real targets.
+
+:func:`run_chaos` takes one seed (and optionally a spec string),
+derives a deterministic workload from the fuzzer's scenario generator
+(:func:`repro.verify.fuzz.make_scenario`) and a composed
+:class:`~repro.chaos.schedule.ChaosSchedule`, then drives the timeline
+against up to three targets:
+
+* ``sim``   — the periodic controller with journal, crash injector,
+  journal write faults, link faults and a faulty solver backend, run
+  through the full crash → resume chain until it completes;
+* ``serve`` — the reservation service under the same layers, driven by
+  request submissions with idempotent resubmission after every crash;
+* ``fleet`` — the process-pool fleet with worker kills and hangs,
+  reclaimed by ``task_timeout``.
+
+Every monitor in :mod:`repro.chaos.monitors` stays armed on every run.
+The result is a :class:`ChaosReport` whose canonical JSON rendering is
+**byte-identical** for the same ``(seed, spec, targets)`` — reports are
+built exclusively from deterministic fields (virtual time, decision
+kinds, digests, fault counters), never from wall clocks, pids or
+filesystem paths.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import JournalWriteError, ScheduleError, ValidationError
+from ..lp.solver import SolveResilience
+from ..recovery.crash import (
+    CRASH_POINTS,
+    SERVICE_CRASH_POINTS,
+    CrashInjector,
+    SimulatedCrash,
+)
+from .inject import JournalFaultInjector, install_faulty_backend
+from .monitors import (
+    MonitorViolation,
+    monitor_fleet_results,
+    monitor_journal,
+    monitor_service_book,
+    monitor_service_resume_identity,
+    monitor_service_responses,
+    monitor_sim_result,
+    monitor_sim_resume_identity,
+)
+from .schedule import ChaosSchedule, generate_chaos, parse_chaos_spec
+
+__all__ = ["ChaosReport", "run_chaos", "CHAOS_TARGETS"]
+
+#: The targets a chaos campaign can drive.
+CHAOS_TARGETS = ("sim", "serve", "fleet")
+
+#: Chaos solves retry without perturbation: an injected backend fault
+#: must heal to the *identical* solution the unfaulted call would have
+#: produced, or resume identity could not be monitored exactly.
+_CHAOS_RESILIENCE = SolveResilience(perturbation=0.0)
+
+#: Probe tasks per fleet batch beyond the faulted ones.
+_FLEET_INNOCENTS = 2
+
+#: Hang-detection window for the fleet target's hang batch (seconds).
+_FLEET_TIMEOUT = 1.0
+
+
+@dataclass
+class ChaosReport:
+    """Everything one chaos campaign produced.
+
+    ``targets`` maps target name to its deterministic outcome record;
+    ``violations`` holds every monitor breach (empty = the campaign
+    passed).  :meth:`to_json` renders canonical JSON — ``sort_keys``
+    plus compact separators — which the determinism property tests
+    compare byte for byte.
+    """
+
+    seed: int
+    spec: str | None
+    chaos: dict
+    targets: dict = field(default_factory=dict)
+    violations: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "spec": self.spec,
+            "chaos": self.chaos,
+            "targets": self.targets,
+            "violations": [v.to_dict() for v in self.violations],
+            "ok": self.ok,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def render(self) -> str:
+        """Human summary: one line per target plus the verdict."""
+        lines = []
+        for name in sorted(self.targets):
+            summary = ", ".join(
+                f"{k}={v}" for k, v in sorted(self.targets[name].items())
+                if not isinstance(v, (list, dict))
+            )
+            lines.append(f"[{name}] {summary}")
+        for v in self.violations:
+            lines.append(f"VIOLATION [{v.target}] {v.monitor}: {v.detail}")
+        verdict = "ok" if self.ok else f"{len(self.violations)} violation(s)"
+        lines.append(
+            f"chaos seed={self.seed} "
+            f"faults={sum(1 for _ in self._fault_rows())} -> {verdict}"
+        )
+        return "\n".join(lines)
+
+    def _fault_rows(self):
+        for key in ("link_events", "crashes", "journal", "backend",
+                    "workers"):
+            yield from self.chaos.get(key, ())
+
+
+def _interception(exc: ScheduleError) -> bool:
+    """Was this the verify gate rejecting an untrusted solver solution?"""
+    return "rejected by verify_schedule" in str(exc)
+
+
+# ----------------------------------------------------------------------
+# Targets
+# ----------------------------------------------------------------------
+def _run_sim_target(
+    chaos: ChaosSchedule, scenario, horizon: float, workdir: Path,
+    violations: list,
+) -> dict:
+    from ..sim.simulator import Simulation
+
+    path = workdir / "chaos-sim.journal"
+    pending = chaos.crashes_for(CRASH_POINTS)
+    injector = JournalFaultInjector(chaos.journal_faults)
+    report = {
+        "crashes_fired": 0,
+        "journal_faults_fired": 0,
+        "resumes": 0,
+        "intercepted": False,
+    }
+    result = None
+    attempts = len(chaos.crashes) + len(chaos.journal_faults) + 3
+    with install_faulty_backend(chaos.backend_faults) as backend:
+        started = False
+        for _ in range(attempts):
+            ci = (
+                CrashInjector(pending[0].point, pending[0].epoch)
+                if pending else None
+            )
+            try:
+                if not started:
+                    started = True
+                    sim = Simulation(
+                        scenario.network,
+                        policy="reduce",
+                        fault_schedule=chaos.fault_schedule(scenario.network),
+                        resilience=_CHAOS_RESILIENCE,
+                        verify_epochs=True,
+                        verify_solutions=True,
+                        journal=path,
+                        crash_injector=ci,
+                        journal_fault_injector=injector,
+                    )
+                    result = sim.run(scenario.jobs, horizon=horizon)
+                else:
+                    result = Simulation.resume(
+                        path,
+                        crash_injector=ci,
+                        journal_fault_injector=injector,
+                    )
+            except SimulatedCrash:
+                report["crashes_fired"] += 1
+                report["resumes"] += 1
+                if pending:
+                    pending.pop(0)
+                continue
+            except JournalWriteError:
+                report["journal_faults_fired"] += 1
+                report["resumes"] += 1
+                # Fail-stop contract: the prior journal must be intact.
+                violations.extend(monitor_journal(path, "sim"))
+                continue
+            except ScheduleError as exc:
+                if _interception(exc):
+                    # A `wrong`-mode backend fault was caught by the
+                    # verify gate before commit — the intended outcome.
+                    report["intercepted"] = True
+                    break
+                raise
+            break
+        else:
+            violations.append(
+                MonitorViolation(
+                    "run-converges", "sim",
+                    "composed timeline did not complete within its "
+                    "restart budget",
+                )
+            )
+        report["backend_calls"] = backend.calls
+        report["backend_faults_fired"] = backend.injected
+    report["journal_writes"] = injector.writes
+    if result is not None and not report["intercepted"]:
+        report["statuses"] = sorted(
+            [str(r.job.id), r.status] for r in result.records
+        )
+        report["delivered_volume"] = round(result.delivered_volume, 9)
+        violations.extend(monitor_sim_result(result))
+        violations.extend(monitor_journal(path, "sim"))
+        violations.extend(monitor_sim_resume_identity(path, result))
+    return report
+
+
+def _run_serve_target(
+    chaos: ChaosSchedule, scenario, workdir: Path, violations: list
+) -> dict:
+    from ..service import ReservationService
+
+    path = workdir / "chaos-serve.journal"
+    pending = chaos.crashes_for(SERVICE_CRASH_POINTS)
+    injector = JournalFaultInjector(chaos.journal_faults)
+    requests = [
+        {
+            "id": f"r{job.id}",
+            "source": job.source,
+            "dest": job.dest,
+            "size": job.size,
+            "start": job.start,
+            "end": job.end,
+        }
+        for job in scenario.jobs
+    ]
+    submitted = [r["id"] for r in requests]
+    handles: dict = {}
+    release_counts: dict = {rid: 0 for rid in submitted}
+    report = {
+        "crashes_fired": 0,
+        "journal_faults_fired": 0,
+        "resumes": 0,
+        "intercepted": False,
+    }
+
+    def submit_all(svc) -> None:
+        # Idempotent resubmission: already-decided ids resolve from the
+        # ledger immediately and never touch the queue again.
+        for record in requests:
+            handles[record["id"]] = svc.submit(dict(record))
+
+    def fresh_injector():
+        return (
+            CrashInjector(pending[0].point, pending[0].epoch)
+            if pending else None
+        )
+
+    attempts = len(chaos.crashes) + len(chaos.journal_faults) + 3
+    with install_faulty_backend(chaos.backend_faults) as backend:
+        service = ReservationService(
+            scenario.network,
+            journal=path,
+            crash_injector=fresh_injector(),
+            fault_schedule=chaos.fault_schedule(scenario.network),
+            journal_fault_injector=injector,
+            resilience=_CHAOS_RESILIENCE,
+            verify_solutions=True,
+            renegotiate_limit=2,
+        )
+        submit_all(service)
+        drained = False
+        for _ in range(attempts):
+            try:
+                ticks = 0
+                while (
+                    not service.idle or service.queue_depth
+                ) and ticks < 200:
+                    for decision in asyncio.run(service.tick()):
+                        key = str(decision.request_id)
+                        if key in release_counts:
+                            release_counts[key] += 1
+                    ticks += 1
+                drained = True
+            except SimulatedCrash:
+                report["crashes_fired"] += 1
+                report["resumes"] += 1
+                if pending:
+                    pending.pop(0)
+            except JournalWriteError:
+                report["journal_faults_fired"] += 1
+                report["resumes"] += 1
+                violations.extend(monitor_journal(path, "serve", "batch"))
+            if drained:
+                break
+            service = ReservationService.resume(
+                path,
+                crash_injector=fresh_injector(),
+                journal_fault_injector=injector,
+            )
+            submit_all(service)
+        else:
+            violations.append(
+                MonitorViolation(
+                    "run-converges", "serve",
+                    "composed timeline did not drain within its restart "
+                    "budget",
+                )
+            )
+        report["backend_calls"] = backend.calls
+        report["backend_faults_fired"] = backend.injected
+    report["journal_writes"] = injector.writes
+    if drained:
+        digest = service.book.digest()
+        report["digest"] = digest
+        report["decisions"] = sorted(
+            [key, entry["kind"]]
+            for key, entry in service.book.ledger.items()
+        )
+        violations.extend(monitor_service_book(service))
+        violations.extend(
+            monitor_service_responses(submitted, handles, release_counts)
+        )
+        violations.extend(monitor_journal(path, "serve", "batch"))
+        service.close()
+        violations.extend(monitor_service_resume_identity(path, digest))
+    return report
+
+
+def _run_fleet_target(
+    chaos: ChaosSchedule, seed: int, violations: list
+) -> dict:
+    from ..parallel.fleet import TaskSpec, run_fleet
+
+    # Kill faults and hang faults run in separate batches so their
+    # failure attribution is deterministic: a kill breaks the pool in
+    # milliseconds, which would race the hang-detection window.
+    batches = {
+        "kill": [f.task for f in chaos.worker_faults if f.mode == "kill"],
+        "hang": [f.task for f in chaos.worker_faults if f.mode == "hang"],
+    }
+    report: dict = {"batches": {}}
+    for mode, tasks in batches.items():
+        size = _FLEET_INNOCENTS + max(len(tasks), 1)
+        faulted = sorted({task % size for task in tasks})
+        specs = [
+            TaskSpec(
+                "chaos_probe",
+                {
+                    "seed": int(seed) * 100 + i,
+                    "mode": mode if i in faulted else None,
+                    "hang_seconds": 60.0,
+                },
+                label=f"{mode}-probe[{i}]",
+            )
+            for i in range(size)
+        ]
+        results = run_fleet(
+            specs,
+            jobs=2,
+            retries=1,
+            task_timeout=_FLEET_TIMEOUT if mode == "hang" else None,
+        )
+        expected = {
+            i: ("WorkerHung" if mode == "hang" else "WorkerCrashed")
+            for i in faulted
+        }
+        violations.extend(monitor_fleet_results(specs, results, expected))
+        report["batches"][mode] = sorted(
+            [r.label, "ok" if r.ok else str(r.error_type)] for r in results
+        )
+        report[f"{mode}_faults"] = len(faulted)
+    return report
+
+
+# ----------------------------------------------------------------------
+def run_chaos(
+    seed: int = 0,
+    spec: str | None = None,
+    targets=CHAOS_TARGETS,
+    workdir: str | Path | None = None,
+) -> ChaosReport:
+    """Run one composed chaos campaign; returns its deterministic report.
+
+    ``seed`` picks both the workload (via
+    :func:`~repro.verify.fuzz.make_scenario`) and — when ``spec`` is
+    ``None`` — the generated fault timeline.  ``spec`` overrides the
+    timeline with :func:`~repro.chaos.schedule.parse_chaos_spec`.
+    ``workdir`` holds the journals (a temp dir by default, removed
+    afterwards; pass a path to keep them for inspection).
+    """
+    unknown = [t for t in targets if t not in CHAOS_TARGETS]
+    if unknown:
+        raise ValidationError(
+            f"unknown chaos target(s) {unknown}; "
+            f"known targets: {', '.join(CHAOS_TARGETS)}"
+        )
+    from ..verify.fuzz import make_scenario
+
+    # Link faults ride the scenario's own network; the workload itself
+    # stays fault-free so every fault in play comes from the chaos
+    # schedule and is accounted for in the report.
+    scenario = make_scenario(int(seed), allow_faults=False)
+    horizon = scenario.grid.end * 3.0
+    chaos = (
+        parse_chaos_spec(spec, scenario.network, seed=int(seed),
+                         horizon=horizon)
+        if spec
+        else generate_chaos(int(seed), scenario.network, horizon)
+    )
+    report = ChaosReport(seed=int(seed), spec=spec, chaos=chaos.to_dict())
+
+    def drive(directory: Path) -> None:
+        for target in targets:
+            if target == "sim":
+                report.targets["sim"] = _run_sim_target(
+                    chaos, scenario, horizon, directory, report.violations
+                )
+            elif target == "serve":
+                report.targets["serve"] = _run_serve_target(
+                    chaos, scenario, directory, report.violations
+                )
+            else:
+                report.targets["fleet"] = _run_fleet_target(
+                    chaos, int(seed), report.violations
+                )
+
+    if workdir is not None:
+        Path(workdir).mkdir(parents=True, exist_ok=True)
+        drive(Path(workdir))
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+            drive(Path(tmp))
+    return report

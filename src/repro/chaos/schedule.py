@@ -1,0 +1,493 @@
+"""Chaos schedules: one seed, one reproducible multi-fault timeline.
+
+A :class:`ChaosSchedule` composes every failure mode the repository can
+inject into a single deterministic timeline:
+
+* **link events** — the :mod:`repro.faults` timeline (``LinkDown`` /
+  ``LinkUp`` / ``WavelengthDegrade``);
+* **crashes** — one-shot process deaths at the simulator's
+  (:data:`~repro.recovery.crash.CRASH_POINTS`) and service's
+  (:data:`~repro.recovery.crash.SERVICE_CRASH_POINTS`) crash points;
+* **journal faults** — write failures (ENOSPC, EIO, torn write)
+  injected into :class:`~repro.recovery.journal.EpochJournal` appends;
+* **backend faults** — solver-backend misbehaviour (raise, time-out,
+  or a subtly *wrong* solution) at given solve-call indices;
+* **worker faults** — fleet worker kills and hangs at given task
+  indices.
+
+:func:`generate_chaos` derives a full timeline from one integer seed
+via :class:`random.Random` — same seed, same timeline, byte for byte.
+:func:`parse_chaos_spec` accepts the same three spec shapes as
+:func:`repro.faults.parse_fault_spec` (``random:``, inline entries,
+``.json`` file); the inline grammar extends the fault grammar with
+``crash:POINT@EPOCH``, ``journal:MODE@WRITE``, ``backend:MODE@CALL``
+and ``worker:MODE@TASK`` entries (see ``docs/chaos.md``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..errors import ValidationError
+from ..faults.events import FaultEvent
+from ..faults.schedule import FaultSchedule
+from ..faults.spec import _parse_inline_event, _parse_number
+from ..network.graph import Network
+from ..recovery.crash import CRASH_POINTS, SERVICE_CRASH_POINTS
+
+__all__ = [
+    "JOURNAL_MODES",
+    "BACKEND_MODES",
+    "WORKER_MODES",
+    "CrashFault",
+    "JournalFault",
+    "BackendFault",
+    "WorkerFault",
+    "ChaosSchedule",
+    "generate_chaos",
+    "parse_chaos_spec",
+]
+
+#: Journal write-fault modes: fail before writing (``enospc``, ``eio``)
+#: or land partial bytes without an acknowledgement (``torn``).
+JOURNAL_MODES = ("enospc", "eio", "torn")
+
+#: Solver-backend fault modes.  ``raise`` and ``timeout`` are absorbed
+#: by the resilient solve chain; ``wrong`` returns a corrupted solution
+#: that must be caught by the verify layer before commit.
+BACKEND_MODES = ("raise", "timeout", "wrong")
+
+#: Fleet worker fault modes: die mid-task or hang forever.
+WORKER_MODES = ("kill", "hang")
+
+_ALL_CRASH_POINTS = tuple(CRASH_POINTS) + tuple(
+    p for p in SERVICE_CRASH_POINTS if p not in CRASH_POINTS
+)
+
+
+@dataclass(frozen=True)
+class CrashFault:
+    """One simulated process death: fire ``point`` at epoch ``epoch``."""
+
+    point: str
+    epoch: int
+
+    def __post_init__(self) -> None:
+        if self.point not in _ALL_CRASH_POINTS:
+            raise ValidationError(
+                f"unknown crash point {self.point!r}; "
+                f"known points: {', '.join(_ALL_CRASH_POINTS)}"
+            )
+        if self.epoch < 0:
+            raise ValidationError(
+                f"crash epoch must be >= 0, got {self.epoch}"
+            )
+
+
+@dataclass(frozen=True)
+class JournalFault:
+    """Fail the ``index``-th journal write attempt with ``mode``."""
+
+    mode: str
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.mode not in JOURNAL_MODES:
+            raise ValidationError(
+                f"unknown journal fault mode {self.mode!r}; "
+                f"known modes: {', '.join(JOURNAL_MODES)}"
+            )
+        if self.index < 0:
+            raise ValidationError(
+                f"journal write index must be >= 0, got {self.index}"
+            )
+
+
+@dataclass(frozen=True)
+class BackendFault:
+    """Misbehave on the ``call``-th solver-backend solve with ``mode``."""
+
+    mode: str
+    call: int
+
+    def __post_init__(self) -> None:
+        if self.mode not in BACKEND_MODES:
+            raise ValidationError(
+                f"unknown backend fault mode {self.mode!r}; "
+                f"known modes: {', '.join(BACKEND_MODES)}"
+            )
+        if self.call < 0:
+            raise ValidationError(
+                f"backend call index must be >= 0, got {self.call}"
+            )
+
+
+@dataclass(frozen=True)
+class WorkerFault:
+    """Kill or hang the fleet worker running task index ``task``."""
+
+    mode: str
+    task: int
+
+    def __post_init__(self) -> None:
+        if self.mode not in WORKER_MODES:
+            raise ValidationError(
+                f"unknown worker fault mode {self.mode!r}; "
+                f"known modes: {', '.join(WORKER_MODES)}"
+            )
+        if self.task < 0:
+            raise ValidationError(
+                f"worker task index must be >= 0, got {self.task}"
+            )
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """One composed, deterministic multi-fault timeline.
+
+    Attributes
+    ----------
+    link_events:
+        Time-ordered :mod:`repro.faults` events; turned into a
+        :class:`~repro.faults.FaultSchedule` per target network via
+        :meth:`fault_schedule`.
+    crashes:
+        Crash-point firings, consumed in ``(epoch, point)`` order by the
+        runner's run → crash → resume chain.  Simulator targets use the
+        :data:`~repro.recovery.crash.CRASH_POINTS` subset, service
+        targets the :data:`~repro.recovery.crash.SERVICE_CRASH_POINTS`
+        subset.
+    journal_faults:
+        Write-attempt faults for the target's epoch journal.
+    backend_faults:
+        Solver-backend faults by solve-call index.
+    worker_faults:
+        Fleet worker kills/hangs by task index.
+    seed, spec:
+        Provenance: the generating seed and/or the spec string the
+        schedule was parsed from (``None`` when not applicable).
+    """
+
+    link_events: tuple[FaultEvent, ...] = ()
+    crashes: tuple[CrashFault, ...] = ()
+    journal_faults: tuple[JournalFault, ...] = ()
+    backend_faults: tuple[BackendFault, ...] = ()
+    worker_faults: tuple[WorkerFault, ...] = ()
+    seed: int | None = None
+    spec: str | None = None
+
+    @property
+    def num_faults(self) -> int:
+        """Total injected faults across every layer."""
+        return (
+            len(self.link_events)
+            + len(self.crashes)
+            + len(self.journal_faults)
+            + len(self.backend_faults)
+            + len(self.worker_faults)
+        )
+
+    def fault_schedule(self, network: Network) -> FaultSchedule | None:
+        """The link-event half as a :class:`FaultSchedule` (or ``None``)."""
+        if not self.link_events:
+            return None
+        return FaultSchedule(network, list(self.link_events))
+
+    def crashes_for(self, points: tuple[str, ...]) -> list[CrashFault]:
+        """The crash subset a target understands, in firing order."""
+        rank = {p: i for i, p in enumerate(points)}
+        return sorted(
+            (c for c in self.crashes if c.point in rank),
+            key=lambda c: (c.epoch, rank[c.point]),
+        )
+
+    def to_dict(self) -> dict:
+        """Canonical JSON form (deterministic field order and values)."""
+        from ..serialization import fault_events_to_list
+
+        return {
+            "seed": self.seed,
+            "spec": self.spec,
+            "link_events": fault_events_to_list(list(self.link_events)),
+            "crashes": [
+                {"point": c.point, "epoch": c.epoch} for c in self.crashes
+            ],
+            "journal": [
+                {"mode": f.mode, "index": f.index}
+                for f in self.journal_faults
+            ],
+            "backend": [
+                {"mode": f.mode, "call": f.call} for f in self.backend_faults
+            ],
+            "workers": [
+                {"mode": f.mode, "task": f.task} for f in self.worker_faults
+            ],
+        }
+
+
+# ----------------------------------------------------------------------
+# Seeded generation
+# ----------------------------------------------------------------------
+def generate_chaos(
+    seed: int,
+    network: Network,
+    horizon: float,
+    *,
+    mtbf: float | None = None,
+    mttr: float | None = None,
+    degrade_prob: float | None = None,
+) -> ChaosSchedule:
+    """Derive a full composed timeline from one integer seed.
+
+    Every layer draws from a single :class:`random.Random` stream, so
+    the same ``(seed, network, horizon)`` triple reproduces the same
+    timeline on every machine.  Generated backend faults use only the
+    ``raise`` and ``timeout`` modes — both absorbed by the resilient
+    solve chain — so a generated timeline always runs to completion;
+    the ``wrong`` mode (which fail-stops at the verify gate) is
+    opt-in via :func:`parse_chaos_spec`.
+    """
+    if horizon is None or horizon <= 0:
+        raise ValidationError(
+            f"generate_chaos needs a positive horizon, got {horizon!r}"
+        )
+    rng = random.Random(int(seed))
+    link_events = tuple(
+        FaultSchedule.random(
+            network,
+            horizon=float(horizon),
+            mtbf=float(mtbf) if mtbf is not None
+            else rng.uniform(horizon, 3.0 * horizon),
+            mttr=float(mttr) if mttr is not None else rng.uniform(0.5, 2.0),
+            seed=rng.randrange(2**31 - 1),
+            degrade_prob=float(degrade_prob) if degrade_prob is not None
+            else rng.choice([0.0, 0.5]),
+        ).events
+    )
+    # Scenario runs settle within a handful of epochs regardless of the
+    # nominal horizon; keep crash epochs and journal write indices low
+    # so generated faults land inside the run instead of past its end.
+    max_epoch = min(4, max(2, int(horizon)))
+    crashes = []
+    for point in rng.sample(CRASH_POINTS, k=rng.randint(1, 2)):
+        crashes.append(CrashFault(point, rng.randrange(max_epoch)))
+    crashes.append(
+        CrashFault(rng.choice(SERVICE_CRASH_POINTS), rng.randrange(max_epoch))
+    )
+    journal_faults = tuple(
+        JournalFault(rng.choice(JOURNAL_MODES), index)
+        for index in sorted(rng.sample(range(3), k=rng.randint(1, 2)))
+    )
+    # Even call indices only: consecutive faulted calls would exhaust
+    # the resilient chain's retries into the fallback backend, whose
+    # optimal vertex may legitimately differ — breaking resume identity.
+    backend_faults = tuple(
+        BackendFault(rng.choice(("raise", "timeout")), call)
+        for call in sorted(rng.sample((0, 2, 4, 6), k=rng.randint(1, 3)))
+    )
+    kill_task, hang_task = rng.sample(range(4), k=2)
+    worker_faults = (
+        WorkerFault("kill", kill_task),
+        WorkerFault("hang", hang_task),
+    )
+    return ChaosSchedule(
+        link_events=link_events,
+        crashes=tuple(crashes),
+        journal_faults=journal_faults,
+        backend_faults=backend_faults,
+        worker_faults=worker_faults,
+        seed=int(seed),
+    )
+
+
+# ----------------------------------------------------------------------
+# Spec grammar (mirrors repro.faults.parse_fault_spec)
+# ----------------------------------------------------------------------
+def _parse_index(token: str, what: str) -> int:
+    value = _parse_number(token, what)
+    if value != int(value):
+        raise ValidationError(
+            f"{what} must be an integer, got {token!r} in chaos spec"
+        )
+    return int(value)
+
+
+def _parse_mode_at(entry: str, rest: str, what: str) -> tuple[str, int]:
+    mode, sep, index = rest.partition("@")
+    if not sep:
+        raise ValidationError(
+            f"chaos entry {entry!r} is missing an @{what} index"
+        )
+    return mode.strip().lower(), _parse_index(index, what)
+
+
+def _parse_chaos_entry(entry: str, out: dict) -> None:
+    kind = entry.partition(":")[0].strip().lower()
+    if kind in ("down", "up", "degrade"):
+        out["link_events"].append(_parse_inline_event(entry))
+        return
+    rest = entry.partition(":")[2]
+    if kind == "crash":
+        point, epoch = _parse_mode_at(entry, rest, "epoch")
+        out["crashes"].append(CrashFault(point, epoch))
+    elif kind == "journal":
+        mode, index = _parse_mode_at(entry, rest, "write")
+        out["journal_faults"].append(JournalFault(mode, index))
+    elif kind == "backend":
+        mode, call = _parse_mode_at(entry, rest, "call")
+        out["backend_faults"].append(BackendFault(mode, call))
+    elif kind == "worker":
+        mode, task = _parse_mode_at(entry, rest, "task")
+        out["worker_faults"].append(WorkerFault(mode, task))
+    else:
+        raise ValidationError(
+            f"unknown chaos entry kind {kind!r}; expected down, up, "
+            "degrade, crash, journal, backend or worker"
+        )
+
+
+def _parse_chaos_json(path: str, network: Network) -> dict:
+    from ..serialization import fault_events_from_list, load_json
+
+    payload = load_json(path)
+    if not isinstance(payload, dict):
+        raise ValidationError(
+            f"chaos file {path!r} must be a JSON object, not a bare "
+            f"{type(payload).__name__}"
+        )
+    unknown = set(payload) - {
+        "link_events", "crashes", "journal", "backend", "workers",
+    }
+    if unknown:
+        raise ValidationError(
+            f"chaos file {path!r} has unknown key(s): {sorted(unknown)}"
+        )
+
+    def rows(key: str) -> list:
+        raw = payload.get(key, [])
+        if not isinstance(raw, list):
+            raise ValidationError(
+                f"chaos file {path!r}: {key!r} must be a list"
+            )
+        return raw
+
+    def fault_rows(key: str, cls, fields: tuple[str, str]) -> list:
+        parsed = []
+        for i, item in enumerate(rows(key)):
+            if not isinstance(item, dict):
+                raise ValidationError(
+                    f"chaos file {key} entry #{i} is not an object"
+                )
+            try:
+                parsed.append(
+                    cls(str(item[fields[0]]), int(item[fields[1]]))
+                )
+            except KeyError as missing:
+                raise ValidationError(
+                    f"chaos file {key} entry #{i} is missing "
+                    f"{missing.args[0]!r}"
+                ) from None
+            except (TypeError, ValueError):
+                raise ValidationError(
+                    f"chaos file {key} entry #{i} has a non-integer "
+                    f"{fields[1]!r}"
+                ) from None
+        return parsed
+
+    return {
+        "link_events": fault_events_from_list(rows("link_events")),
+        "crashes": fault_rows("crashes", CrashFault, ("point", "epoch")),
+        "journal_faults": fault_rows("journal", JournalFault,
+                                     ("mode", "index")),
+        "backend_faults": fault_rows("backend", BackendFault,
+                                     ("mode", "call")),
+        "worker_faults": fault_rows("workers", WorkerFault,
+                                    ("mode", "task")),
+    }
+
+
+def parse_chaos_spec(
+    spec: str,
+    network: Network,
+    seed: int = 0,
+    horizon: float | None = None,
+) -> ChaosSchedule:
+    """Turn a ``--spec`` string into a :class:`ChaosSchedule`.
+
+    Mirrors :func:`repro.faults.parse_fault_spec`'s three shapes:
+
+    * ``random:`` — a fully generated timeline (requires ``horizon``);
+      optional ``mtbf=``, ``mttr=``, ``degrade_prob=`` override the
+      link-event half, e.g. ``random:mtbf=20,mttr=2``.
+    * inline entries split on ``;`` — the fault grammar's ``down`` /
+      ``up`` / ``degrade`` entries plus ``crash:pre-commit@2``,
+      ``journal:enospc@1``, ``backend:wrong@0``, ``worker:hang@3``.
+    * a path to a ``.json`` chaos file (``docs/chaos.md``).
+    """
+    spec = spec.strip()
+    if not spec:
+        raise ValidationError("empty chaos spec")
+    if spec.startswith("random:"):
+        params: dict[str, float] = {}
+        for item in spec[len("random:"):].split(","):
+            item = item.strip()
+            if not item:
+                continue
+            key, sep, value = item.partition("=")
+            if not sep:
+                raise ValidationError(
+                    "random chaos spec entries look like key=value, "
+                    f"got {item!r}"
+                )
+            params[key.strip()] = _parse_number(value, key.strip())
+        unknown = set(params) - {"mtbf", "mttr", "degrade_prob"}
+        if unknown:
+            raise ValidationError(
+                f"unknown random chaos parameters: {sorted(unknown)}"
+            )
+        if horizon is None:
+            raise ValidationError("random chaos specs need a horizon")
+        generated = generate_chaos(
+            seed,
+            network,
+            horizon,
+            mtbf=params.get("mtbf"),
+            mttr=params.get("mttr"),
+            degrade_prob=params.get("degrade_prob"),
+        )
+        return ChaosSchedule(
+            link_events=generated.link_events,
+            crashes=generated.crashes,
+            journal_faults=generated.journal_faults,
+            backend_faults=generated.backend_faults,
+            worker_faults=generated.worker_faults,
+            seed=int(seed),
+            spec=spec,
+        )
+    if spec.endswith(".json"):
+        parts = _parse_chaos_json(spec, network)
+    else:
+        parts = {
+            "link_events": [], "crashes": [], "journal_faults": [],
+            "backend_faults": [], "worker_faults": [],
+        }
+        for entry in spec.split(";"):
+            if entry.strip():
+                _parse_chaos_entry(entry.strip(), parts)
+        if not any(parts.values()):
+            raise ValidationError(
+                f"chaos spec {spec!r} contains no entries"
+            )
+    if parts["link_events"]:
+        # Validate endpoints/ordering once, like parse_fault_spec does.
+        FaultSchedule(network, list(parts["link_events"]))
+    return ChaosSchedule(
+        link_events=tuple(parts["link_events"]),
+        crashes=tuple(parts["crashes"]),
+        journal_faults=tuple(parts["journal_faults"]),
+        backend_faults=tuple(parts["backend_faults"]),
+        worker_faults=tuple(parts["worker_faults"]),
+        seed=int(seed),
+        spec=spec,
+    )

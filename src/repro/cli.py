@@ -20,7 +20,10 @@ JSON formats of :mod:`repro.serialization`:
   invariants, or run the seeded scenario fuzzer / benchmark micro-suite
   (see docs/verify.md);
 * ``fleet``     — fan fuzz scenarios or experiment cells out to a pool
-  of worker processes (see docs/parallel.md).
+  of worker processes (see docs/parallel.md);
+* ``chaos``     — run a seeded composed fault timeline against the
+  simulator, the service and the fleet with invariant monitors armed
+  (see docs/chaos.md).
 """
 
 from __future__ import annotations
@@ -311,8 +314,36 @@ def _build_parser() -> argparse.ArgumentParser:
                        "(experiments mode)")
     fleet.add_argument("--quick", action="store_true",
                        help="scaled-down experiment cells (experiments mode)")
+    fleet.add_argument("--task-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="hang detection: kill and rebuild the worker "
+                       "pool when no task completes for this long, "
+                       "charging the retry budget")
     fleet.add_argument("-o", "--output", default=None,
                        help="write the fleet summary as JSON")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a seeded composed fault timeline (crashes, journal "
+        "faults, faulty solver backends, worker kills/hangs) against "
+        "the simulator, the reservation service and the fleet, with "
+        "every invariant monitor armed (see docs/chaos.md)",
+    )
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="seed for both the workload and the "
+                       "generated fault timeline (deterministic)")
+    chaos.add_argument("--spec", default=None,
+                       help="explicit chaos spec (inline entries, "
+                       "'random:...', or a .json file) overriding the "
+                       "generated timeline; see docs/chaos.md")
+    chaos.add_argument("--target", choices=["sim", "serve", "fleet", "all"],
+                       default="all",
+                       help="which system to drive (default: all three)")
+    chaos.add_argument("--workdir", default=None, metavar="DIR",
+                       help="keep journals under DIR instead of a "
+                       "removed temp dir (for post-mortems)")
+    chaos.add_argument("-o", "--output", default=None,
+                       help="write the full chaos report as JSON")
 
     exp = sub.add_parser(
         "experiment", help="regenerate one of the paper's figures"
@@ -869,6 +900,7 @@ def _cmd_fleet(args) -> int:
             gap_bound=bound,
             oracle=not args.no_oracle,
             jobs=jobs,
+            task_timeout=args.task_timeout,
         )
         print(summary.render())
         print(f"({jobs} worker{'s' if jobs != 1 else ''})")
@@ -906,7 +938,7 @@ def _cmd_fleet(args) -> int:
         TaskSpec("experiment", {"name": name, "quick": args.quick}, label=name)
         for name in names
     ]
-    results = run_fleet(specs, jobs=jobs)
+    results = run_fleet(specs, jobs=jobs, task_timeout=args.task_timeout)
     failed = []
     rows = []
     for res in results:
@@ -933,6 +965,28 @@ def _cmd_fleet(args) -> int:
         save_json({"jobs": jobs, "cells": rows}, args.output)
         print(f"wrote fleet experiment summary to {args.output}")
     return 0 if not failed else 1
+
+
+def _cmd_chaos(args) -> int:
+    from .chaos import run_chaos
+
+    targets = (
+        ("sim", "serve", "fleet") if args.target == "all"
+        else (args.target,)
+    )
+    report = run_chaos(
+        seed=args.seed,
+        spec=args.spec,
+        targets=targets,
+        workdir=args.workdir,
+    )
+    print(report.render())
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(report.to_json() + "\n")
+        print(f"wrote chaos report to {args.output}")
+    return 0 if report.ok else 1
 
 
 def _cmd_experiment(args) -> int:
@@ -966,6 +1020,7 @@ _COMMANDS = {
     "experiment": _cmd_experiment,
     "verify": _cmd_verify,
     "fleet": _cmd_fleet,
+    "chaos": _cmd_chaos,
 }
 
 

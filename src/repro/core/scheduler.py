@@ -17,7 +17,7 @@ from collections.abc import Hashable, Iterator, Mapping, Sequence
 import numpy as np
 
 from ..engine.engine import ModelEngine
-from ..errors import BudgetExceededError, ValidationError
+from ..errors import BudgetExceededError, ScheduleError, ValidationError
 from ..lp.model import ProblemStructure
 from ..lp.solver import LPSolution, SolveBudget, SolveResilience
 from ..network.graph import Network
@@ -251,6 +251,16 @@ class Scheduler:
         so path resolution, structure layouts and per-job fragments
         carry over between calls; by default the scheduler builds its
         own.
+    verify_solutions:
+        Treat solver backends as untrusted: every stage-1/stage-2
+        solution is checked by :func:`repro.verify.verify_schedule`
+        (non-negativity and capacity of the LP point) *before* rounding,
+        so a backend returning a subtly wrong solution — e.g. one
+        wrapped by :class:`repro.chaos.FaultyBackend` — raises
+        :class:`~repro.errors.ScheduleError` instead of flowing into a
+        committed schedule.  Off by default: the bundled backends clamp
+        their output into bounds, and the check costs two sparse
+        mat-vecs per solve.
     """
 
     def __init__(
@@ -268,6 +278,7 @@ class Scheduler:
         resilience: SolveResilience | None = None,
         budget: SolveBudget | None = None,
         engine: "ModelEngine | None" = None,
+        verify_solutions: bool = False,
     ) -> None:
         if not 0.0 <= alpha <= 1.0:
             raise ValidationError(f"alpha must be in [0, 1], got {alpha}")
@@ -290,6 +301,7 @@ class Scheduler:
         self.telemetry = telemetry or NULL_TELEMETRY
         self.resilience = resilience
         self.budget = budget
+        self.verify_solutions = verify_solutions
         if engine is None:
             engine = ModelEngine(network, k_paths, telemetry=self.telemetry)
         else:
@@ -404,6 +416,8 @@ class Scheduler:
                 return self._degraded(
                     structure, None, "greedy_baseline", str(exc), self.alpha, 0
                 )
+            if self.verify_solutions:
+                self._verify_solution(structure, stage1.x, "stage1")
 
             alpha = self.alpha
             escalations = 0
@@ -431,6 +445,8 @@ class Scheduler:
                     return self._degraded(
                         structure, stage1, "lpd_greedy", str(exc), alpha, escalations
                     )
+                if self.verify_solutions:
+                    self._verify_solution(structure, stage2.x, "stage2")
                 rounded = lpdar(
                     structure,
                     stage2.x,
@@ -460,6 +476,29 @@ class Scheduler:
                     return result
                 alpha = min(alpha + self.alpha_step, self.alpha_max)
                 escalations += 1
+
+    def _verify_solution(
+        self, structure: ProblemStructure, x: np.ndarray, stage: str
+    ) -> None:
+        """Reject an untrusted solver solution before it is rounded.
+
+        Runs the shared checker on the fractional LP point (``which="lp"``
+        semantics: non-negativity and capacity).  Raising here happens
+        *before* any :class:`ScheduleResult` exists, so nothing downstream
+        — the simulator's journal commit, the service's batch responses —
+        can ever act on the corrupt solution.
+        """
+        from ..verify.checker import verify_schedule
+
+        report = verify_schedule(
+            structure, np.asarray(x, dtype=float), which="lp"
+        )
+        if not report.ok:
+            self.telemetry.count("solver_solutions_rejected")
+            raise ScheduleError(
+                f"{stage} solver returned an invalid solution, rejected by "
+                f"verify_schedule before commit:\n{report.explain()}"
+            )
 
     def _degraded(
         self,

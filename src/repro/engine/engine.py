@@ -90,6 +90,11 @@ class ModelEngine:
         :class:`~repro.engine.layout.LayoutLayer`).
     max_cached_solutions:
         LRU bound on memoized solutions.
+    resilience:
+        Default retry policy for :meth:`cached_solve` when the call
+        itself passes none — lets a front-end (e.g. the reservation
+        service) make *every* solve routed through its engine
+        resilient, admission probes included.
     """
 
     def __init__(
@@ -105,10 +110,12 @@ class ModelEngine:
         max_cached_structures: int = 64,
         max_cached_fragments: int = 512,
         max_cached_solutions: int = 256,
+        resilience: SolveResilience | None = None,
     ) -> None:
         self._backend_obj = get_backend(backend)  # fail fast on unknown names
         self.backend = backend
         self.warm_start = bool(warm_start)
+        self.resilience = resilience
         self.telemetry = telemetry or NULL_TELEMETRY
         self.topology = TopologyLayer(network, k_paths, telemetry=self.telemetry)
         self.layout = LayoutLayer(
@@ -375,6 +382,8 @@ class ModelEngine:
                 # structure caching off) silently falls through to a
                 # cold solve; make the bypass visible in telemetry.
                 telemetry.count("engine_memo_bypass")
+        if resilience is None:
+            resilience = self.resilience
         hint = self._last_hint.get(kind) if self.warm_start else None
         if hint is not None and self._backend_obj.supports_warm_start:
             # Re-index the hint onto this structure's column/row spaces

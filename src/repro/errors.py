@@ -17,6 +17,7 @@ __all__ = [
     "BudgetExceededError",
     "JournalError",
     "JournalLockedError",
+    "JournalWriteError",
 ]
 
 
@@ -134,3 +135,26 @@ class JournalLockedError(JournalError):
     def __init__(self, message: str, owner_pid: int | None = None) -> None:
         super().__init__(message)
         self.owner_pid = owner_pid
+
+
+class JournalWriteError(JournalError):
+    """An append could not be made durable; the prior journal is intact.
+
+    Raised when the atomic whole-file replace fails mid-write — disk
+    full (``ENOSPC``), an I/O error (``EIO``), or a torn write injected
+    by the chaos engine.  Unlike its parent this is *not* a verdict on
+    the journal itself: the last durable commit is still on disk (the
+    replace either happened completely or not at all), so the correct
+    reaction is fail-stop — treat the entry as never committed, do not
+    act on it (the reservation service withholds the batch's responses),
+    and resume from the journal once the fault clears.
+
+    Attributes
+    ----------
+    path:
+        Path of the journal whose append failed, when known.
+    """
+
+    def __init__(self, message: str, path: str | None = None) -> None:
+        super().__init__(message)
+        self.path = path

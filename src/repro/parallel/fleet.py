@@ -29,6 +29,14 @@ Design rules, all in service of determinism and crash containment:
   standard-library pool cannot attribute a crash to one spec, so a
   crash charges a retry to every spec that was in flight — with the
   default single retry, innocents complete on the rebuilt pool.
+* A task that *hangs its worker* (deadlock, unbounded loop, stuck I/O)
+  is caught by ``task_timeout=``: when a full timeout window passes
+  without any spec completing, the runner declares the in-flight specs
+  hung, kills the pool outright and rebuilds it, charging the same
+  retry budget.  Specs whose budget is exhausted while hung are
+  reported as ``error_type="WorkerHung"`` envelopes.  Without a
+  timeout (the default) a hung worker blocks the run forever — the
+  pre-chaos behaviour.
 * ``jobs=1`` runs every spec inline in the calling process — no pool,
   no pickling — which is both the fast path for small runs and the
   reference behaviour the determinism tests compare multi-worker runs
@@ -41,7 +49,7 @@ import importlib
 import os
 import traceback
 from collections.abc import Callable, Iterable, Sequence
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
 
@@ -69,6 +77,7 @@ _BUILTIN_TASKS: dict[str, str] = {
     "fuzz_scenario": "repro.verify.fuzz:fleet_fuzz_scenario",
     "experiment": "repro.experiments.figures:fleet_experiment",
     "shard_solve": "repro.parallel.sharded:fleet_shard_solve",
+    "chaos_probe": "repro.chaos.inject:chaos_fleet_probe",
 }
 
 
@@ -224,12 +233,47 @@ def _crashed_result(spec: TaskSpec, index: int, attempts: int) -> TaskResult:
     )
 
 
+def _hung_result(
+    spec: TaskSpec, index: int, attempts: int, timeout: float
+) -> TaskResult:
+    return TaskResult(
+        index=index,
+        task=spec.task,
+        label=spec.label,
+        ok=False,
+        error=(
+            f"worker made no progress within {timeout:g}s while running "
+            f"task {spec.task!r} (attempt {attempts}); pool was killed "
+            "and rebuilt"
+        ),
+        error_type="WorkerHung",
+        attempts=attempts,
+    )
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Forcibly terminate a pool's workers so its shutdown cannot block.
+
+    ``ProcessPoolExecutor`` has no supported way to abandon a running
+    task: exiting the ``with`` block joins workers, which waits forever
+    on a hung one.  Killing the worker processes breaks the pool (the
+    executor notices the dead children and unblocks), after which the
+    normal rebuild-and-retry path takes over.
+    """
+    for proc in list(getattr(pool, "_processes", {}).values()):
+        try:
+            proc.kill()
+        except OSError:  # pragma: no cover - already reaped
+            pass
+
+
 def run_fleet(
     specs: Iterable[TaskSpec],
     jobs: int = 1,
     *,
     retries: int = 1,
     start_method: str | None = None,
+    task_timeout: float | None = None,
 ) -> list[TaskResult]:
     """Execute ``specs`` across ``jobs`` workers; results in spec order.
 
@@ -244,17 +288,29 @@ def run_fleet(
         pool; the output is identical either way.
     retries:
         How many times an unfinished spec is re-submitted after its
-        worker pool breaks before being reported as
-        ``WorkerCrashed``.
+        worker pool breaks — by a crash *or* a hang kill — before being
+        reported as ``WorkerCrashed`` / ``WorkerHung``.
     start_method:
         ``"fork"`` / ``"spawn"`` / ``"forkserver"`` override; ``None``
         prefers fork when the platform offers it.
+    task_timeout:
+        Hang deadline in seconds.  When a full window of this length
+        passes with no spec completing, the in-flight specs are
+        declared hung, the pool is killed and rebuilt, and the hang
+        charges the same ``retries`` budget a crash does (the pool
+        cannot attribute the stall to one spec, so every in-flight spec
+        is charged).  ``None`` (the default) waits forever.  Ignored on
+        the inline ``jobs=1`` path, which has no worker to kill.
     """
     spec_list: Sequence[TaskSpec] = list(specs)
     if jobs < 1:
         raise ValidationError(f"jobs must be >= 1, got {jobs}")
     if retries < 0:
         raise ValidationError(f"retries must be >= 0, got {retries}")
+    if task_timeout is not None and not task_timeout > 0:
+        raise ValidationError(
+            f"task_timeout must be positive, got {task_timeout}"
+        )
     for spec in spec_list:
         if not isinstance(spec, TaskSpec):
             raise ValidationError(
@@ -270,39 +326,59 @@ def run_fleet(
     ctx = _mp_context(start_method)
     results: list[TaskResult | None] = [None] * len(spec_list)
     attempts = [0] * len(spec_list)
+    hung: set[int] = set()
     pending = list(range(len(spec_list)))
     while pending:
         workers = min(jobs, len(pending))
         with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
-            futures = []
+            index_of = {}
             for i in pending:
                 attempts[i] += 1
                 try:
-                    futures.append((i, pool.submit(_execute, spec_list[i], i)))
+                    index_of[pool.submit(_execute, spec_list[i], i)] = i
                 except BrokenProcessPool:
-                    futures.append((i, None))
-            for i, future in futures:
-                if future is None:
-                    continue
-                try:
-                    results[i] = replace(future.result(), attempts=attempts[i])
-                except BrokenProcessPool:
-                    pass  # worker died; retried or reported below
-                except Exception as exc:  # unpicklable spec/result etc.
-                    results[i] = TaskResult(
-                        index=i,
-                        task=spec_list[i].task,
-                        label=spec_list[i].label,
-                        ok=False,
-                        error=str(exc),
-                        error_type=type(exc).__name__,
-                        traceback=traceback.format_exc(),
-                        attempts=attempts[i],
-                    )
+                    pass  # pool already broken; retried or reported below
+            not_done = set(index_of)
+            while not_done:
+                done, not_done = wait(not_done, timeout=task_timeout)
+                for future in done:
+                    i = index_of[future]
+                    try:
+                        results[i] = replace(
+                            future.result(), attempts=attempts[i]
+                        )
+                        hung.discard(i)
+                    except BrokenProcessPool:
+                        pass  # worker died; retried or reported below
+                    except Exception as exc:  # unpicklable spec/result etc.
+                        results[i] = TaskResult(
+                            index=i,
+                            task=spec_list[i].task,
+                            label=spec_list[i].label,
+                            ok=False,
+                            error=str(exc),
+                            error_type=type(exc).__name__,
+                            traceback=traceback.format_exc(),
+                            attempts=attempts[i],
+                        )
+                if not done and not_done:
+                    # A full timeout window with zero completions: the
+                    # in-flight specs are hung.  Queued futures that
+                    # cancel cleanly never ran; the rest were on a
+                    # worker and are marked hung for attribution.
+                    for future in not_done:
+                        if not future.cancel():
+                            hung.add(index_of[future])
+                    _kill_pool(pool)
+                    break
         still_pending = [i for i in pending if results[i] is None]
         for i in list(still_pending):
             if attempts[i] > retries:
-                results[i] = _crashed_result(spec_list[i], i, attempts[i])
+                results[i] = (
+                    _hung_result(spec_list[i], i, attempts[i], task_timeout)
+                    if i in hung
+                    else _crashed_result(spec_list[i], i, attempts[i])
+                )
                 still_pending.remove(i)
         pending = still_pending
     return [r for r in results if r is not None]

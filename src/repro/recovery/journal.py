@@ -59,7 +59,12 @@ import zlib
 from dataclasses import dataclass
 from pathlib import Path
 
-from ..errors import JournalError, JournalLockedError, ValidationError
+from ..errors import (
+    JournalError,
+    JournalLockedError,
+    JournalWriteError,
+    ValidationError,
+)
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -254,6 +259,14 @@ class EpochJournal:
         self._lines = lines
         self._lock = _acquire_lock(self.path)
         self._closed = False
+        #: Optional chaos hook (see :mod:`repro.chaos.inject`): called as
+        #: ``fault_injector(path, content)`` before every atomic replace.
+        #: It may raise :class:`OSError` (surfaced as
+        #: :class:`~repro.errors.JournalWriteError`) or return replacement
+        #: content — typically a torn prefix — which is written to disk
+        #: and *then* reported as a failed append (the bytes landed, the
+        #: ack did not).  ``None`` in production.
+        self.fault_injector = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -320,14 +333,24 @@ class EpochJournal:
             )
 
     def append(self, entry: dict) -> None:
-        """Durably commit one record (of this journal's entry kind)."""
+        """Durably commit one record (of this journal's entry kind).
+
+        On a failed replace (:class:`~repro.errors.JournalWriteError`)
+        the in-memory line list is rolled back before re-raising: the
+        entry was never committed, and the next successful append must
+        not resurrect it.
+        """
         if not isinstance(entry, dict):
             raise ValidationError("journal entry must be a dict")
         self._check_open()
         record = dict(entry)
         record["kind"] = self.entry_kind
         self._lines.append(_wrap(record))
-        self._commit()
+        try:
+            self._commit()
+        except JournalWriteError:
+            self._lines.pop()
+            raise
 
     def append_torn(self, entry: dict) -> None:
         """Commit a *deliberately torn* version of ``entry``.
@@ -347,20 +370,49 @@ class EpochJournal:
         line = _wrap(record)
         torn = line[: max(1, len(line) // 2)]
         content = "".join(f"{ln}\n" for ln in self._lines) + torn
-        self._write(content)
+        self._atomic_replace(content)
 
     # ------------------------------------------------------------------
     def _commit(self) -> None:
-        self._write("".join(f"{ln}\n" for ln in self._lines))
+        self._atomic_replace("".join(f"{ln}\n" for ln in self._lines))
 
-    def _write(self, content: str) -> None:
-        """Atomic whole-file replace: tmp + fsync + rename + dir fsync."""
+    def _atomic_replace(self, content: str) -> None:
+        """Atomic whole-file replace: tmp + fsync + rename + dir fsync.
+
+        A mid-write :class:`OSError` (disk full, I/O error, a fault
+        injected by ``self.fault_injector``) is re-raised as a typed
+        :class:`~repro.errors.JournalWriteError` after removing the temp
+        file — the real path was replaced atomically or not at all, so
+        the prior journal is intact either way.
+        """
         tmp = self.path.with_name(self.path.name + ".tmp")
-        with open(tmp, "w", encoding="utf-8") as fh:
-            fh.write(content)
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, self.path)
+        torn = None
+        try:
+            if self.fault_injector is not None:
+                torn = self.fault_injector(self.path, content)
+                if torn is not None:
+                    content = torn
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.write(content)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+        except OSError as exc:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise JournalWriteError(
+                f"journal {self.path}: append could not be made durable "
+                f"({exc}); the last durable commit is still on disk",
+                path=str(self.path),
+            ) from exc
+        if torn is not None:
+            raise JournalWriteError(
+                f"journal {self.path}: injected torn write — partial bytes "
+                "reached disk but the append was never acknowledged",
+                path=str(self.path),
+            )
         try:
             dir_fd = os.open(self.path.parent or Path("."), os.O_RDONLY)
         except OSError:

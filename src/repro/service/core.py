@@ -52,7 +52,7 @@ even though re-deciding under a budget is not bit-reproducible).
 from __future__ import annotations
 
 import math
-from dataclasses import replace
+from dataclasses import asdict, replace
 from pathlib import Path
 
 import numpy as np
@@ -69,7 +69,7 @@ from ..errors import (
 )
 from ..faults.events import LinkDown, WavelengthDegrade
 from ..faults.schedule import FaultSchedule
-from ..lp.solver import SolveBudget
+from ..lp.solver import SolveBudget, SolveResilience
 from ..network.graph import Network
 from ..obs import NULL_TELEMETRY, Telemetry
 from ..recovery.crash import CrashInjector
@@ -123,6 +123,11 @@ class ReservationService:
         Optional path for the write-ahead batch journal (crash safety).
     solve_budget:
         Optional per-epoch wall-clock budget for the tick's solves.
+    resilience:
+        Optional retry policy applied to *every* solve the service
+        issues — the scheduler's stages and the admission probes alike
+        (it becomes the engine-level default).  A transient backend
+        failure then costs a retry, not the whole tick.
     crash_injector:
         Deterministic process-death injection at the service crash
         points (:data:`~repro.recovery.crash.SERVICE_CRASH_POINTS`).
@@ -132,6 +137,16 @@ class ReservationService:
     renegotiate_limit:
         How many derived renegotiation hops a voided reservation gets
         before it is explicitly rejected.
+    verify_solutions:
+        When true, every raw solver solution is checked by
+        :func:`~repro.verify.checker.verify_schedule` before it is
+        rounded or committed — the untrusted-backend guard used by the
+        chaos engine (``docs/chaos.md``).
+    journal_fault_injector:
+        Optional callable ``(path, content)`` installed on the batch
+        journal; may raise :class:`OSError` or return torn replacement
+        content to simulate write failures (see
+        :class:`~repro.chaos.inject.JournalFaultInjector`).
     """
 
     def __init__(
@@ -145,6 +160,7 @@ class ReservationService:
         burst: float | None = None,
         journal: str | Path | None = None,
         solve_budget: SolveBudget | None = None,
+        resilience: SolveResilience | None = None,
         crash_injector: CrashInjector | None = None,
         fault_schedule: FaultSchedule | None = None,
         ret_b_max: float = 10.0,
@@ -152,6 +168,8 @@ class ReservationService:
         renegotiate_limit: int = 3,
         telemetry: Telemetry | None = None,
         warm_start: bool = True,
+        verify_solutions: bool = False,
+        journal_fault_injector=None,
     ) -> None:
         if tau <= 0:
             raise ValidationError(f"tau must be positive, got {tau}")
@@ -176,6 +194,7 @@ class ReservationService:
         self.rate = float(rate)
         self.burst = burst
         self.solve_budget = solve_budget
+        self.resilience = resilience
         self.crash_injector = crash_injector
         self.fault_schedule = fault_schedule
         self.ret_b_max = float(ret_b_max)
@@ -183,10 +202,13 @@ class ReservationService:
         self.renegotiate_limit = int(renegotiate_limit)
         self.telemetry = telemetry or NULL_TELEMETRY
         self.warm_start = warm_start
+        self.verify_solutions = bool(verify_solutions)
+        self.journal_fault_injector = journal_fault_injector
         self.stats = ServiceStats(self.telemetry)
 
         self._engine = ModelEngine(
-            network, k_paths, telemetry=self.telemetry, warm_start=warm_start
+            network, k_paths, telemetry=self.telemetry, warm_start=warm_start,
+            resilience=resilience,
         )
         self._scheduler = Scheduler(
             network,
@@ -194,7 +216,9 @@ class ReservationService:
             slice_length=self.slice_length,
             telemetry=self.telemetry,
             budget=solve_budget,
+            resilience=resilience,
             engine=self._engine,
+            verify_solutions=self.verify_solutions,
         )
         self.book = CommitmentBook()
         #: Undecided external requests: key -> (request, handle).
@@ -210,6 +234,8 @@ class ReservationService:
             self._journal = EpochJournal.create(
                 self.journal_path, self._journal_header(), entry_kind="batch"
             )
+            # Attach after create: the header write itself must succeed.
+            self._journal.fault_injector = self.journal_fault_injector
 
     # ------------------------------------------------------------------
     # Submission (the bounded front door)
@@ -779,6 +805,12 @@ class ReservationService:
                 "ret_delta": self.ret_delta,
                 "renegotiate_limit": self.renegotiate_limit,
                 "warm_start": self.warm_start,
+                "verify_solutions": self.verify_solutions,
+                "resilience": (
+                    asdict(self.resilience)
+                    if self.resilience is not None
+                    else None
+                ),
                 "solve_budget": (
                     {
                         "wall_time_s": self.solve_budget.wall_time_s,
@@ -832,6 +864,7 @@ class ReservationService:
         telemetry: Telemetry | None = None,
         crash_injector: CrashInjector | None = None,
         solve_budget: SolveBudget | None = None,
+        journal_fault_injector=None,
     ) -> "ReservationService":
         """Rebuild a service from its batch journal and carry on.
 
@@ -869,6 +902,11 @@ class ReservationService:
             )
         if solve_budget is None and config.get("solve_budget"):
             solve_budget = SolveBudget(**config["solve_budget"])
+        resilience = (
+            SolveResilience(**config["resilience"])
+            if config.get("resilience")
+            else None
+        )
         service = cls(
             network,
             tau=config["tau"],
@@ -878,6 +916,7 @@ class ReservationService:
             rate=config["rate"],
             burst=config["burst"],
             solve_budget=solve_budget,
+            resilience=resilience,
             crash_injector=crash_injector,
             fault_schedule=fault_schedule,
             ret_b_max=config["ret_b_max"],
@@ -885,6 +924,7 @@ class ReservationService:
             renegotiate_limit=config["renegotiate_limit"],
             telemetry=telemetry,
             warm_start=config.get("warm_start", True),
+            verify_solutions=config.get("verify_solutions", False),
         )
         for entry in replay.entries:
             for data in entry["decisions"]:
@@ -921,6 +961,8 @@ class ReservationService:
             service._bucket_tokens = float(last["bucket_tokens"])
             service._internal = [dict(e) for e in last["internal"]]
         service._journal = EpochJournal.open_existing(path, entry_kind="batch")
+        service._journal.fault_injector = journal_fault_injector
+        service.journal_fault_injector = journal_fault_injector
         service.journal_path = Path(path)
         service.telemetry.count("journal_resumes")
         return service

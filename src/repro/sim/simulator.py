@@ -282,6 +282,22 @@ class Simulation:
     planner_workers:
         Worker processes for concurrent shard solves when ``planner``
         is ``"sharded"`` (``1`` solves shards sequentially in-process).
+    verify_solutions:
+        Treat solver backends as untrusted (chaos hardening): forwarded
+        to the :class:`~repro.core.scheduler.Scheduler`, whose
+        stage-1/stage-2 solutions are then checked by
+        :func:`repro.verify.verify_schedule` *before* rounding — a
+        backend returning a subtly wrong solution raises
+        :class:`~repro.errors.ScheduleError` before anything reaches
+        the journal.  Monolithic planner only.
+    journal_fault_injector:
+        Optional chaos hook installed on the run's
+        :class:`~repro.recovery.journal.EpochJournal`
+        (``fault_injector`` attribute; see :mod:`repro.chaos.inject`).
+        An injected write fault surfaces as
+        :class:`~repro.errors.JournalWriteError` out of :meth:`run` —
+        fail-stop with the prior journal intact, exactly like a full
+        disk would.
     """
 
     def __init__(
@@ -307,6 +323,8 @@ class Simulation:
         warm_start: bool = True,
         planner: str = "monolithic",
         planner_workers: int = 1,
+        verify_solutions: bool = False,
+        journal_fault_injector=None,
     ) -> None:
         if tau <= 0 or slice_length <= 0:
             raise ValidationError("tau and slice_length must be positive")
@@ -361,6 +379,8 @@ class Simulation:
             )
         self.planner = planner
         self.planner_workers = int(planner_workers)
+        self.verify_solutions = bool(verify_solutions)
+        self.journal_fault_injector = journal_fault_injector
         # One engine for the whole run: path sets, structure layouts and
         # memoized RET probe solves carry over between epochs.  A cold
         # engine (--no-warm-start) rebuilds everything from scratch each
@@ -408,6 +428,9 @@ class Simulation:
             journal = EpochJournal.create(
                 self.journal_path, self._journal_header(jobs, horizon)
             )
+            # Attached after create(): the header write must succeed, or
+            # there is no journal to fail-stop around.
+            journal.fault_injector = self.journal_fault_injector
         return self._run_loop(
             jobs,
             float(horizon),
@@ -423,9 +446,18 @@ class Simulation:
 
     @classmethod
     def resume(
-        cls, path: str | Path, telemetry: Telemetry | None = None
+        cls,
+        path: str | Path,
+        telemetry: Telemetry | None = None,
+        crash_injector: CrashInjector | None = None,
+        journal_fault_injector=None,
     ) -> SimulationResult:
         """Recover a crashed run from its journal and finish it.
+
+        ``crash_injector`` / ``journal_fault_injector`` optionally arm
+        the *resumed* run with fresh fault hooks — the chaos engine's
+        composed timelines chain several crashes and write faults
+        through repeated resumes this way.
 
         Rebuilds the simulation (network, jobs, configuration, fault
         timeline) from the journal header, replays every committed
@@ -496,6 +528,9 @@ class Simulation:
             solve_budget=solve_budget,
             warm_start=config.get("warm_start", True),
             planner=config.get("planner", "monolithic"),
+            verify_solutions=config.get("verify_solutions", False),
+            crash_injector=crash_injector,
+            journal_fault_injector=journal_fault_injector,
         )
         records = {j.id: JobRecord(j, j.end, j.size) for j in jobs}
         order = [j.id for j in jobs]
@@ -522,6 +557,7 @@ class Simulation:
                 for row in last.get("used_edges", ())
             }
         journal = EpochJournal.open_existing(path)
+        journal.fault_injector = journal_fault_injector
         sim.telemetry.count("journal_resumes")
         return sim._run_loop(
             jobs,
@@ -559,6 +595,7 @@ class Simulation:
                 "ret_delta": self.ret_delta,
                 "rejection": self.rejection,
                 "verify_epochs": self.verify_epochs,
+                "verify_solutions": self.verify_solutions,
                 "warm_start": self.warm_start,
                 "planner": self.planner,
                 "solve_budget": (
@@ -668,6 +705,7 @@ class Simulation:
                 telemetry=self.telemetry,
                 resilience=self.resilience,
                 engine=self._engine,
+                verify_solutions=self.verify_solutions,
             )
         base_paths = self._engine.topology.path_sets(jobs.od_pairs())
 

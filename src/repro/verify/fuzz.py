@@ -372,6 +372,7 @@ def run_fuzz(
     oracle: bool = True,
     allow_faults: bool = True,
     jobs: int = 1,
+    task_timeout: float | None = None,
 ) -> FuzzSummary:
     """Run ``count`` seeded scenarios; never raises on scenario failure.
 
@@ -380,7 +381,10 @@ def run_fuzz(
     seed order, so the summary is identical to a sequential run no
     matter how the pool interleaves completions.  A worker that dies
     (rather than reports) surfaces as a failing outcome for its
-    scenario, never as a lost seed.
+    scenario, never as a lost seed.  ``task_timeout`` arms the fleet's
+    hang detection: a scenario whose worker goes silent for that many
+    seconds is retried and, if it keeps hanging, reported as a failing
+    outcome (``WorkerHung``) instead of stalling the whole sweep.
     """
     if jobs > 1:
         from ..parallel.fleet import TaskSpec, run_fleet
@@ -399,7 +403,7 @@ def run_fuzz(
             for i in range(count)
         ]
         outcomes = []
-        for result in run_fleet(specs, jobs=jobs):
+        for result in run_fleet(specs, jobs=jobs, task_timeout=task_timeout):
             if result.ok:
                 outcomes.append(result.value)
             else:

@@ -1,0 +1,57 @@
+"""Chaos determinism properties.
+
+Satellite: the chaos report is a pure function of ``(seed, spec,
+targets)`` — two runs of the same campaign must render **byte-identical**
+canonical JSON, even though each run uses fresh temp dirs, fresh
+process pools, and a full crash → resume chain.  This is what makes a
+chaos failure reportable: the seed alone reproduces the exact timeline.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.chaos import generate_chaos, run_chaos
+from repro.network import topologies
+
+CHAOS_SETTINGS = settings(
+    max_examples=4,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def test_same_seed_byte_identical_across_all_targets():
+    first = run_chaos(seed=3)
+    second = run_chaos(seed=3)
+    assert first.to_json() == second.to_json()
+    assert first.ok == second.ok
+
+
+def test_same_spec_byte_identical():
+    spec = "journal:torn@1;backend:raise@0;crash:pre-commit@1"
+    first = run_chaos(seed=2, spec=spec, targets=("sim",))
+    second = run_chaos(seed=2, spec=spec, targets=("sim",))
+    assert first.to_json() == second.to_json()
+
+
+@CHAOS_SETTINGS
+@given(seed=st.integers(min_value=0, max_value=20))
+def test_seeded_campaign_is_reproducible(seed):
+    # The fleet target is exercised by the plain tests above; the
+    # solver-and-journal targets are where nondeterminism (retry
+    # perturbations, resume re-execution, dict ordering) would hide.
+    first = run_chaos(seed=seed, targets=("sim", "serve"))
+    second = run_chaos(seed=seed, targets=("sim", "serve"))
+    assert first.to_json() == second.to_json()
+
+
+@CHAOS_SETTINGS
+@given(seed=st.integers(min_value=0, max_value=100_000))
+def test_generated_timeline_is_a_pure_function_of_the_seed(seed):
+    net = topologies.ring(4, capacity=2)
+    assert (
+        generate_chaos(seed, net, 12.0).to_dict()
+        == generate_chaos(seed, net, 12.0).to_dict()
+    )

@@ -5,6 +5,10 @@ timelines included, exercised through the simulator's ``planner``
 switch) asserting the decomposed solve is grant-identical — or, for
 multi-shard instances, objective-equal within the oracle's bounds — to
 the monolithic solve, plus the explicit edge cases the issue names.
+Faulted *trajectories* are compared at the invariant level only:
+vertex selection decides link placement, and placement decides which
+deliveries a mid-epoch fault voids (see the caveat in
+:mod:`repro.parallel.sharded`).
 
 Satellite 4: fleet fuzz runs with ``--jobs 1`` and ``--jobs 4`` must
 produce byte-identical per-scenario reports.
@@ -15,7 +19,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro import Job, JobSet, Scheduler, Simulation, ValidationError, serialization
+from repro import Job, JobSet, Scheduler, Simulation, ValidationError
 from repro.network import topologies
 from repro.network.graph import Network
 from repro.parallel import ShardedScheduler, partition_structure
@@ -57,9 +61,18 @@ class TestEquivalenceProperty:
     @SOLVER_SETTINGS
     @given(seed=st.integers(min_value=0, max_value=2_000))
     def test_fault_timeline_sharded_planner_matches(self, seed):
-        # Fault timelines reach the planner through the simulator: the
-        # same faulted run with planner="sharded" must serialize
-        # identically to the monolithic planner, epoch for epoch.
+        # Fault timelines reach the planner through the simulator.  The
+        # sharding contract (repro.parallel.sharded) guarantees
+        # objective-level equivalence per instance, not vertex identity:
+        # a multi-shard stage-2 LP may place the same delivered volume
+        # on different links, and under a fault timeline the placement
+        # decides which deliveries a mid-epoch link loss voids — so
+        # faulted trajectories can legitimately diverge once a loss
+        # lands.  What must hold on every seed: both planners run the
+        # timeline to completion with every epoch invariant report
+        # clean, track the same job set to terminal states, and agree
+        # exactly on the first scheduling pass (identical instance, and
+        # stage 1 decomposes exactly).
         scenario = make_scenario(seed, allow_faults=True)
         if scenario.fault_schedule is None:
             return
@@ -72,12 +85,28 @@ class TestEquivalenceProperty:
                 verify_epochs=True,
                 planner=planner,
             )
-            result = sim.run(scenario.jobs, horizon=scenario.grid.end * 3)
-            dump = serialization.simulation_to_dict(result)
-            for event in dump.get("events", []):
-                event.pop("solve_seconds", None)  # wall clock, not payload
-            runs[planner] = dump
-        assert runs["sharded"] == runs["monolithic"]
+            runs[planner] = sim.run(scenario.jobs, horizon=scenario.grid.end * 3)
+        terminal = {"completed", "expired", "rejected"}
+        first_pass = {}
+        for planner, result in runs.items():
+            assert all(report.ok for report in result.verification), planner
+            statuses = {str(r.job.id): r.status for r in result.records}
+            assert set(statuses.values()) <= terminal, (planner, statuses)
+            first_pass[planner] = next(
+                (
+                    (e.zstar, e.num_jobs)
+                    for e in result.events
+                    if type(e).__name__ == "SchedulingPass"
+                ),
+                None,
+            )
+        mono = {str(r.job.id): r.status for r in runs["monolithic"].records}
+        shard = {str(r.job.id): r.status for r in runs["sharded"].records}
+        assert sorted(mono) == sorted(shard)
+        za, zb = first_pass["monolithic"], first_pass["sharded"]
+        if za is not None and zb is not None:
+            assert za[1] == zb[1]
+            assert za[0] == pytest.approx(zb[0], abs=1e-6)
 
 
 class TestEquivalenceEdgeCases:

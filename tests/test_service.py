@@ -231,6 +231,90 @@ class TestNegotiation:
         service.close()
 
 
+class TestRenegotiationExhaustion:
+    """The renegotiation hop limit always ends in a recorded decision.
+
+    A voided commitment re-enters the batch as an internal entry; each
+    failed fit yields a ``Negotiated`` counter-offer and — while
+    ``attempt < renegotiate_limit`` — a re-enqueued hop.  Once the limit
+    is reached the offer is still *recorded* in the ledger but no hop
+    follows: the requester holds a terminal answer, and nothing is ever
+    dropped silently.  These tests seed ``_internal`` directly, exactly
+    as a resumed journal does, to pin the boundary cases.
+    """
+
+    @staticmethod
+    def _seed(service, net, attempt, size=10.0, end=2.0):
+        service._internal.append({
+            "id": f"r1~v{attempt}",
+            "origin": "r1",
+            "source": net.nodes[0],
+            "dest": net.nodes[1],
+            "size": size,
+            "start": 0.0,
+            "end": end,
+            "attempt": attempt,
+        })
+
+    @pytest.mark.parametrize("attempt,limit", [(1, 0), (1, 1), (3, 3)])
+    def test_exhausted_hop_terminal_never_silent(
+        self, tight_net, attempt, limit
+    ):
+        # 10 volume through a rate-1 link in a 2-long window: Z* < 1,
+        # so the entry draws a counter-offer.  At the hop limit that
+        # offer must be the end of the line: recorded, not re-enqueued.
+        service = ReservationService(
+            tight_net, ret_b_max=10.0, renegotiate_limit=limit
+        )
+        self._seed(service, tight_net, attempt)
+        _tick(service)
+        recorded = service.book.decided(f"r1~v{attempt}")
+        assert recorded is not None
+        assert recorded["kind"] == "negotiate"
+        assert service._internal == []
+        assert service.idle
+        service.close()
+
+    def test_below_limit_hop_re_enqueues_with_offer_window(self, tight_net):
+        service = ReservationService(
+            tight_net, ret_b_max=10.0, renegotiate_limit=3
+        )
+        self._seed(service, tight_net, attempt=1)
+        _tick(service)
+        assert service.book.decided("r1~v1")["kind"] == "negotiate"
+        assert len(service._internal) == 1
+        hop = service._internal[0]
+        assert hop["attempt"] == 2
+        assert hop["origin"] == "r1"
+        assert hop["id"] == "r1~v2"
+        assert hop["end"] > 2.0  # carries the counter-offer's window
+        service.close()
+
+    def test_hop_chain_drains_to_recorded_terminal_state(self, tight_net):
+        # Left to run, the chain converges: the RET-extended window is
+        # feasible on the next hop, so the derived request is accepted
+        # and delivered.  Every hop id must appear in the ledger.
+        service = ReservationService(
+            tight_net, ret_b_max=10.0, renegotiate_limit=3
+        )
+        self._seed(service, tight_net, attempt=1)
+        ticks = 0
+        while not service.idle and ticks < 40:
+            _tick(service)
+            ticks += 1
+        assert service.idle
+        assert service._internal == []
+        kinds = {
+            key: entry["kind"]
+            for key, entry in service.book.ledger.items()
+            if key.startswith("r1~v")
+        }
+        assert kinds["r1~v1"] == "negotiate"
+        assert "accept" in kinds.values()
+        assert set(kinds.values()) <= {"accept", "negotiate", "reject"}
+        service.close()
+
+
 class TestClosedLoopDriver:
     def test_drives_trace_to_quiescence(self, net):
         jobs = JobSet(
