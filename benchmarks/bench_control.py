@@ -1,0 +1,217 @@
+"""CTL — epoch-control kernel overhead and policy-sweep gates.
+
+The control refactor (``docs/architecture.md``, "Control kernel &
+policy surface") rebuilt `Simulation` and `ReservationService` as thin
+drivers over the shared :class:`~repro.control.EpochKernel`, with an
+optional :class:`~repro.control.ControlPolicy` choosing per-epoch
+knobs.  This benchmark pins the two promises that refactor made:
+
+* **Kernel overhead** — a multi-epoch Abilene controller run with
+  :class:`~repro.control.FixedPolicy` attached (the kernel's full
+  observe → decide → feedback path exercised every epoch) must cost at
+  most ``OVERHEAD_CEILING`` more wall time than the bare
+  ``control_policy=None`` run, and must produce identical records.
+  The bare run is itself the seed baseline — the kernel's default path
+  builds no observations and reuses the prebuilt scheduler, so the
+  refactor's cost on untouched callers is bounded by the same gate.
+* **Adaptive floor** — over the checker-clean
+  :func:`~repro.control.compare_policies` sweep, each adaptive
+  baseline (`bandit`, `load-reactive`) must deliver at least as much
+  aggregate volume as `fixed` — an adaptive policy that loses
+  throughput to its own knob-turning fails CI.
+
+Results go to ``BENCH_control.json`` at the repo root, diffed against
+the committed baseline by ``benchmarks/check_regression.py`` and
+uploaded as a CI artifact.  Runs under pytest or as a script::
+
+    PYTHONPATH=src python benchmarks/bench_control.py
+"""
+
+from pathlib import Path
+
+from repro import Simulation, serialization
+from repro.analysis import Table
+from repro.control import FixedPolicy, compare_policies
+from repro.workload import WorkloadConfig, WorkloadGenerator
+
+from _support import (
+    abilene_network,
+    bench_versions,
+    booked_ahead,
+    time_best_of,
+    write_bench_document,
+)
+
+SEED = 1009
+REPEATS = 5
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_control.json"
+
+#: Acceptance ceiling on the kernel's wall-time overhead: a FixedPolicy
+#: run (full observe/decide/feedback every epoch) may cost at most this
+#: fraction more than the bare run (ISSUE 10 target: <= 5%).
+OVERHEAD_CEILING = 0.05
+
+#: The policy sweep's fuzz seeds.  Deterministic: make_scenario(seed)
+#: fixes the instance and seeds the stochastic policies.
+SWEEP_SEEDS = (0, 1, 2, 3, 4)
+SWEEP_POLICIES = ("fixed", "bandit", "load-reactive")
+
+#: Same multi-epoch advance-reservation shape as ENG's simulate case:
+#: enough epochs that per-epoch kernel costs would show up, small
+#: enough to run in CI.
+SIM_NUM_JOBS = 10
+SIM_BOOKAHEAD_SLICES = 12
+SIM_CONFIG = WorkloadConfig(
+    size_low=30.0,
+    size_high=120.0,
+    window_slices_low=4,
+    window_slices_high=10,
+    start_slack_slices=2,
+)
+
+
+def _sim_instance():
+    network = abilene_network()
+    generator = WorkloadGenerator(network, config=SIM_CONFIG, seed=SEED)
+    jobs = booked_ahead(generator, SIM_NUM_JOBS, 5, SIM_BOOKAHEAD_SLICES)
+    return network, jobs
+
+
+def _case_kernel_overhead():
+    """Bare kernel vs FixedPolicy-armed kernel on a multi-epoch run."""
+    network, jobs = _sim_instance()
+
+    bare_s, bare = time_best_of(
+        lambda: Simulation(network, policy="extend").run(jobs),
+        repeats=REPEATS,
+    )
+    armed_s, armed = time_best_of(
+        lambda: Simulation(
+            network, policy="extend", control_policy=FixedPolicy()
+        ).run(jobs),
+        repeats=REPEATS,
+    )
+
+    # Identity before any timing claim: arming the kernel's policy path
+    # must not change a single record.
+    bare_dump = serialization.simulation_to_dict(bare)
+    armed_dump = serialization.simulation_to_dict(armed)
+    assert bare_dump["records"] == armed_dump["records"], (
+        "FixedPolicy run diverged from the bare run"
+    )
+
+    return {
+        "baseline_seconds": round(bare_s, 4),
+        "engine_seconds": round(armed_s, 4),
+        "speedup": round(bare_s / armed_s, 3),
+        "metrics": {
+            "overhead_fraction": round(armed_s / bare_s - 1.0, 4),
+            "epochs": sum(
+                1 for e in bare.events
+                if type(e).__name__ == "SchedulingPass"
+            ),
+            "completed": bare.num_completed,
+        },
+    }
+
+
+def _case_policy_sweep():
+    """Adaptive baselines vs fixed on aggregate delivered volume."""
+    comparison = compare_policies(SWEEP_POLICIES, seeds=SWEEP_SEEDS)
+    agg = comparison.aggregate()
+    fixed_total = agg["fixed"]["delivered_total"]
+    ratios = {
+        name: (
+            agg[name]["delivered_total"] / fixed_total
+            if fixed_total > 0 else 1.0
+        )
+        for name in SWEEP_POLICIES
+    }
+    return {
+        # The regression metric: the worst adaptive-vs-fixed ratio.
+        # Deterministic (volumes, not wall time), so the committed
+        # baseline pins it exactly.
+        "score": round(min(ratios[n] for n in SWEEP_POLICIES
+                           if n != "fixed"), 6),
+        "metrics": {
+            "seeds": list(SWEEP_SEEDS),
+            "epochs_verified": sum(
+                r.epochs_verified for r in comparison.runs
+            ),
+            "delivered_total": {
+                name: round(agg[name]["delivered_total"], 6)
+                for name in SWEEP_POLICIES
+            },
+            "ratio_vs_fixed": {
+                name: round(ratios[name], 6) for name in SWEEP_POLICIES
+            },
+        },
+    }
+
+
+def run_control_bench() -> dict:
+    return {
+        "schema": 1,
+        "suite": "control-kernel",
+        "repeats": REPEATS,
+        "target_overhead_ceiling": OVERHEAD_CEILING,
+        "versions": bench_versions(),
+        "cases": {
+            "kernel_overhead_simulate_abilene": _case_kernel_overhead(),
+            "policy_sweep_vs_fixed": _case_policy_sweep(),
+        },
+    }
+
+
+def _as_table(document: dict) -> Table:
+    overhead = document["cases"]["kernel_overhead_simulate_abilene"]
+    sweep = document["cases"]["policy_sweep_vs_fixed"]
+    table = Table(
+        title="CTL: epoch-control kernel gates",
+        columns=["case", "metric", "value", "gate"],
+    )
+    table.add_row([
+        "kernel_overhead",
+        "overhead",
+        f"{100 * overhead['metrics']['overhead_fraction']:+.2f}%",
+        f"<= {100 * OVERHEAD_CEILING:.0f}%",
+    ])
+    for name, ratio in sweep["metrics"]["ratio_vs_fixed"].items():
+        table.add_row([
+            "policy_sweep",
+            f"{name}/fixed delivered",
+            f"{ratio:.4f}",
+            ">= 1" if name != "fixed" else "(reference)",
+        ])
+    return table
+
+
+def test_control_gates(report):
+    document = run_control_bench()
+    write_bench_document(BENCH_PATH, document)
+    report(_as_table(document))
+
+    overhead = document["cases"]["kernel_overhead_simulate_abilene"]
+    frac = overhead["metrics"]["overhead_fraction"]
+    assert frac <= OVERHEAD_CEILING, (
+        f"kernel overhead {100 * frac:.2f}% exceeds the "
+        f"{100 * OVERHEAD_CEILING:.0f}% ceiling "
+        f"(bare {overhead['baseline_seconds']}s vs armed "
+        f"{overhead['engine_seconds']}s)"
+    )
+
+    sweep = document["cases"]["policy_sweep_vs_fixed"]
+    for name, ratio in sweep["metrics"]["ratio_vs_fixed"].items():
+        if name == "fixed":
+            continue
+        assert ratio >= 1.0 - 1e-9, (
+            f"adaptive policy {name!r} delivered {ratio:.4f}x the fixed "
+            "baseline's aggregate volume; adaptive must not lose"
+        )
+
+
+if __name__ == "__main__":
+    doc = run_control_bench()
+    write_bench_document(BENCH_PATH, doc)
+    print(_as_table(doc).render())
+    print(f"\nwrote {BENCH_PATH}")

@@ -28,7 +28,7 @@ The three top-level entry points are:
   controller loop.
 """
 
-from . import analysis, chaos, core, engine, experiments, faults, lp, network, obs, parallel, recovery, service, sim, verify, workload
+from . import analysis, chaos, control, core, engine, experiments, faults, lp, network, obs, parallel, recovery, service, sim, verify, workload
 from . import serialization
 from .analysis import ResilienceReport, resilience_report
 from .chaos import (
@@ -40,6 +40,22 @@ from .chaos import (
     generate_chaos,
     parse_chaos_spec,
     run_chaos,
+)
+from .control import (
+    AlphaBanditPolicy,
+    ControlPolicy,
+    EpochAction,
+    EpochKernel,
+    EpochObservation,
+    EpochOutcome,
+    FixedPolicy,
+    LoadReactivePathsPolicy,
+    POLICY_NAMES,
+    PolicyComparison,
+    PolicyRunResult,
+    SchedulingEnv,
+    compare_policies,
+    make_policy,
 )
 from .engine import (
     HighsBackend,
@@ -183,6 +199,7 @@ __all__ = [
     # subpackages
     "analysis",
     "chaos",
+    "control",
     "core",
     "engine",
     "experiments",
@@ -319,6 +336,21 @@ __all__ = [
     "parse_fault_spec",
     "ResilienceReport",
     "resilience_report",
+    # epoch-control kernel and policy surface
+    "EpochKernel",
+    "EpochAction",
+    "EpochObservation",
+    "EpochOutcome",
+    "ControlPolicy",
+    "FixedPolicy",
+    "AlphaBanditPolicy",
+    "LoadReactivePathsPolicy",
+    "POLICY_NAMES",
+    "make_policy",
+    "SchedulingEnv",
+    "PolicyRunResult",
+    "PolicyComparison",
+    "compare_policies",
     # chaos engine
     "ChaosSchedule",
     "ChaosReport",

@@ -30,6 +30,7 @@ import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from ..control.policies import FixedPolicy
 from ..errors import JournalWriteError, ScheduleError, ValidationError
 from ..lp.solver import SolveResilience
 from ..recovery.crash import (
@@ -172,6 +173,10 @@ def _run_sim_target(
                         journal=path,
                         crash_injector=ci,
                         journal_fault_injector=injector,
+                        # Journal-safe by construction: FixedPolicy keeps
+                        # the kernel's decide path armed under chaos while
+                        # resume (policy=None) stays byte-identical.
+                        control_policy=FixedPolicy(),
                     )
                     result = sim.run(scenario.jobs, horizon=horizon)
                 else:
@@ -274,6 +279,7 @@ def _run_serve_target(
             resilience=_CHAOS_RESILIENCE,
             verify_solutions=True,
             renegotiate_limit=2,
+            control_policy=FixedPolicy(),
         )
         submit_all(service)
         drained = False

@@ -23,7 +23,10 @@ JSON formats of :mod:`repro.serialization`:
   of worker processes (see docs/parallel.md);
 * ``chaos``     — run a seeded composed fault timeline against the
   simulator, the service and the fleet with invariant monitors armed
-  (see docs/chaos.md).
+  (see docs/chaos.md);
+* ``policy``    — compare epoch-control policies (fixed, bandit,
+  load-reactive) over checker-clean fuzz scenarios
+  (see docs/architecture.md).
 """
 
 from __future__ import annotations
@@ -183,6 +186,12 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="per-epoch scheduler: 'sharded' partitions each "
                      "epoch's instance into independent shards and merges "
                      "the grants (see docs/parallel.md)")
+    sim.add_argument("--control-policy", default=None, metavar="NAME",
+                     help="attach an epoch-control policy (fixed, bandit, "
+                     "load-reactive) that picks per-epoch knobs — alpha "
+                     "start, k_paths, solve-budget split; adaptive "
+                     "policies are incompatible with --journal "
+                     "(see docs/architecture.md)")
     sim.add_argument("-o", "--output", default=None,
                      help="write the run's records and event log as JSON")
 
@@ -344,6 +353,28 @@ def _build_parser() -> argparse.ArgumentParser:
                        "removed temp dir (for post-mortems)")
     chaos.add_argument("-o", "--output", default=None,
                        help="write the full chaos report as JSON")
+
+    pol = sub.add_parser(
+        "policy",
+        help="compare epoch-control policies over checker-clean fuzz "
+        "scenarios (see docs/architecture.md)",
+    )
+    pol_sub = pol.add_subparsers(dest="policy_command", required=True)
+    pcmp = pol_sub.add_parser(
+        "compare",
+        help="sweep policies over verify.fuzz scenarios with the "
+        "invariant checker armed every epoch",
+    )
+    pcmp.add_argument("--policies", default="fixed,bandit,load-reactive",
+                      help="comma-separated policy names "
+                      "(fixed, bandit, load-reactive)")
+    pcmp.add_argument("--seeds", type=int, default=3,
+                      help="number of fuzz scenarios (seeds 0..N-1)")
+    pcmp.add_argument("--k-paths", type=int, default=3)
+    pcmp.add_argument("--no-faults", action="store_true",
+                      help="restrict to fault-free scenarios")
+    pcmp.add_argument("-o", "--output", default=None,
+                      help="write the full comparison report as JSON")
 
     exp = sub.add_parser(
         "experiment", help="regenerate one of the paper's figures"
@@ -611,6 +642,12 @@ def _cmd_simulate(args) -> int:
         from .lp.solver import SolveBudget
 
         solve_budget = SolveBudget(args.solve_budget)
+    control_policy = None
+    if args.control_policy is not None:
+        from .control import make_policy
+
+        control_policy = make_policy(args.control_policy,
+                                     seed=args.fault_seed)
     sim = Simulation(
         net,
         tau=args.tau,
@@ -624,6 +661,7 @@ def _cmd_simulate(args) -> int:
         solve_budget=solve_budget,
         warm_start=not args.no_warm_start,
         planner=args.planner,
+        control_policy=control_policy,
     )
     result = sim.run(jobs, horizon=args.horizon)
     _print_simulation_summary(result, f"simulation ({args.policy} policy)")
@@ -989,6 +1027,35 @@ def _cmd_chaos(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_policy(args) -> int:
+    from .control import POLICY_NAMES, compare_policies
+    from .errors import ValidationError
+
+    # Only 'compare' exists today; argparse enforces the subcommand.
+    names = tuple(
+        name.strip() for name in args.policies.split(",") if name.strip()
+    )
+    for name in names:
+        if name not in POLICY_NAMES:
+            raise ValidationError(
+                f"unknown policy {name!r}; known policies: "
+                f"{', '.join(POLICY_NAMES)}"
+            )
+    comparison = compare_policies(
+        names,
+        seeds=args.seeds,
+        k_paths=args.k_paths,
+        allow_faults=not args.no_faults,
+    )
+    print(comparison.render())
+    total = sum(r.epochs_verified for r in comparison.runs)
+    print(f"\n{len(comparison.runs)} runs, {total} epochs checker-verified")
+    if args.output:
+        save_json(comparison.to_dict(), args.output)
+        print(f"wrote comparison report to {args.output}")
+    return 0
+
+
 def _cmd_experiment(args) -> int:
     names = sorted(EXPERIMENTS) if args.name == "all" else [args.name]
     results = []
@@ -1021,6 +1088,7 @@ _COMMANDS = {
     "verify": _cmd_verify,
     "fleet": _cmd_fleet,
     "chaos": _cmd_chaos,
+    "policy": _cmd_policy,
 }
 
 

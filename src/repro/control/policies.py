@@ -1,0 +1,263 @@
+"""Control policies: who picks the epoch knobs the kernel applies.
+
+A :class:`ControlPolicy` is the pluggable half of the
+:class:`~repro.control.kernel.EpochKernel` contract: every epoch the
+kernel builds an :class:`~repro.control.kernel.EpochObservation`, the
+policy's :meth:`~ControlPolicy.decide` returns an
+:class:`~repro.control.kernel.EpochAction` (or ``None`` for "keep the
+base"), and after the epoch executes :meth:`~ControlPolicy.feedback`
+closes the loop with the realized
+:class:`~repro.control.kernel.EpochOutcome`.
+
+Three non-learned baselines ship here:
+
+* :class:`FixedPolicy` — returns the driver's configured knobs
+  verbatim; byte-identical to running with no policy at all (the
+  equivalence tests prove it against pre-refactor golden journals).
+* :class:`AlphaBanditPolicy` — an epsilon-greedy bandit over the
+  stage-2 fairness ``alpha`` start value (Remark 1's escalation knob):
+  arms are candidate starting alphas, reward is the epoch's delivered
+  volume.  Deterministic for a fixed seed.
+* :class:`LoadReactivePathsPolicy` — a threshold controller that widens
+  the candidate path set and solve budget when the backlog is deep and
+  narrows both when the system drains, trading solve cost for routing
+  freedom exactly when multipath freedom pays.
+
+Policy authoring guide: see ``docs/architecture.md`` ("Control kernel &
+policy surface").  The short version: ``decide`` must be a pure
+function of the observation plus the policy's own state, never of wall
+clocks; derive actions with :func:`dataclasses.replace` from
+``obs.base`` so unknobbed fields keep the driver's configuration; and
+leave ``journal_safe`` False unless the policy provably returns the
+base action every epoch — journaled runs resume without the policy
+object, so anything else would break crash+resume identity.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+
+from ..errors import ValidationError
+from .kernel import EpochAction, EpochObservation, EpochOutcome
+
+__all__ = [
+    "ControlPolicy",
+    "FixedPolicy",
+    "AlphaBanditPolicy",
+    "LoadReactivePathsPolicy",
+    "POLICY_NAMES",
+    "make_policy",
+]
+
+
+class ControlPolicy:
+    """Base class / protocol for epoch-knob policies.
+
+    Attributes
+    ----------
+    name:
+        Stable identifier used by the CLI and comparison reports.
+    journal_safe:
+        Whether a journaled (crash-resumable) run may use this policy.
+        Only true when the policy provably returns the base action
+        every epoch — a resumed run replays *without* the policy
+        object, so any deviation would fork the timeline.
+    """
+
+    name = "base"
+    journal_safe = False
+
+    def decide(self, obs: EpochObservation) -> EpochAction | None:
+        """The epoch's knobs; ``None`` keeps the driver's base action."""
+        return None
+
+    def feedback(
+        self,
+        obs: EpochObservation,
+        action: EpochAction,
+        outcome: EpochOutcome,
+    ) -> None:
+        """Learn from the epoch's outcome.  Default: nothing to learn."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class FixedPolicy(ControlPolicy):
+    """Today's behaviour as a policy: always the driver's base knobs.
+
+    The identity element of the policy surface — attaching it must not
+    change a single journal byte, which is what lets the chaos runner
+    keep a policy armed on every crash-resumable target.
+    """
+
+    name = "fixed"
+    journal_safe = True
+
+    def decide(self, obs: EpochObservation) -> EpochAction | None:
+        return obs.base
+
+
+class AlphaBanditPolicy(ControlPolicy):
+    """Epsilon-greedy bandit over the stage-2 ``alpha`` starting value.
+
+    Remark 1 escalates ``alpha`` whenever LPDAR misses the fairness
+    floor; starting closer to the eventual fixed point skips escalation
+    rounds, but starting too high concedes throughput the instance
+    never required.  The bandit learns the trade-off online: each arm
+    is a candidate starting alpha, reward is the epoch's delivered
+    volume.
+
+    Parameters
+    ----------
+    arms:
+        Candidate ``alpha`` values; each must lie in ``[0, 1]``.
+    epsilon:
+        Exploration rate in ``[0, 1]``.
+    seed:
+        Seeds the private :class:`random.Random`, making the whole
+        policy trajectory deterministic.
+    """
+
+    name = "bandit"
+
+    def __init__(
+        self,
+        arms: tuple[float, ...] = (0.05, 0.1, 0.2, 0.3, 0.5),
+        epsilon: float = 0.2,
+        seed: int = 0,
+    ) -> None:
+        if not arms:
+            raise ValidationError("bandit needs at least one alpha arm")
+        for arm in arms:
+            if not 0.0 <= arm <= 1.0:
+                raise ValidationError(
+                    f"bandit alpha arm must be in [0, 1], got {arm}"
+                )
+        if not 0.0 <= epsilon <= 1.0:
+            raise ValidationError(
+                f"epsilon must be in [0, 1], got {epsilon}"
+            )
+        self.arms = tuple(float(a) for a in arms)
+        self.epsilon = float(epsilon)
+        self._rng = random.Random(seed)
+        self._pulls = [0] * len(self.arms)
+        self._value = [0.0] * len(self.arms)
+        self._last_arm: int | None = None
+
+    def decide(self, obs: EpochObservation) -> EpochAction | None:
+        if self._rng.random() < self.epsilon:
+            arm = self._rng.randrange(len(self.arms))
+        else:
+            # Untried arms first (optimistic), then the best average.
+            untried = [i for i, n in enumerate(self._pulls) if n == 0]
+            arm = (
+                untried[0]
+                if untried
+                else max(range(len(self.arms)), key=lambda i: self._value[i])
+            )
+        self._last_arm = arm
+        alpha = self.arms[arm]
+        return replace(
+            obs.base,
+            alpha=alpha,
+            alpha_max=max(obs.base.alpha_max, alpha),
+        )
+
+    def feedback(
+        self,
+        obs: EpochObservation,
+        action: EpochAction,
+        outcome: EpochOutcome,
+    ) -> None:
+        arm = self._last_arm
+        if arm is None:
+            return
+        self._pulls[arm] += 1
+        n = self._pulls[arm]
+        self._value[arm] += (outcome.delivered - self._value[arm]) / n
+        self._last_arm = None
+
+
+class LoadReactivePathsPolicy(ControlPolicy):
+    """Backlog-threshold controller over ``k_paths`` and solve budget.
+
+    A deep backlog is when multipath freedom pays: more candidate paths
+    per pair raise the attainable ``Z*`` at the cost of a bigger LP.
+    This policy widens the path set (and, when a budget is configured,
+    the budget split) above ``high_backlog`` and narrows both below
+    ``low_backlog``; in between it keeps the driver's base knobs.
+
+    Parameters
+    ----------
+    low_backlog, high_backlog:
+        Hysteresis thresholds on the number of unfinished jobs.
+    k_min, k_max:
+        The ``k_paths`` values used below / above the thresholds.
+        ``None`` derives them from the base (``max(1, k-1)`` and
+        ``k+2``).
+    budget_boost:
+        ``budget_scale`` applied above ``high_backlog`` (the widened
+        instance gets proportionally more solve time).
+    """
+
+    name = "load-reactive"
+
+    def __init__(
+        self,
+        low_backlog: int = 2,
+        high_backlog: int = 6,
+        k_min: int | None = None,
+        k_max: int | None = None,
+        budget_boost: float = 1.5,
+    ) -> None:
+        if low_backlog < 0 or high_backlog < low_backlog:
+            raise ValidationError(
+                "need 0 <= low_backlog <= high_backlog, got "
+                f"low={low_backlog}, high={high_backlog}"
+            )
+        if budget_boost <= 0:
+            raise ValidationError(
+                f"budget_boost must be > 0, got {budget_boost}"
+            )
+        self.low_backlog = int(low_backlog)
+        self.high_backlog = int(high_backlog)
+        self.k_min = k_min
+        self.k_max = k_max
+        self.budget_boost = float(budget_boost)
+
+    def decide(self, obs: EpochObservation) -> EpochAction | None:
+        base = obs.base
+        if obs.backlog > self.high_backlog:
+            k = self.k_max if self.k_max is not None else base.k_paths + 2
+            return replace(
+                base,
+                k_paths=max(1, int(k)),
+                budget_scale=self.budget_boost,
+            )
+        if obs.backlog < self.low_backlog:
+            k = (
+                self.k_min
+                if self.k_min is not None
+                else max(1, base.k_paths - 1)
+            )
+            return replace(base, k_paths=max(1, int(k)))
+        return base
+
+
+#: Names the CLI accepts (``repro policy compare --policies ...``).
+POLICY_NAMES = ("fixed", "bandit", "load-reactive")
+
+
+def make_policy(name: str, seed: int = 0) -> ControlPolicy:
+    """Build a baseline policy by CLI name (seeded where stochastic)."""
+    if name == "fixed":
+        return FixedPolicy()
+    if name == "bandit":
+        return AlphaBanditPolicy(seed=seed)
+    if name == "load-reactive":
+        return LoadReactivePathsPolicy()
+    raise ValidationError(
+        f"unknown policy {name!r}; known policies: {', '.join(POLICY_NAMES)}"
+    )

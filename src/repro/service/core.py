@@ -52,11 +52,20 @@ even though re-deciding under a budget is not bit-reproducible).
 from __future__ import annotations
 
 import math
-from dataclasses import asdict, replace
+from dataclasses import replace
 from pathlib import Path
 
 import numpy as np
 
+from ..control.kernel import (
+    EpochKernel,
+    EpochOutcome,
+    base_action_for,
+    service_journal_entry,
+    service_journal_header,
+    used_edges as shared_used_edges,
+    window_closed,
+)
 from ..core.admission import admit_max_prefix
 from ..core.metrics import per_slice_delivery
 from ..core.ret import solve_ret
@@ -170,6 +179,7 @@ class ReservationService:
         warm_start: bool = True,
         verify_solutions: bool = False,
         journal_fault_injector=None,
+        control_policy=None,
     ) -> None:
         if tau <= 0:
             raise ValidationError(f"tau must be positive, got {tau}")
@@ -220,13 +230,43 @@ class ReservationService:
             engine=self._engine,
             verify_solutions=self.verify_solutions,
         )
+        if (
+            control_policy is not None
+            and journal is not None
+            and not getattr(control_policy, "journal_safe", False)
+        ):
+            raise ValidationError(
+                "journal= requires a journal-safe control policy "
+                "(FixedPolicy or None); adaptive policies cannot be "
+                "replayed on resume"
+            )
+        self.control_policy = control_policy
+        # The shared epoch-control kernel: owns the epoch counter, the
+        # fault cursor, crash points, budget restarts and journal
+        # commits.  The service's ``epoch`` / ``_fault_idx`` attributes
+        # are views onto it.
+        self._kernel = EpochKernel(
+            tau=self.tau,
+            slice_length=self.slice_length,
+            base_action=base_action_for(
+                alpha=self._scheduler.alpha, k_paths=self.k_paths
+            ),
+            policy=control_policy,
+            fault_schedule=fault_schedule,
+            crash_injector=crash_injector,
+            solve_budget=solve_budget,
+            engine=self._engine,
+            telemetry=self.telemetry,
+        )
+        #: Per-``k_paths`` engines and per-action schedulers for epochs
+        #: where an adaptive policy deviates from the base knobs.
+        self._engines_by_k: dict[int, ModelEngine] = {}
+        self._schedulers_by_action: dict[tuple, Scheduler] = {}
         self.book = CommitmentBook()
         #: Undecided external requests: key -> (request, handle).
         self._pending: dict[str, tuple[ReservationRequest, DecisionHandle]] = {}
         #: Renegotiation work carried to the next tick (journaled).
         self._internal: list[dict] = []
-        self.epoch = 0
-        self._fault_idx = 0
         self._bucket_tokens = burst
         self._journal: EpochJournal | None = None
         self.journal_path = Path(journal) if journal is not None else None
@@ -240,6 +280,25 @@ class ReservationService:
     # ------------------------------------------------------------------
     # Submission (the bounded front door)
     # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """Next tick's epoch index (owned by the control kernel)."""
+        return self._kernel.epoch
+
+    @epoch.setter
+    def epoch(self, value: int) -> None:
+        self._kernel.epoch = int(value)
+        self._kernel.now = int(value) * self.tau
+
+    @property
+    def _fault_idx(self) -> int:
+        """Fault-timeline cursor (owned by the control kernel)."""
+        return self._kernel.fault_idx
+
+    @_fault_idx.setter
+    def _fault_idx(self, value: int) -> None:
+        self._kernel.fault_idx = int(value)
+
     @property
     def now(self) -> float:
         """Virtual time of the *next* tick's decisions."""
@@ -302,8 +361,7 @@ class ReservationService:
         now = self.now
         epoch = self.epoch
         self._crash_point("pre-batch", epoch)
-        if self.solve_budget is not None:
-            self.solve_budget.restart()
+        self._kernel.restart_budget()
 
         transitions: list[dict] = []
         self._detect_faults(now, transitions)
@@ -311,14 +369,36 @@ class ReservationService:
 
         batch, shed_handles = self._collect_batch(now)
         decisions, degraded = self._decide(batch, now, epoch, transitions)
-        transitions.extend(self._schedule_and_execute(now))
+
+        # The kernel's decide point: the control policy (if any) picks
+        # this tick's re-plan knobs from the observed backlog.  The
+        # admission pipeline above is deliberately outside the policy
+        # surface — decisions are journaled commitments.
+        obs = None
+        if self._kernel.wants_observation:
+            active = self.book.active()
+            obs = self._kernel.observe(
+                backlog=len(active),
+                total_remaining=sum(r.remaining for r in active),
+                queue_depth=len(self._pending),
+            )
+        action = self._kernel.decide(obs)
+        sched_transitions, delivered, completed = self._schedule_and_execute(
+            now, action
+        )
+        transitions.extend(sched_transitions)
+        self._kernel.feedback(
+            obs, action,
+            EpochOutcome(epoch=epoch, delivered=delivered, completed=completed),
+        )
 
         self._crash_point("post-solve", epoch)
-        if self._journal is not None:
-            self._journal.append(
-                self._journal_entry(epoch, now, decisions, transitions)
-            )
-            self.telemetry.count("journal_commits")
+        self._kernel.commit(
+            self._journal,
+            self._journal_entry(epoch, now, decisions, transitions)
+            if self._journal is not None
+            else None,
+        )
         self._crash_point("pre-respond", epoch)
 
         # Responses only after the journal holds the decisions: a crash
@@ -364,33 +444,23 @@ class ReservationService:
     # Tick stages
     # ------------------------------------------------------------------
     def _crash_point(self, point: str, epoch: int) -> None:
-        ci = self.crash_injector
-        if ci is not None and ci.should_fire(point, epoch):
-            ci.fire(point, epoch)
+        self._kernel.crash_point(point, epoch)
 
     def _detect_faults(self, now: float, transitions: list[dict]) -> None:
-        """Advance the fault cursor; void reservations on broken paths."""
-        fs = self.fault_schedule
-        if fs is None:
+        """Advance the fault cursor; void reservations on broken paths.
+
+        The cursor advance and carried-plan invalidation are the
+        kernel's (shared with the simulator); voiding broken
+        commitments into renegotiation is the service's own reaction.
+        """
+        detection = self._kernel.detect_faults(now)
+        if not detection.affected:
             return
-        affected: set[int] = set()
-        while (
-            self._fault_idx < len(fs.events)
-            and fs.events[self._fault_idx].time <= now + _EPS
-        ):
-            ev = fs.events[self._fault_idx]
-            if isinstance(ev, (LinkDown, WavelengthDegrade)):
-                affected.update(fs.edges_of(ev))
-            self._fault_idx += 1
-        if not affected:
-            return
-        # Carried plans routed before the fault are poor witnesses after.
-        self._engine.invalidate_carried()
         for key in sorted(self.book.reservations):
             res = self.book.reservations[key]
             if res.status != "accepted" or res.done:
                 continue
-            if res.used_edges & affected:
+            if res.used_edges & detection.affected:
                 self._void(key, res, now, transitions,
                            "link fault broke the committed path")
 
@@ -436,12 +506,21 @@ class ReservationService:
             n += 1
 
     def _expire_stale(self, now: float, transitions: list[dict]) -> None:
+        """Expire commitments whose window can no longer hold one slice.
+
+        Applies the shared
+        :func:`~repro.control.kernel.window_closed` predicate to the
+        *committed* end time — the service never extends deadlines in
+        place (a voided or renegotiated reservation gets a fresh
+        derived commitment instead), so unlike the simulator there is
+        no effective-end to consult and no ``final`` sweep.
+        """
         for key in sorted(self.book.reservations):
             res = self.book.reservations[key]
             if res.status != "accepted" or res.done:
                 continue
-            start = max(res.job.start, now)
-            if res.job.end - start < self.slice_length - _EPS:
+            if window_closed(res.job.start, res.job.end, now,
+                             self.slice_length):
                 res.status = "expired"
                 transitions.append({"id": res.job.id, "status": "expired"})
                 self.stats.count("expired")
@@ -504,7 +583,8 @@ class ReservationService:
                           else request_to_job(request, now)})
         return batch, shed
 
-    def _grid_and_paths(self, jobs: list[Job], now: float):
+    def _grid_and_paths(self, jobs: list[Job], now: float, engine=None):
+        engine = engine if engine is not None else self._engine
         horizon = max([j.end for j in jobs] + [now + self.tau])
         grid = TimeGrid.covering(horizon, self.slice_length, start=now)
         path_sets = None
@@ -512,7 +592,7 @@ class ReservationService:
             failed = self.fault_schedule.failed_edges_at(now)
             if failed:
                 pairs = list({(j.source, j.dest) for j in jobs})
-                path_sets = self._engine.topology.path_sets(
+                path_sets = engine.topology.path_sets(
                     pairs, banned_edges=failed
                 )
         return grid, path_sets
@@ -724,12 +804,52 @@ class ReservationService:
         return replace(res.job, size=res.remaining, start=start,
                        arrival=start)
 
-    def _schedule_and_execute(self, now: float) -> list[dict]:
-        """Plan the committed set and deliver the first epoch of slices."""
+    def _engine_for(self, k_paths: int) -> ModelEngine:
+        """The engine serving a (possibly policy-chosen) ``k_paths``."""
+        if k_paths == self.k_paths:
+            return self._engine
+        if k_paths not in self._engines_by_k:
+            self._engines_by_k[k_paths] = ModelEngine(
+                self.network, k_paths, telemetry=self.telemetry,
+                warm_start=self.warm_start, resilience=self.resilience,
+            )
+        return self._engines_by_k[k_paths]
+
+    def _scheduler_for(self, action, engine) -> Scheduler:
+        """A scheduler configured for a non-base epoch action (cached)."""
+        key = (action.alpha, action.alpha_step, action.alpha_max, action.k_paths)
+        if key not in self._schedulers_by_action:
+            self._schedulers_by_action[key] = Scheduler(
+                self.network,
+                k_paths=action.k_paths,
+                alpha=action.alpha,
+                alpha_step=action.alpha_step,
+                alpha_max=action.alpha_max,
+                slice_length=self.slice_length,
+                telemetry=self.telemetry,
+                budget=self.solve_budget,
+                resilience=self.resilience,
+                engine=engine,
+                verify_solutions=self.verify_solutions,
+            )
+        return self._schedulers_by_action[key]
+
+    def _schedule_and_execute(
+        self, now: float, action=None
+    ) -> tuple[list[dict], float, int]:
+        """Plan the committed set and deliver the first epoch of slices.
+
+        ``action`` optionally overrides the re-plan knobs for one tick
+        (a control policy's decision).  Returns the lifecycle
+        transitions plus the tick's ``(delivered volume, completions)``
+        — the outcome signal fed back to the kernel's policy.
+        """
         transitions: list[dict] = []
+        delivered = 0.0
+        completed = 0
         active = {str(r.job.id): r for r in self.book.active()}
         if not active:
-            return transitions
+            return transitions, delivered, completed
         residual = [
             job
             for job in (
@@ -738,18 +858,24 @@ class ReservationService:
             if job.end - job.start >= self.slice_length - _EPS
         ]
         if not residual:
-            return transitions
-        grid, path_sets = self._grid_and_paths(residual, now)
+            return transitions, delivered, completed
+        base = action is None or action == self._kernel.base_action
+        engine = self._engine if base else self._engine_for(action.k_paths)
+        scheduler = self._scheduler if base else self._scheduler_for(action, engine)
+        budget = (
+            self.solve_budget if base else self._kernel.budget_for(action)
+        )
+        grid, path_sets = self._grid_and_paths(residual, now, engine)
         try:
-            result = self._scheduler.schedule(
+            result = scheduler.schedule(
                 JobSet(residual), grid, path_sets=path_sets,
-                budget=self.solve_budget,
+                budget=budget,
             )
         except ScheduleError:
             # Defensive: no feasible plan this tick (e.g. every path of a
             # commitment failed).  Deliver nothing; faults/expiry will
             # void or expire the affected reservations visibly.
-            return transitions
+            return transitions, delivered, completed
         if result.degraded is not None:
             self.telemetry.count("service_degraded_solves")
         structure = result.structure
@@ -766,67 +892,51 @@ class ReservationService:
             volume = float(delivery[i, executed].sum()) * rate if executed else 0.0
             if volume <= _VOLUME_TOL:
                 continue
+            delivered += min(volume, res.remaining)
             res.remaining = max(0.0, res.remaining - volume)
             if res.done:
                 res.remaining = 0.0
                 res.status = "completed"
+                completed += 1
                 transitions.append({"id": res.job.id, "status": "completed"})
                 self.stats.count("completed")
-        return transitions
+        return transitions, delivered, completed
 
     @staticmethod
     def _used_edges(structure, x) -> dict[str, frozenset[int]]:
-        used: dict[str, set[int]] = {}
-        for c in np.flatnonzero(np.asarray(x) > _VOLUME_TOL):
-            i = int(structure.col_job[c])
-            path = structure.paths[i][int(structure.col_path[c])]
-            used.setdefault(str(structure.jobs[i].id), set()).update(
-                path.edge_ids
-            )
-        return {k: frozenset(v) for k, v in used.items()}
+        """Shared used-edge extraction, re-keyed by string job id.
+
+        The service's volume tolerance is the tight ``1e-9`` (ledger
+        residuals are exact), versus the simulator's looser ``1e-6``.
+        """
+        return {
+            str(job_id): edges
+            for job_id, edges in shared_used_edges(
+                structure, x, _VOLUME_TOL
+            ).items()
+        }
 
     # ------------------------------------------------------------------
     # Journal format
     # ------------------------------------------------------------------
     def _journal_header(self) -> dict:
-        from ..serialization import fault_events_to_list, network_to_dict
-
-        return {
-            "service": True,
-            "network": network_to_dict(self.network),
-            "config": {
-                "tau": self.tau,
-                "slice_length": self.slice_length,
-                "k_paths": self.k_paths,
-                "queue_limit": self.queue_limit,
-                "rate": self.rate,
-                "burst": self.burst,
-                "ret_b_max": self.ret_b_max,
-                "ret_delta": self.ret_delta,
-                "renegotiate_limit": self.renegotiate_limit,
-                "warm_start": self.warm_start,
-                "verify_solutions": self.verify_solutions,
-                "resilience": (
-                    asdict(self.resilience)
-                    if self.resilience is not None
-                    else None
-                ),
-                "solve_budget": (
-                    {
-                        "wall_time_s": self.solve_budget.wall_time_s,
-                        "min_backend_time_s":
-                            self.solve_budget.min_backend_time_s,
-                    }
-                    if self.solve_budget is not None
-                    else None
-                ),
-            },
-            "faults": (
-                fault_events_to_list(self.fault_schedule.events)
-                if self.fault_schedule is not None
-                else None
-            ),
-        }
+        return service_journal_header(
+            network=self.network,
+            tau=self.tau,
+            slice_length=self.slice_length,
+            k_paths=self.k_paths,
+            queue_limit=self.queue_limit,
+            rate=self.rate,
+            burst=self.burst,
+            ret_b_max=self.ret_b_max,
+            ret_delta=self.ret_delta,
+            renegotiate_limit=self.renegotiate_limit,
+            warm_start=self.warm_start,
+            verify_solutions=self.verify_solutions,
+            solve_budget=self.solve_budget,
+            resilience=self.resilience,
+            fault_schedule=self.fault_schedule,
+        )
 
     def _journal_entry(
         self,
@@ -835,24 +945,16 @@ class ReservationService:
         decisions: list[Decision],
         transitions: list[dict],
     ) -> dict:
-        return {
-            "epoch": int(epoch),
-            "now": float(now),
-            "fault_idx": int(self._fault_idx),
-            "bucket_tokens": float(self._bucket_tokens),
-            # The enriched ledger dicts (accepts carry endpoints/size):
-            # resume rebuilds the ledger byte-for-byte from these.
-            "decisions": [
-                dict(self.book.decided(str(d.request_id))) for d in decisions
-            ],
-            "transitions": transitions,
-            "active": [
-                [key, res.remaining, sorted(res.used_edges)]
-                for key, res in sorted(self.book.reservations.items())
-                if res.status == "accepted" and not res.done
-            ],
-            "internal": list(self._internal),
-        }
+        return service_journal_entry(
+            epoch=epoch,
+            now=now,
+            fault_idx=self._fault_idx,
+            bucket_tokens=self._bucket_tokens,
+            decisions=decisions,
+            transitions=transitions,
+            book=self.book,
+            internal=self._internal,
+        )
 
     # ------------------------------------------------------------------
     # Crash recovery

@@ -30,6 +30,15 @@ from typing import Literal
 
 import numpy as np
 
+from ..control.kernel import (
+    EpochKernel,
+    EpochOutcome,
+    base_action_for,
+    simulation_journal_entry,
+    simulation_journal_header,
+    used_edges as shared_used_edges,
+    window_closed,
+)
 from ..engine.engine import ModelEngine
 from ..errors import BudgetExceededError, ScheduleError, ValidationError
 from ..faults.events import LinkDown, WavelengthDegrade
@@ -298,6 +307,15 @@ class Simulation:
         :class:`~repro.errors.JournalWriteError` out of :meth:`run` —
         fail-stop with the prior journal intact, exactly like a full
         disk would.
+    control_policy:
+        Optional :class:`~repro.control.ControlPolicy` deciding each
+        epoch's knobs (alpha escalation, ``k_paths``, admission policy,
+        solve-budget split) through the shared
+        :class:`~repro.control.EpochKernel`.  ``None`` (the default)
+        and :class:`~repro.control.FixedPolicy` are byte-identical to
+        each other; adaptive policies are incompatible with ``journal=``
+        (a resumed run cannot replay the policy's state) and with the
+        sharded planner.  See ``docs/architecture.md``.
     """
 
     def __init__(
@@ -325,6 +343,7 @@ class Simulation:
         planner_workers: int = 1,
         verify_solutions: bool = False,
         journal_fault_injector=None,
+        control_policy=None,
     ) -> None:
         if tau <= 0 or slice_length <= 0:
             raise ValidationError("tau and slice_length must be positive")
@@ -412,10 +431,50 @@ class Simulation:
                 'the "mid-journal" crash point needs a journal= path to tear'
             )
         self.crash_injector = crash_injector
+        if control_policy is not None and not getattr(
+            control_policy, "journal_safe", False
+        ):
+            # A resumed run replays without the policy object, and the
+            # sharded planner has no per-action variant: both would let
+            # an adaptive policy fork the recorded timeline.
+            if journal is not None:
+                raise ValidationError(
+                    "journal= requires a journal-safe control policy "
+                    "(FixedPolicy or None); adaptive policies cannot be "
+                    "replayed on resume"
+                )
+            if planner == "sharded":
+                raise ValidationError(
+                    "planner='sharded' supports only journal-safe control "
+                    "policies (FixedPolicy or None)"
+                )
+        self.control_policy = control_policy
+        #: Per-``k_paths`` engines and per-action schedulers, built
+        #: lazily the first epoch an adaptive policy deviates from the
+        #: base knobs and reused for the rest of the run.
+        self._engines_by_k: dict[int, ModelEngine] = {}
+        self._schedulers_by_action: dict[tuple, Scheduler] = {}
 
     # ------------------------------------------------------------------
     def run(self, jobs: JobSet, horizon: float | None = None) -> SimulationResult:
         """Simulate until every job is resolved or ``horizon`` is reached."""
+        kernel, steps = self.controller(jobs, horizon)
+        return self._drive(steps)
+
+    def controller(self, jobs: JobSet, horizon: float | None = None):
+        """Start a run in stepwise form: ``(kernel, steps generator)``.
+
+        The generator is the controller loop itself, paused at every
+        decision point: it yields ``("decide", observation)`` before
+        each scheduling pass (send an
+        :class:`~repro.control.EpochAction` to override the knobs, or
+        ``None`` to let the kernel's policy decide) and
+        ``("outcome", EpochOutcome)`` after each committed epoch; its
+        ``StopIteration.value`` is the :class:`SimulationResult`.
+        :meth:`run` drives it start to finish sending ``None``;
+        :class:`~repro.control.SchedulingEnv` exposes the same pauses
+        as a gym-style ``reset``/``step`` interface.
+        """
         if len(jobs) == 0:
             raise ValidationError("cannot simulate an empty job set")
         if horizon is None:
@@ -431,7 +490,7 @@ class Simulation:
             # Attached after create(): the header write must succeed, or
             # there is no journal to fail-stop around.
             journal.fault_injector = self.journal_fault_injector
-        return self._run_loop(
+        return self._controller(
             jobs,
             float(horizon),
             records,
@@ -575,91 +634,90 @@ class Simulation:
     # ------------------------------------------------------------------
     def _journal_header(self, jobs: JobSet, horizon: float) -> dict:
         """The journal's immutable run description (first line)."""
-        from ..serialization import (
-            fault_events_to_list,
-            jobs_to_dict,
-            network_to_dict,
+        return simulation_journal_header(
+            network=self.network,
+            jobs=jobs,
+            horizon=horizon,
+            tau=self.tau,
+            slice_length=self.slice_length,
+            policy=self.policy,
+            k_paths=self.k_paths,
+            alpha=self.alpha,
+            ret_b_max=self.ret_b_max,
+            ret_delta=self.ret_delta,
+            rejection=self.rejection,
+            verify_epochs=self.verify_epochs,
+            verify_solutions=self.verify_solutions,
+            warm_start=self.warm_start,
+            planner=self.planner,
+            solve_budget=self.solve_budget,
+            resilience=self.resilience,
+            fault_schedule=self.fault_schedule,
         )
 
-        return {
-            "network": network_to_dict(self.network),
-            "jobs": jobs_to_dict(jobs)["jobs"],
-            "horizon": float(horizon),
-            "config": {
-                "tau": self.tau,
-                "slice_length": self.slice_length,
-                "policy": self.policy,
-                "k_paths": self.k_paths,
-                "alpha": self.alpha,
-                "ret_b_max": self.ret_b_max,
-                "ret_delta": self.ret_delta,
-                "rejection": self.rejection,
-                "verify_epochs": self.verify_epochs,
-                "verify_solutions": self.verify_solutions,
-                "warm_start": self.warm_start,
-                "planner": self.planner,
-                "solve_budget": (
-                    {
-                        "wall_time_s": self.solve_budget.wall_time_s,
-                        "min_backend_time_s": self.solve_budget.min_backend_time_s,
-                    }
-                    if self.solve_budget is not None
-                    else None
-                ),
-                "resilience": (
-                    asdict(self.resilience)
-                    if self.resilience is not None
-                    else None
-                ),
-            },
-            "faults": (
-                fault_events_to_list(self.fault_schedule.events)
-                if self.fault_schedule is not None
-                else None
+    def _make_kernel(self, now: float, epoch: int, fault_idx: int) -> EpochKernel:
+        """One run's shared epoch-control kernel, seeded at a boundary."""
+        return EpochKernel(
+            tau=self.tau,
+            slice_length=self.slice_length,
+            base_action=base_action_for(
+                alpha=self.alpha,
+                k_paths=self.k_paths,
+                admission_policy=self.policy,
+                rejection=self.rejection,
             ),
-        }
+            policy=self.control_policy,
+            fault_schedule=self.fault_schedule,
+            crash_injector=self.crash_injector,
+            solve_budget=self.solve_budget,
+            engine=self._engine,
+            telemetry=self.telemetry,
+            now=now,
+            epoch=epoch,
+            fault_idx=fault_idx,
+        )
+
+    def _engine_for(self, k_paths: int) -> ModelEngine:
+        """The engine serving a (possibly policy-chosen) ``k_paths``."""
+        if k_paths == self.k_paths:
+            return self._engine
+        if k_paths not in self._engines_by_k:
+            self._engines_by_k[k_paths] = (
+                ModelEngine(self.network, k_paths, telemetry=self.telemetry)
+                if self.warm_start
+                else ModelEngine.cold(
+                    self.network, k_paths, telemetry=self.telemetry
+                )
+            )
+        return self._engines_by_k[k_paths]
+
+    def _scheduler_for(self, action, engine) -> Scheduler:
+        """A scheduler configured for a non-base epoch action (cached)."""
+        key = (action.alpha, action.alpha_step, action.alpha_max, action.k_paths)
+        if key not in self._schedulers_by_action:
+            self._schedulers_by_action[key] = Scheduler(
+                self.network,
+                k_paths=action.k_paths,
+                alpha=action.alpha,
+                alpha_step=action.alpha_step,
+                alpha_max=action.alpha_max,
+                slice_length=self.slice_length,
+                telemetry=self.telemetry,
+                resilience=self.resilience,
+                engine=engine,
+                verify_solutions=self.verify_solutions,
+            )
+        return self._schedulers_by_action[key]
 
     @staticmethod
-    def _journal_entry(
-        order: list,
-        records: dict,
-        now: float,
-        epoch: int,
-        fault_idx: int,
-        used_edges: dict,
-        new_events: list,
-    ) -> dict:
-        """One committed-epoch record: the controller's full mutable state."""
-        return {
-            "epoch": int(epoch),
-            "now": float(now),
-            "fault_idx": int(fault_idx),
-            "records": [
-                {
-                    "job": records[i].job.id,
-                    "status": records[i].status,
-                    "remaining": records[i].remaining,
-                    "effective_end": records[i].effective_end,
-                    "completion_time": records[i].completion_time,
-                }
-                for i in order
-            ],
-            "used_edges": [
-                [job_id, sorted(int(e) for e in edges)]
-                for job_id, edges in sorted(
-                    used_edges.items(), key=lambda kv: str(kv[0])
-                )
-            ],
-            "events": [
-                {"type": type(ev).__name__, **asdict(ev)} for ev in new_events
-            ],
-        }
-
-    def _crash_point(self, point: str, epoch: int) -> None:
-        """Fire the crash injector if this is its (point, epoch)."""
-        ci = self.crash_injector
-        if ci is not None and ci.should_fire(point, epoch):
-            ci.fire(point, epoch)
+    def _drive(steps) -> SimulationResult:
+        """Run a controller generator to completion, letting the kernel
+        (and its policy, if any) make every decision."""
+        try:
+            while True:
+                steps.send(None)
+        except StopIteration as stop:
+            return stop.value
 
     def _run_loop(
         self,
@@ -674,19 +732,65 @@ class Simulation:
         used_edges: dict,
         journal: EpochJournal | None,
     ) -> SimulationResult:
-        """The controller loop proper, from an arbitrary committed state.
+        """Drive the controller from an arbitrary committed state.
 
         ``run`` enters it with fresh state, ``resume`` with state
         replayed from a journal; everything the loop mutates is either
         an argument or derived from one, so the two entry points share
         every line of epoch logic.
         """
+        kernel, steps = self._controller(
+            jobs, horizon, records, order, events, now, epoch, fault_idx,
+            used_edges, journal,
+        )
+        return self._drive(steps)
+
+    def _controller(
+        self,
+        jobs: JobSet,
+        horizon: float,
+        records: dict,
+        order: list,
+        events: list,
+        now: float,
+        epoch: int,
+        fault_idx: int,
+        used_edges: dict,
+        journal: EpochJournal | None,
+    ):
+        """Build the kernel + paused controller generator pair."""
+        kernel = self._make_kernel(now, epoch, fault_idx)
+        steps = self._epoch_steps(
+            kernel, jobs, horizon, records, order, events, used_edges, journal
+        )
+        return kernel, steps
+
+    def _epoch_steps(
+        self,
+        kernel: EpochKernel,
+        jobs: JobSet,
+        horizon: float,
+        records: dict,
+        order: list,
+        events: list,
+        used_edges: dict,
+        journal: EpochJournal | None,
+    ):
+        """The controller loop as a generator over the kernel contract.
+
+        Each epoch runs observe → decide → solve → execute → commit.
+        The generator pauses twice per scheduling epoch: at the decide
+        point (yielding ``("decide", observation)``; send an action to
+        override, ``None`` to let the kernel's policy choose) and after
+        the commit (yielding ``("outcome", EpochOutcome)``).  Returns
+        the :class:`SimulationResult` via ``StopIteration.value``.
+        """
         kept_schedules: list = []
         verification: list = []
         if self.planner == "sharded":
             from ..parallel.sharded import ShardedScheduler
 
-            scheduler = ShardedScheduler(
+            base_scheduler = ShardedScheduler(
                 self.network,
                 k_paths=self.k_paths,
                 alpha=self.alpha,
@@ -697,7 +801,7 @@ class Simulation:
                 workers=self.planner_workers,
             )
         else:
-            scheduler = Scheduler(
+            base_scheduler = Scheduler(
                 self.network,
                 k_paths=self.k_paths,
                 alpha=self.alpha,
@@ -716,62 +820,45 @@ class Simulation:
             nonlocal journal_mark
             if journal is None:
                 return
-            entry = self._journal_entry(
+            entry = simulation_journal_entry(
                 order,
                 records,
-                now,
-                epoch,
-                fault_idx,
+                kernel.now,
+                kernel.epoch,
+                kernel.fault_idx,
                 used_edges,
                 events[journal_mark:],
             )
-            ci = self.crash_injector
-            if (
-                crash_epoch is not None
-                and ci is not None
-                and ci.should_fire("mid-journal", crash_epoch)
-            ):
-                journal.append_torn(entry)
-                ci.fire("mid-journal", crash_epoch)
-            journal.append(entry)
+            kernel.commit(journal, entry, crash_epoch=crash_epoch)
             journal_mark = len(events)
-            self.telemetry.count("journal_commits")
 
         unseen = sorted(
             (rec.job for rec in records.values() if rec.status == "pending"),
             key=lambda j: (j.arrival, str(j.id)),
         )
-        # Per-epoch engine reuse evidence: after each scheduling pass an
-        # ``epoch_cache_stats`` record captures the *delta* of these
-        # counters, so benches and tests can assert that every epoch
-        # after the first reuses structure (cache hit or patch) rather
-        # than paying a cold build.  Records are telemetry-only — they
-        # never enter the journal, so warm/cold equivalence is untouched.
-        cache_counter_names = (
-            "structure_cache_hits",
-            "structure_patch_hits",
-            "cold_builds",
-            "warm_starts",
-            "ret_witness_hits",
-        )
-        cache_totals = dict.fromkeys(cache_counter_names, 0.0)
-        while now < horizon - 1e-9:
+        while kernel.now < horizon - 1e-9:
+            now = kernel.now
             # 1. Collect arrivals up to this epoch.
             while unseen and unseen[0].arrival <= now + 1e-9:
                 job = unseen.pop(0)
                 events.append(JobArrived(now, job.id))
                 records[job.id].status = "active"
 
-            # 1b. Detect faults that struck since the last boundary.
-            affected: frozenset[int] = frozenset()
-            if self.fault_schedule is not None:
-                fault_idx, affected = self._detect_faults(fault_idx, now, events)
-                if affected:
-                    # The carried plan's paths may cross edges that just
-                    # failed or recovered; its feasibility certificate is
-                    # built on the pre-fault route set, so drop it and
-                    # let this epoch's RET probe solve for real.
-                    self._engine.invalidate_carried()
+            # 1b. Detect faults that struck since the last boundary (the
+            # kernel advances the cursor and drops any carried plan whose
+            # feasibility certificate predates the strike); translate the
+            # raw timeline events into the simulator's detection log.
+            detection = kernel.detect_faults(now)
+            affected = detection.affected
+            for ev in detection.events:
+                if isinstance(ev, LinkDown):
+                    events.append(LinkFailed(now, ev.source, ev.target, ev.time))
+                elif isinstance(ev, WavelengthDegrade):
+                    events.append(
+                        LinkDegraded(now, ev.source, ev.target, ev.remaining, ev.time)
+                    )
+                else:
+                    events.append(LinkRestored(now, ev.source, ev.target, ev.time))
 
             # 2. Expire active jobs whose window can no longer fit a slice.
             self._expire_stale(records, now, events)
@@ -793,16 +880,40 @@ class Simulation:
             if residual is None:
                 if not unseen:
                     break  # nothing active, nothing to come
-                now = self._advance_to(unseen[0].arrival)
-                epoch = int(round(now / self.tau))
+                kernel.advance(to=self._advance_to(unseen[0].arrival))
                 commit()
                 continue
 
-            self._crash_point("pre-solve", epoch)
-            if self.solve_budget is not None:
+            # 3b. The decide point: observe, then let the policy (or a
+            # SchedulingEnv driver) pick this epoch's knobs.  Without a
+            # policy the observation is skipped and the base action is
+            # returned untouched — the zero-overhead default path.
+            obs = None
+            if kernel.wants_observation:
+                active = [r for r in records.values() if r.status == "active"]
+                obs = kernel.observe(
+                    backlog=len(active),
+                    total_remaining=sum(r.remaining for r in active),
+                    queue_depth=len(unseen),
+                )
+            action = yield ("decide", obs)
+            if action is None:
+                action = kernel.decide(obs)
+            else:
+                action = action.validate()
+            engine = self._engine_for(action.k_paths)
+            epoch_scheduler = (
+                base_scheduler
+                if action == kernel.base_action
+                else self._scheduler_for(action, engine)
+            )
+            budget = kernel.budget_for(action)
+
+            kernel.crash_point("pre-solve")
+            if budget is not None:
                 # A fresh allowance per epoch: the budget covers the
                 # whole solve chain (RET + scheduling) for this pass.
-                self.solve_budget.restart()
+                budget.restart()
 
             # 4. Admission control + scheduling, timed as one pass (the
             #    span replaces the old hand-rolled perf_counter block and
@@ -811,11 +922,12 @@ class Simulation:
                 epoch_paths = None
                 if self.fault_schedule is not None:
                     residual, epoch_paths = self._route_around_faults(
-                        residual, now
+                        residual, now, engine
                     )
                 if residual is not None:
                     residual = self._apply_policy(
-                        residual, records, now, events, epoch_paths
+                        residual, records, now, events, epoch_paths,
+                        action=action, engine=engine, budget=budget,
                     )
                 if residual is not None:
                     grid = TimeGrid.covering(
@@ -825,31 +937,35 @@ class Simulation:
                     )
                     profile = self._epoch_profile(grid, now)
                     if epoch_paths is None and profile is None:
-                        epoch_paths = base_paths
-                    result = scheduler.schedule(
+                        epoch_paths = (
+                            base_paths
+                            if engine is self._engine
+                            else engine.topology.path_sets(residual.od_pairs())
+                        )
+                    result = epoch_scheduler.schedule(
                         residual,
                         grid,
                         capacity_profile=profile,
                         path_sets=epoch_paths,
-                        budget=self.solve_budget,
+                        budget=budget,
                     )
             if residual is not None and self.telemetry.enabled:
-                delta = {}
-                for name in cache_counter_names:
-                    total = self.telemetry.counters.get(name, 0.0)
-                    delta[name] = total - cache_totals[name]
-                    cache_totals[name] = total
-                self.telemetry.record("epoch_cache_stats", epoch=epoch, **delta)
+                # Per-epoch engine reuse evidence (telemetry-only — the
+                # records never enter the journal, so warm/cold
+                # equivalence is untouched).
+                self.telemetry.record(
+                    "epoch_cache_stats", epoch=kernel.epoch,
+                    **kernel.cache_delta(),
+                )
             if residual is None:
-                now += self.tau
-                epoch += 1
+                kernel.advance()
                 commit()
                 continue
-            self._crash_point("post-solve", epoch)
+            kernel.crash_point("post-solve")
             events.append(
                 SchedulingPass(
                     now,
-                    epoch,
+                    kernel.epoch,
                     len(residual),
                     result.zstar,
                     result.overloaded,
@@ -860,26 +976,40 @@ class Simulation:
             if result.degraded is not None:
                 events.append(
                     DegradedSolve(
-                        now, epoch, result.degraded, result.degraded_reason or ""
+                        now, kernel.epoch, result.degraded,
+                        result.degraded_reason or "",
                     )
                 )
 
             if self.keep_schedules:
-                kept_schedules.append((epoch, result))
+                kept_schedules.append((kernel.epoch, result))
             if self.fault_schedule is not None:
-                used_edges.update(self._used_edges(result))
+                used_edges.update(
+                    shared_used_edges(result.structure, result.x, _VOLUME_TOL)
+                )
             if self.verify_epochs:
                 self._verify_planned(result, verification)
 
             # 5. Execute the first tau worth of slices, then commit the
             #    post-execution state as this epoch's journal record.
-            self._execute(result, records, now, events, verification)
-            self._crash_point("pre-commit", epoch)
-            pass_epoch = epoch
-            now += self.tau
-            epoch += 1
+            delivered, completed = self._execute(
+                result, records, now, events, verification
+            )
+            kernel.crash_point("pre-commit")
+            pass_epoch = kernel.epoch
+            kernel.advance()
             commit(crash_epoch=pass_epoch)
-            self._crash_point("post-commit", pass_epoch)
+            kernel.crash_point("post-commit", pass_epoch)
+            outcome = EpochOutcome(
+                epoch=pass_epoch,
+                delivered=delivered,
+                completed=completed,
+                zstar=result.zstar,
+                overloaded=result.overloaded,
+                degraded=result.degraded is not None,
+            )
+            kernel.feedback(obs, action, outcome)
+            yield ("outcome", outcome)
 
         self._expire_stale(records, horizon, events, final=True)
         if journal is not None:
@@ -899,34 +1029,8 @@ class Simulation:
         """Next epoch boundary at or after ``t``."""
         return np.ceil(t / self.tau - 1e-9) * self.tau
 
-    def _detect_faults(
-        self, fault_idx: int, now: float, events: list
-    ) -> tuple[int, frozenset[int]]:
-        """Report fault events up to ``now``; return affected edge ids.
-
-        Detection events carry ``now`` as their time (keeping the log
-        time ordered) and the actual strike time in ``failed_at`` /
-        ``degraded_at`` / ``restored_at``.
-        """
-        fs = self.fault_schedule
-        affected: set[int] = set()
-        while fault_idx < len(fs.events) and fs.events[fault_idx].time <= now + 1e-9:
-            ev = fs.events[fault_idx]
-            if isinstance(ev, LinkDown):
-                events.append(LinkFailed(now, ev.source, ev.target, ev.time))
-                affected.update(fs.edges_of(ev))
-            elif isinstance(ev, WavelengthDegrade):
-                events.append(
-                    LinkDegraded(now, ev.source, ev.target, ev.remaining, ev.time)
-                )
-                affected.update(fs.edges_of(ev))
-            else:
-                events.append(LinkRestored(now, ev.source, ev.target, ev.time))
-            fault_idx += 1
-        return fault_idx, frozenset(affected)
-
     def _route_around_faults(
-        self, residual: JobSet, now: float
+        self, residual: JobSet, now: float, engine: ModelEngine | None = None
     ) -> tuple[JobSet | None, dict | None]:
         """Rebuild paths without currently failed links; hold cut-off jobs.
 
@@ -937,7 +1041,8 @@ class Simulation:
         failed = self.fault_schedule.failed_edges_at(now)
         if not failed:
             return residual, None
-        epoch_paths = self._engine.topology.path_sets(
+        engine = engine if engine is not None else self._engine
+        epoch_paths = engine.topology.path_sets(
             residual.od_pairs(), banned_edges=failed
         )
         routable = [j for j in residual if epoch_paths[(j.source, j.dest)]]
@@ -968,18 +1073,6 @@ class Simulation:
                 )
         return profile
 
-    @staticmethod
-    def _used_edges(result) -> dict:
-        """Edge ids each job's freshly computed schedule actually uses."""
-        structure = result.structure
-        x = result.x
-        used: dict[int | str, set[int]] = {}
-        for c in np.flatnonzero(np.asarray(x) > _VOLUME_TOL):
-            i = int(structure.col_job[c])
-            path = structure.paths[i][int(structure.col_path[c])]
-            used.setdefault(structure.jobs[i].id, set()).update(path.edge_ids)
-        return {job_id: frozenset(eids) for job_id, eids in used.items()}
-
     def _residual_jobs(self, records: dict, now: float) -> JobSet | None:
         """Unfinished admitted jobs, re-windowed to start at ``now``."""
         out = []
@@ -987,7 +1080,8 @@ class Simulation:
             if rec.status != "active":
                 continue
             start = max(rec.job.start, now)
-            if rec.effective_end - start < self.slice_length - 1e-9:
+            if window_closed(rec.job.start, rec.effective_end, now,
+                             self.slice_length):
                 continue  # expiry pass will catch it
             out.append(
                 replace(
@@ -1003,11 +1097,20 @@ class Simulation:
     def _expire_stale(
         self, records: dict, now: float, events: list, final: bool = False
     ) -> None:
+        """Expire active jobs whose window can no longer hold one slice.
+
+        The simulator applies the shared
+        :func:`~repro.control.kernel.window_closed` predicate to the
+        *effective* (possibly RET-extended) deadline — unlike the
+        service, which expires against the committed end time — and
+        additionally force-expires everything at the horizon
+        (``final=True``).
+        """
         for rec in records.values():
             if rec.status != "active":
                 continue
-            window_left = rec.effective_end - max(rec.job.start, now)
-            if final or window_left < self.slice_length - 1e-9:
+            if final or window_closed(rec.job.start, rec.effective_end, now,
+                                      self.slice_length):
                 rec.status = "expired"
                 events.append(JobExpired(now, rec.job.id, rec.remaining))
 
@@ -1018,30 +1121,42 @@ class Simulation:
         now: float,
         events: list,
         path_sets: dict | None = None,
+        action=None,
+        engine: ModelEngine | None = None,
+        budget: SolveBudget | None = None,
     ) -> JobSet | None:
         """Admission action; may reject jobs or extend deadlines in place.
 
         ``path_sets`` carries the fault-aware routes (failed links
         banned) so the ``extend`` policy's RET search cannot plan an
-        extension over capacity that no longer exists.
+        extension over capacity that no longer exists.  ``action`` /
+        ``engine`` / ``budget`` override the run's configured knobs for
+        one epoch (a control policy's decision); left at ``None`` they
+        fall back to the constructor configuration.
         """
-        if self.policy == "reduce":
+        policy = self.policy if action is None else action.admission_policy
+        rejection = self.rejection if action is None else action.rejection
+        k_paths = self.k_paths if action is None else action.k_paths
+        engine = engine if engine is not None else self._engine
+        if action is None:
+            budget = self.solve_budget
+        if policy == "reduce":
             return residual
 
-        if self.policy == "reject":
+        if policy == "reject":
             grid = TimeGrid.covering(
                 max(residual.max_end(), now + self.tau), self.slice_length, start=now
             )
-            admit = admit_greedy if self.rejection == "greedy" else admit_max_prefix
+            admit = admit_greedy if rejection == "greedy" else admit_max_prefix
             decision = admit(
                 self.network,
                 residual,
                 grid,
-                self.k_paths,
+                k_paths,
                 threshold=1.0,
                 key=by_arrival,
-                engine=self._engine,
-                budget=self.solve_budget,
+                engine=engine,
+                budget=budget,
                 path_sets=path_sets,
             )
             if decision.degraded:
@@ -1072,14 +1187,14 @@ class Simulation:
                 self.network,
                 residual,
                 slice_length=self.slice_length,
-                k_paths=self.k_paths,
+                k_paths=k_paths,
                 b_max=self.ret_b_max,
                 delta=self.ret_delta,
                 path_sets=path_sets,
                 telemetry=self.telemetry,
                 resilience=self.resilience,
-                budget=self.solve_budget,
-                engine=self._engine,
+                budget=budget,
+                engine=engine,
             )
         except (ScheduleError, BudgetExceededError):
             # No completing extension found (or no time left to look for
@@ -1183,8 +1298,14 @@ class Simulation:
         now: float,
         events: list,
         verification: list | None = None,
-    ) -> None:
-        """Deliver the first epoch's slices of the freshly computed schedule."""
+    ) -> tuple[float, int]:
+        """Deliver the first epoch's slices of the freshly computed schedule.
+
+        Returns ``(delivered volume, completions)`` for the epoch — the
+        outcome signal the control kernel feeds back to its policy.
+        """
+        delivered = 0.0
+        completions = 0
         structure = result.structure
         grid = structure.grid
         executed = [
@@ -1193,7 +1314,7 @@ class Simulation:
             if grid.slice_start(j) < now + self.tau - 1e-9
         ]
         if not executed:
-            return
+            return delivered, completions
         x = np.asarray(result.x, dtype=float)
         x_eff = x
         if self.fault_schedule is not None:
@@ -1221,10 +1342,12 @@ class Simulation:
                 continue
             volume = min(volume, rec.remaining)
             rec.remaining -= volume
+            delivered += volume
             events.append(JobProgress(now + self.tau, job.id, volume, rec.remaining))
             if rec.remaining <= _VOLUME_TOL * max(rec.job.size, 1.0):
                 rec.remaining = 0.0
                 rec.status = "completed"
+                completions += 1
                 # Completion lands at the end of the last executed slice
                 # that actually carried volume for this job.
                 carrying = [j for j in executed if delivery[i, j] > 0]
@@ -1232,3 +1355,4 @@ class Simulation:
                 events.append(
                     JobCompleted(rec.completion_time, job.id, rec.met_deadline)
                 )
+        return delivered, completions

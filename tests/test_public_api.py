@@ -19,6 +19,7 @@ class TestPublicSurface:
         subs = (
             "core", "network", "workload", "lp", "sim",
             "analysis", "faults", "verify", "recovery", "parallel",
+            "control",
         )
         for sub in subs:
             mod = importlib.import_module(f"repro.{sub}")
@@ -83,6 +84,27 @@ class TestPublicSurface:
         ):
             assert name in repro.__all__, f"{name} missing from repro.__all__"
             assert getattr(repro, name) is getattr(repro.parallel, name)
+
+    def test_control_names_exported_at_top_level(self):
+        """The epoch-control kernel and policy surface are top-level API."""
+        for name in (
+            "EpochKernel",
+            "EpochAction",
+            "EpochObservation",
+            "EpochOutcome",
+            "ControlPolicy",
+            "FixedPolicy",
+            "AlphaBanditPolicy",
+            "LoadReactivePathsPolicy",
+            "POLICY_NAMES",
+            "make_policy",
+            "SchedulingEnv",
+            "PolicyRunResult",
+            "PolicyComparison",
+            "compare_policies",
+        ):
+            assert name in repro.__all__, f"{name} missing from repro.__all__"
+            assert getattr(repro, name) is getattr(repro.control, name)
 
     def test_solve_budget_shared_with_lp_layer(self):
         """repro.recovery re-exports the lp layer's SolveBudget, not a copy."""
